@@ -1,0 +1,28 @@
+//! Baseline Congested Clique shortest-path algorithms.
+//!
+//! The paper's contribution is meaningful relative to three earlier
+//! approaches, all implemented here with the same round-ledger accounting so
+//! experiments can compare growth shapes (experiment F1):
+//!
+//! * [`full_gather`] — the trivial exact algorithm: collect the entire graph
+//!   at every node (`O(m/n)` rounds — unbeatable for sparse inputs, `Θ(n)`
+//!   for dense ones).
+//! * [`matrix_squaring`] — the "first era" algebraic approach: `⌈log₂ n⌉`
+//!   dense min-plus squarings at `Θ(n^{1/3})` rounds each.
+//! * [`spanner`] — Baswana–Sen `(2k−1)`-spanners: `poly(k)` rounds but
+//!   stretch `Ω(log n)` at near-linear size — the trade-off that motivated
+//!   the search for `O(1)`-stretch sub-polynomial algorithms.
+//! * [`polylog`] — a Censor-Hillel-et-al.-PODC19-style pipeline: the same
+//!   tool-kit as `cc-toolkit` but **without** distance sensitivity
+//!   (`t = n`), which is precisely what pins it at `poly(log n)` rounds.
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest idiom for the dense adjacency/matrix
+// code in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod full_gather;
+pub mod matrix_squaring;
+pub mod polylog;
+pub mod spanner;

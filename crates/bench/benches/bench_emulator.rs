@@ -1,0 +1,50 @@
+//! Criterion wall-clock benchmarks for emulator constructions.
+//!
+//! The model metric is *rounds* (see the experiment binaries); these
+//! benchmarks track the simulator's own compute cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cc_clique::RoundLedger;
+use cc_emulator::clique::CliqueEmulatorConfig;
+use cc_emulator::{clique, deterministic, ideal, whp, EmulatorParams};
+use cc_graphs::generators;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::connected_gnp(n, 6.0 / n as f64, &mut rng);
+        let params = EmulatorParams::new(n, 0.25, 2).expect("valid");
+        let cfg = CliqueEmulatorConfig::scaled(params.clone());
+
+        group.bench_with_input(BenchmarkId::new("ideal", n), &n, |b, _| {
+            b.iter(|| ideal::build(&g, &params, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("clique", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new(n);
+                clique::build(&g, &cfg, &mut rng, &mut ledger)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("whp", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new(n);
+                whp::build(&g, &cfg, &mut rng, &mut ledger)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("deterministic", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new(n);
+                deterministic::build(&g, &cfg, &mut ledger)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion wall-clock benchmarks for the min-plus matrix machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cc_clique::RoundLedger;
+use cc_graphs::generators;
+use cc_matrix::filtered::{filter_rows, knearest_matrix};
+use cc_matrix::{DenseMatrix, SparseMatrix};
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::connected_gnp(n, 8.0 / n as f64, &mut rng);
+
+        let dense = DenseMatrix::adjacency(&g);
+        group.bench_with_input(BenchmarkId::new("dense-square", n), &n, |b, _| {
+            b.iter(|| dense.minplus(&dense))
+        });
+
+        let sparse = SparseMatrix::adjacency(&g);
+        group.bench_with_input(BenchmarkId::new("sparse-square", n), &n, |b, _| {
+            b.iter(|| sparse.minplus(&sparse))
+        });
+
+        group.bench_with_input(BenchmarkId::new("filter-rows", n), &n, |b, _| {
+            let sq = sparse.minplus(&sparse);
+            b.iter(|| filter_rows(&sq, 16))
+        });
+
+        group.bench_with_input(BenchmarkId::new("knearest-matrix-d16", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new(n);
+                knearest_matrix(&g, 32, 16, &mut ledger)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion wall-clock benchmarks for the distance-sensitive tool-kit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cc_clique::RoundLedger;
+use cc_graphs::{generators, WeightedGraph};
+use cc_toolkit::hopset::{self, HopsetParams};
+use cc_toolkit::knearest::{KNearest, Strategy};
+use cc_toolkit::source_detection::SourceDetection;
+
+fn bench_toolkit(c: &mut Criterion) {
+    let n = 512;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generators::connected_gnp(n, 6.0 / n as f64, &mut rng);
+    let wg = WeightedGraph::from_unweighted(&g);
+    let sources: Vec<usize> = (0..n).step_by(23).collect();
+
+    let mut group = c.benchmark_group("toolkit");
+    group.sample_size(10);
+    for d in [8u32, 32] {
+        group.bench_with_input(BenchmarkId::new("knearest-bfs", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new(n);
+                KNearest::compute(&g, 64, d, Strategy::TruncatedBfs, &mut ledger)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knearest-filtered", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new(n);
+                KNearest::compute(&g, 64, d, Strategy::Filtered, &mut ledger)
+            })
+        });
+    }
+    group.bench_function("source-detection-d16", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new(n);
+            SourceDetection::run(&wg, &sources, 16, &mut ledger)
+        })
+    });
+    group.bench_function("hopset-t32-scaled", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new(n);
+            let params = HopsetParams::scaled(n, 32, 0.5);
+            hopset::build_randomized(&g, params, &mut rng, &mut ledger)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_toolkit);
+criterion_main!(benches);

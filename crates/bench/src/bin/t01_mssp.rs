@@ -1,0 +1,64 @@
+#![allow(clippy::needless_range_loop)]
+//! T1 — Thm 3/33: (1+ε)-MSSP from O(√n) sources in Õ((log log n)²) rounds.
+
+use cc_bench::{f3, rng, Table};
+use cc_clique::RoundLedger;
+use cc_core::mssp::{self, MsspConfig};
+use cc_graphs::{bfs, generators, INF};
+
+fn main() {
+    let eps = 0.25;
+    let mut table = Table::new(
+        "T1: (1+eps)-MSSP from ~sqrt(n) sources (Thm 3/33), eps = 0.25",
+        &[
+            "graph", "n", "|S|", "pairs", "max stretch", "mean stretch", "guar(short)", "rounds",
+        ],
+    );
+    for n in [256usize, 512, 1024] {
+        let mut r = rng(n as u64);
+        let side = (n as f64).sqrt().round() as usize;
+        for (name, g) in [
+            ("gnp", generators::connected_gnp(n, 6.0 / n as f64, &mut r)),
+            ("grid", generators::grid(side, side)),
+            ("caveman", generators::caveman(n / 8, 8)),
+        ] {
+            let nn = g.n();
+            let s_count = (nn as f64).sqrt().ceil() as usize;
+            let sources: Vec<usize> = (0..nn).step_by((nn / s_count).max(1)).collect();
+            let cfg = MsspConfig::scaled(nn, eps).expect("valid");
+            let mut ledger = RoundLedger::new(nn);
+            let out = mssp::run(&g, &sources, &cfg, &mut r, &mut ledger).expect("mssp");
+            let mut worst: f64 = 1.0;
+            let mut sum = 0.0;
+            let mut pairs = 0usize;
+            for (i, &s) in out.sources.iter().enumerate() {
+                let exact = bfs::sssp(&g, s);
+                for v in 0..nn {
+                    if exact[v] == 0 || exact[v] >= INF {
+                        continue;
+                    }
+                    let ratio = out.dist(i, v) as f64 / exact[v] as f64;
+                    worst = worst.max(ratio);
+                    sum += ratio;
+                    pairs += 1;
+                }
+            }
+            table.row(vec![
+                name.to_string(),
+                nn.to_string(),
+                out.sources.len().to_string(),
+                pairs.to_string(),
+                f3(worst),
+                f3(sum / pairs.max(1) as f64),
+                f3(1.0 + eps),
+                ledger.total_rounds().to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "paper claim: (1+eps) stretch for pairs within t (w.h.p.) from up to\n\
+         O(sqrt(n)) sources; rounds Õ((log log n)^2). Long pairs fall back to\n\
+         the emulator, whose *measured* stretch stays near 1+eps."
+    );
+}

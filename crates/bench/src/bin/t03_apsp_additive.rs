@@ -1,0 +1,63 @@
+//! T3 — Thm 5/32: (1+ε, β)-APSP — the first sub-polynomial near-additive
+//! APSP.
+
+use cc_bench::{f2, f3, rng, Table};
+use cc_clique::RoundLedger;
+use cc_core::apsp_additive::{self, AdditiveApspConfig};
+use cc_graphs::{bfs, generators, stretch};
+
+fn main() {
+    let eps = 0.25;
+    let mut table = Table::new(
+        "T3: (1+eps, beta)-APSP (Thm 5/32), eps = 0.25, r = 2",
+        &[
+            "graph",
+            "n",
+            "add err vs (1+eps)d",
+            "beta bound",
+            "max ratio",
+            "mean ratio",
+            "rounds",
+            "ok",
+        ],
+    );
+    for n in [256usize, 512, 1024] {
+        let mut r = rng(11 + n as u64);
+        let side = (n as f64).sqrt().round() as usize;
+        for (name, g) in [
+            ("gnp", generators::connected_gnp(n, 6.0 / n as f64, &mut r)),
+            ("grid", generators::grid(side, side)),
+            ("cycle", generators::cycle(n)),
+        ] {
+            let nn = g.n();
+            let cfg = AdditiveApspConfig::scaled(nn, eps).expect("valid");
+            let mut ledger = RoundLedger::new(nn);
+            let out = apsp_additive::run(&g, &cfg, &mut r, &mut ledger);
+            let exact = bfs::apsp_exact(&g);
+            // Measured additive error over the *user* (1+eps) line — the
+            // paper's beta is the worst case for this quantity.
+            let report = stretch::evaluate(&exact, out.estimates.as_fn(), eps);
+            let formal = stretch::evaluate(
+                &exact,
+                out.estimates.as_fn(),
+                out.multiplicative_bound - 1.0,
+            );
+            let ok = formal.satisfies(out.multiplicative_bound - 1.0, out.additive_bound);
+            table.row(vec![
+                name.to_string(),
+                nn.to_string(),
+                f2(report.max_additive_residual),
+                f2(out.additive_bound),
+                f3(report.max_multiplicative),
+                f3(report.mean_multiplicative),
+                ledger.total_rounds().to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "paper claim: d <= delta <= (1+eps)d + beta with beta = O(log log n / eps)^(log log n);\n\
+         measured additive error sits far below the worst-case beta bound."
+    );
+}

@@ -1,0 +1,38 @@
+//! T5 — Thm 10: the (k,d)-nearest problem in
+//! `O((k/n^{2/3} + log d)·log d)` rounds.
+
+use cc_bench::{rng, Table};
+use cc_clique::RoundLedger;
+use cc_graphs::generators;
+use cc_toolkit::knearest::{KNearest, Strategy};
+
+fn main() {
+    let n = 1024;
+    let mut r = rng(5);
+    let g = generators::connected_gnp(n, 6.0 / n as f64, &mut r);
+    let mut table = Table::new(
+        "T5: (k,d)-nearest rounds (Thm 10), gnp n=1024",
+        &["k", "d", "rounds", "formula", "strategies agree"],
+    );
+    for k in [16usize, 101, 256] {
+        for d in [4u32, 16, 64] {
+            let mut l1 = RoundLedger::new(n);
+            let a = KNearest::compute(&g, k, d, Strategy::TruncatedBfs, &mut l1);
+            let mut l2 = RoundLedger::new(n);
+            let b = KNearest::compute(&g, k, d, Strategy::Filtered, &mut l2);
+            table.row(vec![
+                k.to_string(),
+                d.to_string(),
+                l1.total_rounds().to_string(),
+                KNearest::rounds(n, k, d).to_string(),
+                (a == b && l1.total_rounds() == l2.total_rounds()).to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "paper claim: rounds grow as log^2 d for k <= n^(2/3) and pick up a\n\
+         k/n^(2/3) term beyond; the filtered-squaring and truncated-BFS\n\
+         strategies compute identical outputs (Claim 59)."
+    );
+}

@@ -1,0 +1,74 @@
+//! T8 — Lemma 43/56 and Thm 57: soft hitting sets. The headline property is
+//! the **missing `log N` factor** in the selected-set size, versus plain
+//! hitting sets.
+
+use cc_bench::{f2, rng, Table};
+use cc_clique::RoundLedger;
+use cc_derand::soft_hitting::{soft_hitting_set, SoftHittingInstance};
+use cc_derand::{deterministic_hitting_set, random_hitting_set};
+use rand::Rng;
+
+fn instance(universe: usize, delta: usize, l: usize, seed: u64) -> SoftHittingInstance {
+    let mut r = rng(seed);
+    let sets: Vec<Vec<usize>> = (0..l)
+        .map(|_| {
+            let mut s: Vec<usize> = Vec::new();
+            while s.len() < delta + r.gen_range(0..delta) {
+                let e = r.gen_range(0..universe);
+                if !s.contains(&e) {
+                    s.push(e);
+                }
+            }
+            s
+        })
+        .collect();
+    SoftHittingInstance::new(universe, delta, sets).expect("valid instance")
+}
+
+fn main() {
+    let mut table = Table::new(
+        "T8: soft hitting sets vs plain hitting sets (Lemma 43 vs Lemma 8/9)",
+        &[
+            "N",
+            "delta",
+            "|L|",
+            "|Z| soft",
+            "3N/delta",
+            "unhit/(delta|L|)",
+            "|A| rand",
+            "|A| det",
+            "N lnN/delta",
+            "rounds",
+        ],
+    );
+    for (universe, delta, l) in [(512usize, 16usize, 128usize), (2048, 32, 512), (4096, 64, 1024)] {
+        let inst = instance(universe, delta, l, universe as u64);
+        let mut ledger = RoundLedger::new(universe);
+        let z = soft_hitting_set(&inst, &mut ledger);
+        assert!(z.verify(&inst, 3.0), "Definition 42 must hold");
+        let mut r = rng(1);
+        let mut scratch = RoundLedger::new(universe);
+        let a_rand = random_hitting_set(universe, delta, inst.sets(), 2.0, &mut r, &mut scratch)
+            .expect("valid");
+        let a_det =
+            deterministic_hitting_set(universe, delta, inst.sets(), &mut scratch).expect("valid");
+        table.row(vec![
+            universe.to_string(),
+            delta.to_string(),
+            l.to_string(),
+            z.set.len().to_string(),
+            (3 * universe / delta).to_string(),
+            f2(z.unhit_mass as f64 / (delta * l) as f64),
+            a_rand.len().to_string(),
+            a_det.len().to_string(),
+            f2(universe as f64 * (universe as f64).ln() / delta as f64),
+            ledger.total_rounds().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper claim: |Z| = O(N/delta) with NO log factor (vs O(N log N/delta)\n\
+         for plain hitting sets) while the un-hit mass stays O(delta*|L|);\n\
+         selection runs in O((log log n)^3) rounds (Thm 57)."
+    );
+}

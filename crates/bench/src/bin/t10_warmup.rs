@@ -1,0 +1,56 @@
+//! T10 — §3.1: the warm-up `(1+ε, Θ(1/ε))`-emulator with `Õ(n^{5/4})`
+//! edges.
+
+use cc_bench::{f2, f3, rng, Table};
+use cc_emulator::warmup::{self, WarmupParams};
+use cc_graphs::generators;
+
+fn main() {
+    let eps = 0.34;
+    let mut table = Table::new(
+        "T10: warm-up emulator (S1/S2 construction, §3.1), eps = 0.34",
+        &[
+            "graph",
+            "n",
+            "edges",
+            "n^(5/4)lnn",
+            "max add err",
+            "add bound",
+            "max ratio",
+            "ok",
+        ],
+    );
+    for n in [256usize, 512, 1024] {
+        let mut r = rng(n as u64);
+        let side = (n as f64).sqrt().round() as usize;
+        for (name, g) in [
+            ("gnp", generators::connected_gnp(n, 8.0 / n as f64, &mut r)),
+            ("grid", generators::grid(side, side)),
+        ] {
+            let params = WarmupParams::paper(g.n(), eps);
+            let emu = warmup::build(&g, &params, &mut r);
+            let report = emu.verify_with_bounds(
+                &g,
+                params.multiplicative_bound(),
+                params.additive_bound(),
+                f64::INFINITY,
+            );
+            let size_ref = (g.n() as f64).powf(1.25) * (g.n() as f64).ln();
+            table.row(vec![
+                name.to_string(),
+                g.n().to_string(),
+                emu.m().to_string(),
+                f2(size_ref),
+                f2(report.max_additive_error),
+                f2(params.additive_bound()),
+                f3(report.max_ratio),
+                report.within_bounds.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "paper claim: Õ(n^(5/4)) edges with stretch (1+eps, Theta(1/eps)) —\n\
+         the two-level special case of the general hierarchy."
+    );
+}

@@ -1,0 +1,77 @@
+//! T11 — Thms 50–53: deterministic variants match the randomized guarantees
+//! at an extra `O((log log n)³)`–`O((log log n)⁴)` round overhead.
+
+use cc_bench::{f3, rng, Table};
+use cc_clique::RoundLedger;
+use cc_core::apsp2::{self, Apsp2Config};
+use cc_core::apsp_additive::{self, AdditiveApspConfig};
+use cc_graphs::{bfs, generators, stretch};
+
+fn main() {
+    let mut table = Table::new(
+        "T11: deterministic vs randomized (Thm 50-53)",
+        &[
+            "algorithm",
+            "graph",
+            "n",
+            "max stretch rand",
+            "rounds rand",
+            "max stretch det",
+            "rounds det",
+            "det overhead",
+        ],
+    );
+    for n in [240usize, 504] {
+        // Cliques of 24: dense enough for the deterministic level hierarchy
+        // (soft hitting sets) to engage — see experiment A1.
+        let g = generators::caveman(n / 24, 24);
+        let nn = g.n();
+        let exact = bfs::apsp_exact(&g);
+        let mut r = rng(n as u64);
+
+        // (1+eps, beta)-APSP.
+        let cfg = AdditiveApspConfig::scaled(nn, 0.25).expect("valid");
+        let mut lr = RoundLedger::new(nn);
+        let rand_out = apsp_additive::run(&g, &cfg, &mut r, &mut lr);
+        let mut ld = RoundLedger::new(nn);
+        let det_out = apsp_additive::run_deterministic(&g, &cfg, &mut ld);
+        let rep_r = stretch::evaluate(&exact, rand_out.estimates.as_fn(), 0.0);
+        let rep_d = stretch::evaluate(&exact, det_out.estimates.as_fn(), 0.0);
+        table.row(vec![
+            "(1+e,b)-APSP".into(),
+            "caveman".into(),
+            nn.to_string(),
+            f3(rep_r.max_multiplicative),
+            lr.total_rounds().to_string(),
+            f3(rep_d.max_multiplicative),
+            ld.total_rounds().to_string(),
+            format!("{:+}", ld.total_rounds() as i64 - lr.total_rounds() as i64),
+        ]);
+
+        // (2+eps)-APSP.
+        let cfg2 = Apsp2Config::scaled(nn, 0.5).expect("valid");
+        let mut lr2 = RoundLedger::new(nn);
+        let rand2 = apsp2::run(&g, &cfg2, &mut r, &mut lr2);
+        let mut ld2 = RoundLedger::new(nn);
+        let det2 = apsp2::run_deterministic(&g, &cfg2, &mut ld2);
+        let rep_r2 = stretch::evaluate_range(&exact, rand2.estimates.as_fn(), 0.0, 1, rand2.t);
+        let rep_d2 = stretch::evaluate_range(&exact, det2.estimates.as_fn(), 0.0, 1, det2.t);
+        table.row(vec![
+            "(2+e)-APSP".into(),
+            "caveman".into(),
+            nn.to_string(),
+            f3(rep_r2.max_multiplicative),
+            lr2.total_rounds().to_string(),
+            f3(rep_d2.max_multiplicative),
+            ld2.total_rounds().to_string(),
+            format!("{:+}", ld2.total_rounds() as i64 - lr2.total_rounds() as i64),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper claim: identical stretch guarantees, deterministically, for an\n\
+         additive poly(log log n) round overhead (soft hitting sets +\n\
+         Lemma 9 + deterministic hopsets). Deterministic runs are also\n\
+         bit-for-bit reproducible."
+    );
+}

@@ -1,0 +1,110 @@
+//! T12 — model validation: the message-level engine realizes the round
+//! constants the ledger charges.
+//!
+//! Each row runs a *real* distributed program under the engine's bandwidth
+//! enforcement and compares its measured rounds with the cost-model formula
+//! the algorithm layer charges for the same primitive.
+
+use cc_bench::Table;
+use cc_clique::cost::model;
+use cc_clique::programs::{AllGather, Broadcast, DistributedBfs, MinAggregate, RoutedWord, TwoPhaseRouting};
+use cc_clique::{Engine, NodeId};
+use cc_graphs::{bfs, generators};
+
+fn main() {
+    let n = 64usize;
+    let mut table = Table::new(
+        "T12: engine-measured rounds vs ledger formulas (n = 64)",
+        &["primitive", "engine rounds", "ledger formula", "formula covers"],
+    );
+
+    // Broadcast: 1 round (engine adds one drain step).
+    let nodes = (0..n)
+        .map(|i| Broadcast::new(NodeId::new(i), NodeId::new(0), 1))
+        .collect();
+    let stats = Engine::new(nodes).run().expect("broadcast");
+    table.row(vec![
+        "broadcast".into(),
+        stats.rounds.to_string(),
+        model::broadcast_one().to_string(),
+        (stats.rounds <= model::broadcast_one() + 1).to_string(),
+    ]);
+
+    // Min aggregation: 2 rounds.
+    let nodes = (0..n)
+        .map(|i| MinAggregate::new(NodeId::new(i), i as u64 + 5))
+        .collect();
+    let stats = Engine::new(nodes).run().expect("min-agg");
+    table.row(vec![
+        "min aggregation".into(),
+        stats.rounds.to_string(),
+        "2".into(),
+        (stats.rounds <= 3).to_string(),
+    ]);
+
+    // All-gather of K = 4n words: learn_all formula.
+    let per = 4usize;
+    let nodes: Vec<AllGather> = (0..n)
+        .map(|i| AllGather::new(NodeId::new(i), (0..per).map(|j| (i * per + j) as u64).collect()))
+        .collect();
+    let stats = Engine::new(nodes).run().expect("allgather");
+    let formula = model::learn_all((n * per) as u64, n as u64);
+    table.row(vec![
+        format!("all-gather K={}", n * per),
+        stats.rounds.to_string(),
+        formula.to_string(),
+        (stats.rounds <= formula).to_string(),
+    ]);
+
+    // Two-phase routing, balanced permutation load: lenzen_route formula.
+    let nodes: Vec<TwoPhaseRouting> = (0..n)
+        .map(|i| {
+            let words = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| RoutedWord {
+                    dest: NodeId::new(j),
+                    payload: j as u64,
+                })
+                .collect();
+            TwoPhaseRouting::new(NodeId::new(i), n, words, 9)
+        })
+        .collect();
+    let stats = Engine::new(nodes).run().expect("routing");
+    let formula = model::lenzen_route(n as u64, n as u64);
+    table.row(vec![
+        "routing (load n)".into(),
+        stats.rounds.to_string(),
+        formula.to_string(),
+        // Randomized two-phase pays a small constant over Lenzen's
+        // deterministic 2; the formula is per normalized load unit.
+        (stats.rounds <= 8 * formula).to_string(),
+    ]);
+
+    // Distributed BFS: ecc(s) rounds — the cost the bounded tools avoid.
+    let g = generators::grid(8, 8);
+    let nodes: Vec<DistributedBfs> = (0..g.n())
+        .map(|v| {
+            DistributedBfs::new(
+                NodeId::new(v),
+                NodeId::new(0),
+                g.neighbors(v).iter().map(|&u| NodeId::new(u as usize)).collect(),
+                None,
+            )
+        })
+        .collect();
+    let stats = Engine::new(nodes).run().expect("bfs");
+    let ecc = bfs::eccentricity(&g, 0) as u64;
+    table.row(vec![
+        "hop-by-hop BFS (grid 8x8)".into(),
+        stats.rounds.to_string(),
+        format!("ecc = {ecc}"),
+        (stats.rounds <= ecc + 4).to_string(),
+    ]);
+
+    table.print();
+    println!(
+        "claim (DESIGN.md §1): the ledger's formulas are realized by real\n\
+         message-passing programs under bandwidth enforcement — every\n\
+         'formula covers' column must read true."
+    );
+}

@@ -1,0 +1,441 @@
+//! Synchronous message-passing engine.
+//!
+//! The engine runs one [`NodeProgram`] instance per node in lock-step rounds.
+//! In each round every node observes the messages delivered to it in the
+//! previous round and emits at most one bounded-width message per destination
+//! — exactly the Congested Clique contract. Violations are reported as
+//! [`EngineError`]s rather than silently tolerated, so tests can assert that
+//! programs respect the model.
+
+use crate::error::EngineError;
+use crate::message::{Envelope, Message};
+use crate::node::NodeId;
+
+/// Configuration of the message engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum payload words per message (the `O(log n)`-bit budget; a word
+    /// stands for one `Θ(log n)`-bit quantity).
+    pub max_words: usize,
+    /// Hard bound on rounds before aborting with
+    /// [`EngineError::RoundLimitExceeded`].
+    pub max_rounds: u64,
+    /// Enforce the **Broadcast** Congested Clique (Becker et al.; footnote 1
+    /// of the paper): each node must send the *same* message to every peer
+    /// it addresses in a round. Violations raise
+    /// [`EngineError::BroadcastViolation`].
+    pub broadcast_only: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_words: 4,
+            max_rounds: 1_000_000,
+            broadcast_only: false,
+        }
+    }
+}
+
+/// Per-round context handed to a node.
+///
+/// Provides the node's identity, the clique size, the current round number,
+/// the inbox of messages delivered this round, and the `send` operation.
+#[derive(Debug)]
+pub struct RoundCtx<'a> {
+    me: NodeId,
+    n: usize,
+    round: u64,
+    inbox: &'a [Envelope],
+    outbox: Vec<(NodeId, Message)>,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the clique.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current round number (first round is 1).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Messages delivered to this node at the start of this round.
+    pub fn inbox(&self) -> &'a [Envelope] {
+        self.inbox
+    }
+
+    /// Queues a message to `to`, to be delivered at the start of the next
+    /// round. Model constraints (single message per destination, bandwidth)
+    /// are checked by the engine when the round ends.
+    pub fn send(&mut self, to: NodeId, msg: Message) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Queues the same message to every other node (a broadcast).
+    pub fn send_all(&mut self, msg: Message) {
+        for i in 0..self.n {
+            if i != self.me.index() {
+                self.outbox.push((NodeId::new(i), msg.clone()));
+            }
+        }
+    }
+}
+
+/// A distributed program run by each node of the clique.
+///
+/// Implementations are state machines: `on_round` is invoked once per round
+/// with the node's inbox, and the program signals termination through
+/// `is_done`. The engine stops when all nodes are done and no messages are in
+/// flight.
+pub trait NodeProgram {
+    /// Executes one round at this node.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Whether this node has terminated (it may still receive messages; a
+    /// done node's `on_round` is still called while others run).
+    fn is_done(&self) -> bool;
+}
+
+/// Statistics of a completed engine run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunStats {
+    /// Rounds executed until global termination.
+    pub rounds: u64,
+    /// Total point-to-point messages delivered.
+    pub messages: u64,
+    /// Maximum messages received by any single node in any round.
+    pub max_in_degree: u64,
+}
+
+/// The synchronous engine: owns one program instance per node.
+#[derive(Debug)]
+pub struct Engine<P> {
+    nodes: Vec<P>,
+    config: EngineConfig,
+}
+
+impl<P: NodeProgram> Engine<P> {
+    /// Creates an engine over the given per-node programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<P>) -> Self {
+        Engine::with_config(nodes, EngineConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn with_config(nodes: Vec<P>, config: EngineConfig) -> Self {
+        assert!(!nodes.is_empty(), "clique must have at least one node");
+        Engine { nodes, config }
+    }
+
+    /// Runs the program to global termination.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] if a node violates the model (duplicate
+    /// destination or oversized message) or the round limit is hit.
+    pub fn run(&mut self) -> Result<RunStats, EngineError> {
+        let n = self.nodes.len();
+        let mut inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+        let mut round = 0u64;
+        let mut messages = 0u64;
+        let mut max_in_degree = 0u64;
+
+        loop {
+            let inflight: usize = inboxes.iter().map(Vec::len).sum();
+            if inflight == 0 && self.nodes.iter().all(NodeProgram::is_done) {
+                return Ok(RunStats {
+                    rounds: round,
+                    messages,
+                    max_in_degree,
+                });
+            }
+            if round >= self.config.max_rounds {
+                return Err(EngineError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                });
+            }
+            round += 1;
+
+            let mut next_inboxes: Vec<Vec<Envelope>> = vec![Vec::new(); n];
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                let me = NodeId::new(i);
+                let mut ctx = RoundCtx {
+                    me,
+                    n,
+                    round,
+                    inbox: &inboxes[i],
+                    outbox: Vec::new(),
+                };
+                node.on_round(&mut ctx);
+                let outbox = ctx.outbox;
+                if self.config.broadcast_only {
+                    if let Some((_, first)) = outbox.first() {
+                        if outbox.iter().any(|(_, msg)| msg != first) {
+                            return Err(EngineError::BroadcastViolation { from: me, round });
+                        }
+                    }
+                }
+                let mut sent_to = vec![false; n];
+                for (to, msg) in outbox {
+                    if to == me || to.index() >= n {
+                        return Err(EngineError::InvalidDestination { from: me, to, n });
+                    }
+                    if sent_to[to.index()] {
+                        return Err(EngineError::DuplicateMessage {
+                            from: me,
+                            to,
+                            round,
+                        });
+                    }
+                    if msg.word_count() > self.config.max_words {
+                        return Err(EngineError::BandwidthExceeded {
+                            from: me,
+                            to,
+                            words: msg.word_count(),
+                            max_words: self.config.max_words,
+                        });
+                    }
+                    sent_to[to.index()] = true;
+                    messages += 1;
+                    next_inboxes[to.index()].push(Envelope::new(me, msg));
+                }
+            }
+            for inbox in &next_inboxes {
+                max_in_degree = max_in_degree.max(inbox.len() as u64);
+            }
+            inboxes = next_inboxes;
+        }
+    }
+
+    /// Immutable access to the per-node programs (for reading outputs after
+    /// [`run`](Engine::run)).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consumes the engine and returns the node programs.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A program where node 0 sends one word to node 1, then everyone stops.
+    struct OneShot {
+        me: usize,
+        got: Option<u64>,
+        sent: bool,
+    }
+
+    impl NodeProgram for OneShot {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if self.me == 0 && !self.sent {
+                ctx.send(NodeId::new(1), Message::word(0, 42));
+                self.sent = true;
+            }
+            if let Some(env) = ctx.inbox().first() {
+                self.got = env.msg.first();
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.me != 0 || self.sent
+        }
+    }
+
+    #[test]
+    fn delivers_in_one_round() {
+        let nodes = (0..4)
+            .map(|me| OneShot {
+                me,
+                got: None,
+                sent: false,
+            })
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        assert_eq!(stats.messages, 1);
+        // Round 1 sends; round 2 delivers (the run loop counts both).
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(engine.nodes()[1].got, Some(42));
+        assert_eq!(engine.nodes()[2].got, None);
+    }
+
+    /// A malicious program that double-sends from node 0.
+    struct DoubleSender {
+        fired: bool,
+    }
+
+    impl NodeProgram for DoubleSender {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.me().index() == 0 && !self.fired {
+                ctx.send(NodeId::new(1), Message::word(0, 1));
+                ctx.send(NodeId::new(1), Message::word(0, 2));
+                self.fired = true;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn duplicate_message_is_rejected() {
+        // Node 0 is pending (will fire); peers are pre-done.
+        let nodes = vec![
+            DoubleSender { fired: false },
+            DoubleSender { fired: true },
+            DoubleSender { fired: true },
+        ];
+        let mut engine = Engine::new(nodes);
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateMessage { .. }));
+    }
+
+    /// Program that sends an oversized message.
+    struct FatSender {
+        sent: bool,
+    }
+
+    impl NodeProgram for FatSender {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.me().index() == 0 && !self.sent {
+                ctx.send(NodeId::new(1), Message::new(0, vec![0; 64]));
+                self.sent = true;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        let nodes = vec![FatSender { sent: false }, FatSender { sent: true }];
+        let mut engine = Engine::new(nodes);
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, EngineError::BandwidthExceeded { .. }));
+    }
+
+    /// Program that never terminates.
+    struct Spinner;
+
+    impl NodeProgram for Spinner {
+        fn on_round(&mut self, _ctx: &mut RoundCtx<'_>) {}
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let mut engine = Engine::with_config(
+            vec![Spinner, Spinner],
+            EngineConfig {
+                max_words: 4,
+                max_rounds: 10,
+                broadcast_only: false,
+            },
+        );
+        let err = engine.run().unwrap_err();
+        assert_eq!(err, EngineError::RoundLimitExceeded { limit: 10 });
+    }
+
+    /// Program that sends distinct messages to distinct peers.
+    struct Unicast {
+        sent: bool,
+    }
+
+    impl NodeProgram for Unicast {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.me().index() == 0 && !self.sent {
+                ctx.send(NodeId::new(1), Message::word(0, 1));
+                ctx.send(NodeId::new(2), Message::word(0, 2));
+                self.sent = true;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn broadcast_mode_rejects_unicast() {
+        let nodes = vec![Unicast { sent: false }, Unicast { sent: true }, Unicast { sent: true }];
+        let mut engine = Engine::with_config(
+            nodes,
+            EngineConfig {
+                max_words: 4,
+                max_rounds: 100,
+                broadcast_only: true,
+            },
+        );
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, EngineError::BroadcastViolation { .. }));
+    }
+
+    #[test]
+    fn broadcast_mode_accepts_uniform_sends() {
+        use crate::programs::Broadcast as BcastProgram;
+        let nodes = (0..6)
+            .map(|i| BcastProgram::new(NodeId::new(i), NodeId::new(0), 11))
+            .collect();
+        let mut engine = Engine::with_config(
+            nodes,
+            EngineConfig {
+                max_words: 4,
+                max_rounds: 100,
+                broadcast_only: true,
+            },
+        );
+        engine.run().expect("uniform sends are legal broadcasts");
+        assert!(engine.nodes().iter().all(|p| p.received() == Some(11)));
+    }
+
+    /// Self-sends are invalid destinations.
+    struct SelfSender {
+        sent: bool,
+    }
+
+    impl NodeProgram for SelfSender {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if !self.sent {
+                let me = ctx.me();
+                ctx.send(me, Message::signal(0));
+                self.sent = true;
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        let mut engine = Engine::new(vec![SelfSender { sent: false }, SelfSender { sent: true }]);
+        let err = engine.run().unwrap_err();
+        assert!(matches!(err, EngineError::InvalidDestination { .. }));
+    }
+}

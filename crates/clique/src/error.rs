@@ -1,0 +1,107 @@
+//! Error types for the message engine.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors raised by the synchronous message engine when a program violates
+/// the Congested Clique model or fails to terminate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// A node attempted to send two messages to the same destination in one
+    /// round. The model allows one message per ordered pair per round.
+    DuplicateMessage {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Round in which the violation occurred.
+        round: u64,
+    },
+    /// A message exceeded the configured per-message word budget
+    /// (the `O(log n)` bandwidth constraint).
+    BandwidthExceeded {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Words in the offending message.
+        words: usize,
+        /// Configured maximum words per message.
+        max_words: usize,
+    },
+    /// A node addressed a message to itself or to a node outside `0..n`.
+    InvalidDestination {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Number of nodes in the clique.
+        n: usize,
+    },
+    /// The program did not terminate within the configured round limit.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// In Broadcast Congested Clique mode, a node sent two *different*
+    /// messages in the same round (the model requires one message per node
+    /// per round, sent to everyone).
+    BroadcastViolation {
+        /// Sending node.
+        from: NodeId,
+        /// Round in which the violation occurred.
+        round: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DuplicateMessage { from, to, round } => write!(
+                f,
+                "duplicate message from {from} to {to} in round {round}: the model allows one message per ordered pair per round"
+            ),
+            EngineError::BandwidthExceeded {
+                from,
+                to,
+                words,
+                max_words,
+            } => write!(
+                f,
+                "message from {from} to {to} carries {words} words, exceeding the {max_words}-word bandwidth budget"
+            ),
+            EngineError::InvalidDestination { from, to, n } => write!(
+                f,
+                "invalid destination {to} for message from {from} in an {n}-node clique"
+            ),
+            EngineError::RoundLimitExceeded { limit } => {
+                write!(f, "program did not terminate within {limit} rounds")
+            }
+            EngineError::BroadcastViolation { from, round } => write!(
+                f,
+                "node {from} sent distinct messages in round {round}: the Broadcast Congested Clique allows one message per node per round"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = EngineError::DuplicateMessage {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            round: 3,
+        };
+        assert!(e.to_string().contains("duplicate"));
+        let e = EngineError::RoundLimitExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

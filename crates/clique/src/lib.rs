@@ -1,0 +1,59 @@
+//! Congested Clique model substrate.
+//!
+//! The **Congested Clique** is a synchronous message-passing model over `n`
+//! nodes in which every ordered pair of nodes may exchange one `O(log n)`-bit
+//! message per round. Inputs (graph edges) are local to their endpoints and
+//! outputs are local to the node they concern.
+//!
+//! This crate provides the two layers every algorithm crate in this workspace
+//! builds on:
+//!
+//! * [`engine`] — a genuine synchronous message-passing simulator. Nodes are
+//!   [`engine::NodeProgram`] state machines and the engine enforces the model's
+//!   bandwidth constraints (one message per ordered pair per round, bounded
+//!   message width). The [`programs`] module contains real distributed
+//!   programs (broadcast, all-to-all, hop-limited BFS, two-phase routing) used
+//!   to validate the model and to ground the cost constants.
+//! * [`cost`] — a round/message ledger ([`cost::RoundLedger`]) together with
+//!   the documented round-cost formulas ([`cost::model`]) of the communication
+//!   primitives used by Dory–Parter (PODC 2020) and the prior work it builds
+//!   on (Lenzen routing, sparse/filtered matrix multiplication, source
+//!   detection, distance-through-sets, hitting-set derandomization).
+//!
+//! Higher-level algorithms perform their computation centrally (the simulator
+//! runs on one machine) but thread a [`cost::RoundLedger`] through every
+//! communication step, charging the documented formula for each primitive.
+//! Experiment binaries report those round counts; see `DESIGN.md` §1 for the
+//! methodology discussion.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_clique::cost::RoundLedger;
+//!
+//! let mut ledger = RoundLedger::new(1024);
+//! {
+//!     let mut phase = ledger.enter("emulator");
+//!     phase.charge_learn_all("collect emulator", 10 * 1024);
+//! }
+//! assert!(ledger.total_rounds() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest idiom for the dense adjacency/matrix
+// code in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod message;
+pub mod node;
+pub mod programs;
+
+pub use cost::{model, RoundLedger};
+pub use engine::{Engine, EngineConfig, NodeProgram, RoundCtx, RunStats};
+pub use error::EngineError;
+pub use message::{Envelope, Message};
+pub use node::NodeId;

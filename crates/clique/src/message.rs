@@ -1,0 +1,113 @@
+//! Messages and envelopes exchanged by the message engine.
+
+use crate::node::NodeId;
+
+/// A single Congested Clique message.
+///
+/// A message carries a small `tag` (protocol-level discriminator) and a
+/// payload of machine *words*. Each word stands for an `O(log n)`-bit
+/// quantity (a node identifier, a distance, a counter). The engine bounds the
+/// number of words per message ([`crate::EngineConfig::max_words`]), which is
+/// the simulator's concrete rendering of the model's `O(log n)`-bit bandwidth
+/// constraint.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::Message;
+///
+/// let msg = Message::new(1, vec![42, 7]);
+/// assert_eq!(msg.words(), &[42, 7]);
+/// assert_eq!(msg.word_count(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Message {
+    tag: u16,
+    words: Vec<u64>,
+}
+
+impl Message {
+    /// Creates a message with the given protocol tag and payload words.
+    pub fn new(tag: u16, words: Vec<u64>) -> Self {
+        Message { tag, words }
+    }
+
+    /// Creates a message carrying a single word.
+    pub fn word(tag: u16, word: u64) -> Self {
+        Message {
+            tag,
+            words: vec![word],
+        }
+    }
+
+    /// Creates an empty (signal-only) message.
+    pub fn signal(tag: u16) -> Self {
+        Message {
+            tag,
+            words: Vec::new(),
+        }
+    }
+
+    /// The protocol tag.
+    pub fn tag(&self) -> u16 {
+        self.tag
+    }
+
+    /// The payload words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of payload words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// First payload word, if present.
+    pub fn first(&self) -> Option<u64> {
+        self.words.first().copied()
+    }
+}
+
+/// A message together with its sender, as delivered to a node's inbox.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope {
+    /// The node that sent the message.
+    pub from: NodeId,
+    /// The message itself.
+    pub msg: Message,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(from: NodeId, msg: Message) -> Self {
+        Envelope { from, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = Message::new(3, vec![1, 2, 3]);
+        assert_eq!(m.tag(), 3);
+        assert_eq!(m.word_count(), 3);
+        assert_eq!(m.first(), Some(1));
+    }
+
+    #[test]
+    fn signal_has_no_words() {
+        let m = Message::signal(9);
+        assert_eq!(m.word_count(), 0);
+        assert_eq!(m.first(), None);
+    }
+
+    #[test]
+    fn envelope_retains_sender() {
+        let e = Envelope::new(NodeId::new(4), Message::word(0, 99));
+        assert_eq!(e.from.index(), 4);
+        assert_eq!(e.msg.first(), Some(99));
+    }
+}

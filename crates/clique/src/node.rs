@@ -1,0 +1,80 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node in an `n`-node Congested Clique.
+///
+/// A thin newtype over a dense index in `0..n`. Using a dedicated type keeps
+/// node indices from being confused with distances, counts, or matrix
+/// dimensions in algorithm code.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 17, 65535] {
+            assert_eq!(NodeId::new(i).index(), i);
+            assert_eq!(usize::from(NodeId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_index() {
+        assert!(NodeId::new(3) < NodeId::new(4));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(NodeId::new(0).to_string(), "v0");
+    }
+}

@@ -1,0 +1,126 @@
+//! Global minimum aggregation: two rounds.
+
+use crate::engine::{NodeProgram, RoundCtx};
+use crate::message::Message;
+use crate::node::NodeId;
+
+const TAG_UP: u16 = 2;
+const TAG_DOWN: u16 = 3;
+
+/// Computes the global minimum of one value per node, known to all nodes, in
+/// two rounds: every node sends its value to node 0 (the clique allows a node
+/// to *receive* `n − 1` messages in one round), and node 0 broadcasts the
+/// minimum.
+///
+/// # Example
+///
+/// ```
+/// use cc_clique::programs::MinAggregate;
+/// use cc_clique::{Engine, NodeId};
+///
+/// let values = [5u64, 3, 9, 7];
+/// let nodes = values
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &v)| MinAggregate::new(NodeId::new(i), v))
+///     .collect();
+/// let mut engine = Engine::new(nodes);
+/// engine.run().unwrap();
+/// assert!(engine.nodes().iter().all(|p| p.result() == Some(3)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MinAggregate {
+    me: NodeId,
+    value: u64,
+    best: u64,
+    result: Option<u64>,
+    phase: u8,
+}
+
+impl MinAggregate {
+    /// Creates the program state for node `me` holding `value`.
+    pub fn new(me: NodeId, value: u64) -> Self {
+        MinAggregate {
+            me,
+            value,
+            best: value,
+            result: None,
+            phase: 0,
+        }
+    }
+
+    /// The global minimum once the protocol has finished at this node.
+    pub fn result(&self) -> Option<u64> {
+        self.result
+    }
+}
+
+impl NodeProgram for MinAggregate {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        let root = NodeId::new(0);
+        match self.phase {
+            0 => {
+                if self.me != root {
+                    ctx.send(root, Message::word(TAG_UP, self.value));
+                }
+                self.phase = 1;
+            }
+            1 => {
+                if self.me == root {
+                    for env in ctx.inbox() {
+                        if env.msg.tag() == TAG_UP {
+                            if let Some(v) = env.msg.first() {
+                                self.best = self.best.min(v);
+                            }
+                        }
+                    }
+                    self.result = Some(self.best);
+                    ctx.send_all(Message::word(TAG_DOWN, self.best));
+                }
+                self.phase = 2;
+            }
+            _ => {
+                for env in ctx.inbox() {
+                    if env.msg.tag() == TAG_DOWN {
+                        self.result = env.msg.first();
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.result.is_some() || (self.phase >= 2 && self.me.index() != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn computes_min_at_all_nodes() {
+        let values = [17u64, 4, 99, 4, 23, 8];
+        let nodes = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| MinAggregate::new(NodeId::new(i), v))
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        for p in engine.nodes() {
+            assert_eq!(p.result(), Some(4));
+        }
+        // Up round + down round (plus delivery slack): constant.
+        assert!(stats.rounds <= 4, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn single_node_trivially_done() {
+        let nodes = vec![MinAggregate::new(NodeId::new(0), 13)];
+        let mut engine = Engine::new(nodes);
+        engine.run().unwrap();
+        assert_eq!(engine.nodes()[0].result(), Some(13));
+    }
+}

@@ -1,0 +1,121 @@
+//! All-gather: every node learns every word — the message-level grounding
+//! of the `learn_all` cost formula (Thm 32's collection step).
+//!
+//! Each node starts with a list of words. Per round, a node broadcasts one
+//! of its still-unsent words to all peers. With `K` words total spread over
+//! `n` nodes, the schedule finishes in `max_i k_i` rounds — `⌈K/n⌉` when
+//! balanced, which is how the algorithms use it (Lenzen routing balances
+//! the load first; the ledger's `learn_all` charges `2⌈K/n⌉ + 2` to cover
+//! the balancing step).
+
+use crate::engine::{NodeProgram, RoundCtx};
+use crate::message::Message;
+use crate::node::NodeId;
+
+const TAG_WORD: u16 = 7;
+
+/// Per-node state of the all-gather program.
+#[derive(Clone, Debug)]
+pub struct AllGather {
+    me: NodeId,
+    pending: Vec<u64>,
+    collected: Vec<u64>,
+}
+
+impl AllGather {
+    /// Creates the program for node `me` holding `words`.
+    pub fn new(me: NodeId, words: Vec<u64>) -> Self {
+        AllGather {
+            me,
+            collected: words.clone(),
+            pending: words,
+        }
+    }
+
+    /// All words known to this node (own plus received), unsorted.
+    pub fn collected(&self) -> &[u64] {
+        &self.collected
+    }
+}
+
+impl NodeProgram for AllGather {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        for env in ctx.inbox() {
+            if env.msg.tag() == TAG_WORD {
+                if let Some(w) = env.msg.first() {
+                    self.collected.push(w);
+                }
+            }
+        }
+        if let Some(w) = self.pending.pop() {
+            let _ = self.me;
+            ctx.send_all(Message::word(TAG_WORD, w));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::model;
+    use crate::engine::Engine;
+
+    #[test]
+    fn balanced_load_matches_learn_all_cost() {
+        let n = 16usize;
+        let per_node = 4usize;
+        let nodes: Vec<AllGather> = (0..n)
+            .map(|i| {
+                AllGather::new(
+                    NodeId::new(i),
+                    (0..per_node).map(|j| (i * per_node + j) as u64).collect(),
+                )
+            })
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        let k = (n * per_node) as u64;
+        // Engine rounds = per_node sends + 1 drain; the ledger formula
+        // (2⌈K/n⌉+2) dominates it (it also covers load balancing).
+        assert!(stats.rounds <= model::learn_all(k, n as u64));
+        for (i, p) in engine.nodes().iter().enumerate() {
+            let mut got = p.collected().to_vec();
+            got.sort_unstable();
+            let want: Vec<u64> = (0..k).collect();
+            assert_eq!(got, want, "node {i}");
+        }
+    }
+
+    #[test]
+    fn empty_holders_participate() {
+        let nodes = vec![
+            AllGather::new(NodeId::new(0), vec![1, 2]),
+            AllGather::new(NodeId::new(1), vec![]),
+            AllGather::new(NodeId::new(2), vec![3]),
+        ];
+        let mut engine = Engine::new(nodes);
+        engine.run().unwrap();
+        for p in engine.nodes() {
+            let mut got = p.collected().to_vec();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn unbalanced_load_costs_max_holding() {
+        // One node holds 6 words: rounds track the max, the motivation for
+        // Lenzen-routing rebalancing in the ledger formula.
+        let nodes = vec![
+            AllGather::new(NodeId::new(0), (0..6).collect()),
+            AllGather::new(NodeId::new(1), vec![]),
+        ];
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        assert!(stats.rounds >= 6);
+    }
+}

@@ -1,0 +1,24 @@
+//! Real distributed programs for the message engine.
+//!
+//! These programs exercise the Congested Clique model end-to-end: every one
+//! of them is implemented purely in terms of per-node state and per-round
+//! messages, with the engine enforcing the bandwidth constraints. They serve
+//! three purposes:
+//!
+//! 1. validate the engine itself,
+//! 2. ground the constants of the cost formulas in [`crate::cost::model`]
+//!    (e.g. broadcast is one round, min-aggregation is two, routing with
+//!    balanced load is `O(1)`),
+//! 3. provide small end-to-end demos (`examples/distributed_engine.rs`).
+
+mod aggregate;
+mod allgather;
+mod bfs;
+mod broadcast;
+mod routing;
+
+pub use aggregate::MinAggregate;
+pub use allgather::AllGather;
+pub use bfs::DistributedBfs;
+pub use broadcast::Broadcast;
+pub use routing::{RoutedWord, TwoPhaseRouting};

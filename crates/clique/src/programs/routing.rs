@@ -1,0 +1,219 @@
+//! Two-phase (Valiant-style) routing: the randomized cousin of Lenzen's
+//! deterministic routing \[Lenzen, PODC 2013\].
+//!
+//! Every node starts with a multiset of `(destination, payload)` words, with
+//! per-node send and receive load at most `L`. Phase 1 forwards each word to
+//! a uniformly random intermediate node; phase 2 delivers it. Each node may
+//! send only one word per peer per round, so congested links queue; with
+//! balanced loads the whole schedule completes in `O(⌈L/n⌉)` rounds w.h.p.,
+//! matching [`crate::cost::model::lenzen_route`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{NodeProgram, RoundCtx};
+use crate::message::Message;
+use crate::node::NodeId;
+
+const TAG_FORWARD: u16 = 5;
+const TAG_DELIVER: u16 = 6;
+
+/// A word to be routed to a destination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RoutedWord {
+    /// Final destination.
+    pub dest: NodeId,
+    /// Payload word.
+    pub payload: u64,
+}
+
+/// Per-node state of the two-phase routing protocol.
+#[derive(Clone, Debug)]
+pub struct TwoPhaseRouting {
+    me: NodeId,
+    /// Words still waiting to leave this node toward an intermediate.
+    outgoing: Vec<(NodeId, RoutedWord)>,
+    /// Words held as intermediate, waiting to reach their destination.
+    relay: Vec<RoutedWord>,
+    delivered: Vec<u64>,
+    rng: StdRng,
+}
+
+impl TwoPhaseRouting {
+    /// Creates routing state for node `me` with its initial `words`.
+    ///
+    /// `n` is the clique size and `seed` makes intermediate choices
+    /// reproducible.
+    pub fn new(me: NodeId, n: usize, words: Vec<RoutedWord>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ (me.index() as u64).wrapping_mul(0x9E37_79B9));
+        let outgoing = words
+            .into_iter()
+            .map(|w| {
+                // Choose a random intermediate different from `me`.
+                let mut inter = rng.gen_range(0..n);
+                if inter == me.index() {
+                    inter = (inter + 1) % n;
+                }
+                (NodeId::new(inter), w)
+            })
+            .collect();
+        TwoPhaseRouting {
+            me,
+            outgoing,
+            relay: Vec::new(),
+            delivered: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Payload words delivered to this node (in arrival order).
+    pub fn delivered(&self) -> &[u64] {
+        &self.delivered
+    }
+}
+
+impl NodeProgram for TwoPhaseRouting {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        // Receive.
+        for env in ctx.inbox() {
+            match env.msg.tag() {
+                TAG_FORWARD => {
+                    let words = env.msg.words();
+                    if words.len() == 2 {
+                        self.relay.push(RoutedWord {
+                            dest: NodeId::new(words[0] as usize),
+                            payload: words[1],
+                        });
+                    }
+                }
+                TAG_DELIVER => {
+                    if let Some(p) = env.msg.first() {
+                        self.delivered.push(p);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Send: one word per destination per round, preferring deliveries.
+        let n = ctx.n();
+        let mut used = vec![false; n];
+        let mut kept_relay = Vec::new();
+        // Shuffle-ish: rotate queue start to avoid starvation.
+        if !self.relay.is_empty() {
+            let cut = self.rng.gen_range(0..self.relay.len());
+            self.relay.rotate_left(cut);
+        }
+        for w in self.relay.drain(..) {
+            if w.dest == self.me {
+                self.delivered.push(w.payload);
+            } else if !used[w.dest.index()] {
+                used[w.dest.index()] = true;
+                ctx.send(w.dest, Message::word(TAG_DELIVER, w.payload));
+            } else {
+                kept_relay.push(w);
+            }
+        }
+        self.relay = kept_relay;
+        let mut kept_out = Vec::new();
+        for (inter, w) in self.outgoing.drain(..) {
+            if inter == self.me {
+                self.relay.push(w);
+            } else if !used[inter.index()] {
+                used[inter.index()] = true;
+                ctx.send(
+                    inter,
+                    Message::new(TAG_FORWARD, vec![w.dest.raw() as u64, w.payload]),
+                );
+            } else {
+                kept_out.push((inter, w));
+            }
+        }
+        self.outgoing = kept_out;
+    }
+
+    fn is_done(&self) -> bool {
+        self.outgoing.is_empty() && self.relay.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    /// All-to-all permutation routing: node i sends one word to each node.
+    #[test]
+    fn balanced_load_routes_in_constant_rounds() {
+        let n = 24;
+        let nodes: Vec<TwoPhaseRouting> = (0..n)
+            .map(|i| {
+                let words = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| RoutedWord {
+                        dest: NodeId::new(j),
+                        payload: (i * 1000 + j) as u64,
+                    })
+                    .collect();
+                TwoPhaseRouting::new(NodeId::new(i), n, words, 42)
+            })
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        // Load L = n − 1 per node: expect O(1) rounds (small constant).
+        assert!(stats.rounds <= 20, "rounds = {}", stats.rounds);
+        for (j, p) in engine.nodes().iter().enumerate() {
+            assert_eq!(p.delivered().len(), n - 1, "node {j}");
+            let mut got: Vec<u64> = p.delivered().to_vec();
+            got.sort_unstable();
+            let mut want: Vec<u64> = (0..n)
+                .filter(|&i| i != j)
+                .map(|i| (i * 1000 + j) as u64)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "node {j}");
+        }
+    }
+
+    /// Skewed load: one node receives L = 4n words; rounds stay O(L/n).
+    #[test]
+    fn skewed_load_scales_linearly() {
+        let n = 16;
+        let per_sender = 4; // total received by node 0: 4·(n−1) ≈ 4n
+        let nodes: Vec<TwoPhaseRouting> = (0..n)
+            .map(|i| {
+                let words = if i == 0 {
+                    Vec::new()
+                } else {
+                    (0..per_sender)
+                        .map(|k| RoutedWord {
+                            dest: NodeId::new(0),
+                            payload: (i * 100 + k) as u64,
+                        })
+                        .collect()
+                };
+                TwoPhaseRouting::new(NodeId::new(i), n, words, 7)
+            })
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        assert_eq!(engine.nodes()[0].delivered().len(), per_sender * (n - 1));
+        // Receive bottleneck is ~4(n−1)/ n per round → ≥ per_sender rounds.
+        assert!(stats.rounds as usize >= per_sender);
+        assert!(
+            stats.rounds as usize <= 8 * per_sender + 8,
+            "rounds = {}",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn empty_input_terminates_immediately() {
+        let nodes: Vec<TwoPhaseRouting> = (0..4)
+            .map(|i| TwoPhaseRouting::new(NodeId::new(i), 4, Vec::new(), 1))
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
+    }
+}

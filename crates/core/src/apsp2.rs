@@ -1,0 +1,412 @@
+//! `(2+ε)`-approximate APSP (Thm 34, deterministic: Thm 53) — the paper's
+//! most intricate pipeline.
+//!
+//! Essentially the best approximation achievable in sub-polynomial time: a
+//! `(2−ε)`-approximation would imply sub-polynomial matrix multiplication
+//! (§1.1). Distances split by a threshold `t = Θ(β/ε)`:
+//!
+//! * **`d ≥ t`** — the `(1+ε/2, β)`-emulator is already a `(1+ε)`
+//!   approximation (Claim 37).
+//! * **short, through a high-degree vertex** — a hitting set `S` of size
+//!   `O(√n)` touches some neighbor of the path; `(1+ε/2)`-approximate
+//!   distances to `S` (bounded hopset + source detection) plus
+//!   distance-through-`S` give `2+ε` (Claims 38/39).
+//! * **short, low-degree-only paths** — on the subgraph `G'` of low-degree
+//!   edges: `(k,t)`-nearest lists; routing through a pivot set `A` hitting
+//!   full lists (Case 2); routing through `A'`-attached neighbors for
+//!   high-`G'`-degree border vertices (Case 3a); and an exact three-hop
+//!   min-plus product `W₁·W₂·W₃` over the low-degree border edges `E''`
+//!   (Case 3b) — Claims 40/41.
+//!
+//! Total: `O(log²β/ε)` rounds.
+
+use cc_clique::RoundLedger;
+use cc_emulator::clique::CliqueEmulatorConfig;
+use cc_emulator::EmulatorParams;
+use cc_graphs::{Dist, Graph, INF};
+use cc_matrix::SparseMatrix;
+use cc_toolkit::knearest::{KNearest, Strategy};
+use cc_toolkit::source_detection::SourceDetection;
+use cc_toolkit::through_sets::distance_through_sets;
+use rand::Rng;
+
+use crate::estimates::DistanceMatrix;
+use crate::pipeline::{self, Mode};
+
+/// Configuration of the `(2+ε)` pipeline.
+#[derive(Clone, Debug)]
+pub struct Apsp2Config {
+    /// Accuracy `ε`.
+    pub eps: f64,
+    /// Emulator configuration (long range).
+    pub emulator: CliqueEmulatorConfig,
+    /// Low-degree-phase nearest-list width `k` (paper: `n^{1/4} log²n`).
+    pub k: usize,
+    /// High-degree threshold (paper: `√n log n`).
+    pub high_degree_threshold: usize,
+    /// Override of the short/long threshold `t`.
+    pub t_override: Option<Dist>,
+}
+
+impl Apsp2Config {
+    /// Paper profile with explicit level count `r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn new(n: usize, eps: f64, r: usize) -> Result<Self, cc_emulator::params::ParamError> {
+        let ln = (n.max(2) as f64).ln();
+        Ok(Apsp2Config {
+            eps,
+            emulator: CliqueEmulatorConfig::paper(EmulatorParams::new(n, eps, r)?),
+            k: (((n as f64).powf(0.25) * ln * ln).ceil() as usize).clamp(2, n),
+            high_degree_threshold: (((n as f64).sqrt() * ln).ceil() as usize).max(2),
+            t_override: None,
+        })
+    }
+
+    /// Benchmark-scale profile: `r = ⌊log₂log₂ n⌋`, `k = n^{1/4}·ln n`, and
+    /// tempered hopset constants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn scaled(n: usize, eps: f64) -> Result<Self, cc_emulator::params::ParamError> {
+        let ln = (n.max(2) as f64).ln();
+        Ok(Apsp2Config {
+            eps,
+            emulator: CliqueEmulatorConfig::scaled(EmulatorParams::loglog(n, eps)?),
+            k: (((n as f64).powf(0.25) * ln).ceil() as usize).clamp(2, n),
+            high_degree_threshold: (((n as f64).sqrt() * ln).ceil() as usize).max(2),
+            t_override: None,
+        })
+    }
+
+    /// The short/long threshold `t`.
+    pub fn threshold(&self) -> Dist {
+        self.t_override
+            .unwrap_or_else(|| pipeline::default_threshold(&self.emulator, self.eps))
+    }
+}
+
+/// Result of the `(2+ε)` pipeline.
+#[derive(Clone, Debug)]
+pub struct Apsp2 {
+    /// The estimates.
+    pub estimates: DistanceMatrix,
+    /// The threshold `t` used.
+    pub t: Dist,
+    /// The proven guarantee for pairs within `t`: `2+ε`.
+    pub short_range_guarantee: f64,
+    /// High-degree hitting set `S`.
+    pub high_degree_pivots: Vec<usize>,
+    /// Low-degree pivot set `A`.
+    pub low_degree_pivots: Vec<usize>,
+}
+
+/// Randomized `(2+ε)`-APSP (Thm 34).
+pub fn run(g: &Graph, cfg: &Apsp2Config, rng: &mut impl Rng, ledger: &mut RoundLedger) -> Apsp2 {
+    run_mode(g, cfg, Mode::Rng(rng), ledger)
+}
+
+/// Deterministic `(2+ε)`-APSP (Thm 53).
+pub fn run_deterministic(g: &Graph, cfg: &Apsp2Config, ledger: &mut RoundLedger) -> Apsp2 {
+    run_mode(g, cfg, Mode::Det, ledger)
+}
+
+fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut RoundLedger) -> Apsp2 {
+    let mut phase = ledger.enter("apsp2");
+    let n = g.n();
+    let t = cfg.threshold();
+    let mut delta = DistanceMatrix::new(n);
+
+    // ── Long range (Claim 37): emulator + adjacency. ──────────────────────
+    let _ = pipeline::collect_emulator(g, &cfg.emulator, &mut mode, &mut delta, &mut phase);
+
+    // ── Short paths through a high-degree vertex (Claims 38/39). ─────────
+    let hdt = cfg.high_degree_threshold;
+    let high_sets: Vec<Vec<usize>> = (0..n)
+        .filter(|&v| g.degree(v) >= hdt)
+        .map(|v| g.neighbors(v).iter().map(|&u| u as usize).collect())
+        .collect();
+    let s_pivots = pipeline::hitting_set(n, hdt, &high_sets, &mut mode, &mut phase);
+    if !s_pivots.is_empty() {
+        let hs = pipeline::build_hopset(
+            g,
+            2 * t,
+            cfg.eps / 2.0,
+            cfg.emulator.scaled_hopset,
+            &mut mode,
+            &mut phase,
+        );
+        let union = hs.union_with(g);
+        let sd = SourceDetection::run(&union, &s_pivots, hs.beta, &mut phase);
+        for v in 0..n {
+            for (s, d) in sd.detected(v) {
+                delta.improve(v, s, d);
+            }
+        }
+        let sets: Vec<Vec<usize>> = vec![s_pivots.clone(); n];
+        let rows = distance_through_sets(n, &sets, |v, w| delta.get(v, w), &mut phase);
+        delta.merge_rows(&rows);
+    }
+
+    // ── Short low-degree-only paths (Claims 40/41), on G'. ───────────────
+    let gp = g.low_degree_subgraph(hdt);
+    let k = cfg.k;
+
+    // Step 2: (k,t)-nearest in G' (exact distances).
+    let kn = KNearest::compute(&gp, k, t, Strategy::TruncatedBfs, &mut phase);
+    for u in 0..n {
+        for &(v, d) in kn.list(u) {
+            if v as usize != u {
+                delta.improve(u, v as usize, d);
+            }
+        }
+    }
+
+    // Step 3: distance through the nearest-lists (Case 1 pairs).
+    let kn_sets: Vec<Vec<usize>> = (0..n)
+        .map(|u| kn.list(u).iter().map(|&(v, _)| v as usize).collect())
+        .collect();
+    let rows = distance_through_sets(n, &kn_sets, |v, w| delta.get(v, w), &mut phase);
+    delta.merge_rows(&rows);
+
+    // Steps 4–7: pivot set A over full lists; route through p_A (Case 2).
+    let full_sets: Vec<Vec<usize>> = (0..n)
+        .filter(|&v| kn.list(v).len() >= k)
+        .map(|v| kn_sets[v].clone())
+        .collect();
+    let a_pivots = pipeline::hitting_set(n, k, &full_sets, &mut mode, &mut phase);
+    // One hopset of G' serves steps 5 and 9.
+    let gp_hopset = if a_pivots.is_empty() && gp.m() == 0 {
+        None
+    } else {
+        Some(pipeline::build_hopset(
+            &gp,
+            2 * t,
+            cfg.eps / 2.0,
+            cfg.emulator.scaled_hopset,
+            &mut mode,
+            &mut phase,
+        ))
+    };
+    if let (Some(hs), false) = (&gp_hopset, a_pivots.is_empty()) {
+        let union = hs.union_with(&gp);
+        let sd = SourceDetection::run(&union, &a_pivots, hs.beta, &mut phase);
+        for v in 0..n {
+            for (a, d) in sd.detected(v) {
+                delta.improve(v, a, d);
+            }
+        }
+        phase.charge_broadcast("announce nearest A-pivots");
+        let mut a_mask = vec![false; n];
+        for &a in &a_pivots {
+            a_mask[a] = true;
+        }
+        for u in 0..n {
+            if let Some((a, _)) = kn.nearest_in(u, &a_mask) {
+                let a = a as usize;
+                let via = delta.get(u, a);
+                if via >= INF {
+                    continue;
+                }
+                for v in 0..n {
+                    if v != u {
+                        let leg = delta.get(a, v);
+                        if leg < INF {
+                            delta.improve_via(u, v, via, leg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Steps 8–11: A' hits the neighborhoods of high-G'-degree vertices;
+    // route through list-attached A'-members (Case 3a).
+    let thresh2 = (n / (k * k)).max(1);
+    let big_sets: Vec<Vec<usize>> = (0..n)
+        .filter(|&v| gp.degree(v) >= thresh2)
+        .map(|v| gp.neighbors(v).iter().map(|&u| u as usize).collect())
+        .collect();
+    let a2_pivots = pipeline::hitting_set(n, thresh2, &big_sets, &mut mode, &mut phase);
+    if let (Some(hs), false) = (&gp_hopset, a2_pivots.is_empty()) {
+        let union = hs.union_with(&gp);
+        let sd = SourceDetection::run(&union, &a2_pivots, hs.beta, &mut phase);
+        for v in 0..n {
+            for (a, d) in sd.detected(v) {
+                delta.improve(v, a, d);
+            }
+        }
+        // Step 10: every vertex announces one A'-neighbor (1 round); each u
+        // assembles A'_u from its list.
+        phase.charge_broadcast("announce A'-attachments");
+        let mut a2_mask = vec![false; n];
+        for &a in &a2_pivots {
+            a2_mask[a] = true;
+        }
+        let attachment: Vec<Option<u32>> = (0..n)
+            .map(|v| gp.neighbors(v).iter().copied().find(|&w| a2_mask[w as usize]))
+            .collect();
+        // Step 11: min-plus product of the (u, A'_u) estimates with the
+        // (A', V) estimates — charged as a sparse product (Thm 36).
+        phase.charge_sparse_minplus(
+            "route through A'_u",
+            k as u64,
+            a2_pivots.len() as u64,
+            n as u64,
+        );
+        for u in 0..n {
+            let mut a_u: Vec<usize> = kn_sets[u]
+                .iter()
+                .filter_map(|&v| attachment[v].map(|w| w as usize))
+                .collect();
+            a_u.sort_unstable();
+            a_u.dedup();
+            for w in a_u {
+                let via = delta.get(u, w);
+                if via >= INF {
+                    continue;
+                }
+                for v in 0..n {
+                    if v != u {
+                        let leg = delta.get(w, v);
+                        if leg < INF {
+                            delta.improve_via(u, v, via, leg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Steps 12–14: exact three-hop product over the border edges E''
+    // (Case 3b): W₁ = nearest-lists, W₂ = edges leaving low-G'-degree
+    // vertices, W₃ = W₁ᵀ.
+    if gp.m() > 0 {
+        let mut w1 = SparseMatrix::new(n);
+        for u in 0..n {
+            for &(v, d) in kn.list(u) {
+                w1.set_min(u, v as usize, d);
+            }
+        }
+        let mut w2 = SparseMatrix::new(n);
+        for x in 0..n {
+            if gp.degree(x) <= thresh2 {
+                for &y in gp.neighbors(x) {
+                    w2.set_min(x, y as usize, 1);
+                }
+            }
+        }
+        let w3 = w1.transpose();
+        let p = w1.minplus_charged(&w2, &mut phase, "E'' product W1·W2");
+        let q = p.minplus_charged(&w3, &mut phase, "E'' product (W1·W2)·W3");
+        for u in 0..n {
+            for &(v, d) in q.row(u) {
+                let v = v as usize;
+                if v != u && d < INF {
+                    delta.improve(u, v, d);
+                }
+            }
+        }
+    }
+
+    Apsp2 {
+        estimates: delta,
+        t,
+        short_range_guarantee: 2.0 + cfg.eps,
+        high_degree_pivots: s_pivots,
+        low_degree_pivots: a_pivots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::{bfs, generators, stretch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_short_range(g: &Graph, out: &Apsp2, label: &str) {
+        let exact = bfs::apsp_exact(g);
+        let report = stretch::evaluate_range(&exact, out.estimates.as_fn(), 0.0, 1, out.t);
+        assert_eq!(report.lower_violations, 0, "{label}");
+        assert_eq!(report.missed, 0, "{label}");
+        assert!(
+            report.max_multiplicative <= out.short_range_guarantee + 1e-9,
+            "{label}: stretch {} exceeds {}",
+            report.max_multiplicative,
+            out.short_range_guarantee
+        );
+    }
+
+    #[test]
+    fn two_plus_eps_on_families() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        for (name, g) in [
+            ("cycle", generators::cycle(56)),
+            ("grid", generators::grid(8, 8)),
+            ("caveman", generators::caveman(8, 8)),
+            ("gnp", generators::connected_gnp(72, 0.07, &mut rng)),
+            ("star+path", generators::barbell(12, 16)),
+        ] {
+            let cfg = Apsp2Config::new(g.n(), 0.5, 2).unwrap();
+            let mut ledger = RoundLedger::new(g.n());
+            let out = run(&g, &cfg, &mut rng, &mut ledger);
+            assert_short_range(&g, &out, name);
+        }
+    }
+
+    #[test]
+    fn deterministic_two_plus_eps() {
+        for (name, g) in [
+            ("caveman", generators::caveman(7, 7)),
+            ("grid", generators::grid(7, 7)),
+        ] {
+            let cfg = Apsp2Config::new(g.n(), 0.5, 2).unwrap();
+            let mut ledger = RoundLedger::new(g.n());
+            let out = run_deterministic(&g, &cfg, &mut ledger);
+            assert_short_range(&g, &out, name);
+        }
+    }
+
+    #[test]
+    fn dense_graph_exercises_high_degree_phase() {
+        // A star-heavy graph: the hub exceeds the √n·log n threshold.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut edges: Vec<(usize, usize)> = (1..40).map(|v| (0, v)).collect();
+        edges.extend((1..39).map(|v| (v, v + 1)));
+        let g = Graph::from_edges(40, &edges);
+        let mut cfg = Apsp2Config::new(40, 0.5, 2).unwrap();
+        cfg.high_degree_threshold = 10; // force the phase at this scale
+        let mut ledger = RoundLedger::new(40);
+        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        assert!(!out.high_degree_pivots.is_empty());
+        assert_short_range(&g, &out, "hub");
+    }
+
+    #[test]
+    fn estimates_are_symmetric() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = generators::connected_gnp(48, 0.08, &mut rng);
+        let cfg = Apsp2Config::new(48, 0.5, 2).unwrap();
+        let mut ledger = RoundLedger::new(48);
+        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        for u in 0..48 {
+            for v in 0..48 {
+                assert_eq!(out.estimates.get(u, v), out.estimates.get(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_profile_also_meets_guarantee() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let g = generators::caveman(8, 8);
+        let cfg = Apsp2Config::scaled(g.n(), 0.5).unwrap();
+        let mut ledger = RoundLedger::new(g.n());
+        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        assert_short_range(&g, &out, "scaled");
+    }
+}

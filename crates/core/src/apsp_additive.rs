@@ -1,0 +1,182 @@
+//! `(1+ε, β)`-approximate APSP (Thm 32, deterministic: Thm 51).
+//!
+//! The direct application of the emulator: build a `(1+ε, β)`-emulator of
+//! `O(n log log n)` edges, let every vertex learn all of it (Lenzen routing,
+//! `O(log log n)` rounds), and have each vertex answer distance queries by
+//! local Dijkstra on the emulator. Total: `O(log²β/ε)` rounds.
+
+use cc_clique::RoundLedger;
+use cc_emulator::clique::CliqueEmulatorConfig;
+use cc_emulator::{Emulator, EmulatorParams};
+use cc_graphs::Graph;
+use rand::Rng;
+
+use crate::estimates::DistanceMatrix;
+use crate::pipeline::{self, Mode};
+
+/// Configuration of the near-additive APSP algorithm.
+#[derive(Clone, Debug)]
+pub struct AdditiveApspConfig {
+    /// The emulator configuration.
+    pub emulator: CliqueEmulatorConfig,
+}
+
+impl AdditiveApspConfig {
+    /// Paper profile with explicit level count `r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn new(n: usize, eps: f64, r: usize) -> Result<Self, cc_emulator::params::ParamError> {
+        Ok(AdditiveApspConfig {
+            emulator: CliqueEmulatorConfig::paper(EmulatorParams::new(n, eps, r)?),
+        })
+    }
+
+    /// Benchmark-scale profile: `r = max(2, ⌊log₂log₂ n⌋)` levels and
+    /// tempered hopset constants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn scaled(n: usize, eps: f64) -> Result<Self, cc_emulator::params::ParamError> {
+        Ok(AdditiveApspConfig {
+            emulator: CliqueEmulatorConfig::scaled(EmulatorParams::loglog(n, eps)?),
+        })
+    }
+
+    /// The proven multiplicative part of the stretch.
+    pub fn multiplicative_bound(&self) -> f64 {
+        self.emulator
+            .params
+            .clique_multiplicative_bound(self.emulator.eps_prime)
+    }
+
+    /// The proven additive part `β`.
+    pub fn additive_bound(&self) -> f64 {
+        self.emulator
+            .params
+            .clique_additive_bound(self.emulator.eps_prime)
+    }
+}
+
+/// Result of the near-additive APSP computation.
+#[derive(Clone, Debug)]
+pub struct AdditiveApsp {
+    /// Estimates `δ` with `d_G ≤ δ ≤ (1+ε̂)d_G + β̂`.
+    pub estimates: DistanceMatrix,
+    /// The emulator the estimates came from.
+    pub emulator: Emulator,
+    /// The proven multiplicative bound `1+ε̂`.
+    pub multiplicative_bound: f64,
+    /// The proven additive bound `β̂`.
+    pub additive_bound: f64,
+}
+
+/// Randomized `(1+ε, β)`-APSP (Thm 32).
+pub fn run(
+    g: &Graph,
+    cfg: &AdditiveApspConfig,
+    rng: &mut impl Rng,
+    ledger: &mut RoundLedger,
+) -> AdditiveApsp {
+    run_mode(g, cfg, Mode::Rng(rng), ledger)
+}
+
+/// Deterministic `(1+ε, β)`-APSP (Thm 51).
+pub fn run_deterministic(
+    g: &Graph,
+    cfg: &AdditiveApspConfig,
+    ledger: &mut RoundLedger,
+) -> AdditiveApsp {
+    run_mode(g, cfg, Mode::Det, ledger)
+}
+
+fn run_mode(
+    g: &Graph,
+    cfg: &AdditiveApspConfig,
+    mut mode: Mode<'_>,
+    ledger: &mut RoundLedger,
+) -> AdditiveApsp {
+    let mut phase = ledger.enter("apsp-additive");
+    let mut delta = DistanceMatrix::new(g.n());
+    let emulator = pipeline::collect_emulator(g, &cfg.emulator, &mut mode, &mut delta, &mut phase);
+    AdditiveApsp {
+        estimates: delta,
+        emulator,
+        multiplicative_bound: cfg.multiplicative_bound(),
+        additive_bound: cfg.additive_bound(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::{bfs, generators, stretch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn guarantee_holds_on_families() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for (name, g) in [
+            ("cycle", generators::cycle(64)),
+            ("grid", generators::grid(8, 8)),
+            ("caveman", generators::caveman(8, 8)),
+        ] {
+            let cfg = AdditiveApspConfig::new(g.n(), 0.25, 2).unwrap();
+            let mut ledger = RoundLedger::new(g.n());
+            let out = run(&g, &cfg, &mut rng, &mut ledger);
+            let exact = bfs::apsp_exact(&g);
+            let report = stretch::evaluate(
+                &exact,
+                out.estimates.as_fn(),
+                out.multiplicative_bound - 1.0,
+            );
+            assert!(
+                report.satisfies(out.multiplicative_bound - 1.0, out.additive_bound),
+                "{name}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_matches_guarantee_and_reproduces() {
+        let g = generators::caveman(6, 6);
+        let cfg = AdditiveApspConfig::new(g.n(), 0.25, 2).unwrap();
+        let mut l1 = RoundLedger::new(g.n());
+        let a = run_deterministic(&g, &cfg, &mut l1);
+        let mut l2 = RoundLedger::new(g.n());
+        let b = run_deterministic(&g, &cfg, &mut l2);
+        assert_eq!(a.estimates, b.estimates);
+        let exact = bfs::apsp_exact(&g);
+        let report = stretch::evaluate(&exact, a.estimates.as_fn(), a.multiplicative_bound - 1.0);
+        assert!(report.satisfies(a.multiplicative_bound - 1.0, a.additive_bound));
+    }
+
+    #[test]
+    fn estimates_never_undercut() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = generators::connected_gnp(60, 0.06, &mut rng);
+        let cfg = AdditiveApspConfig::new(g.n(), 0.3, 2).unwrap();
+        let mut ledger = RoundLedger::new(g.n());
+        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        let exact = bfs::apsp_exact(&g);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert!(out.estimates.get(u, v) >= exact[u][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_include_collection_cost() {
+        let g = generators::grid(10, 10);
+        let cfg = AdditiveApspConfig::new(g.n(), 0.25, 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut ledger = RoundLedger::new(g.n());
+        let _ = run(&g, &cfg, &mut rng, &mut ledger);
+        let phases = ledger.by_phase();
+        assert!(phases.contains_key("apsp-additive"));
+    }
+}

@@ -1,0 +1,288 @@
+//! A unified entry point over the paper's algorithm portfolio.
+//!
+//! Downstream users typically want "approximate distances, this accuracy,
+//! deterministic or not" without wiring emulator parameters, hopset profiles
+//! and hitting sets themselves. [`solve`] picks defaults (the benchmark-scale
+//! profiles of DESIGN.md §5) and returns the estimates together with the
+//! simulated round ledger.
+
+use cc_clique::RoundLedger;
+use cc_emulator::params::ParamError;
+use cc_graphs::{Dist, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::apsp2::{self, Apsp2Config};
+use crate::apsp_additive::{self, AdditiveApspConfig};
+use crate::estimates::DistanceMatrix;
+use crate::mssp::{self, MsspConfig, MsspError};
+
+/// Which guarantee to compute.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Problem {
+    /// `(1+ε, β)`-approximate all-pairs shortest paths (Thm 5).
+    ApspNearAdditive {
+        /// Accuracy `ε ∈ (0,1)`.
+        eps: f64,
+    },
+    /// `(2+ε)`-approximate all-pairs shortest paths (Thm 4).
+    ApspTwoPlusEps {
+        /// Accuracy `ε ∈ (0,1)`.
+        eps: f64,
+    },
+    /// `(1+ε)`-approximate multi-source shortest paths (Thm 3).
+    Mssp {
+        /// Accuracy `ε ∈ (0,1)`.
+        eps: f64,
+        /// The sources (at most `O(√n)`).
+        sources: Vec<usize>,
+    },
+}
+
+/// Randomized (seeded) or deterministic execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Execution {
+    /// Randomized with the given seed (Thms 3–5).
+    Seeded(u64),
+    /// Deterministic (Thms 51–53): bit-for-bit reproducible.
+    Deterministic,
+}
+
+/// The solver output: estimates plus the simulated cost.
+#[derive(Clone, Debug)]
+pub enum Solution {
+    /// All-pairs estimates.
+    Apsp {
+        /// Symmetric estimate matrix (`d ≤ δ` always).
+        estimates: DistanceMatrix,
+        /// The guarantee actually proven for the run: `(mult, add)` such
+        /// that `δ(u,v) ≤ mult·d(u,v) + add` (for the `(2+ε)` pipeline the
+        /// additive part is 0 for pairs within its threshold).
+        guarantee: (f64, f64),
+    },
+    /// Per-source rows.
+    Mssp {
+        /// The sources, in input order.
+        sources: Vec<usize>,
+        /// `estimates[i][v]` approximates `d(sources[i], v)`.
+        estimates: Vec<Vec<Dist>>,
+        /// Short-range multiplicative guarantee (`1+ε`).
+        guarantee: f64,
+    },
+}
+
+/// Errors of the facade.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// Invalid accuracy or graph size.
+    Params(ParamError),
+    /// Invalid source specification.
+    Mssp(MsspError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Params(e) => write!(f, "invalid parameters: {e}"),
+            SolveError::Mssp(e) => write!(f, "invalid MSSP request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<ParamError> for SolveError {
+    fn from(e: ParamError) -> Self {
+        SolveError::Params(e)
+    }
+}
+
+impl From<MsspError> for SolveError {
+    fn from(e: MsspError) -> Self {
+        SolveError::Mssp(e)
+    }
+}
+
+/// Solves `problem` on `g`, charging simulated rounds to `ledger`.
+///
+/// Uses the benchmark-scale parameter profiles (same exponents as the paper,
+/// tempered constants — DESIGN.md §5); for explicit control use the
+/// per-algorithm modules directly.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] for invalid accuracies, graphs with fewer than two
+/// vertices, or invalid source sets.
+///
+/// # Example
+///
+/// ```
+/// use cc_core::facade::{solve, Execution, Problem, Solution};
+/// use cc_clique::RoundLedger;
+/// use cc_graphs::generators;
+///
+/// let g = generators::caveman(6, 6);
+/// let mut ledger = RoundLedger::new(g.n());
+/// let solution = solve(
+///     &g,
+///     Problem::ApspTwoPlusEps { eps: 0.5 },
+///     Execution::Seeded(7),
+///     &mut ledger,
+/// )?;
+/// if let Solution::Apsp { estimates, .. } = solution {
+///     assert!(estimates.get(0, 1) >= 1);
+/// }
+/// # Ok::<(), cc_core::facade::SolveError>(())
+/// ```
+pub fn solve(
+    g: &Graph,
+    problem: Problem,
+    execution: Execution,
+    ledger: &mut RoundLedger,
+) -> Result<Solution, SolveError> {
+    match problem {
+        Problem::ApspNearAdditive { eps } => {
+            let cfg = AdditiveApspConfig::scaled(g.n(), eps)?;
+            let out = match execution {
+                Execution::Seeded(seed) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    apsp_additive::run(g, &cfg, &mut rng, ledger)
+                }
+                Execution::Deterministic => apsp_additive::run_deterministic(g, &cfg, ledger),
+            };
+            Ok(Solution::Apsp {
+                estimates: out.estimates,
+                guarantee: (out.multiplicative_bound, out.additive_bound),
+            })
+        }
+        Problem::ApspTwoPlusEps { eps } => {
+            let cfg = Apsp2Config::scaled(g.n(), eps)?;
+            let out = match execution {
+                Execution::Seeded(seed) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    apsp2::run(g, &cfg, &mut rng, ledger)
+                }
+                Execution::Deterministic => apsp2::run_deterministic(g, &cfg, ledger),
+            };
+            Ok(Solution::Apsp {
+                estimates: out.estimates,
+                guarantee: (out.short_range_guarantee, 0.0),
+            })
+        }
+        Problem::Mssp { eps, sources } => {
+            let cfg = MsspConfig::scaled(g.n(), eps)?;
+            let out = match execution {
+                Execution::Seeded(seed) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    mssp::run(g, &sources, &cfg, &mut rng, ledger)?
+                }
+                Execution::Deterministic => mssp::run_deterministic(g, &sources, &cfg, ledger)?,
+            };
+            Ok(Solution::Mssp {
+                sources: out.sources,
+                estimates: out.estimates,
+                guarantee: 1.0 + eps,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::{bfs, generators};
+
+    #[test]
+    fn apsp_two_plus_eps_via_facade() {
+        let g = generators::caveman(6, 6);
+        let mut ledger = RoundLedger::new(g.n());
+        let sol = solve(
+            &g,
+            Problem::ApspTwoPlusEps { eps: 0.5 },
+            Execution::Seeded(3),
+            &mut ledger,
+        )
+        .unwrap();
+        let Solution::Apsp { estimates, guarantee } = sol else {
+            panic!("wrong variant");
+        };
+        let exact = bfs::apsp_exact(&g);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                if u != v {
+                    assert!(estimates.get(u, v) >= exact[u][v]);
+                    assert!((estimates.get(u, v) as f64) <= guarantee.0 * exact[u][v] as f64);
+                }
+            }
+        }
+        assert!(ledger.total_rounds() > 0);
+    }
+
+    #[test]
+    fn near_additive_via_facade_deterministic_is_reproducible() {
+        let g = generators::grid(6, 6);
+        let run = || {
+            let mut ledger = RoundLedger::new(g.n());
+            solve(
+                &g,
+                Problem::ApspNearAdditive { eps: 0.25 },
+                Execution::Deterministic,
+                &mut ledger,
+            )
+            .unwrap()
+        };
+        let (Solution::Apsp { estimates: a, .. }, Solution::Apsp { estimates: b, .. }) =
+            (run(), run())
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mssp_via_facade() {
+        let g = generators::cycle(36);
+        let mut ledger = RoundLedger::new(36);
+        let sol = solve(
+            &g,
+            Problem::Mssp {
+                eps: 0.5,
+                sources: vec![0, 9, 18],
+            },
+            Execution::Seeded(2),
+            &mut ledger,
+        )
+        .unwrap();
+        let Solution::Mssp { sources, estimates, .. } = sol else {
+            panic!("wrong variant");
+        };
+        assert_eq!(sources, vec![0, 9, 18]);
+        assert_eq!(estimates.len(), 3);
+        assert_eq!(estimates[0][0], 0);
+    }
+
+    #[test]
+    fn facade_propagates_errors() {
+        let g = generators::cycle(16);
+        let mut ledger = RoundLedger::new(16);
+        let err = solve(
+            &g,
+            Problem::ApspTwoPlusEps { eps: 2.0 },
+            Execution::Seeded(0),
+            &mut ledger,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveError::Params(_)));
+        let err = solve(
+            &g,
+            Problem::Mssp {
+                eps: 0.5,
+                sources: vec![],
+            },
+            Execution::Deterministic,
+            &mut ledger,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SolveError::Mssp(MsspError::NoSources)));
+    }
+}

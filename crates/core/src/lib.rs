@@ -1,0 +1,64 @@
+//! Approximate shortest paths in the Congested Clique in `poly(log log n)`
+//! rounds — the applications of Dory–Parter (PODC 2020), §4 and §5.2.
+//!
+//! Built on the `(1+ε, β)`-emulator of [`cc_emulator`] and the
+//! distance-sensitive tool-kit of [`cc_toolkit`], this crate provides the
+//! paper's three headline algorithms for unweighted undirected graphs, in
+//! randomized and deterministic variants:
+//!
+//! | Problem | Theorem | Module |
+//! |---|---|---|
+//! | `(1+ε, β)`-APSP | Thm 32 / 51 | [`apsp_additive`] |
+//! | `(1+ε)`-MSSP from `O(√n)` sources | Thm 33 / 52 | [`mssp`] |
+//! | `(2+ε)`-APSP | Thm 34 / 53 | [`apsp2`] |
+//! | `(3+ε)`-APSP (warm-up of §4.3) | — | [`apsp3`] |
+//!
+//! The common recipe: the emulator, once collected by every vertex
+//! (`O(log log n)` rounds — it has `O(n log log n)` edges), answers every
+//! *long* distance (`d ≥ t = Θ(β/ε)`) with stretch `1+Θ(ε)`; the *short*
+//! distances (`d ≤ t`) are recovered by `t`-bounded tools whose round
+//! complexity is `poly(log t) = poly(log log n)`.
+//!
+//! All algorithms return a [`DistanceMatrix`] (or per-source rows) of
+//! estimates `δ` with `d_G(u,v) ≤ δ(u,v)` always, plus the approximation
+//! guarantee actually proven for the chosen parameters.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_clique::RoundLedger;
+//! use cc_core::apsp2::{self, Apsp2Config};
+//! use cc_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let g = generators::caveman(6, 6);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut ledger = RoundLedger::new(g.n());
+//! let cfg = Apsp2Config::scaled(g.n(), 0.5).unwrap();
+//! let result = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+//! let exact = cc_graphs::bfs::apsp_exact(&g);
+//! for u in 0..g.n() {
+//!     for v in 0..g.n() {
+//!         if u != v {
+//!             assert!(result.estimates.get(u, v) >= exact[u][v]);
+//!         }
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest idiom for the dense adjacency/matrix
+// code in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod apsp2;
+pub mod apsp3;
+pub mod apsp_additive;
+pub mod estimates;
+pub mod facade;
+pub mod mssp;
+mod pipeline;
+
+pub use estimates::DistanceMatrix;
+pub use facade::{solve, Execution, Problem, Solution};

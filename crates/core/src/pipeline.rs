@@ -1,0 +1,90 @@
+//! Crate-private plumbing shared by the application algorithms: one switch
+//! between the randomized and deterministic tool variants, emulator
+//! collection, and the short/long distance threshold.
+
+use cc_clique::RoundLedger;
+use cc_derand::hitting;
+use cc_emulator::clique::CliqueEmulatorConfig;
+use cc_emulator::{deterministic, whp, Emulator};
+use cc_graphs::{Dist, Graph};
+use cc_toolkit::hopset::{self, BoundedHopset, HopsetParams};
+use rand::RngCore;
+
+use crate::estimates::DistanceMatrix;
+
+/// Randomized-or-deterministic mode threaded through the pipelines.
+pub(crate) enum Mode<'a> {
+    /// Randomized variants (Lemma 8 hitting sets, Thm 12.1 hopsets, Thm 31
+    /// emulator).
+    Rng(&'a mut dyn RngCore),
+    /// Deterministic variants (Lemma 9, Thm 12.2, Thm 50).
+    Det,
+}
+
+/// Builds the emulator (w.h.p. variant when randomized, Thm 50 when
+/// deterministic), lets every vertex learn it, and merges its all-pairs
+/// distances plus the input adjacency into `delta`.
+pub(crate) fn collect_emulator(
+    g: &Graph,
+    cfg: &CliqueEmulatorConfig,
+    mode: &mut Mode<'_>,
+    delta: &mut DistanceMatrix,
+    ledger: &mut RoundLedger,
+) -> Emulator {
+    let emu = match mode {
+        Mode::Rng(rng) => whp::build(g, cfg, rng, ledger).0,
+        Mode::Det => deterministic::build(g, cfg, ledger),
+    };
+    ledger.charge_learn_all("collect emulator at all vertices", emu.m() as u64);
+    for (u, v) in g.edges() {
+        delta.improve(u, v, 1);
+    }
+    delta.merge_rows(&emu.apsp());
+    emu
+}
+
+/// Builds a bounded hopset in the requested mode and profile.
+pub(crate) fn build_hopset(
+    g: &Graph,
+    t: Dist,
+    eps: f64,
+    scaled: bool,
+    mode: &mut Mode<'_>,
+    ledger: &mut RoundLedger,
+) -> BoundedHopset {
+    let params = if scaled {
+        HopsetParams::scaled(g.n(), t, eps)
+    } else {
+        HopsetParams::paper(g.n(), t, eps)
+    };
+    match mode {
+        Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
+        Mode::Det => hopset::build_deterministic(g, params, ledger),
+    }
+}
+
+/// Computes a hitting set in the requested mode.
+pub(crate) fn hitting_set(
+    universe: usize,
+    k: usize,
+    sets: &[Vec<usize>],
+    mode: &mut Mode<'_>,
+    ledger: &mut RoundLedger,
+) -> Vec<usize> {
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(sets.iter().map(Vec::len).min().unwrap_or(k)).max(1);
+    match mode {
+        Mode::Rng(rng) => hitting::random_hitting_set(universe, k, sets, 2.5, rng, ledger),
+        Mode::Det => hitting::deterministic_hitting_set(universe, k, sets, ledger),
+    }
+    .expect("sets validated by construction")
+}
+
+/// The short/long threshold `t = ⌈2β̂/ε⌉` of §4 (β̂ = the emulator's
+/// effective additive bound), clamped to at least 4.
+pub(crate) fn default_threshold(cfg: &CliqueEmulatorConfig, eps: f64) -> Dist {
+    let beta_hat = cfg.params.clique_additive_bound(cfg.eps_prime);
+    ((2.0 * beta_hat / eps).ceil() as Dist).max(4)
+}

@@ -1,0 +1,155 @@
+//! Read-once DNF formulas and their exact satisfaction probabilities.
+//!
+//! Lemma 56 of the paper expresses the two soft-hitting-set quantities as
+//! (functions of) read-once DNFs over the PRG's output bits:
+//!
+//! * `f_i(y) = ⋀` (bits of block `i`) — "element `i` is selected";
+//! * `g(y) = ⋁_{i ∈ S} f_i(y)` — "set `S` is hit".
+//!
+//! Because each bit appears in exactly one block, these are read-once
+//! formulas, so a read-once-DNF-fooling PRG preserves their satisfaction
+//! probabilities up to ε. This module represents such formulas explicitly and
+//! computes their exact satisfaction probability under independent
+//! `Bernoulli(p)` bits — the quantity the conditional-expectation
+//! derandomization in [`crate::soft_hitting`] manipulates in closed form.
+
+use std::collections::HashSet;
+
+/// A DNF formula: a disjunction of conjunctive clauses over boolean
+/// variables identified by index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dnf {
+    clauses: Vec<Vec<usize>>,
+}
+
+impl Dnf {
+    /// Creates a DNF from its clauses (each clause a set of variable
+    /// indices, interpreted as their conjunction). Empty clauses are allowed
+    /// and are identically true.
+    pub fn new(clauses: Vec<Vec<usize>>) -> Self {
+        Dnf { clauses }
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<usize>] {
+        &self.clauses
+    }
+
+    /// `true` if no variable occurs in more than one position (the
+    /// *read-once* property required by the Gopalan et al. PRG).
+    pub fn is_read_once(&self) -> bool {
+        let mut seen = HashSet::new();
+        for clause in &self.clauses {
+            for &v in clause {
+                if !seen.insert(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Evaluates the formula on an assignment (indexable by variable).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.iter().all(|&v| assignment[v]))
+    }
+
+    /// Exact satisfaction probability when every variable is an independent
+    /// `Bernoulli(p)`: `1 − ∏_c (1 − p^{|c|})`.
+    ///
+    /// Exact only for read-once formulas (clauses over disjoint variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula is not read-once or `p ∉ [0, 1]`.
+    pub fn sat_probability(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        assert!(self.is_read_once(), "closed form requires read-once DNF");
+        let mut unsat = 1.0f64;
+        for clause in &self.clauses {
+            unsat *= 1.0 - p.powi(clause.len() as i32);
+        }
+        1.0 - unsat
+    }
+
+    /// The "set `S` is hit" formula of Lemma 56: one clause per element of
+    /// `s`, each clause the `ell` bits of that element's block.
+    pub fn hitting_formula(s: &[usize], ell: usize) -> Dnf {
+        let clauses = s
+            .iter()
+            .map(|&i| (0..ell).map(|b| i * ell + b).collect())
+            .collect();
+        Dnf::new(clauses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_once_detection() {
+        assert!(Dnf::new(vec![vec![0, 1], vec![2]]).is_read_once());
+        assert!(!Dnf::new(vec![vec![0, 1], vec![1]]).is_read_once());
+        assert!(Dnf::new(vec![]).is_read_once());
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let f = Dnf::new(vec![vec![0, 1], vec![2]]);
+        assert!(f.eval(&[true, true, false]));
+        assert!(f.eval(&[false, false, true]));
+        assert!(!f.eval(&[true, false, false]));
+        // Empty clause is true.
+        let t = Dnf::new(vec![vec![]]);
+        assert!(t.eval(&[]));
+        // Empty DNF is false.
+        let f = Dnf::new(vec![]);
+        assert!(!f.eval(&[]));
+    }
+
+    #[test]
+    fn sat_probability_closed_form() {
+        // Single clause of 2 vars: p².
+        let f = Dnf::new(vec![vec![0, 1]]);
+        assert!((f.sat_probability(0.5) - 0.25).abs() < 1e-12);
+        // Two disjoint singleton clauses: 1 − (1−p)².
+        let f = Dnf::new(vec![vec![0], vec![1]]);
+        assert!((f.sat_probability(0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sat_probability_matches_exhaustive_enumeration() {
+        let f = Dnf::new(vec![vec![0, 1], vec![2], vec![3, 4]]);
+        let p: f64 = 0.3;
+        let nvars = 5;
+        let mut total = 0.0;
+        for mask in 0..(1u32 << nvars) {
+            let assignment: Vec<bool> = (0..nvars).map(|i| mask >> i & 1 == 1).collect();
+            if f.eval(&assignment) {
+                let mut prob = 1.0;
+                for &b in &assignment {
+                    prob *= if b { p } else { 1.0 - p };
+                }
+                total += prob;
+            }
+        }
+        assert!((f.sat_probability(p) - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hitting_formula_shape() {
+        let f = Dnf::hitting_formula(&[3, 5], 2);
+        assert_eq!(f.clauses(), &[vec![6, 7], vec![10, 11]]);
+        assert!(f.is_read_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "read-once")]
+    fn non_read_once_probability_panics() {
+        let f = Dnf::new(vec![vec![0], vec![0]]);
+        let _ = f.sat_probability(0.5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pseudorandom generators behind the derandomization layer.
+//!
+//! The paper uses the PRG of Gopalan et al. (FOCS 2012), which ε-fools
+//! read-once DNFs with seed length `O(log(n/ε) · (log log(n/ε))³)` (Thm 55).
+//! Its role in the algorithms is purely to *shorten the random string* so
+//! that a seed can be fixed by distributed conditional expectations in
+//! `O((log log n)³)` rounds.
+//!
+//! [`BlockPrg`] is this workspace's stand-in: a hash-based generator that
+//! expands a 64-bit seed into any number of bits. It is **not** a proven
+//! DNF-fooler; the deterministic guarantees of this workspace never rely on
+//! it (they come from exact conditional expectations — see
+//! [`crate::soft_hitting`]). It exists to (a) make randomized variants
+//! reproducible from a small seed and (b) make the seed-length/round
+//! bookkeeping of the paper concrete ([`seed_bits`]).
+
+use cc_clique::cost::model;
+
+/// Seed length, in bits, of the Gopalan et al. PRG for universe size `n`
+/// (Lemma 56's `g(N, Δ) = O(log N · (log log N)³)`).
+pub fn seed_bits(n: u64) -> u64 {
+    model::prg_seed_bits(n)
+}
+
+/// A deterministic bit generator expanding a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use cc_derand::prg::BlockPrg;
+///
+/// let prg = BlockPrg::new(7);
+/// let a: Vec<bool> = (0..16).map(|i| prg.bit(i)).collect();
+/// let b: Vec<bool> = (0..16).map(|i| prg.bit(i)).collect();
+/// assert_eq!(a, b); // deterministic in (seed, index)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockPrg {
+    seed: u64,
+}
+
+impl BlockPrg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        BlockPrg { seed }
+    }
+
+    /// The `index`-th pseudorandom bit.
+    pub fn bit(&self, index: u64) -> bool {
+        self.word(index / 64) >> (index % 64) & 1 == 1
+    }
+
+    /// The `index`-th pseudorandom 64-bit word (splitmix64 over seed‖index).
+    pub fn word(&self, index: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `true` with probability `2^{-ell}`: the AND of `ell` fresh bits drawn
+    /// from block `block` — the hash-function shape `h_s(i)` of Lemma 56.
+    pub fn block_and(&self, block: u64, ell: u32) -> bool {
+        if ell == 0 {
+            return true;
+        }
+        (0..ell).all(|b| self.bit(block * 64 + b as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BlockPrg::new(1);
+        let b = BlockPrg::new(1);
+        let c = BlockPrg::new(2);
+        let bits_a: Vec<bool> = (0..256).map(|i| a.bit(i)).collect();
+        let bits_b: Vec<bool> = (0..256).map(|i| b.bit(i)).collect();
+        let bits_c: Vec<bool> = (0..256).map(|i| c.bit(i)).collect();
+        assert_eq!(bits_a, bits_b);
+        assert_ne!(bits_a, bits_c);
+    }
+
+    #[test]
+    fn bits_are_roughly_balanced() {
+        let prg = BlockPrg::new(99);
+        let ones = (0..10_000).filter(|&i| prg.bit(i)).count();
+        assert!((4_000..6_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn block_and_rate_matches_two_to_minus_ell() {
+        let prg = BlockPrg::new(5);
+        let ell = 3;
+        let hits = (0..8_000u64).filter(|&b| prg.block_and(b, ell)).count();
+        let expected = 8_000.0 / 8.0;
+        assert!(
+            (hits as f64 - expected).abs() < 0.35 * expected,
+            "hits = {hits}"
+        );
+    }
+
+    #[test]
+    fn ell_zero_always_true() {
+        let prg = BlockPrg::new(5);
+        assert!((0..50).all(|b| prg.block_and(b, 0)));
+    }
+
+    #[test]
+    fn seed_bits_matches_cost_model() {
+        assert_eq!(seed_bits(4096), model::prg_seed_bits(4096));
+        assert!(seed_bits(1 << 20) > seed_bits(1 << 10));
+    }
+}

@@ -1,0 +1,200 @@
+//! The §3.2 emulator construction with exact ball exploration.
+//!
+//! This is the object the paper's size analysis (Claims 14–18) and stretch
+//! analysis (Lemma 23) speak about. Every vertex `v ∈ Sᵢ∖Sᵢ₊₁` inspects its
+//! exact ball `B(v, δᵢ, G)`:
+//!
+//! * **i-dense** (`B(v,δᵢ) ∩ Sᵢ₊₁ ≠ ∅`): one edge to the closest `Sᵢ₊₁`
+//!   vertex `cᵢ₊₁(v)`;
+//! * **i-sparse**: edges to every `Sᵢ` vertex in the ball.
+//!
+//! Edge weights are exact distances. The Congested Clique variant
+//! ([`crate::clique`]) computes the same structure with bounded tools and
+//! `(1+ε')`-approximate weights on top-level edges.
+
+use std::collections::BTreeMap;
+
+use cc_graphs::{bfs, Dist, Graph, WeightedGraph};
+use rand::Rng;
+
+use crate::emulator::Emulator;
+use crate::params::EmulatorParams;
+
+/// Builds the §3.2 emulator with freshly sampled levels.
+pub fn build(g: &Graph, params: &EmulatorParams, rng: &mut impl Rng) -> Emulator {
+    let levels = params.sample_levels(rng);
+    build_with_levels(g, params, levels)
+}
+
+/// Builds the §3.2 emulator for a fixed level hierarchy (used by the w.h.p.
+/// variant and by tests comparing constructions run-for-run).
+///
+/// # Panics
+///
+/// Panics if `levels.len() != g.n()` or a level exceeds `r`.
+pub fn build_with_levels(g: &Graph, params: &EmulatorParams, levels: Vec<u8>) -> Emulator {
+    assert_eq!(levels.len(), g.n(), "one level per vertex");
+    assert!(
+        levels.iter().all(|&l| (l as usize) <= params.r()),
+        "level exceeds r"
+    );
+    let r = params.r();
+    let mut edges: BTreeMap<(u32, u32), Dist> = BTreeMap::new();
+    let mut add = |u: usize, v: usize, w: Dist| {
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
+        edges
+            .entry(key)
+            .and_modify(|cur| *cur = (*cur).min(w))
+            .or_insert(w);
+    };
+    for v in 0..g.n() {
+        let i = levels[v] as usize;
+        let ball = bfs::ball(g, v, params.delta(i));
+        if i < r {
+            // Dense: one edge to the closest S_{i+1} vertex (ties by id via
+            // the ball's (dist, id) order).
+            if let Some(&(c, d)) = ball
+                .iter()
+                .find(|&&(u, _)| levels[u as usize] as usize > i)
+            {
+                add(v, c as usize, d);
+                continue;
+            }
+        }
+        // Sparse (or top level, where S_{r+1} = ∅): edges to all Sᵢ vertices
+        // in the ball.
+        for &(u, d) in &ball {
+            if u as usize != v && levels[u as usize] as usize >= i {
+                add(v, u as usize, d);
+            }
+        }
+    }
+    let mut graph = WeightedGraph::new(g.n());
+    for (&(u, v), &w) in &edges {
+        graph.add_edge(u as usize, v as usize, w);
+    }
+    Emulator { graph, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stretch_bound_holds_across_families() {
+        let params_of = |n: usize| EmulatorParams::new(n, 0.25, 2).unwrap();
+        let mut r = rng(7);
+        for (name, g) in [
+            ("cycle", generators::cycle(64)),
+            ("grid", generators::grid(8, 8)),
+            ("caveman", generators::caveman(8, 8)),
+            ("gnp", generators::connected_gnp(80, 0.05, &mut r)),
+            ("tree", generators::random_tree(64, &mut r)),
+        ] {
+            let params = params_of(g.n());
+            let emu = build(&g, &params, &mut r);
+            let report = emu.verify(&g, &params);
+            assert!(
+                report.within_bounds,
+                "{name}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_within_bound_on_average() {
+        // Claim 18 bounds the *expected* size; average over seeds.
+        let g = generators::caveman(16, 8);
+        let params = EmulatorParams::new(g.n(), 0.25, 2).unwrap();
+        let mut total = 0usize;
+        let runs = 10;
+        for seed in 0..runs {
+            let mut r = rng(seed);
+            total += build(&g, &params, &mut r).m();
+        }
+        let avg = total as f64 / runs as f64;
+        // Hidden constant: the paper's analysis gives O(1/p) per vertex per
+        // level; 8 is comfortable empirically.
+        assert!(
+            avg <= 8.0 * params.size_bound(),
+            "avg edges {avg} vs bound {}",
+            params.size_bound()
+        );
+    }
+
+    #[test]
+    fn level_zero_everywhere_gives_exact_graph() {
+        // If no vertex is sampled (levels all 0), every vertex is 0-sparse
+        // with radius δ₀ = 1: the emulator is exactly G.
+        let g = generators::grid(5, 5);
+        let params = EmulatorParams::new(g.n(), 0.25, 2).unwrap();
+        let emu = build_with_levels(&g, &params, vec![0; g.n()]);
+        assert_eq!(emu.m(), g.m());
+        let report = emu.verify_with_bounds(&g, 1.0, 0.0, g.m() as f64);
+        assert!(report.within_bounds);
+    }
+
+    #[test]
+    fn dense_vertices_add_single_edge() {
+        // A path with vertex 2 at level 1 and vertex 3 at level 2 (r = 2):
+        // vertex 2 is 1-dense (3 within δ₁) and must add exactly one
+        // level-2 edge; plain vertices keep their incident edges.
+        let g = generators::path(6);
+        let params = EmulatorParams::new(6, 0.25, 2).unwrap();
+        let mut levels = vec![0u8; 6];
+        levels[2] = 1;
+        levels[3] = 2;
+        let emu = build_with_levels(&g, &params, levels);
+        // Vertex 2's added edges: exactly the dense edge to 3 (weight 1),
+        // plus whatever the level-0 neighbors added toward it.
+        let to3: Vec<_> = emu
+            .graph
+            .neighbors(2)
+            .iter()
+            .filter(|&&(u, _)| u == 3)
+            .collect();
+        assert_eq!(to3.len(), 1);
+        assert_eq!(to3[0].1, 1);
+    }
+
+    #[test]
+    fn weights_are_exact_distances() {
+        let mut r = rng(3);
+        let g = generators::connected_gnp(50, 0.08, &mut r);
+        let params = EmulatorParams::new(50, 0.3, 2).unwrap();
+        let emu = build(&g, &params, &mut r);
+        let exact = bfs::apsp_exact(&g);
+        for (u, v, w) in emu.graph.edges() {
+            assert_eq!(w, exact[u][v], "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_levels() {
+        let g = generators::grid(6, 6);
+        let params = EmulatorParams::new(g.n(), 0.25, 2).unwrap();
+        let levels = params.sample_levels(&mut rng(11));
+        let a = build_with_levels(&g, &params, levels.clone());
+        let b = build_with_levels(&g, &params, levels);
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "one level per vertex")]
+    fn wrong_level_count_panics() {
+        let g = generators::path(4);
+        let params = EmulatorParams::new(4, 0.25, 2).unwrap();
+        let _ = build_with_levels(&g, &params, vec![0; 3]);
+    }
+}

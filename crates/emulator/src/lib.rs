@@ -1,0 +1,83 @@
+//! Near-additive `(1+ε, β)`-emulators — the core contribution of
+//! Dory–Parter (PODC 2020), §3 and §5.1.
+//!
+//! A `(1+ε, β)`-*emulator* of an unweighted graph `G = (V, E)` is a weighted
+//! graph `H = (V, E', w)` (not necessarily a subgraph) with
+//!
+//! ```text
+//! d_G(u,v) ≤ d_H(u,v) ≤ (1+ε)·d_G(u,v) + β    for all u,v.
+//! ```
+//!
+//! The paper's construction samples a hierarchy
+//! `V = S₀ ⊃ S₁ ⊃ … ⊃ S_r ⊃ S_{r+1} = ∅` and has each vertex `v ∈ Sᵢ∖Sᵢ₊₁`
+//! examine its ball of radius `δᵢ`: if the ball contains an `Sᵢ₊₁` vertex,
+//! `v` is *i-dense* and connects to the closest one; otherwise it is
+//! *i-sparse* and connects to every `Sᵢ` vertex in the ball. With
+//! `r = log log n` this yields `O(n log log n)` edges and
+//! `β = O(log log n / ε)^{log log n}` (Thm 24).
+//!
+//! Modules:
+//!
+//! * [`params`] — the full parameter schedule (`pᵢ, δᵢ, Rᵢ, βᵢ`;
+//!   Claims 14–22) with validated constructors.
+//! * [`warmup`] — the §3.1 warm-up: `(1+ε, Θ(1/ε))`-emulator with `Õ(n^{5/4})`
+//!   edges.
+//! * [`ideal`] — the §3.2 construction with exact ball exploration
+//!   (the object of the size/stretch analysis).
+//! * [`clique`] — the §3.5 Congested Clique implementation: `(k,d)`-nearest
+//!   for light vertices, hitting-set shortcut for heavy ones, bounded hopset
+//!   + source detection for the top level; `O(log²β/ε)` rounds.
+//! * [`whp`] — the Thm 31 variant: `O(log n)` parallel runs, one good run
+//!   selected, giving the size bound w.h.p. rather than in expectation.
+//! * [`deterministic`] — the §5.1 construction with soft hitting sets
+//!   replacing sampling (Thm 50).
+//!
+//! # Relation to earlier emulator constructions (Appendix A of the paper)
+//!
+//! The construction is a hybrid of the two classical near-additive
+//! emulators:
+//!
+//! * **Elkin–Neiman** is *local* (every vertex explores a sub-polynomial
+//!   ball) but *cluster-centric* (clusters make collective
+//!   superclustering/interconnection decisions) — awkward to run in O(1)
+//!   clique primitives.
+//! * **Thorup–Zwick** is *vertex-centric* (each vertex independently
+//!   connects to its nearest higher-level vertex or to all closer same-level
+//!   ones) but *global* (exploration radius up to `n`), which seems to force
+//!   `poly(log n)` clique rounds.
+//! * **This construction** is local *and* vertex-centric: TZ's rule applied
+//!   inside radius-`δᵢ` balls. Every edge it adds is also a TZ edge (which
+//!   is why TZ's emulator is universal across ε); locality is what lets the
+//!   distance-sensitive tool-kit implement it in `poly(log δ_r)` rounds.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_emulator::{ideal, params::EmulatorParams};
+//! use cc_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let g = generators::grid(8, 8);
+//! let params = EmulatorParams::new(g.n(), 0.25, 2).unwrap();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let emu = ideal::build(&g, &params, &mut rng);
+//! let report = emu.verify(&g, &params);
+//! assert!(report.within_bounds);
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest idiom for the dense adjacency/matrix
+// code in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod clique;
+pub mod deterministic;
+pub mod emulator;
+pub mod ideal;
+pub mod params;
+pub mod warmup;
+pub mod whp;
+
+pub use emulator::{Emulator, EmulatorReport};
+pub use params::EmulatorParams;

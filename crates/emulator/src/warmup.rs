@@ -1,0 +1,253 @@
+//! The §3.1 warm-up construction: a `(1+ε, Θ(1/ε))`-emulator with
+//! `Õ(n^{5/4})` edges.
+//!
+//! Two sampled sets: `S₁` of expected size `n^{3/4}` and `S₂ ⊆ S₁` of
+//! expected size `n^{1/4}`. Edges:
+//!
+//! 1. every edge incident to a low-degree vertex (degree ≤ `n^{1/4} log n`);
+//!    high-degree vertices connect to a neighbor in `S₁`;
+//! 2. `S₁` vertices with few `S₁` vertices in their `δ = 1/ε + 2` ball
+//!    connect to all of them; the rest connect to the closest `S₂` vertex;
+//! 3. `S₂` vertices connect to *all* vertices with exact distances.
+//!
+//! This simple construction already breaks the multiplicative-spanner
+//! stretch barrier and motivates the full hierarchy of §3.2 (which is this
+//! construction iterated `r` times).
+
+use std::collections::BTreeMap;
+
+use cc_graphs::{bfs, Dist, Graph, WeightedGraph};
+use rand::Rng;
+
+use crate::emulator::Emulator;
+
+/// Parameters of the warm-up emulator.
+#[derive(Clone, Copy, Debug)]
+pub struct WarmupParams {
+    /// Accuracy `ε ∈ (0, 1)`.
+    pub eps: f64,
+    /// Degree threshold for "low degree" (paper: `n^{1/4} log n`).
+    pub degree_threshold: usize,
+    /// `S₁` ball-population threshold (paper: `√n log n`).
+    pub ball_threshold: usize,
+}
+
+impl WarmupParams {
+    /// The paper's parameters for an `n`-vertex graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps ∉ (0,1)`.
+    pub fn paper(n: usize, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
+        let ln = (n.max(2) as f64).ln();
+        WarmupParams {
+            eps,
+            degree_threshold: ((n as f64).powf(0.25) * ln).ceil() as usize,
+            ball_threshold: ((n as f64).sqrt() * ln).ceil() as usize,
+        }
+    }
+
+    /// The ball radius `δ = ⌈1/ε⌉ + 2`.
+    pub fn delta(&self) -> Dist {
+        (1.0 / self.eps).ceil() as Dist + 2
+    }
+
+    /// Verified multiplicative bound `1 + 5ε` (the sketch's `1+4ε` plus
+    /// integer-rounding slack).
+    pub fn multiplicative_bound(&self) -> f64 {
+        1.0 + 5.0 * self.eps
+    }
+
+    /// Verified additive bound `4δ + 4 = Θ(1/ε)`.
+    pub fn additive_bound(&self) -> f64 {
+        4.0 * self.delta() as f64 + 4.0
+    }
+}
+
+/// Builds the warm-up emulator. Levels in the returned [`Emulator`] encode
+/// membership: 0 = plain, 1 = `S₁∖S₂`, 2 = `S₂`.
+pub fn build(g: &Graph, params: &WarmupParams, rng: &mut impl Rng) -> Emulator {
+    let n = g.n();
+    let p1 = (n as f64).powf(-0.25);
+    let p2 = (n as f64).powf(-0.5);
+    let levels: Vec<u8> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(p1) {
+                if rng.gen_bool(p2) {
+                    2
+                } else {
+                    1
+                }
+            } else {
+                0
+            }
+        })
+        .collect();
+    build_with_levels(g, params, levels)
+}
+
+/// Builds the warm-up emulator for fixed set membership.
+///
+/// # Panics
+///
+/// Panics if `levels.len() != g.n()`.
+pub fn build_with_levels(g: &Graph, params: &WarmupParams, levels: Vec<u8>) -> Emulator {
+    assert_eq!(levels.len(), g.n(), "one level per vertex");
+    let n = g.n();
+    let delta = params.delta();
+    let mut edges: BTreeMap<(u32, u32), Dist> = BTreeMap::new();
+    let mut add = |u: usize, v: usize, w: Dist| {
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
+        edges
+            .entry(key)
+            .and_modify(|cur| *cur = (*cur).min(w))
+            .or_insert(w);
+    };
+
+    // Rule 1: low-degree vertices keep all incident edges; high-degree
+    // vertices connect to an S₁ neighbor (fallback: keep incident edges when
+    // the sampling missed — the w.h.p. tail case).
+    for v in 0..n {
+        if g.degree(v) <= params.degree_threshold {
+            for &u in g.neighbors(v) {
+                add(v, u as usize, 1);
+            }
+        } else if let Some(&u) = g.neighbors(v).iter().find(|&&u| levels[u as usize] >= 1) {
+            add(v, u as usize, 1);
+        } else {
+            for &u in g.neighbors(v) {
+                add(v, u as usize, 1);
+            }
+        }
+    }
+
+    // Rule 2: S₁ vertices look at their δ-ball.
+    for v in 0..n {
+        if levels[v] != 1 {
+            continue;
+        }
+        let ball = bfs::ball(g, v, delta);
+        let s1_in_ball: Vec<(u32, Dist)> = ball
+            .iter()
+            .copied()
+            .filter(|&(u, _)| u as usize != v && levels[u as usize] >= 1)
+            .collect();
+        if s1_in_ball.len() <= params.ball_threshold {
+            for &(u, d) in &s1_in_ball {
+                add(v, u as usize, d);
+            }
+        } else if let Some(&(u, d)) = ball
+            .iter()
+            .find(|&&(u, _)| u as usize != v && levels[u as usize] == 2)
+        {
+            add(v, u as usize, d);
+        } else {
+            // Dense ball without an S₂ representative (tail case): connect
+            // to all S₁ members to preserve the stretch argument.
+            for &(u, d) in &s1_in_ball {
+                add(v, u as usize, d);
+            }
+        }
+    }
+
+    // Rule 3: S₂ vertices connect to everything with exact distances.
+    for v in 0..n {
+        if levels[v] != 2 {
+            continue;
+        }
+        let dist = bfs::sssp(g, v);
+        for (u, &d) in dist.iter().enumerate() {
+            if u != v && d < cc_graphs::INF {
+                add(v, u, d);
+            }
+        }
+    }
+
+    let mut graph = WeightedGraph::new(n);
+    for (&(u, v), &w) in &edges {
+        graph.add_edge(u as usize, v as usize, w);
+    }
+    Emulator { graph, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stretch_bound_holds() {
+        let mut r = rng(5);
+        for (name, g) in [
+            ("grid", cc_graphs::generators::grid(9, 9)),
+            ("caveman", cc_graphs::generators::caveman(10, 8)),
+            ("gnp", cc_graphs::generators::connected_gnp(90, 0.06, &mut r)),
+        ] {
+            let params = WarmupParams::paper(g.n(), 0.34);
+            let emu = build(&g, &params, &mut r);
+            let report = emu.verify_with_bounds(
+                &g,
+                params.multiplicative_bound(),
+                params.additive_bound(),
+                f64::INFINITY,
+            );
+            assert!(report.within_bounds, "{name}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn size_is_subquadratic() {
+        // Õ(n^{5/4}) edges: check against c·n^{5/4}·ln²n (generous constant
+        // for small n where thresholds are coarse).
+        let mut r = rng(2);
+        let g = cc_graphs::generators::connected_gnp(256, 0.1, &mut r);
+        let params = WarmupParams::paper(g.n(), 0.34);
+        let emu = build(&g, &params, &mut r);
+        let n = g.n() as f64;
+        let bound = 2.0 * n.powf(1.25) * n.ln() * n.ln();
+        assert!((emu.m() as f64) < bound, "edges {} vs {bound}", emu.m());
+    }
+
+    #[test]
+    fn low_degree_graph_is_kept_verbatim() {
+        // Every vertex of a cycle is low-degree: rule 1 keeps all edges and
+        // rules 2–3 can only add weighted shortcuts above true distance.
+        let g = cc_graphs::generators::cycle(40);
+        let params = WarmupParams::paper(40, 0.4);
+        let emu = build(&g, &params, &mut rng(3));
+        for (u, v) in g.edges() {
+            let has = emu
+                .graph
+                .neighbors(u)
+                .iter()
+                .any(|&(x, w)| x as usize == v && w == 1);
+            assert!(has, "missing original edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn s2_vertices_are_universal() {
+        let g = cc_graphs::generators::grid(5, 5);
+        let params = WarmupParams::paper(25, 0.4);
+        let mut levels = vec![0u8; 25];
+        levels[12] = 2;
+        let emu = build_with_levels(&g, &params, levels);
+        assert_eq!(emu.graph.neighbors(12).len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must lie in (0,1)")]
+    fn bad_eps_rejected() {
+        let _ = WarmupParams::paper(10, 0.0);
+    }
+}

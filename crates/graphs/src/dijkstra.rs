@@ -1,0 +1,272 @@
+//! Shortest paths on weighted graphs: Dijkstra and hop-limited
+//! Bellman–Ford (the computation behind `(S,d)`-source detection).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dist::{dadd, Dist, INF};
+use crate::graph::WeightedGraph;
+
+/// Single-source shortest path distances on a weighted graph (Dijkstra).
+pub fn sssp(g: &WeightedGraph, src: usize) -> Vec<Dist> {
+    let mut dist = vec![INF; g.n()];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0 as Dist, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let v = v as usize;
+            let nd = dadd(d, w);
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Exact all-pairs distances on a weighted graph (one Dijkstra per vertex).
+pub fn apsp_exact(g: &WeightedGraph) -> Vec<Vec<Dist>> {
+    (0..g.n()).map(|v| sssp(g, v)).collect()
+}
+
+/// Dijkstra with predecessor tracking: returns `(dist, parent)` where
+/// `parent[v]` is the predecessor of `v` on a shortest path from `src`
+/// (`None` for `src` and unreachable vertices). Ties are broken toward the
+/// smaller predecessor id, making paths deterministic.
+pub fn sssp_with_parents(g: &WeightedGraph, src: usize) -> (Vec<Dist>, Vec<Option<u32>>) {
+    let mut dist = vec![INF; g.n()];
+    let mut parent: Vec<Option<u32>> = vec![None; g.n()];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0 as Dist, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let v = v as usize;
+            let nd = dadd(d, w);
+            if nd < dist[v] || (nd == dist[v] && parent[v].is_some_and(|p| (u as u32) < p)) {
+                let improved = nd < dist[v];
+                dist[v] = nd;
+                parent[v] = Some(u as u32);
+                if improved {
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reconstructs the shortest path from `src` to `dst` using the parent
+/// array of [`sssp_with_parents`]. Returns the vertex sequence
+/// `src, …, dst`, or `None` if `dst` is unreachable.
+pub fn path_from_parents(parent: &[Option<u32>], src: usize, dst: usize) -> Option<Vec<usize>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = parent[cur] {
+        cur = p as usize;
+        path.push(cur);
+        if cur == src {
+            path.reverse();
+            return Some(path);
+        }
+        if path.len() > parent.len() {
+            return None; // cycle guard (corrupt parent array)
+        }
+    }
+    None
+}
+
+/// `h`-hop-limited distances from every vertex to every source: result
+/// `dist[v][i]` is the length of the shortest path from `v` to `sources[i]`
+/// using at most `h` edges of `g` (`INF` if none).
+///
+/// This is the centralized computation performed by the `(S,d)`-source
+/// detection primitive of Thm 11; the round cost is charged separately by the
+/// caller.
+pub fn hop_limited_from_sources(g: &WeightedGraph, sources: &[usize], h: usize) -> Vec<Vec<Dist>> {
+    let n = g.n();
+    let s = sources.len();
+    // dist[v][i]; computed per source with its own frontier (sources are
+    // independent, and per-source frontiers settle much faster in practice
+    // than a joint sweep).
+    let mut dist = vec![vec![INF; s]; n];
+    let mut cur: Vec<Dist> = Vec::new();
+    for (i, &src) in sources.iter().enumerate() {
+        cur.clear();
+        cur.resize(n, INF);
+        cur[src] = 0;
+        // Frontier entries carry the distance at enqueue time so that a
+        // value improved during hop j only propagates at hop j+1 (strict
+        // synchronous hop semantics).
+        let mut frontier: Vec<(usize, Dist)> = vec![(src, 0)];
+        let mut slot = vec![usize::MAX; n];
+        for _hop in 0..h {
+            let mut next: Vec<(usize, Dist)> = Vec::new();
+            for &(u, du) in &frontier {
+                for &(v, w) in g.neighbors(u) {
+                    let v = v as usize;
+                    let nd = dadd(du, w);
+                    if nd < cur[v] {
+                        cur[v] = nd;
+                        if slot[v] == usize::MAX {
+                            slot[v] = next.len();
+                            next.push((v, nd));
+                        } else {
+                            next[slot[v]].1 = nd;
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            for &(v, _) in &next {
+                slot[v] = usize::MAX;
+            }
+            frontier = next;
+        }
+        for (v, row) in dist.iter_mut().enumerate() {
+            row[i] = cur[v];
+        }
+    }
+    dist
+}
+
+/// `h`-hop-limited single-pair check: length of the shortest `≤ h`-edge path
+/// between `u` and `v` (`INF` if none). `O(h·m)`; used by tests to verify
+/// hopset guarantees.
+pub fn hop_limited_pair(g: &WeightedGraph, u: usize, v: usize, h: usize) -> Dist {
+    hop_limited_from_sources(g, &[u], h)[v][0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights() {
+        let g = generators::grid(4, 4);
+        let wg = WeightedGraph::from_unweighted(&g);
+        for v in 0..g.n() {
+            assert_eq!(sssp(&wg, v), crate::bfs::sssp(&g, v));
+        }
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path() {
+        // 0 -5- 1, 0 -1- 2 -1- 1: the two-hop path is shorter.
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 5), (0, 2, 1), (2, 1, 1)]);
+        let d = sssp(&g, 0);
+        assert_eq!(d[1], 2);
+    }
+
+    #[test]
+    fn parallel_edges_take_min() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 7), (0, 1, 3)]);
+        assert_eq!(sssp(&g, 0)[1], 3);
+    }
+
+    #[test]
+    fn hop_limit_binds() {
+        // Path of weight-1 edges: 0-1-2-3; and a heavy direct edge 0-3.
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 10)]);
+        assert_eq!(hop_limited_pair(&g, 0, 3, 3), 3);
+        assert_eq!(hop_limited_pair(&g, 0, 3, 2), 10);
+        assert_eq!(hop_limited_pair(&g, 0, 3, 1), 10);
+        let iso = WeightedGraph::from_edges(4, &[(0, 1, 1)]);
+        assert_eq!(hop_limited_pair(&iso, 0, 3, 5), INF);
+    }
+
+    #[test]
+    fn hop_limited_multi_source_agrees_with_single() {
+        let g = generators::gnp(40, 0.1, &mut seeded(3));
+        let wg = WeightedGraph::from_unweighted(&g);
+        let sources = [0usize, 5, 17];
+        let all = hop_limited_from_sources(&wg, &sources, 4);
+        for (i, &s) in sources.iter().enumerate() {
+            let single = hop_limited_from_sources(&wg, &[s], 4);
+            for v in 0..g.n() {
+                assert_eq!(all[v][i], single[v][0]);
+            }
+        }
+    }
+
+    #[test]
+    fn enough_hops_equals_dijkstra() {
+        let g = generators::gnp(30, 0.15, &mut seeded(9));
+        let wg = WeightedGraph::from_unweighted(&g);
+        let hops = g.n();
+        let hl = hop_limited_from_sources(&wg, &[0], hops);
+        let dj = sssp(&wg, 0);
+        for v in 0..g.n() {
+            assert_eq!(hl[v][0], dj[v]);
+        }
+    }
+
+    #[test]
+    fn parents_reconstruct_shortest_paths() {
+        let g = generators::grid(5, 5);
+        let wg = WeightedGraph::from_unweighted(&g);
+        let (dist, parent) = sssp_with_parents(&wg, 0);
+        for v in 0..g.n() {
+            let path = path_from_parents(&parent, 0, v).expect("grid is connected");
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), v);
+            // Path length (in weight) must equal the distance.
+            let mut total = 0;
+            for w in path.windows(2) {
+                let weight = wg
+                    .neighbors(w[0])
+                    .iter()
+                    .filter(|&&(x, _)| x as usize == w[1])
+                    .map(|&(_, wt)| wt)
+                    .min()
+                    .expect("consecutive path vertices are adjacent");
+                total += weight;
+            }
+            assert_eq!(total, dist[v], "path to {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_path_is_none() {
+        let wg = WeightedGraph::from_edges(3, &[(0, 1, 1)]);
+        let (_, parent) = sssp_with_parents(&wg, 0);
+        assert_eq!(path_from_parents(&parent, 0, 2), None);
+        assert_eq!(path_from_parents(&parent, 0, 0), Some(vec![0]));
+    }
+
+    #[test]
+    fn parent_distances_agree_with_plain_sssp() {
+        let g = generators::gnp(40, 0.12, &mut seeded(17));
+        let wg = WeightedGraph::from_unweighted(&g);
+        let (dist, _) = sssp_with_parents(&wg, 3);
+        assert_eq!(dist, sssp(&wg, 3));
+    }
+
+    #[test]
+    fn empty_graph_all_inf() {
+        let g = Graph::from_edges(3, &[]);
+        let wg = WeightedGraph::from_unweighted(&g);
+        let d = sssp(&wg, 0);
+        assert_eq!(d, vec![0, INF, INF]);
+    }
+
+    fn seeded(s: u64) -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(s)
+    }
+}

@@ -1,0 +1,64 @@
+//! The distance scalar used throughout the workspace.
+
+/// Distance value. Unweighted distances are at most `n`; emulator and hopset
+/// weights are sums of at most `n` unit lengths, so `u32` suffices for every
+/// graph this workspace handles.
+pub type Dist = u32;
+
+/// "Infinite" distance: large enough to dominate every real distance, small
+/// enough that `INF + INF` does not overflow `u32`.
+pub const INF: Dist = u32::MAX / 4;
+
+/// Saturating distance addition: any sum involving [`INF`] stays [`INF`], and
+/// finite sums are clamped to [`INF`].
+///
+/// # Example
+///
+/// ```
+/// use cc_graphs::{dadd, INF};
+///
+/// assert_eq!(dadd(2, 3), 5);
+/// assert_eq!(dadd(INF, 3), INF);
+/// assert_eq!(dadd(INF, INF), INF);
+/// ```
+#[inline]
+pub fn dadd(a: Dist, b: Dist) -> Dist {
+    a.saturating_add(b).min(INF)
+}
+
+/// `true` when `d` represents a real (finite) distance.
+#[inline]
+pub fn is_finite(d: Dist) -> bool {
+    d < INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_absorbs() {
+        assert_eq!(dadd(INF, 0), INF);
+        assert_eq!(dadd(0, INF), INF);
+        assert_eq!(dadd(INF - 1, INF - 1), INF);
+    }
+
+    #[test]
+    fn finite_sums_are_exact() {
+        assert_eq!(dadd(100, 200), 300);
+        assert_eq!(dadd(0, 0), 0);
+    }
+
+    #[test]
+    fn no_overflow_at_extremes() {
+        // INF + INF must not wrap around u32.
+        assert!(INF.checked_add(INF).is_some());
+    }
+
+    #[test]
+    fn finiteness_predicate() {
+        assert!(is_finite(0));
+        assert!(is_finite(INF - 1));
+        assert!(!is_finite(INF));
+    }
+}

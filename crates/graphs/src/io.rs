@@ -1,0 +1,177 @@
+//! Plain-text graph interchange: whitespace edge lists and Graphviz DOT.
+//!
+//! Keeps experiments debuggable (dump a failing graph, re-load it in a
+//! test) without adding serialization dependencies.
+
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+use crate::graph::{Graph, WeightedGraph};
+
+/// Errors raised when parsing an edge list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// A non-comment line did not have exactly two fields.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An endpoint failed to parse as an integer.
+    BadVertex {
+        /// 1-based line number.
+        line: usize,
+        /// The parse failure.
+        source: ParseIntError,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadArity { line } => {
+                write!(f, "line {line}: expected exactly two vertex fields")
+            }
+            ParseError::BadVertex { line, source } => {
+                write!(f, "line {line}: invalid vertex: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::BadVertex { source, .. } => Some(source),
+            ParseError::BadArity { .. } => None,
+        }
+    }
+}
+
+/// Renders a graph as a `u v` edge list (one edge per line, `u < v`),
+/// preceded by a `# n=<n> m=<m>` header comment.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# n={} m={}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parses a `u v` edge list. Lines starting with `#` and blank lines are
+/// ignored; the vertex count is `max endpoint + 1` (or `min_n` if larger).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed lines.
+pub fn from_edge_list(text: &str, min_n: usize) -> Result<Graph, ParseError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_v = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(a), Some(b), None) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(ParseError::BadArity { line: idx + 1 });
+        };
+        let u: usize = a.parse().map_err(|source| ParseError::BadVertex {
+            line: idx + 1,
+            source,
+        })?;
+        let v: usize = b.parse().map_err(|source| ParseError::BadVertex {
+            line: idx + 1,
+            source,
+        })?;
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() {
+        min_n
+    } else {
+        (max_v + 1).max(min_n)
+    };
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Renders a graph in Graphviz DOT format (undirected).
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a weighted graph in DOT format with edge-weight labels — handy
+/// for inspecting small emulators and hopsets.
+pub fn weighted_to_dot(g: &WeightedGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for (u, v, w) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v} [label=\"{w}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = generators::grid(4, 3);
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text, 0).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = from_edge_list("# header\n\n0 1\n  \n1 2\n", 0).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn min_n_pads_isolated_vertices() {
+        let g = from_edge_list("0 1\n", 5).unwrap();
+        assert_eq!(g.n(), 5);
+        let empty = from_edge_list("# nothing\n", 3).unwrap();
+        assert_eq!(empty.n(), 3);
+        assert_eq!(empty.m(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let err = from_edge_list("0 1 2\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::BadArity { line: 1 });
+        let err = from_edge_list("0\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::BadArity { line: 1 });
+        let err = from_edge_list("0 x\n", 0).unwrap_err();
+        assert!(matches!(err, ParseError::BadVertex { line: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = generators::cycle(4);
+        let dot = to_dot(&g, "c4");
+        assert!(dot.starts_with("graph c4 {"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn weighted_dot_has_labels() {
+        let wg = crate::graph::WeightedGraph::from_edges(3, &[(0, 1, 7), (1, 2, 3)]);
+        let dot = weighted_to_dot(&wg, "w");
+        assert!(dot.contains("label=\"7\""));
+        assert!(dot.contains("label=\"3\""));
+    }
+}

@@ -1,0 +1,197 @@
+//! Dense min-plus matrices: the algebraic baseline of the "first era".
+
+use cc_clique::RoundLedger;
+use cc_graphs::{dadd, Dist, Graph, INF};
+
+/// A dense `n × n` matrix over the min-plus semiring.
+///
+/// # Example
+///
+/// ```
+/// use cc_matrix::DenseMatrix;
+/// use cc_graphs::generators;
+///
+/// let g = generators::path(4);
+/// let a = DenseMatrix::adjacency(&g);
+/// let a2 = a.minplus(&a);
+/// assert_eq!(a2.get(0, 2), 2);
+/// assert_eq!(a2.get(0, 3), cc_graphs::INF);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<Dist>,
+}
+
+impl DenseMatrix {
+    /// All-∞ matrix (the min-plus zero matrix).
+    pub fn infinite(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![INF; n * n],
+        }
+    }
+
+    /// Min-plus identity: 0 on the diagonal, ∞ elsewhere.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::infinite(n);
+        for i in 0..n {
+            m.set(i, i, 0);
+        }
+        m
+    }
+
+    /// Adjacency matrix of an unweighted graph: 0 diagonal, 1 on edges.
+    pub fn adjacency(g: &Graph) -> Self {
+        let mut m = Self::identity(g.n());
+        for (u, v) in g.edges() {
+            m.set(u, v, 1);
+            m.set(v, u, 1);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Dist {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: Dist) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Entry-wise minimum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn min_with(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = (*a).min(b);
+        }
+    }
+
+    /// Min-plus product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minplus(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = DenseMatrix::infinite(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a >= INF {
+                    continue;
+                }
+                let row_k = &other.data[k * n..(k + 1) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(row_k.iter()) {
+                    let cand = dadd(a, b);
+                    if cand < *o {
+                        *o = cand;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Min-plus square with the dense-product round cost charged to `ledger`
+    /// (`Θ(n^{1/3})` per product; Censor-Hillel et al.).
+    pub fn square_charged(&self, ledger: &mut RoundLedger) -> DenseMatrix {
+        ledger.charge_dense_minplus("dense min-plus square");
+        self.minplus(self)
+    }
+
+    /// Number of finite entries.
+    pub fn finite_entries(&self) -> usize {
+        self.data.iter().filter(|&&d| d < INF).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::{bfs, generators};
+
+    #[test]
+    fn identity_is_neutral() {
+        let g = generators::cycle(5);
+        let a = DenseMatrix::adjacency(&g);
+        let id = DenseMatrix::identity(5);
+        assert_eq!(a.minplus(&id), a);
+        assert_eq!(id.minplus(&a), a);
+    }
+
+    #[test]
+    fn repeated_squaring_reaches_apsp() {
+        let g = generators::gnp(24, 0.15, &mut seeded(5));
+        let exact = bfs::apsp_exact(&g);
+        let mut a = DenseMatrix::adjacency(&g);
+        let mut hops = 1usize;
+        while hops < g.n() {
+            a = a.minplus(&a);
+            hops *= 2;
+        }
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(a.get(u, v), exact[u][v], "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn product_is_hop_bounded() {
+        let g = generators::path(6);
+        let a = DenseMatrix::adjacency(&g);
+        let a2 = a.minplus(&a);
+        assert_eq!(a2.get(0, 2), 2);
+        assert_eq!(a2.get(0, 3), INF); // 3 hops needed
+    }
+
+    #[test]
+    fn min_with_takes_pointwise_min() {
+        let mut a = DenseMatrix::infinite(2);
+        a.set(0, 1, 5);
+        let mut b = DenseMatrix::infinite(2);
+        b.set(0, 1, 3);
+        b.set(1, 0, 9);
+        a.min_with(&b);
+        assert_eq!(a.get(0, 1), 3);
+        assert_eq!(a.get(1, 0), 9);
+    }
+
+    #[test]
+    fn charged_square_charges_cbrt_n() {
+        let g = generators::cycle(27);
+        let a = DenseMatrix::adjacency(&g);
+        let mut ledger = cc_clique::RoundLedger::new(27);
+        let _ = a.square_charged(&mut ledger);
+        assert_eq!(ledger.total_rounds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_product_panics() {
+        let a = DenseMatrix::infinite(2);
+        let b = DenseMatrix::infinite(3);
+        let _ = a.minplus(&b);
+    }
+
+    fn seeded(s: u64) -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(s)
+    }
+}

@@ -1,0 +1,43 @@
+//! Min-plus (tropical) semiring matrices with Congested Clique round costs.
+//!
+//! Distance computation by matrix methods iterates *distance products*: with
+//! `A` the adjacency matrix of a graph (0 on the diagonal, 1 on edges, ∞
+//! elsewhere), `A^k[u][v]` under min-plus is the length of the shortest
+//! `≤ k`-edge path from `u` to `v`. The paper's distance-sensitive tool-kit
+//! (Thm 10) squares **filtered** sparse matrices: after each product only the
+//! `ρ` smallest entries of each row are kept, which keeps every intermediate
+//! matrix sparse and each product cheap (Thm 58).
+//!
+//! This crate implements:
+//!
+//! * [`dense::DenseMatrix`] — dense min-plus matrices and products
+//!   (`Θ(n^{1/3})` rounds each, the algebraic baseline),
+//! * [`sparse::SparseMatrix`] — row-sparse matrices with density tracking and
+//!   sparse products (Thm 36 cost),
+//! * [`filtered`] — row filtering and the iterated filtered squaring of
+//!   Claim 59, the computational core of the `(k,d)`-nearest primitive.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_graphs::generators;
+//! use cc_matrix::SparseMatrix;
+//!
+//! let g = generators::cycle(6);
+//! let a = SparseMatrix::adjacency(&g);
+//! let a2 = a.minplus(&a);
+//! assert_eq!(a2.get(0, 2), 2); // two hops around the cycle
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest idiom for the dense adjacency/matrix
+// code in this workspace.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod filtered;
+pub mod sparse;
+
+pub use dense::DenseMatrix;
+pub use sparse::SparseMatrix;

@@ -1,0 +1,312 @@
+//! Row-sparse min-plus matrices (Thm 36 of the paper, from \[3, 5\]).
+
+use cc_clique::RoundLedger;
+use cc_graphs::{dadd, Dist, Graph, INF};
+
+/// A row-sparse `n × n` min-plus matrix: each row stores its finite entries
+/// as `(column, value)` pairs sorted by column. Missing entries are ∞.
+///
+/// The *density* `ρ` of the matrix — the average number of finite entries per
+/// row — drives the round cost of products (Thm 36).
+///
+/// # Example
+///
+/// ```
+/// use cc_matrix::SparseMatrix;
+///
+/// let mut m = SparseMatrix::new(3);
+/// m.set_min(0, 1, 4);
+/// m.set_min(0, 1, 2); // keeps the minimum
+/// assert_eq!(m.get(0, 1), 2);
+/// assert_eq!(m.get(1, 0), cc_graphs::INF);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SparseMatrix {
+    n: usize,
+    rows: Vec<Vec<(u32, Dist)>>,
+}
+
+impl SparseMatrix {
+    /// Empty (all-∞) matrix.
+    pub fn new(n: usize) -> Self {
+        SparseMatrix {
+            n,
+            rows: vec![Vec::new(); n],
+        }
+    }
+
+    /// Min-plus identity: 0 diagonal.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::new(n);
+        for i in 0..n {
+            m.set_min(i, i, 0);
+        }
+        m
+    }
+
+    /// Adjacency matrix of an unweighted graph with 0 diagonal: the starting
+    /// point of distance-product iterations.
+    pub fn adjacency(g: &Graph) -> Self {
+        let mut m = Self::identity(g.n());
+        for (u, v) in g.edges() {
+            m.set_min(u, v, 1);
+            m.set_min(v, u, 1);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)` (∞ if absent).
+    pub fn get(&self, i: usize, j: usize) -> Dist {
+        match self.rows[i].binary_search_by_key(&(j as u32), |&(c, _)| c) {
+            Ok(pos) => self.rows[i][pos].1,
+            Err(_) => INF,
+        }
+    }
+
+    /// Sets entry `(i, j)` to `min(current, v)`; setting ∞ is a no-op.
+    pub fn set_min(&mut self, i: usize, j: usize, v: Dist) {
+        if v >= INF {
+            return;
+        }
+        match self.rows[i].binary_search_by_key(&(j as u32), |&(c, _)| c) {
+            Ok(pos) => {
+                if v < self.rows[i][pos].1 {
+                    self.rows[i][pos].1 = v;
+                }
+            }
+            Err(pos) => self.rows[i].insert(pos, (j as u32, v)),
+        }
+    }
+
+    /// The finite entries of row `i`, sorted by column.
+    pub fn row(&self, i: usize) -> &[(u32, Dist)] {
+        &self.rows[i]
+    }
+
+    /// Replaces row `i` with `entries` (must be column-sorted, finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if entries are unsorted or infinite.
+    pub fn set_row(&mut self, i: usize, entries: Vec<(u32, Dist)>) {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|&(_, v)| v < INF));
+        self.rows[i] = entries;
+    }
+
+    /// Total finite entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Average finite entries per row (`ρ` of Thm 36), at least 1.
+    pub fn density(&self) -> u64 {
+        ((self.nnz() as u64) / self.n.max(1) as u64).max(1)
+    }
+
+    /// Maximum finite entries in any row.
+    pub fn max_row_nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Largest finite value in the matrix (0 if empty).
+    pub fn max_value(&self) -> Dist {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter().map(|&(_, v)| v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Min-plus product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minplus(&self, other: &SparseMatrix) -> SparseMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = SparseMatrix::new(n);
+        // Scratch dense accumulator reused across rows.
+        let mut acc: Vec<Dist> = vec![INF; n];
+        let mut touched: Vec<u32> = Vec::new();
+        for i in 0..n {
+            for &(k, a) in &self.rows[i] {
+                for &(j, b) in &other.rows[k as usize] {
+                    let cand = dadd(a, b);
+                    let cell = &mut acc[j as usize];
+                    if *cell == INF {
+                        touched.push(j);
+                    }
+                    if cand < *cell {
+                        *cell = cand;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            let row: Vec<(u32, Dist)> = touched.iter().map(|&j| (j, acc[j as usize])).collect();
+            for &j in &touched {
+                acc[j as usize] = INF;
+            }
+            touched.clear();
+            out.rows[i] = row;
+        }
+        out
+    }
+
+    /// Min-plus product with the Thm 36 round cost charged to `ledger`.
+    pub fn minplus_charged(
+        &self,
+        other: &SparseMatrix,
+        ledger: &mut RoundLedger,
+        label: &str,
+    ) -> SparseMatrix {
+        let out = self.minplus(other);
+        ledger.charge_sparse_minplus(label, self.density(), other.density(), out.density());
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut out = SparseMatrix::new(self.n);
+        for i in 0..self.n {
+            for &(j, v) in &self.rows[i] {
+                out.rows[j as usize].push((i as u32, v));
+            }
+        }
+        for row in &mut out.rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+        }
+        out
+    }
+
+    /// Entry-wise minimum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn min_with(&mut self, other: &SparseMatrix) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        for i in 0..self.n {
+            for &(j, v) in &other.rows[i] {
+                self.set_min(i, j as usize, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::{bfs, generators};
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = SparseMatrix::new(4);
+        m.set_min(1, 2, 7);
+        m.set_min(1, 0, 3);
+        assert_eq!(m.get(1, 2), 7);
+        assert_eq!(m.get(1, 0), 3);
+        assert_eq!(m.get(1, 3), INF);
+        assert_eq!(m.row(1), &[(0, 3), (2, 7)]);
+        m.set_min(1, 2, 9); // larger: no-op
+        assert_eq!(m.get(1, 2), 7);
+        m.set_min(1, 2, INF); // infinite: no-op
+        assert_eq!(m.get(1, 2), 7);
+    }
+
+    #[test]
+    fn sparse_product_matches_dense() {
+        let g = generators::gnp(20, 0.2, &mut seeded(8));
+        let s = SparseMatrix::adjacency(&g);
+        let d = crate::dense::DenseMatrix::adjacency(&g);
+        let sp = s.minplus(&s);
+        let dp = d.minplus(&d);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(sp.get(u, v), dp.get(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_squaring_reaches_apsp() {
+        let g = generators::caveman(3, 4);
+        let exact = bfs::apsp_exact(&g);
+        let mut a = SparseMatrix::adjacency(&g);
+        let mut hops = 1;
+        while hops < g.n() {
+            a = a.minplus(&a);
+            hops *= 2;
+        }
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(a.get(u, v), exact[u][v]);
+            }
+        }
+    }
+
+    #[test]
+    fn density_tracks_nnz() {
+        let g = generators::cycle(10);
+        let a = SparseMatrix::adjacency(&g);
+        assert_eq!(a.nnz(), 10 * 3); // self + two neighbors
+        assert_eq!(a.density(), 3);
+        assert_eq!(a.max_row_nnz(), 3);
+    }
+
+    #[test]
+    fn transpose_involutive_and_symmetric_fixed() {
+        let g = generators::grid(3, 3);
+        let a = SparseMatrix::adjacency(&g);
+        // Adjacency of an undirected graph is symmetric.
+        assert_eq!(a.transpose(), a);
+        let mut m = SparseMatrix::new(3);
+        m.set_min(0, 2, 5);
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), 5);
+        assert_eq!(t.get(0, 2), INF);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn min_with_merges() {
+        let mut a = SparseMatrix::new(2);
+        a.set_min(0, 1, 5);
+        let mut b = SparseMatrix::new(2);
+        b.set_min(0, 1, 3);
+        b.set_min(1, 1, 0);
+        a.min_with(&b);
+        assert_eq!(a.get(0, 1), 3);
+        assert_eq!(a.get(1, 1), 0);
+    }
+
+    #[test]
+    fn charged_product_records_cost() {
+        let g = generators::cycle(64);
+        let a = SparseMatrix::adjacency(&g);
+        let mut ledger = cc_clique::RoundLedger::new(64);
+        let _ = a.minplus_charged(&a, &mut ledger, "sq");
+        // Sparse constant-degree product is O(1) rounds.
+        assert!(ledger.total_rounds() <= 3);
+    }
+
+    #[test]
+    fn max_value_reflects_entries() {
+        let g = generators::path(5);
+        let mut a = SparseMatrix::adjacency(&g);
+        assert_eq!(a.max_value(), 1);
+        a.set_min(0, 4, 9);
+        assert_eq!(a.max_value(), 9);
+    }
+
+    fn seeded(s: u64) -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(s)
+    }
+}

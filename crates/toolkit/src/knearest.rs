@@ -1,0 +1,211 @@
+//! The `(k,d)`-nearest problem (Thm 10 of the paper).
+//!
+//! Every vertex learns the distances to its `k` closest vertices among those
+//! within distance `d` (all of them if fewer than `k`). The distributed
+//! implementation iterates filtered min-plus squaring (Appendix B.2,
+//! Claim 59) for `⌈log₂ d⌉` iterations, giving
+//! `O((k/n^{2/3} + log d)·log d)` rounds.
+
+use cc_clique::{cost::model, RoundLedger};
+use cc_graphs::{bfs, Dist, Graph};
+use cc_matrix::filtered::knearest_matrix;
+
+/// How to compute the `(k,d)`-nearest sets.
+///
+/// Both strategies compute *exactly the same object* (verified by tests) and
+/// charge the same Thm 10 round cost; they differ only in centralized
+/// compute time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Iterated filtered min-plus squaring — the literal distributed
+    /// algorithm of Appendix B.2.
+    Filtered,
+    /// Per-vertex truncated BFS — the fast centralized equivalent
+    /// (Claim 59 proves the filtered iteration computes the truncated-BFS
+    /// object).
+    #[default]
+    TruncatedBfs,
+}
+
+/// The `(k,d)`-nearest sets of every vertex.
+///
+/// Lists are sorted by `(distance, vertex id)` and include the vertex itself
+/// at distance 0.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KNearest {
+    k: usize,
+    d: Dist,
+    lists: Vec<Vec<(u32, Dist)>>,
+}
+
+impl KNearest {
+    /// Solves the `(k,d)`-nearest problem on `g`, charging the Thm 10 cost
+    /// `O((k/n^{2/3} + log d)·log d)` to `ledger`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn compute(g: &Graph, k: usize, d: Dist, strategy: Strategy, ledger: &mut RoundLedger) -> Self {
+        assert!(k > 0, "k must be positive");
+        let n = g.n();
+        ledger.charge("(k,d)-nearest", Self::rounds(n, k, d));
+        let lists: Vec<Vec<(u32, Dist)>> = match strategy {
+            Strategy::TruncatedBfs => (0..n).map(|v| bfs::knearest_reference(g, v, k, d)).collect(),
+            Strategy::Filtered => {
+                // The per-product charges of the matrix path are replaced by
+                // the single Thm 10 aggregate above, so use a scratch ledger.
+                let mut scratch = RoundLedger::new(n);
+                let m = knearest_matrix(g, k, d, &mut scratch);
+                (0..n)
+                    .map(|v| {
+                        let mut row: Vec<(u32, Dist)> = m.row(v).to_vec();
+                        row.sort_unstable_by_key(|&(c, dist)| (dist, c));
+                        row
+                    })
+                    .collect()
+            }
+        };
+        KNearest { k, d, lists }
+    }
+
+    /// The Thm 10 round formula.
+    pub fn rounds(n: usize, k: usize, d: Dist) -> u64 {
+        let logd = model::log2_ceil(d.max(2) as u64);
+        let k_term = (k as f64 / (n.max(1) as f64).powf(2.0 / 3.0)).ceil() as u64;
+        (k_term + logd) * logd.max(1)
+    }
+
+    /// The `k` requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The distance bound `d`.
+    pub fn d(&self) -> Dist {
+        self.d
+    }
+
+    /// The `(k,d)`-nearest list of `v`, sorted by `(distance, id)`,
+    /// including `v` itself at distance 0.
+    pub fn list(&self, v: usize) -> &[(u32, Dist)] {
+        &self.lists[v]
+    }
+
+    /// `true` when the list of `v` covers its whole `d`-ball (fewer than `k`
+    /// vertices within distance `d`).
+    pub fn covers_ball(&self, v: usize) -> bool {
+        self.lists[v].len() < self.k
+    }
+
+    /// Distance from `v` to `u` if `u` is among the `(k,d)`-nearest of `v`.
+    pub fn dist(&self, v: usize, u: usize) -> Option<Dist> {
+        self.lists[v]
+            .iter()
+            .find(|&&(c, _)| c as usize == u)
+            .map(|&(_, dist)| dist)
+    }
+
+    /// The farthest distance in `v`'s list (0 if the list is only `v`).
+    pub fn radius(&self, v: usize) -> Dist {
+        self.lists[v].last().map_or(0, |&(_, dist)| dist)
+    }
+
+    /// The closest member of `targets` (given as a boolean mask) in `v`'s
+    /// list, with its distance — ties broken by `(distance, id)` order.
+    pub fn nearest_in(&self, v: usize, targets: &[bool]) -> Option<(u32, Dist)> {
+        self.lists[v]
+            .iter()
+            .find(|&&(c, _)| targets[c as usize])
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::generators;
+
+    #[test]
+    fn strategies_agree() {
+        let mut rng = seeded(31);
+        for (name, g) in [
+            ("grid", generators::grid(5, 5)),
+            ("caveman", generators::caveman(4, 5)),
+            ("gnp", generators::connected_gnp(40, 0.07, &mut rng)),
+        ] {
+            for (k, d) in [(4usize, 3u32), (9, 6), (60, 2)] {
+                let mut l1 = RoundLedger::new(g.n());
+                let mut l2 = RoundLedger::new(g.n());
+                let a = KNearest::compute(&g, k, d, Strategy::TruncatedBfs, &mut l1);
+                let b = KNearest::compute(&g, k, d, Strategy::Filtered, &mut l2);
+                assert_eq!(a, b, "{name} k={k} d={d}");
+                assert_eq!(l1.total_rounds(), l2.total_rounds());
+            }
+        }
+    }
+
+    #[test]
+    fn lists_are_sorted_and_self_rooted() {
+        let g = generators::grid(4, 4);
+        let mut ledger = RoundLedger::new(g.n());
+        let kn = KNearest::compute(&g, 6, 4, Strategy::TruncatedBfs, &mut ledger);
+        for v in 0..g.n() {
+            let list = kn.list(v);
+            assert_eq!(list[0], (v as u32, 0));
+            assert!(list.windows(2).all(|w| (w[0].1, w[0].0) < (w[1].1, w[1].0)));
+            assert!(list.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn covers_ball_detection() {
+        let g = generators::path(10);
+        let mut ledger = RoundLedger::new(10);
+        // d = 1: ball of interior vertex has 3 members < k = 5.
+        let kn = KNearest::compute(&g, 5, 1, Strategy::TruncatedBfs, &mut ledger);
+        assert!(kn.covers_ball(5));
+        // d = 4: ball of interior vertex has 9 members ≥ k = 5.
+        let kn = KNearest::compute(&g, 5, 4, Strategy::TruncatedBfs, &mut ledger);
+        assert!(!kn.covers_ball(5));
+    }
+
+    #[test]
+    fn dist_and_radius_queries() {
+        let g = generators::cycle(8);
+        let mut ledger = RoundLedger::new(8);
+        let kn = KNearest::compute(&g, 5, 2, Strategy::TruncatedBfs, &mut ledger);
+        assert_eq!(kn.dist(0, 2), Some(2));
+        assert_eq!(kn.dist(0, 4), None);
+        assert_eq!(kn.radius(0), 2);
+    }
+
+    #[test]
+    fn nearest_in_respects_order() {
+        let g = generators::path(8);
+        let mut ledger = RoundLedger::new(8);
+        let kn = KNearest::compute(&g, 8, 7, Strategy::TruncatedBfs, &mut ledger);
+        let mut mask = vec![false; 8];
+        mask[6] = true;
+        mask[2] = true;
+        // From vertex 3: distance 1 to 2, distance 3 to 6.
+        assert_eq!(kn.nearest_in(3, &mask), Some((2, 1)));
+        let empty = vec![false; 8];
+        assert_eq!(kn.nearest_in(3, &empty), None);
+    }
+
+    #[test]
+    fn round_formula_shape() {
+        // Rounds grow like log²d when k ≤ n^{2/3} …
+        let r1 = KNearest::rounds(4096, 16, 4);
+        let r2 = KNearest::rounds(4096, 16, 256);
+        assert!(r2 > r1);
+        // … and pick up a k/n^{2/3} term for large k.
+        let r3 = KNearest::rounds(4096, 4096, 256);
+        assert!(r3 > r2);
+    }
+
+    fn seeded(s: u64) -> rand_chacha::ChaCha8Rng {
+        use rand::SeedableRng;
+        rand_chacha::ChaCha8Rng::seed_from_u64(s)
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: (2+ε)-approximate APSP on a clustered graph.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use congested_clique::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A "caveman" graph: 12 cliques of 8 vertices in a ring — dense local
+    // neighborhoods, large diameter. The kind of input where both the
+    // short-range tool-kit and the emulator earn their keep.
+    let g = generators::caveman(12, 8);
+    println!(
+        "graph: n = {}, m = {}, diameter = {}",
+        g.n(),
+        g.m(),
+        bfs::diameter(&g)
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2020);
+    let mut ledger = RoundLedger::new(g.n());
+
+    let cfg = Apsp2Config::scaled(g.n(), 0.5)?;
+    let result = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+
+    // Compare against exact ground truth.
+    let exact = bfs::apsp_exact(&g);
+    let report = stretch::evaluate(&exact, result.estimates.as_fn(), 0.0);
+    println!(
+        "pairs evaluated: {}, max stretch: {:.3}, mean stretch: {:.3}",
+        report.pairs, report.max_multiplicative, report.mean_multiplicative
+    );
+    println!(
+        "guarantee for d ≤ t = {}: {:.2}; lower-bound violations: {}",
+        result.t, result.short_range_guarantee, report.lower_violations
+    );
+    assert_eq!(report.lower_violations, 0);
+
+    println!("\nsimulated Congested Clique cost:\n{}", ledger.report());
+    Ok(())
+}

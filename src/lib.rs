@@ -1,0 +1,71 @@
+//! # congested-clique
+//!
+//! A faithful, fully-tested reproduction of **Dory & Parter, “Exponentially
+//! Faster Shortest Paths in the Congested Clique” (PODC 2020)** —
+//! `poly(log log n)`-round algorithms for approximate shortest paths in
+//! unweighted undirected graphs:
+//!
+//! * `(1+ε)`-approximate **multi-source shortest paths** from `O(√n)`
+//!   sources ([`core::mssp`], Thm 3),
+//! * `(2+ε)`-approximate **APSP** ([`core::apsp2`], Thm 4),
+//! * `(1+ε, β)`-approximate **APSP** ([`core::apsp_additive`], Thm 5),
+//!
+//! plus every substrate they stand on: a Congested Clique simulator with
+//! round accounting ([`clique`]), near-additive emulators ([`emulator`]),
+//! the distance-sensitive tool-kit ([`toolkit`]), min-plus matrix machinery
+//! ([`matrix`]), soft-hitting-set derandomization ([`derand`]), reference
+//! graph algorithms ([`graphs`]) and baselines ([`baselines`]).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! simulation methodology, and `EXPERIMENTS.md` for the paper-vs-measured
+//! results of every theorem-level claim.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use congested_clique::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A graph with dense local clusters and a large diameter.
+//! let g = generators::caveman(8, 8);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let mut ledger = RoundLedger::new(g.n());
+//!
+//! // (2+ε)-approximate all-pairs shortest paths, ε = 0.5.
+//! let cfg = Apsp2Config::scaled(g.n(), 0.5)?;
+//! let apsp = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+//!
+//! let exact = bfs::apsp_exact(&g);
+//! let est = apsp.estimates.get(0, 40);
+//! assert!(est >= exact[0][40]);
+//! assert!(est as f64 <= 2.5 * exact[0][40] as f64);
+//! println!("simulated rounds: {}", ledger.total_rounds());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-based loops are the clearest idiom for the dense adjacency/matrix
+// code in this workspace.
+#![allow(clippy::needless_range_loop)]
+
+pub use cc_baselines as baselines;
+pub use cc_clique as clique;
+pub use cc_core as core;
+pub use cc_derand as derand;
+pub use cc_emulator as emulator;
+pub use cc_graphs as graphs;
+pub use cc_matrix as matrix;
+pub use cc_toolkit as toolkit;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use cc_clique::RoundLedger;
+    pub use cc_core::apsp2::{self, Apsp2Config};
+    pub use cc_core::apsp3::{self, Apsp3Config};
+    pub use cc_core::apsp_additive::{self, AdditiveApspConfig};
+    pub use cc_core::mssp::{self, MsspConfig};
+    pub use cc_core::DistanceMatrix;
+    pub use cc_emulator::clique::CliqueEmulatorConfig;
+    pub use cc_emulator::{Emulator, EmulatorParams};
+    pub use cc_graphs::{bfs, generators, stretch, Dist, Graph, WeightedGraph, INF};
+}

@@ -1,0 +1,122 @@
+#![allow(clippy::needless_range_loop)]
+//! Model-level integration: the message engine agrees with centralized
+//! reference algorithms, and the cost model is internally consistent.
+
+use congested_clique::clique::cost::model;
+use congested_clique::clique::programs::{Broadcast, DistributedBfs, MinAggregate};
+use congested_clique::clique::{Engine, EngineConfig, NodeId};
+use congested_clique::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn distributed_bfs_matches_centralized_on_random_graphs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for seed in 0..3u64 {
+        let g = generators::connected_gnp(40, 0.08, &mut rng);
+        let src = (seed as usize * 13) % g.n();
+        let nodes: Vec<DistributedBfs> = (0..g.n())
+            .map(|v| {
+                DistributedBfs::new(
+                    NodeId::new(v),
+                    NodeId::new(src),
+                    g.neighbors(v).iter().map(|&u| NodeId::new(u as usize)).collect(),
+                    None,
+                )
+            })
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().expect("BFS respects the model");
+        let exact = bfs::sssp(&g, src);
+        for v in 0..g.n() {
+            let got = engine.nodes()[v].distance();
+            if exact[v] >= INF {
+                assert_eq!(got, None, "v{v}");
+            } else {
+                assert_eq!(got, Some(exact[v] as u64), "v{v}");
+            }
+        }
+        // Rounds track eccentricity, not n.
+        let ecc = bfs::eccentricity(&g, src) as u64;
+        assert!(stats.rounds <= ecc + 4, "rounds {} ecc {}", stats.rounds, ecc);
+    }
+}
+
+#[test]
+fn broadcast_cost_constant_grounded_by_engine() {
+    // The ledger charges 1 round per broadcast; the engine realizes it in
+    // one communication round (2 engine steps: send + drain).
+    let n = 32;
+    let nodes = (0..n)
+        .map(|i| Broadcast::new(NodeId::new(i), NodeId::new(0), 7))
+        .collect();
+    let mut engine = Engine::new(nodes);
+    let stats = engine.run().unwrap();
+    assert_eq!(stats.rounds, 1 + model::broadcast_one());
+    assert_eq!(stats.messages as usize, n - 1);
+}
+
+#[test]
+fn aggregation_uses_receive_parallelism() {
+    // One node can receive n−1 messages in a single round — the property
+    // Lenzen routing and the gather primitives rely on.
+    let n = 50;
+    let nodes = (0..n)
+        .map(|i| MinAggregate::new(NodeId::new(i), (n - i) as u64))
+        .collect();
+    let mut engine = Engine::new(nodes);
+    let stats = engine.run().unwrap();
+    assert!(stats.max_in_degree >= (n - 1) as u64);
+    assert!(stats.rounds <= 4);
+    assert!(engine.nodes().iter().all(|p| p.result() == Some(1)));
+}
+
+#[test]
+fn round_limit_protects_against_nontermination() {
+    struct Forever;
+    impl congested_clique::clique::NodeProgram for Forever {
+        fn on_round(&mut self, _ctx: &mut congested_clique::clique::RoundCtx<'_>) {}
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    let mut engine = Engine::with_config(
+        vec![Forever, Forever],
+        EngineConfig {
+            max_words: 4,
+            max_rounds: 5,
+            broadcast_only: false,
+        },
+    );
+    assert!(engine.run().is_err());
+}
+
+#[test]
+fn cost_model_orderings_hold() {
+    // The asymptotic orderings the paper relies on, at concrete sizes:
+    let n = 1u64 << 12;
+    // 1. distance-sensitive beats unbounded: log²t ≪ log²n for t ≪ n.
+    assert!(model::log2_ceil(32).pow(2) < model::log2_ceil(n).pow(2));
+    // 2. sparse products at √n density are constant-round.
+    assert!(model::sparse_minplus(64, 64, n, n) <= 3);
+    // 3. dense products are polynomial.
+    assert!(model::dense_minplus(n) >= 16);
+    // 4. learn-all of n log log n words is O(log log n) rounds.
+    let loglog = model::log2_ceil(model::log2_ceil(n));
+    assert!(model::learn_all(n * loglog, n) <= 2 * loglog + 2);
+    // 5. conditional expectation rounds are poly(log log n).
+    let r = model::conditional_expectation_rounds(n, n);
+    assert!(r >= loglog.pow(3) / 2 && r <= 4 * loglog.pow(3) + 4);
+}
+
+#[test]
+fn ledger_breakdown_is_complete() {
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let g = generators::caveman(6, 6);
+    let cfg = Apsp2Config::new(g.n(), 0.5, 2).expect("valid");
+    let mut ledger = RoundLedger::new(g.n());
+    let _ = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+    let by_phase: u64 = ledger.by_phase().values().sum();
+    assert_eq!(by_phase, ledger.total_rounds());
+    assert!(ledger.report().contains("apsp2"));
+}
