@@ -1,0 +1,170 @@
+//! [`Algorithm`] adapters: every baseline driven through the same interface
+//! as the paper's pipelines.
+//!
+//! Experiment binaries and integration tests iterate a
+//! `Vec<Box<dyn Algorithm>>` mixing these with the `cc_core` pipelines
+//! instead of hand-wiring each baseline's ad-hoc entry point.
+
+use cc_clique::RoundLedger;
+use cc_core::{Algorithm, AlgorithmOutput, CcError, Execution};
+use cc_graphs::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{full_gather, matrix_squaring, polylog, spanner};
+
+/// For baselines without a deterministic variant,
+/// [`Execution::Deterministic`] falls back to this fixed seed (the run is
+/// still reproducible, just not derandomized in the paper's sense).
+const DETERMINISTIC_FALLBACK_SEED: u64 = 0;
+
+fn rng_for(execution: Execution) -> StdRng {
+    match execution {
+        Execution::Seeded(seed) => StdRng::seed_from_u64(seed),
+        Execution::Deterministic => StdRng::seed_from_u64(DETERMINISTIC_FALLBACK_SEED),
+    }
+}
+
+/// The trivial exact baseline: gather the whole graph everywhere.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullGather;
+
+impl Algorithm for FullGather {
+    fn name(&self) -> String {
+        "full gather (exact)".to_string()
+    }
+
+    fn run(
+        &self,
+        g: &Graph,
+        _execution: Execution,
+        ledger: &mut RoundLedger,
+    ) -> Result<AlgorithmOutput, CcError> {
+        Ok(AlgorithmOutput {
+            estimates: full_gather::apsp(g, ledger),
+            guarantee: (1.0, 0.0),
+        })
+    }
+}
+
+/// The algebraic exact baseline: `⌈log₂ n⌉` dense min-plus squarings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MatrixSquaring;
+
+impl Algorithm for MatrixSquaring {
+    fn name(&self) -> String {
+        "algebraic squaring (exact)".to_string()
+    }
+
+    fn run(
+        &self,
+        g: &Graph,
+        _execution: Execution,
+        ledger: &mut RoundLedger,
+    ) -> Result<AlgorithmOutput, CcError> {
+        Ok(AlgorithmOutput {
+            estimates: matrix_squaring::apsp_rows(g, ledger),
+            guarantee: (1.0, 0.0),
+        })
+    }
+}
+
+/// Baswana–Sen `(2k−1)`-spanner collection. Randomized only; deterministic
+/// execution falls back to a fixed seed.
+#[derive(Clone, Copy, Debug)]
+pub struct SpannerApsp {
+    /// Stretch parameter `k` (stretch `2k−1`).
+    pub k: usize,
+}
+
+impl Algorithm for SpannerApsp {
+    fn name(&self) -> String {
+        format!("Baswana–Sen spanner k={}", self.k)
+    }
+
+    fn run(
+        &self,
+        g: &Graph,
+        execution: Execution,
+        ledger: &mut RoundLedger,
+    ) -> Result<AlgorithmOutput, CcError> {
+        let mut rng = rng_for(execution);
+        let (estimates, s) = spanner::apsp(g, self.k, &mut rng, ledger);
+        Ok(AlgorithmOutput {
+            estimates,
+            guarantee: (2.0 * s.k as f64 - 1.0, 0.0),
+        })
+    }
+}
+
+/// The CHKL19-style poly-log pipeline (no distance sensitivity). Randomized
+/// only; deterministic execution falls back to a fixed seed.
+#[derive(Clone, Copy, Debug)]
+pub struct PolylogApsp {
+    /// Accuracy `ε` of the `(3+ε)` guarantee.
+    pub eps: f64,
+}
+
+impl Algorithm for PolylogApsp {
+    fn name(&self) -> String {
+        format!("CHKL19-style (3+{})", self.eps)
+    }
+
+    fn run(
+        &self,
+        g: &Graph,
+        execution: Execution,
+        ledger: &mut RoundLedger,
+    ) -> Result<AlgorithmOutput, CcError> {
+        let mut rng = rng_for(execution);
+        let out = polylog::apsp(g, self.eps, &mut rng, ledger);
+        Ok(AlgorithmOutput {
+            estimates: out.estimates,
+            guarantee: (out.guarantee, 0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::{bfs, generators};
+
+    #[test]
+    fn baselines_run_through_the_trait_and_never_undercut() {
+        let g = generators::caveman(5, 6);
+        let exact = bfs::apsp_exact(&g);
+        let algorithms: Vec<Box<dyn Algorithm>> = vec![
+            Box::new(FullGather),
+            Box::new(MatrixSquaring),
+            Box::new(SpannerApsp { k: 2 }),
+            Box::new(PolylogApsp { eps: 0.5 }),
+        ];
+        for alg in &algorithms {
+            let mut ledger = RoundLedger::new(g.n());
+            let out = alg.run(&g, Execution::Seeded(11), &mut ledger).unwrap();
+            assert!(ledger.total_rounds() > 0, "{}", alg.name());
+            for u in 0..g.n() {
+                for v in 0..g.n() {
+                    assert!(
+                        out.estimates[u][v] >= exact[u][v],
+                        "{} undercuts at ({u},{v})",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_baselines_match_ground_truth() {
+        let g = generators::grid(5, 5);
+        let exact = bfs::apsp_exact(&g);
+        for alg in [&FullGather as &dyn Algorithm, &MatrixSquaring] {
+            let mut ledger = RoundLedger::new(g.n());
+            let out = alg.run(&g, Execution::Deterministic, &mut ledger).unwrap();
+            assert_eq!(out.estimates, exact, "{}", alg.name());
+            assert_eq!(out.guarantee, (1.0, 0.0));
+        }
+    }
+}

@@ -22,7 +22,10 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod algorithms;
 pub mod full_gather;
 pub mod matrix_squaring;
 pub mod polylog;
 pub mod spanner;
+
+pub use algorithms::{FullGather, MatrixSquaring, PolylogApsp, SpannerApsp};

@@ -43,8 +43,7 @@ pub fn baswana_sen(g: &Graph, k: usize, rng: &mut impl Rng, ledger: &mut RoundLe
     for _ in 1..k {
         phase.charge_broadcast("announce sampled clusters");
         let sampled: Vec<bool> = (0..n).map(|_| rng.gen_bool(p)).collect();
-        let is_sampled =
-            |v: usize, cl: &[Option<u32>]| cl[v].is_some_and(|c| sampled[c as usize]);
+        let is_sampled = |v: usize, cl: &[Option<u32>]| cl[v].is_some_and(|c| sampled[c as usize]);
         let mut next_cluster: Vec<Option<u32>> = cluster.clone();
         for v in 0..n {
             let Some(c) = cluster[v] else { continue };

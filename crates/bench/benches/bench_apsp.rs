@@ -29,7 +29,7 @@ fn bench_apsp(c: &mut Criterion) {
             let cfg = Apsp2Config::scaled(nn, 0.5).expect("valid");
             b.iter(|| {
                 let mut ledger = RoundLedger::new(nn);
-                apsp2::run(&g, &cfg, &mut rng, &mut ledger)
+                apsp2::run(&g, &cfg, &mut rng, &mut ledger).expect("apsp2")
             })
         });
         group.bench_with_input(BenchmarkId::new("mssp", nn), &nn, |b, _| {

@@ -33,7 +33,10 @@ fn main() {
         let clique_size = 24;
         let mut r = cc_bench::rng(n as u64);
         for (name, g) in [
-            ("caveman-24", generators::caveman(n / clique_size, clique_size)),
+            (
+                "caveman-24",
+                generators::caveman(n / clique_size, clique_size),
+            ),
             (
                 "gnp-dense",
                 generators::connected_gnp(n, 24.0 / n as f64, &mut r),

@@ -27,8 +27,11 @@ fn main() {
         let params = EmulatorParams::new(nn, 0.25, 2).expect("valid");
         let k_paper = (nn as f64).powf(2.0 / 3.0).ceil() as usize;
         let k_small = (nn as f64).powf(1.0 / 3.0).ceil() as usize;
-        for (label, k) in [("n^(2/3) paper", k_paper), ("n full", nn), ("n^(1/3) small", k_small)]
-        {
+        for (label, k) in [
+            ("n^(2/3) paper", k_paper),
+            ("n full", nn),
+            ("n^(1/3) small", k_small),
+        ] {
             let mut cfg = CliqueEmulatorConfig::scaled(params.clone());
             cfg.k = k;
             let mut r = rng(nn as u64);

@@ -6,6 +6,9 @@
 //! exact baseline (`n^{1/3} log n`); Baswana–Sen spanner collection (log-
 //! stretch); and the trivial full gather (`m/n`).
 //!
+//! Every contender runs through the shared [`Algorithm`] interface — one
+//! loop, no per-algorithm wiring.
+//!
 //! Expected shape: the distance-sensitive pipeline's rounds barely move with
 //! `n` while the poly-log pipeline grows with `log²n` and the algebraic one
 //! polynomially. (At these `n` the trivial gather is cheapest on sparse
@@ -14,54 +17,42 @@
 
 use cc_bench::{f2, rng, Table};
 use cc_clique::RoundLedger;
-use cc_core::apsp2::{self, Apsp2Config};
+use cc_core::algorithm::TwoPlusEpsApsp;
+use cc_core::{Algorithm, Execution};
 use cc_graphs::generators;
 
 fn main() {
     let eps = 0.5;
+    let algorithms: Vec<Box<dyn Algorithm>> = vec![
+        Box::new(TwoPlusEpsApsp { eps }),
+        Box::new(cc_baselines::PolylogApsp { eps }),
+        Box::new(cc_baselines::MatrixSquaring),
+        Box::new(cc_baselines::SpannerApsp { k: 2 }),
+        Box::new(cc_baselines::FullGather),
+    ];
+    let mut headers: Vec<String> = vec!["n".into()];
+    headers.extend(algorithms.iter().map(|a| a.name()));
+    headers.push("log^2 n".into());
+    headers.push("(log log n)^2".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "F1: rounds vs n for (2+eps)-class APSP (gnp, avg degree 8)",
-        &[
-            "n",
-            "DP20 (2+eps)",
-            "CHKL19-style",
-            "algebraic exact",
-            "spanner k=2",
-            "full gather",
-            "log^2 n",
-            "(log log n)^2",
-        ],
+        &header_refs,
     );
     for n in [256usize, 512, 1024, 2048] {
         let mut r = rng(n as u64);
         let g = generators::connected_gnp(n, 8.0 / n as f64, &mut r);
 
-        let mut dp = RoundLedger::new(n);
-        let cfg = Apsp2Config::scaled(n, eps).expect("valid config");
-        let _ = apsp2::run(&g, &cfg, &mut r, &mut dp);
-
-        let mut chkl = RoundLedger::new(n);
-        let _ = cc_baselines::polylog::apsp(&g, eps, &mut r, &mut chkl);
-
-        let algebraic = cc_baselines::matrix_squaring::rounds(n);
-
-        let mut sp = RoundLedger::new(n);
-        let _ = cc_baselines::spanner::apsp(&g, 2, &mut r, &mut sp);
-
-        let gather = cc_baselines::full_gather::rounds(g.m(), n);
-
-        let log2n = (n as f64).log2().powi(2);
-        let loglog2 = (n as f64).log2().log2().powi(2);
-        table.row(vec![
-            n.to_string(),
-            dp.total_rounds().to_string(),
-            chkl.total_rounds().to_string(),
-            algebraic.to_string(),
-            sp.total_rounds().to_string(),
-            gather.to_string(),
-            f2(log2n),
-            f2(loglog2),
-        ]);
+        let mut row = vec![n.to_string()];
+        for alg in &algorithms {
+            let mut ledger = RoundLedger::new(n);
+            alg.run(&g, Execution::Seeded(n as u64), &mut ledger)
+                .expect("algorithm run");
+            row.push(ledger.total_rounds().to_string());
+        }
+        row.push(f2((n as f64).log2().powi(2)));
+        row.push(f2((n as f64).log2().log2().powi(2)));
+        table.row(row);
     }
     table.print();
     println!(

@@ -11,7 +11,14 @@ fn main() {
     let mut table = Table::new(
         "T1: (1+eps)-MSSP from ~sqrt(n) sources (Thm 3/33), eps = 0.25",
         &[
-            "graph", "n", "|S|", "pairs", "max stretch", "mean stretch", "guar(short)", "rounds",
+            "graph",
+            "n",
+            "|S|",
+            "pairs",
+            "max stretch",
+            "mean stretch",
+            "guar(short)",
+            "rounds",
         ],
     );
     for n in [256usize, 512, 1024] {

@@ -41,7 +41,11 @@ fn main() {
             "rounds",
         ],
     );
-    for (universe, delta, l) in [(512usize, 16usize, 128usize), (2048, 32, 512), (4096, 64, 1024)] {
+    for (universe, delta, l) in [
+        (512usize, 16usize, 128usize),
+        (2048, 32, 512),
+        (4096, 64, 1024),
+    ] {
         let inst = instance(universe, delta, l, universe as u64);
         let mut ledger = RoundLedger::new(universe);
         let z = soft_hitting_set(&inst, &mut ledger);

@@ -7,7 +7,15 @@ use cc_emulator::EmulatorParams;
 fn main() {
     let mut table = Table::new(
         "T9: level-set concentration (Claims 14-16), 32 trials each",
-        &["n", "r", "i", "E[|S_i|] (paper)", "mean measured", "min", "max"],
+        &[
+            "n",
+            "r",
+            "i",
+            "E[|S_i|] (paper)",
+            "mean measured",
+            "min",
+            "max",
+        ],
     );
     for n in [1024usize, 4096, 16384] {
         let r_levels = 3usize;

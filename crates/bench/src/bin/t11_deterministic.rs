@@ -51,9 +51,9 @@ fn main() {
         // (2+eps)-APSP.
         let cfg2 = Apsp2Config::scaled(nn, 0.5).expect("valid");
         let mut lr2 = RoundLedger::new(nn);
-        let rand2 = apsp2::run(&g, &cfg2, &mut r, &mut lr2);
+        let rand2 = apsp2::run(&g, &cfg2, &mut r, &mut lr2).expect("apsp2");
         let mut ld2 = RoundLedger::new(nn);
-        let det2 = apsp2::run_deterministic(&g, &cfg2, &mut ld2);
+        let det2 = apsp2::run_deterministic(&g, &cfg2, &mut ld2).expect("apsp2 det");
         let rep_r2 = stretch::evaluate_range(&exact, rand2.estimates.as_fn(), 0.0, 1, rand2.t);
         let rep_d2 = stretch::evaluate_range(&exact, det2.estimates.as_fn(), 0.0, 1, det2.t);
         table.row(vec![
@@ -64,7 +64,10 @@ fn main() {
             lr2.total_rounds().to_string(),
             f3(rep_d2.max_multiplicative),
             ld2.total_rounds().to_string(),
-            format!("{:+}", ld2.total_rounds() as i64 - lr2.total_rounds() as i64),
+            format!(
+                "{:+}",
+                ld2.total_rounds() as i64 - lr2.total_rounds() as i64
+            ),
         ]);
     }
     table.print();

@@ -7,7 +7,9 @@
 
 use cc_bench::Table;
 use cc_clique::cost::model;
-use cc_clique::programs::{AllGather, Broadcast, DistributedBfs, MinAggregate, RoutedWord, TwoPhaseRouting};
+use cc_clique::programs::{
+    AllGather, Broadcast, DistributedBfs, MinAggregate, RoutedWord, TwoPhaseRouting,
+};
 use cc_clique::{Engine, NodeId};
 use cc_graphs::{bfs, generators};
 
@@ -15,7 +17,12 @@ fn main() {
     let n = 64usize;
     let mut table = Table::new(
         "T12: engine-measured rounds vs ledger formulas (n = 64)",
-        &["primitive", "engine rounds", "ledger formula", "formula covers"],
+        &[
+            "primitive",
+            "engine rounds",
+            "ledger formula",
+            "formula covers",
+        ],
     );
 
     // Broadcast: 1 round (engine adds one drain step).
@@ -45,7 +52,12 @@ fn main() {
     // All-gather of K = 4n words: learn_all formula.
     let per = 4usize;
     let nodes: Vec<AllGather> = (0..n)
-        .map(|i| AllGather::new(NodeId::new(i), (0..per).map(|j| (i * per + j) as u64).collect()))
+        .map(|i| {
+            AllGather::new(
+                NodeId::new(i),
+                (0..per).map(|j| (i * per + j) as u64).collect(),
+            )
+        })
         .collect();
     let stats = Engine::new(nodes).run().expect("allgather");
     let formula = model::learn_all((n * per) as u64, n as u64);
@@ -87,7 +99,10 @@ fn main() {
             DistributedBfs::new(
                 NodeId::new(v),
                 NodeId::new(0),
-                g.neighbors(v).iter().map(|&u| NodeId::new(u as usize)).collect(),
+                g.neighbors(v)
+                    .iter()
+                    .map(|&u| NodeId::new(u as usize))
+                    .collect(),
                 None,
             )
         })

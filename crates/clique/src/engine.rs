@@ -382,7 +382,11 @@ mod tests {
 
     #[test]
     fn broadcast_mode_rejects_unicast() {
-        let nodes = vec![Unicast { sent: false }, Unicast { sent: true }, Unicast { sent: true }];
+        let nodes = vec![
+            Unicast { sent: false },
+            Unicast { sent: true },
+            Unicast { sent: true },
+        ];
         let mut engine = Engine::with_config(
             nodes,
             EngineConfig {

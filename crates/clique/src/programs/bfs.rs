@@ -52,12 +52,7 @@ impl DistributedBfs {
     ///
     /// `hop_limit` truncates the exploration (used to emulate `d`-hop
     /// bounded primitives); `None` explores the whole component.
-    pub fn new(
-        me: NodeId,
-        source: NodeId,
-        neighbors: Vec<NodeId>,
-        hop_limit: Option<u64>,
-    ) -> Self {
+    pub fn new(me: NodeId, source: NodeId, neighbors: Vec<NodeId>, hop_limit: Option<u64>) -> Self {
         DistributedBfs {
             me,
             neighbors,

@@ -30,8 +30,9 @@ use cc_toolkit::source_detection::SourceDetection;
 use cc_toolkit::through_sets::distance_through_sets;
 use rand::Rng;
 
+use crate::error::CcError;
 use crate::estimates::DistanceMatrix;
-use crate::pipeline::{self, Mode};
+use crate::pipeline::{self, Mode, Substrates};
 
 /// Configuration of the `(2+ε)` pipeline.
 #[derive(Clone, Debug)]
@@ -105,23 +106,55 @@ pub struct Apsp2 {
 }
 
 /// Randomized `(2+ε)`-APSP (Thm 34).
-pub fn run(g: &Graph, cfg: &Apsp2Config, rng: &mut impl Rng, ledger: &mut RoundLedger) -> Apsp2 {
-    run_mode(g, cfg, Mode::Rng(rng), ledger)
+///
+/// # Errors
+///
+/// Returns [`CcError`] if a pipeline-internal hitting-set instance fails
+/// validation.
+pub fn run(
+    g: &Graph,
+    cfg: &Apsp2Config,
+    rng: &mut impl Rng,
+    ledger: &mut RoundLedger,
+) -> Result<Apsp2, CcError> {
+    run_mode(g, cfg, Mode::Rng(rng), ledger, &mut Substrates::new())
 }
 
 /// Deterministic `(2+ε)`-APSP (Thm 53).
-pub fn run_deterministic(g: &Graph, cfg: &Apsp2Config, ledger: &mut RoundLedger) -> Apsp2 {
-    run_mode(g, cfg, Mode::Det, ledger)
+///
+/// # Errors
+///
+/// Returns [`CcError`] if a pipeline-internal hitting-set instance fails
+/// validation.
+pub fn run_deterministic(
+    g: &Graph,
+    cfg: &Apsp2Config,
+    ledger: &mut RoundLedger,
+) -> Result<Apsp2, CcError> {
+    run_mode(g, cfg, Mode::Det, ledger, &mut Substrates::new())
 }
 
-fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut RoundLedger) -> Apsp2 {
+pub(crate) fn run_mode(
+    g: &Graph,
+    cfg: &Apsp2Config,
+    mut mode: Mode<'_>,
+    ledger: &mut RoundLedger,
+    substrates: &mut Substrates,
+) -> Result<Apsp2, CcError> {
     let mut phase = ledger.enter("apsp2");
     let n = g.n();
     let t = cfg.threshold();
     let mut delta = DistanceMatrix::new(n);
 
     // ── Long range (Claim 37): emulator + adjacency. ──────────────────────
-    let _ = pipeline::collect_emulator(g, &cfg.emulator, &mut mode, &mut delta, &mut phase);
+    let _ = pipeline::collect_emulator(
+        g,
+        &cfg.emulator,
+        &mut mode,
+        &mut delta,
+        substrates,
+        &mut phase,
+    );
 
     // ── Short paths through a high-degree vertex (Claims 38/39). ─────────
     let hdt = cfg.high_degree_threshold;
@@ -129,9 +162,17 @@ fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut Round
         .filter(|&v| g.degree(v) >= hdt)
         .map(|v| g.neighbors(v).iter().map(|&u| u as usize).collect())
         .collect();
-    let s_pivots = pipeline::hitting_set(n, hdt, &high_sets, &mut mode, &mut phase);
+    let s_pivots = substrates.hitting_set_for(
+        "apsp2/high-degree",
+        n,
+        hdt,
+        &high_sets,
+        &mut mode,
+        &mut phase,
+    )?;
     if !s_pivots.is_empty() {
-        let hs = pipeline::build_hopset(
+        let hs = substrates.hopset_for(
+            "input",
             g,
             2 * t,
             cfg.eps / 2.0,
@@ -177,12 +218,20 @@ fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut Round
         .filter(|&v| kn.list(v).len() >= k)
         .map(|v| kn_sets[v].clone())
         .collect();
-    let a_pivots = pipeline::hitting_set(n, k, &full_sets, &mut mode, &mut phase);
+    let a_pivots = substrates.hitting_set_for(
+        "apsp2/low-degree-A",
+        n,
+        k,
+        &full_sets,
+        &mut mode,
+        &mut phase,
+    )?;
     // One hopset of G' serves steps 5 and 9.
     let gp_hopset = if a_pivots.is_empty() && gp.m() == 0 {
         None
     } else {
-        Some(pipeline::build_hopset(
+        Some(substrates.hopset_for(
+            "low-degree",
             &gp,
             2 * t,
             cfg.eps / 2.0,
@@ -230,7 +279,14 @@ fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut Round
         .filter(|&v| gp.degree(v) >= thresh2)
         .map(|v| gp.neighbors(v).iter().map(|&u| u as usize).collect())
         .collect();
-    let a2_pivots = pipeline::hitting_set(n, thresh2, &big_sets, &mut mode, &mut phase);
+    let a2_pivots = substrates.hitting_set_for(
+        "apsp2/low-degree-A2",
+        n,
+        thresh2,
+        &big_sets,
+        &mut mode,
+        &mut phase,
+    )?;
     if let (Some(hs), false) = (&gp_hopset, a2_pivots.is_empty()) {
         let union = hs.union_with(&gp);
         let sd = SourceDetection::run(&union, &a2_pivots, hs.beta, &mut phase);
@@ -247,7 +303,12 @@ fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut Round
             a2_mask[a] = true;
         }
         let attachment: Vec<Option<u32>> = (0..n)
-            .map(|v| gp.neighbors(v).iter().copied().find(|&w| a2_mask[w as usize]))
+            .map(|v| {
+                gp.neighbors(v)
+                    .iter()
+                    .copied()
+                    .find(|&w| a2_mask[w as usize])
+            })
             .collect();
         // Step 11: min-plus product of the (u, A'_u) estimates with the
         // (A', V) estimates — charged as a sparse product (Thm 36).
@@ -312,13 +373,13 @@ fn run_mode(g: &Graph, cfg: &Apsp2Config, mut mode: Mode<'_>, ledger: &mut Round
         }
     }
 
-    Apsp2 {
+    Ok(Apsp2 {
         estimates: delta,
         t,
         short_range_guarantee: 2.0 + cfg.eps,
         high_degree_pivots: s_pivots,
         low_degree_pivots: a_pivots,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -353,7 +414,7 @@ mod tests {
         ] {
             let cfg = Apsp2Config::new(g.n(), 0.5, 2).unwrap();
             let mut ledger = RoundLedger::new(g.n());
-            let out = run(&g, &cfg, &mut rng, &mut ledger);
+            let out = run(&g, &cfg, &mut rng, &mut ledger).unwrap();
             assert_short_range(&g, &out, name);
         }
     }
@@ -366,7 +427,7 @@ mod tests {
         ] {
             let cfg = Apsp2Config::new(g.n(), 0.5, 2).unwrap();
             let mut ledger = RoundLedger::new(g.n());
-            let out = run_deterministic(&g, &cfg, &mut ledger);
+            let out = run_deterministic(&g, &cfg, &mut ledger).unwrap();
             assert_short_range(&g, &out, name);
         }
     }
@@ -381,7 +442,7 @@ mod tests {
         let mut cfg = Apsp2Config::new(40, 0.5, 2).unwrap();
         cfg.high_degree_threshold = 10; // force the phase at this scale
         let mut ledger = RoundLedger::new(40);
-        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        let out = run(&g, &cfg, &mut rng, &mut ledger).unwrap();
         assert!(!out.high_degree_pivots.is_empty());
         assert_short_range(&g, &out, "hub");
     }
@@ -392,7 +453,7 @@ mod tests {
         let g = generators::connected_gnp(48, 0.08, &mut rng);
         let cfg = Apsp2Config::new(48, 0.5, 2).unwrap();
         let mut ledger = RoundLedger::new(48);
-        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        let out = run(&g, &cfg, &mut rng, &mut ledger).unwrap();
         for u in 0..48 {
             for v in 0..48 {
                 assert_eq!(out.estimates.get(u, v), out.estimates.get(v, u));
@@ -406,7 +467,7 @@ mod tests {
         let g = generators::caveman(8, 8);
         let cfg = Apsp2Config::scaled(g.n(), 0.5).unwrap();
         let mut ledger = RoundLedger::new(g.n());
-        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        let out = run(&g, &cfg, &mut rng, &mut ledger).unwrap();
         assert_short_range(&g, &out, "scaled");
     }
 }

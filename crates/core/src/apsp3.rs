@@ -21,8 +21,9 @@ use cc_toolkit::knearest::{KNearest, Strategy};
 use cc_toolkit::source_detection::SourceDetection;
 use rand::Rng;
 
+use crate::error::CcError;
 use crate::estimates::DistanceMatrix;
-use crate::pipeline::{self, Mode};
+use crate::pipeline::{self, Mode, Substrates};
 
 /// Configuration of the `(3+ε)` pipeline.
 #[derive(Clone, Debug)]
@@ -89,33 +90,55 @@ pub struct Apsp3 {
 }
 
 /// Randomized `(3+ε)`-APSP.
+///
+/// # Errors
+///
+/// Returns [`CcError`] if a pipeline-internal hitting-set instance fails
+/// validation.
 pub fn run(
     g: &Graph,
     cfg: &Apsp3Config,
     rng: &mut impl Rng,
     ledger: &mut RoundLedger,
-) -> Apsp3 {
-    run_mode(g, cfg, Mode::Rng(rng), ledger)
+) -> Result<Apsp3, CcError> {
+    run_mode(g, cfg, Mode::Rng(rng), ledger, &mut Substrates::new())
 }
 
 /// Deterministic `(3+ε)`-APSP.
-pub fn run_deterministic(g: &Graph, cfg: &Apsp3Config, ledger: &mut RoundLedger) -> Apsp3 {
-    run_mode(g, cfg, Mode::Det, ledger)
+///
+/// # Errors
+///
+/// Returns [`CcError`] if a pipeline-internal hitting-set instance fails
+/// validation.
+pub fn run_deterministic(
+    g: &Graph,
+    cfg: &Apsp3Config,
+    ledger: &mut RoundLedger,
+) -> Result<Apsp3, CcError> {
+    run_mode(g, cfg, Mode::Det, ledger, &mut Substrates::new())
 }
 
-fn run_mode(
+pub(crate) fn run_mode(
     g: &Graph,
     cfg: &Apsp3Config,
     mut mode: Mode<'_>,
     ledger: &mut RoundLedger,
-) -> Apsp3 {
+    substrates: &mut Substrates,
+) -> Result<Apsp3, CcError> {
     let mut phase = ledger.enter("apsp3");
     let n = g.n();
     let t = cfg.threshold();
     let mut delta = DistanceMatrix::new(n);
 
     // Long range + adjacency.
-    let _ = pipeline::collect_emulator(g, &cfg.emulator, &mut mode, &mut delta, &mut phase);
+    let _ = pipeline::collect_emulator(
+        g,
+        &cfg.emulator,
+        &mut mode,
+        &mut delta,
+        substrates,
+        &mut phase,
+    );
 
     // (k, t)-nearest: exact short distances to the k nearest.
     let kn = KNearest::compute(g, cfg.k, t, Strategy::TruncatedBfs, &mut phase);
@@ -132,11 +155,13 @@ fn run_mode(
         .filter(|&v| kn.list(v).len() >= cfg.k)
         .map(|v| kn.list(v).iter().map(|&(u, _)| u as usize).collect())
         .collect();
-    let pivots = pipeline::hitting_set(n, cfg.k, &full_sets, &mut mode, &mut phase);
+    let pivots =
+        substrates.hitting_set_for("apsp3/pivots", n, cfg.k, &full_sets, &mut mode, &mut phase)?;
 
     if !pivots.is_empty() {
         // (1+ε/2)-approximate distances to A within 2t.
-        let hs = pipeline::build_hopset(
+        let hs = substrates.hopset_for(
+            "input",
             g,
             2 * t,
             cfg.eps / 2.0,
@@ -177,12 +202,12 @@ fn run_mode(
         }
     }
 
-    Apsp3 {
+    Ok(Apsp3 {
         estimates: delta,
         t,
         pivots,
         short_range_guarantee: 3.0 + cfg.eps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -215,7 +240,7 @@ mod tests {
         ] {
             let cfg = Apsp3Config::new(g.n(), 0.5, 2).unwrap();
             let mut ledger = RoundLedger::new(g.n());
-            let out = run(&g, &cfg, &mut rng, &mut ledger);
+            let out = run(&g, &cfg, &mut rng, &mut ledger).unwrap();
             let _ = name;
             assert_short_range(&g, &out);
         }
@@ -226,7 +251,7 @@ mod tests {
         let g = generators::caveman(7, 7);
         let cfg = Apsp3Config::new(g.n(), 0.5, 2).unwrap();
         let mut ledger = RoundLedger::new(g.n());
-        let out = run_deterministic(&g, &cfg, &mut ledger);
+        let out = run_deterministic(&g, &cfg, &mut ledger).unwrap();
         assert_short_range(&g, &out);
     }
 
@@ -239,7 +264,7 @@ mod tests {
         cfg.k = 12;
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut ledger = RoundLedger::new(12);
-        let out = run(&g, &cfg, &mut rng, &mut ledger);
+        let out = run(&g, &cfg, &mut rng, &mut ledger).unwrap();
         let exact = bfs::apsp_exact(&g);
         for u in 0..12 {
             for v in 0..12 {

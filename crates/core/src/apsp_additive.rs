@@ -12,7 +12,7 @@ use cc_graphs::Graph;
 use rand::Rng;
 
 use crate::estimates::DistanceMatrix;
-use crate::pipeline::{self, Mode};
+use crate::pipeline::{self, Mode, Substrates};
 
 /// Configuration of the near-additive APSP algorithm.
 #[derive(Clone, Debug)]
@@ -80,7 +80,7 @@ pub fn run(
     rng: &mut impl Rng,
     ledger: &mut RoundLedger,
 ) -> AdditiveApsp {
-    run_mode(g, cfg, Mode::Rng(rng), ledger)
+    run_mode(g, cfg, Mode::Rng(rng), ledger, &mut Substrates::new())
 }
 
 /// Deterministic `(1+ε, β)`-APSP (Thm 51).
@@ -89,18 +89,27 @@ pub fn run_deterministic(
     cfg: &AdditiveApspConfig,
     ledger: &mut RoundLedger,
 ) -> AdditiveApsp {
-    run_mode(g, cfg, Mode::Det, ledger)
+    run_mode(g, cfg, Mode::Det, ledger, &mut Substrates::new())
 }
 
-fn run_mode(
+pub(crate) fn run_mode(
     g: &Graph,
     cfg: &AdditiveApspConfig,
     mut mode: Mode<'_>,
     ledger: &mut RoundLedger,
+    substrates: &mut Substrates,
 ) -> AdditiveApsp {
     let mut phase = ledger.enter("apsp-additive");
     let mut delta = DistanceMatrix::new(g.n());
-    let emulator = pipeline::collect_emulator(g, &cfg.emulator, &mut mode, &mut delta, &mut phase);
+    let emulator = pipeline::collect_emulator(
+        g,
+        &cfg.emulator,
+        &mut mode,
+        &mut delta,
+        substrates,
+        &mut phase,
+    )
+    .clone();
     AdditiveApsp {
         estimates: delta,
         emulator,

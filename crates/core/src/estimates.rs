@@ -98,6 +98,14 @@ impl DistanceMatrix {
     pub fn as_fn(&self) -> impl Fn(usize, usize) -> Dist + '_ {
         move |u, v| self.get(u, v)
     }
+
+    /// Dense row copies (`rows[u][v] = δ(u,v)`), the common currency of the
+    /// [`crate::Algorithm`] interface.
+    pub fn to_rows(&self) -> Vec<Vec<Dist>> {
+        (0..self.n)
+            .map(|u| self.data[u * self.n..(u + 1) * self.n].to_vec())
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,21 +1,17 @@
-//! A unified entry point over the paper's algorithm portfolio.
+//! Deprecated one-shot entry point, kept as a thin shim over the
+//! [`Solver`](crate::Solver) session API.
 //!
-//! Downstream users typically want "approximate distances, this accuracy,
-//! deterministic or not" without wiring emulator parameters, hopset profiles
-//! and hitting sets themselves. [`solve`] picks defaults (the benchmark-scale
-//! profiles of DESIGN.md §5) and returns the estimates together with the
-//! simulated round ledger.
+//! [`solve`] rebuilds every substrate on each call; multi-query workloads
+//! should construct a [`crate::SolverBuilder`] instead and let the session
+//! amortize the emulator and hopsets across queries.
 
 use cc_clique::RoundLedger;
-use cc_emulator::params::ParamError;
 use cc_graphs::{Dist, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::apsp2::{self, Apsp2Config};
-use crate::apsp_additive::{self, AdditiveApspConfig};
+use crate::error::CcError;
 use crate::estimates::DistanceMatrix;
-use crate::mssp::{self, MsspConfig, MsspError};
+pub use crate::solver::Execution;
+use crate::solver::SolverBuilder;
 
 /// Which guarantee to compute.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,15 +33,6 @@ pub enum Problem {
         /// The sources (at most `O(√n)`).
         sources: Vec<usize>,
     },
-}
-
-/// Randomized (seeded) or deterministic execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Execution {
-    /// Randomized with the given seed (Thms 3–5).
-    Seeded(u64),
-    /// Deterministic (Thms 51–53): bit-for-bit reproducible.
-    Deterministic,
 }
 
 /// The solver output: estimates plus the simulated cost.
@@ -71,52 +58,27 @@ pub enum Solution {
     },
 }
 
-/// Errors of the facade.
-#[derive(Clone, Debug, PartialEq)]
-pub enum SolveError {
-    /// Invalid accuracy or graph size.
-    Params(ParamError),
-    /// Invalid source specification.
-    Mssp(MsspError),
-}
-
-impl std::fmt::Display for SolveError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SolveError::Params(e) => write!(f, "invalid parameters: {e}"),
-            SolveError::Mssp(e) => write!(f, "invalid MSSP request: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SolveError {}
-
-impl From<ParamError> for SolveError {
-    fn from(e: ParamError) -> Self {
-        SolveError::Params(e)
-    }
-}
-
-impl From<MsspError> for SolveError {
-    fn from(e: MsspError) -> Self {
-        SolveError::Mssp(e)
-    }
-}
+/// Former facade error type, now the unified [`CcError`].
+#[deprecated(since = "0.2.0", note = "use cc_core::CcError")]
+pub type SolveError = CcError;
 
 /// Solves `problem` on `g`, charging simulated rounds to `ledger`.
 ///
-/// Uses the benchmark-scale parameter profiles (same exponents as the paper,
-/// tempered constants — DESIGN.md §5); for explicit control use the
-/// per-algorithm modules directly.
+/// Deprecated: this rebuilds the emulator and hopsets from scratch on every
+/// call, and (because the session owns its graph) clones `g` each time.
+/// Construct a [`crate::SolverBuilder`] once and query the returned
+/// [`crate::Solver`] instead; this shim simply does that internally and
+/// forwards the session's ledger entries to `ledger`.
 ///
 /// # Errors
 ///
-/// Returns [`SolveError`] for invalid accuracies, graphs with fewer than two
+/// Returns [`CcError`] for invalid accuracies, graphs with fewer than two
 /// vertices, or invalid source sets.
 ///
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use cc_core::facade::{solve, Execution, Problem, Solution};
 /// use cc_clique::RoundLedger;
 /// use cc_graphs::generators;
@@ -132,64 +94,60 @@ impl From<MsspError> for SolveError {
 /// if let Solution::Apsp { estimates, .. } = solution {
 ///     assert!(estimates.get(0, 1) >= 1);
 /// }
-/// # Ok::<(), cc_core::facade::SolveError>(())
+/// # Ok::<(), cc_core::CcError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use cc_core::SolverBuilder to amortize substrates across queries"
+)]
 pub fn solve(
     g: &Graph,
     problem: Problem,
     execution: Execution,
     ledger: &mut RoundLedger,
-) -> Result<Solution, SolveError> {
-    match problem {
-        Problem::ApspNearAdditive { eps } => {
-            let cfg = AdditiveApspConfig::scaled(g.n(), eps)?;
-            let out = match execution {
-                Execution::Seeded(seed) => {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    apsp_additive::run(g, &cfg, &mut rng, ledger)
-                }
-                Execution::Deterministic => apsp_additive::run_deterministic(g, &cfg, ledger),
-            };
-            Ok(Solution::Apsp {
+) -> Result<Solution, CcError> {
+    let eps = match &problem {
+        Problem::ApspNearAdditive { eps }
+        | Problem::ApspTwoPlusEps { eps }
+        | Problem::Mssp { eps, .. } => *eps,
+    };
+    let mut solver = SolverBuilder::new(g.clone())
+        .eps(eps)
+        .execution(execution)
+        .build()?;
+    let solution = match problem {
+        Problem::ApspNearAdditive { .. } => {
+            let out = solver.apsp_near_additive()?;
+            Solution::Apsp {
                 estimates: out.estimates,
                 guarantee: (out.multiplicative_bound, out.additive_bound),
-            })
+            }
         }
-        Problem::ApspTwoPlusEps { eps } => {
-            let cfg = Apsp2Config::scaled(g.n(), eps)?;
-            let out = match execution {
-                Execution::Seeded(seed) => {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    apsp2::run(g, &cfg, &mut rng, ledger)
-                }
-                Execution::Deterministic => apsp2::run_deterministic(g, &cfg, ledger),
-            };
-            Ok(Solution::Apsp {
+        Problem::ApspTwoPlusEps { .. } => {
+            let out = solver.apsp_2eps()?;
+            Solution::Apsp {
                 estimates: out.estimates,
                 guarantee: (out.short_range_guarantee, 0.0),
-            })
+            }
         }
-        Problem::Mssp { eps, sources } => {
-            let cfg = MsspConfig::scaled(g.n(), eps)?;
-            let out = match execution {
-                Execution::Seeded(seed) => {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    mssp::run(g, &sources, &cfg, &mut rng, ledger)?
-                }
-                Execution::Deterministic => mssp::run_deterministic(g, &sources, &cfg, ledger)?,
-            };
-            Ok(Solution::Mssp {
+        Problem::Mssp { sources, .. } => {
+            let out = solver.mssp(&sources)?;
+            Solution::Mssp {
                 sources: out.sources,
                 estimates: out.estimates,
                 guarantee: 1.0 + eps,
-            })
+            }
         }
-    }
+    };
+    ledger.absorb(solver.ledger());
+    Ok(solution)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::mssp::MsspError;
     use cc_graphs::{bfs, generators};
 
     #[test]
@@ -203,7 +161,11 @@ mod tests {
             &mut ledger,
         )
         .unwrap();
-        let Solution::Apsp { estimates, guarantee } = sol else {
+        let Solution::Apsp {
+            estimates,
+            guarantee,
+        } = sol
+        else {
             panic!("wrong variant");
         };
         let exact = bfs::apsp_exact(&g);
@@ -253,7 +215,10 @@ mod tests {
             &mut ledger,
         )
         .unwrap();
-        let Solution::Mssp { sources, estimates, .. } = sol else {
+        let Solution::Mssp {
+            sources, estimates, ..
+        } = sol
+        else {
             panic!("wrong variant");
         };
         assert_eq!(sources, vec![0, 9, 18]);
@@ -272,7 +237,7 @@ mod tests {
             &mut ledger,
         )
         .unwrap_err();
-        assert!(matches!(err, SolveError::Params(_)));
+        assert!(matches!(err, CcError::Params(_)));
         let err = solve(
             &g,
             Problem::Mssp {
@@ -283,6 +248,20 @@ mod tests {
             &mut ledger,
         )
         .unwrap_err();
-        assert!(matches!(err, SolveError::Mssp(MsspError::NoSources)));
+        assert!(matches!(err, CcError::Mssp(MsspError::NoSources)));
+    }
+
+    #[test]
+    fn facade_ledger_matches_session_charges() {
+        let g = generators::grid(5, 5);
+        let mut ledger = RoundLedger::new(g.n());
+        let _ = solve(
+            &g,
+            Problem::ApspNearAdditive { eps: 0.25 },
+            Execution::Deterministic,
+            &mut ledger,
+        )
+        .unwrap();
+        assert!(ledger.by_phase().contains_key("apsp-additive"));
     }
 }

@@ -25,17 +25,19 @@
 //!
 //! # Example
 //!
+//! The [`Solver`] session API is the recommended entry point: configure it
+//! once, then issue queries that share the cached substrates.
+//!
 //! ```
-//! use cc_clique::RoundLedger;
-//! use cc_core::apsp2::{self, Apsp2Config};
+//! use cc_core::{Execution, SolverBuilder};
 //! use cc_graphs::generators;
-//! use rand::SeedableRng;
 //!
 //! let g = generators::caveman(6, 6);
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-//! let mut ledger = RoundLedger::new(g.n());
-//! let cfg = Apsp2Config::scaled(g.n(), 0.5).unwrap();
-//! let result = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+//! let mut solver = SolverBuilder::new(g.clone())
+//!     .eps(0.5)
+//!     .execution(Execution::Seeded(1))
+//!     .build()?;
+//! let result = solver.apsp_2eps()?;
 //! let exact = cc_graphs::bfs::apsp_exact(&g);
 //! for u in 0..g.n() {
 //!     for v in 0..g.n() {
@@ -44,6 +46,11 @@
 //!         }
 //!     }
 //! }
+//! // A follow-up MSSP query reuses the emulator built above.
+//! let rounds_before = solver.total_rounds();
+//! let _ = solver.mssp(&[0, 6, 12])?;
+//! assert!(solver.total_rounds() > rounds_before);
+//! # Ok::<(), cc_core::CcError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,13 +59,21 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod algorithm;
 pub mod apsp2;
 pub mod apsp3;
 pub mod apsp_additive;
+pub mod error;
 pub mod estimates;
 pub mod facade;
 pub mod mssp;
 mod pipeline;
+pub mod solver;
 
+pub use algorithm::{Algorithm, AlgorithmOutput};
+pub use error::CcError;
 pub use estimates::DistanceMatrix;
-pub use facade::{solve, Execution, Problem, Solution};
+#[allow(deprecated)]
+pub use facade::solve;
+pub use facade::{Problem, Solution};
+pub use solver::{Execution, ParamProfile, Solver, SolverBuilder};

@@ -14,7 +14,8 @@ use cc_graphs::{Dist, Graph, INF};
 use cc_toolkit::source_detection::SourceDetection;
 use rand::Rng;
 
-use crate::pipeline::{self, Mode};
+use crate::error::CcError;
+use crate::pipeline::{self, Mode, Substrates};
 
 /// Configuration of the MSSP algorithm.
 #[derive(Clone, Debug)]
@@ -145,65 +146,80 @@ impl Mssp {
 ///
 /// # Errors
 ///
-/// Returns [`MsspError`] if sources are invalid or exceed the `O(√n)` limit.
+/// Returns [`CcError::Mssp`] if sources are invalid or exceed the `O(√n)`
+/// limit.
 pub fn run(
     g: &Graph,
     sources: &[usize],
     cfg: &MsspConfig,
     rng: &mut impl Rng,
     ledger: &mut RoundLedger,
-) -> Result<Mssp, MsspError> {
-    run_mode(g, sources, cfg, Mode::Rng(rng), ledger)
+) -> Result<Mssp, CcError> {
+    run_mode(
+        g,
+        sources,
+        cfg,
+        Mode::Rng(rng),
+        ledger,
+        &mut Substrates::new(),
+    )
 }
 
 /// Deterministic `(1+ε)`-MSSP (Thm 52).
 ///
 /// # Errors
 ///
-/// Returns [`MsspError`] if sources are invalid or exceed the `O(√n)` limit.
+/// Returns [`CcError::Mssp`] if sources are invalid or exceed the `O(√n)`
+/// limit.
 pub fn run_deterministic(
     g: &Graph,
     sources: &[usize],
     cfg: &MsspConfig,
     ledger: &mut RoundLedger,
-) -> Result<Mssp, MsspError> {
-    run_mode(g, sources, cfg, Mode::Det, ledger)
+) -> Result<Mssp, CcError> {
+    run_mode(g, sources, cfg, Mode::Det, ledger, &mut Substrates::new())
 }
 
-fn run_mode(
+pub(crate) fn run_mode(
     g: &Graph,
     sources: &[usize],
     cfg: &MsspConfig,
     mut mode: Mode<'_>,
     ledger: &mut RoundLedger,
-) -> Result<Mssp, MsspError> {
+    substrates: &mut Substrates,
+) -> Result<Mssp, CcError> {
     if sources.is_empty() {
-        return Err(MsspError::NoSources);
+        return Err(MsspError::NoSources.into());
     }
     let max = cfg.max_sources(g.n());
     if sources.len() > max {
         return Err(MsspError::TooManySources {
             given: sources.len(),
             max,
-        });
+        }
+        .into());
     }
     if let Some(&s) = sources.iter().find(|&&s| s >= g.n()) {
-        return Err(MsspError::SourceOutOfRange { source: s, n: g.n() });
+        return Err(MsspError::SourceOutOfRange {
+            source: s,
+            n: g.n(),
+        }
+        .into());
     }
     let mut phase = ledger.enter("mssp");
     let t = cfg.threshold();
 
-    // Long range: the emulator, learned by everyone; each vertex runs local
-    // Dijkstra from the sources.
-    let emu = match &mut mode {
-        Mode::Rng(rng) => cc_emulator::whp::build(g, &cfg.emulator, rng, &mut phase).0,
-        Mode::Det => cc_emulator::deterministic::build(g, &cfg.emulator, &mut phase),
+    // Long range: the emulator, learned by everyone (cached across queries
+    // by the session's substrate store); each vertex runs local Dijkstra
+    // from the sources.
+    let mut estimates: Vec<Vec<Dist>> = {
+        let emu = substrates.emulator_for(g, &cfg.emulator, &mut mode, &mut phase);
+        sources.iter().map(|&s| emu.sssp(s)).collect()
     };
-    phase.charge_learn_all("collect emulator at all vertices", emu.m() as u64);
-    let mut estimates: Vec<Vec<Dist>> = sources.iter().map(|&s| emu.sssp(s)).collect();
 
     // Short range: bounded hopset + source detection with h = β hops.
-    let hs = pipeline::build_hopset(
+    let hs = substrates.hopset_for(
+        "input",
         g,
         t,
         cfg.eps,
@@ -310,11 +326,17 @@ mod tests {
             acc
         });
         let err = run(&g, &too_many, &cfg, &mut rng, &mut ledger).unwrap_err();
-        assert!(matches!(err, MsspError::TooManySources { .. }));
+        assert!(matches!(
+            err,
+            CcError::Mssp(MsspError::TooManySources { .. })
+        ));
         let err = run(&g, &[], &cfg, &mut rng, &mut ledger).unwrap_err();
-        assert_eq!(err, MsspError::NoSources);
+        assert_eq!(err, CcError::Mssp(MsspError::NoSources));
         let err = run(&g, &[99], &cfg, &mut rng, &mut ledger).unwrap_err();
-        assert!(matches!(err, MsspError::SourceOutOfRange { .. }));
+        assert!(matches!(
+            err,
+            CcError::Mssp(MsspError::SourceOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Crate-private plumbing shared by the application algorithms: one switch
-//! between the randomized and deterministic tool variants, emulator
-//! collection, and the short/long distance threshold.
+//! between the randomized and deterministic tool variants, the session-level
+//! substrate cache, emulator collection, and the short/long distance
+//! threshold.
+
+use std::collections::HashMap;
 
 use cc_clique::RoundLedger;
 use cc_derand::hitting;
@@ -10,6 +13,7 @@ use cc_graphs::{Dist, Graph};
 use cc_toolkit::hopset::{self, BoundedHopset, HopsetParams};
 use rand::RngCore;
 
+use crate::error::CcError;
 use crate::estimates::DistanceMatrix;
 
 /// Randomized-or-deterministic mode threaded through the pipelines.
@@ -21,21 +25,190 @@ pub(crate) enum Mode<'a> {
     Det,
 }
 
-/// Builds the emulator (w.h.p. variant when randomized, Thm 50 when
-/// deterministic), lets every vertex learn it, and merges its all-pairs
-/// distances plus the input adjacency into `delta`.
-pub(crate) fn collect_emulator(
+impl Mode<'_> {
+    fn tag(&self) -> &'static str {
+        match self {
+            Mode::Rng(_) => "rng",
+            Mode::Det => "det",
+        }
+    }
+}
+
+/// `f64` parameters as cache-key bits (exact — the configs store the same
+/// float the caller passed).
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Cache key identifying one emulator construction.
+type EmulatorKey = (&'static str, usize, u64, usize, u64, usize, bool);
+
+fn emulator_key(cfg: &CliqueEmulatorConfig, mode: &Mode<'_>) -> EmulatorKey {
+    (
+        mode.tag(),
+        cfg.params.n(),
+        bits(cfg.params.eps()),
+        cfg.params.r(),
+        bits(cfg.eps_prime),
+        cfg.k,
+        cfg.scaled_hopset,
+    )
+}
+
+/// Cache key identifying one bounded-hopset construction: graph tag and
+/// shape, threshold, accuracy, profile, mode.
+type HopsetKey = (&'static str, &'static str, usize, usize, Dist, u64, bool);
+
+/// Cache key identifying one hitting-set selection: mode, call-site label,
+/// universe, clamped `k`, and a fingerprint of the set contents (so a label
+/// reused with different sets cannot serve a stale, non-hitting selection).
+type HittingKey = (&'static str, &'static str, usize, usize, u64);
+
+/// FNV-1a fingerprint of a set collection, order-sensitive.
+fn sets_fingerprint(sets: &[Vec<usize>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(sets.len() as u64);
+    for s in sets {
+        mix(s.len() as u64);
+        for &e in s {
+            mix(e as u64);
+        }
+    }
+    h
+}
+
+/// Session-scoped cache of the expensive substrates every pipeline stands
+/// on: the near-additive emulator, bounded hopsets (keyed by graph, mode and
+/// threshold) and hitting sets.
+///
+/// The one-shot entry points run with a fresh cache, so each free-function
+/// call charges exactly what it always did. A [`crate::Solver`] keeps one
+/// `Substrates` for its lifetime, which is what amortizes construction
+/// across queries: a cache hit returns the stored object and charges **zero**
+/// rounds, modelling that every node of the clique already holds the
+/// substrate locally from the earlier query.
+#[derive(Debug, Default)]
+pub(crate) struct Substrates {
+    emulator: Option<(EmulatorKey, Emulator)>,
+    hopsets: HashMap<HopsetKey, BoundedHopset>,
+    hitting_sets: HashMap<HittingKey, Vec<usize>>,
+}
+
+impl Substrates {
+    pub(crate) fn new() -> Self {
+        Substrates::default()
+    }
+
+    /// The emulator for `cfg`, built (w.h.p. variant when randomized, Thm 50
+    /// when deterministic) and distributed to every vertex on first use,
+    /// reused afterwards.
+    pub(crate) fn emulator_for(
+        &mut self,
+        g: &Graph,
+        cfg: &CliqueEmulatorConfig,
+        mode: &mut Mode<'_>,
+        ledger: &mut RoundLedger,
+    ) -> &Emulator {
+        let key = emulator_key(cfg, mode);
+        let stale = match &self.emulator {
+            Some((k, _)) => *k != key,
+            None => true,
+        };
+        if stale {
+            let emu = match mode {
+                Mode::Rng(rng) => whp::build(g, cfg, rng, ledger).0,
+                Mode::Det => deterministic::build(g, cfg, ledger),
+            };
+            ledger.charge_learn_all("collect emulator at all vertices", emu.m() as u64);
+            self.emulator = Some((key, emu));
+        }
+        &self.emulator.as_ref().expect("just inserted").1
+    }
+
+    /// A `(β, ε, t)`-bounded hopset of `g`, built on first use per
+    /// `(graph, threshold, accuracy, profile, mode)` key and reused
+    /// afterwards. `graph_tag` distinguishes derived graphs (e.g. the
+    /// low-degree subgraph) that share `n` with the input.
+    ///
+    /// Returns an owned clone so pipelines can interleave further cache
+    /// lookups while holding the hopset.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn hopset_for(
+        &mut self,
+        graph_tag: &'static str,
+        g: &Graph,
+        t: Dist,
+        eps: f64,
+        scaled: bool,
+        mode: &mut Mode<'_>,
+        ledger: &mut RoundLedger,
+    ) -> BoundedHopset {
+        let key = (mode.tag(), graph_tag, g.n(), g.m(), t, bits(eps), scaled);
+        self.hopsets
+            .entry(key)
+            .or_insert_with(|| {
+                let params = if scaled {
+                    HopsetParams::scaled(g.n(), t, eps)
+                } else {
+                    HopsetParams::paper(g.n(), t, eps)
+                };
+                match mode {
+                    Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
+                    Mode::Det => hopset::build_deterministic(g, params, ledger),
+                }
+            })
+            .clone()
+    }
+
+    /// A hitting set over `sets`, computed on first use per
+    /// `(label, universe, k, mode)` key and reused afterwards.
+    ///
+    /// The promised minimum size `k` is clamped to the smallest set so the
+    /// paper-level parameter choice cannot over-promise; genuine instance
+    /// violations (out-of-range elements) surface as [`CcError::Hitting`]
+    /// instead of panicking.
+    pub(crate) fn hitting_set_for(
+        &mut self,
+        label: &'static str,
+        universe: usize,
+        k: usize,
+        sets: &[Vec<usize>],
+        mode: &mut Mode<'_>,
+        ledger: &mut RoundLedger,
+    ) -> Result<Vec<usize>, CcError> {
+        if sets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let k = k.min(sets.iter().map(Vec::len).min().unwrap_or(k)).max(1);
+        let key = (mode.tag(), label, universe, k, sets_fingerprint(sets));
+        if let Some(cached) = self.hitting_sets.get(&key) {
+            return Ok(cached.clone());
+        }
+        let selected = match mode {
+            Mode::Rng(rng) => hitting::random_hitting_set(universe, k, sets, 2.5, rng, ledger),
+            Mode::Det => hitting::deterministic_hitting_set(universe, k, sets, ledger),
+        }?;
+        self.hitting_sets.insert(key, selected.clone());
+        Ok(selected)
+    }
+}
+
+/// Obtains the emulator (cached or freshly built), lets every vertex learn
+/// it, and merges its all-pairs distances plus the input adjacency into
+/// `delta`.
+pub(crate) fn collect_emulator<'s>(
     g: &Graph,
     cfg: &CliqueEmulatorConfig,
     mode: &mut Mode<'_>,
     delta: &mut DistanceMatrix,
+    substrates: &'s mut Substrates,
     ledger: &mut RoundLedger,
-) -> Emulator {
-    let emu = match mode {
-        Mode::Rng(rng) => whp::build(g, cfg, rng, ledger).0,
-        Mode::Det => deterministic::build(g, cfg, ledger),
-    };
-    ledger.charge_learn_all("collect emulator at all vertices", emu.m() as u64);
+) -> &'s Emulator {
+    let emu = substrates.emulator_for(g, cfg, mode, ledger);
     for (u, v) in g.edges() {
         delta.improve(u, v, 1);
     }
@@ -43,48 +216,112 @@ pub(crate) fn collect_emulator(
     emu
 }
 
-/// Builds a bounded hopset in the requested mode and profile.
-pub(crate) fn build_hopset(
-    g: &Graph,
-    t: Dist,
-    eps: f64,
-    scaled: bool,
-    mode: &mut Mode<'_>,
-    ledger: &mut RoundLedger,
-) -> BoundedHopset {
-    let params = if scaled {
-        HopsetParams::scaled(g.n(), t, eps)
-    } else {
-        HopsetParams::paper(g.n(), t, eps)
-    };
-    match mode {
-        Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
-        Mode::Det => hopset::build_deterministic(g, params, ledger),
-    }
-}
-
-/// Computes a hitting set in the requested mode.
-pub(crate) fn hitting_set(
-    universe: usize,
-    k: usize,
-    sets: &[Vec<usize>],
-    mode: &mut Mode<'_>,
-    ledger: &mut RoundLedger,
-) -> Vec<usize> {
-    if sets.is_empty() {
-        return Vec::new();
-    }
-    let k = k.min(sets.iter().map(Vec::len).min().unwrap_or(k)).max(1);
-    match mode {
-        Mode::Rng(rng) => hitting::random_hitting_set(universe, k, sets, 2.5, rng, ledger),
-        Mode::Det => hitting::deterministic_hitting_set(universe, k, sets, ledger),
-    }
-    .expect("sets validated by construction")
-}
-
 /// The short/long threshold `t = ⌈2β̂/ε⌉` of §4 (β̂ = the emulator's
 /// effective additive bound), clamped to at least 4.
 pub(crate) fn default_threshold(cfg: &CliqueEmulatorConfig, eps: f64) -> Dist {
     let beta_hat = cfg.params.clique_additive_bound(cfg.eps_prime);
     ((2.0 * beta_hat / eps).ceil() as Dist).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_emulator::EmulatorParams;
+    use cc_graphs::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn count_label(ledger: &RoundLedger, needle: &str) -> usize {
+        ledger
+            .entries()
+            .iter()
+            .filter(|e| e.label.contains(needle))
+            .count()
+    }
+
+    #[test]
+    fn emulator_is_built_once_per_key() {
+        let g = generators::caveman(6, 6);
+        let cfg = CliqueEmulatorConfig::scaled(EmulatorParams::loglog(g.n(), 0.5).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut mode = Mode::Rng(&mut rng);
+        let mut subs = Substrates::new();
+        let mut ledger = RoundLedger::new(g.n());
+        let m1 = subs.emulator_for(&g, &cfg, &mut mode, &mut ledger).m();
+        let after_first = ledger.total_rounds();
+        let m2 = subs.emulator_for(&g, &cfg, &mut mode, &mut ledger).m();
+        assert_eq!(m1, m2, "cache must return the same emulator");
+        assert_eq!(
+            ledger.total_rounds(),
+            after_first,
+            "second lookup must charge zero rounds"
+        );
+        assert_eq!(count_label(&ledger, "collect emulator"), 1);
+    }
+
+    #[test]
+    fn mode_change_invalidates_the_emulator_cache() {
+        let g = generators::grid(5, 5);
+        let cfg = CliqueEmulatorConfig::scaled(EmulatorParams::loglog(g.n(), 0.5).unwrap());
+        let mut subs = Substrates::new();
+        let mut ledger = RoundLedger::new(g.n());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut mode = Mode::Rng(&mut rng);
+        subs.emulator_for(&g, &cfg, &mut mode, &mut ledger);
+        let mut det = Mode::Det;
+        subs.emulator_for(&g, &cfg, &mut det, &mut ledger);
+        assert_eq!(
+            count_label(&ledger, "collect emulator"),
+            2,
+            "deterministic rebuild must not reuse the randomized emulator"
+        );
+    }
+
+    #[test]
+    fn hopsets_cache_per_threshold() {
+        let g = generators::cycle(40);
+        let mut subs = Substrates::new();
+        let mut ledger = RoundLedger::new(g.n());
+        let mut det = Mode::Det;
+        subs.hopset_for("g", &g, 8, 0.5, true, &mut det, &mut ledger);
+        let after_first = ledger.total_rounds();
+        subs.hopset_for("g", &g, 8, 0.5, true, &mut det, &mut ledger);
+        assert_eq!(ledger.total_rounds(), after_first, "hit charges nothing");
+        subs.hopset_for("g", &g, 16, 0.5, true, &mut det, &mut ledger);
+        assert!(
+            ledger.total_rounds() > after_first,
+            "different threshold is a different substrate"
+        );
+    }
+
+    #[test]
+    fn hitting_sets_cache_and_validate() {
+        let mut subs = Substrates::new();
+        let mut ledger = RoundLedger::new(16);
+        let mut det = Mode::Det;
+        let sets: Vec<Vec<usize>> = (0..4).map(|i| vec![i, i + 1, i + 2]).collect();
+        let a = subs
+            .hitting_set_for("t", 16, 2, &sets, &mut det, &mut ledger)
+            .unwrap();
+        let after_first = ledger.total_rounds();
+        let b = subs
+            .hitting_set_for("t", 16, 2, &sets, &mut det, &mut ledger)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ledger.total_rounds(), after_first);
+
+        // Same label but different set contents must not serve the stale
+        // selection: the fingerprint forces a rebuild that hits the new sets.
+        let other_sets: Vec<Vec<usize>> = (8..12).map(|i| vec![i, i + 1, i + 2]).collect();
+        let c = subs
+            .hitting_set_for("t", 16, 2, &other_sets, &mut det, &mut ledger)
+            .unwrap();
+        assert!(cc_derand::hitting::hits_all(&c, &other_sets));
+
+        let bad = vec![vec![99usize]];
+        let err = subs
+            .hitting_set_for("bad", 16, 1, &bad, &mut det, &mut ledger)
+            .unwrap_err();
+        assert!(matches!(err, CcError::Hitting(_)));
+    }
 }

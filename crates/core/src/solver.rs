@@ -1,0 +1,467 @@
+//! The session-style entry point over the paper's algorithm portfolio.
+//!
+//! The paper's three applications (Thms 3–5) all stand on the same expensive
+//! substrates — the near-additive emulator and bounded hopsets. A
+//! [`Solver`], configured once through [`SolverBuilder`], owns the graph,
+//! the round ledger and a substrate cache, so a multi-query workload
+//! (`apsp_2eps()` then `mssp(..)`, repeated point queries, mixed accuracy
+//! profiles) pays for each substrate **once**:
+//!
+//! ```
+//! use cc_core::{Execution, SolverBuilder};
+//! use cc_graphs::generators;
+//!
+//! let g = generators::caveman(6, 6);
+//! let mut solver = SolverBuilder::new(g)
+//!     .eps(0.5)
+//!     .execution(Execution::Seeded(7))
+//!     .build()?;
+//! let apsp = solver.apsp_2eps()?;
+//! assert!(apsp.estimates.get(0, 20) >= 1);
+//! // The MSSP query reuses the emulator the APSP query built.
+//! let landmarks = solver.mssp(&[0, 9, 18])?;
+//! assert_eq!(landmarks.dist(0, 0), 0);
+//! // Cheap point lookups over everything computed so far.
+//! assert!(solver.query(0, 20).is_some());
+//! println!("{}", solver.ledger().report());
+//! # Ok::<(), cc_core::CcError>(())
+//! ```
+
+use cc_clique::RoundLedger;
+use cc_graphs::{Dist, Graph, INF};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::apsp2::{self, Apsp2, Apsp2Config};
+use crate::apsp3::{self, Apsp3, Apsp3Config};
+use crate::apsp_additive::{self, AdditiveApsp, AdditiveApspConfig};
+use crate::error::CcError;
+use crate::estimates::DistanceMatrix;
+use crate::mssp::{self, Mssp, MsspConfig};
+use crate::pipeline::{Mode, Substrates};
+
+/// Randomized (seeded) or deterministic execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Execution {
+    /// Randomized with the given seed (Thms 3–5). Every query draws a fresh
+    /// generator from the seed, so the **first** query of a session matches
+    /// the corresponding free-function call with the same seed bit-for-bit.
+    /// Later queries reuse cached substrates and therefore consume the
+    /// random stream from a different position than a cold run would — still
+    /// deterministic per (seed, query history), and every approximation
+    /// guarantee holds, but not stream-identical to a fresh call.
+    Seeded(u64),
+    /// Deterministic (Thms 51–53): bit-for-bit reproducible.
+    Deterministic,
+}
+
+/// Which parameter schedule the solver instantiates its pipelines with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamProfile {
+    /// The paper's constants with an explicit emulator level count `r`.
+    Paper {
+        /// Number of emulator levels.
+        levels: usize,
+    },
+    /// Benchmark-scale profile: `r = max(2, ⌊log₂log₂ n⌋)` and tempered
+    /// hopset constants (same exponents as the paper).
+    Scaled,
+}
+
+/// Builder for a [`Solver`]: graph in, validated session out.
+///
+/// Validation (accuracy range, graph order, level schedule) happens in
+/// [`SolverBuilder::build`], which returns [`CcError`] — queries on a built
+/// solver can then only fail for query-specific reasons (e.g. an invalid
+/// MSSP source set).
+#[derive(Clone, Debug)]
+pub struct SolverBuilder {
+    graph: Graph,
+    eps: f64,
+    execution: Execution,
+    profile: ParamProfile,
+}
+
+impl SolverBuilder {
+    /// Starts a builder over `graph` with the defaults `eps = 0.5`,
+    /// [`Execution::Seeded(0)`](Execution::Seeded) and
+    /// [`ParamProfile::Scaled`].
+    pub fn new(graph: Graph) -> Self {
+        SolverBuilder {
+            graph,
+            eps: 0.5,
+            execution: Execution::Seeded(0),
+            profile: ParamProfile::Scaled,
+        }
+    }
+
+    /// Sets the accuracy `ε ∈ (0, 1)` shared by all queries.
+    #[must_use]
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sets seeded-randomized or deterministic execution.
+    #[must_use]
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// Sets the parameter schedule (paper constants or benchmark scale).
+    #[must_use]
+    pub fn profile(mut self, profile: ParamProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcError::Params`] for `ε ∉ (0,1)`, graphs with fewer than
+    /// two vertices, a zero level count, or a radius schedule that overflows
+    /// the distance type.
+    pub fn build(self) -> Result<Solver, CcError> {
+        let n = self.graph.n();
+        let (apsp2_cfg, apsp3_cfg, additive_cfg, mssp_cfg) = match self.profile {
+            ParamProfile::Paper { levels } => (
+                Apsp2Config::new(n, self.eps, levels)?,
+                Apsp3Config::new(n, self.eps, levels)?,
+                AdditiveApspConfig::new(n, self.eps, levels)?,
+                MsspConfig::new(n, self.eps, levels)?,
+            ),
+            ParamProfile::Scaled => (
+                Apsp2Config::scaled(n, self.eps)?,
+                Apsp3Config::scaled(n, self.eps)?,
+                AdditiveApspConfig::scaled(n, self.eps)?,
+                MsspConfig::scaled(n, self.eps)?,
+            ),
+        };
+        let ledger = RoundLedger::new(n);
+        Ok(Solver {
+            graph: self.graph,
+            eps: self.eps,
+            execution: self.execution,
+            profile: self.profile,
+            apsp2_cfg,
+            apsp3_cfg,
+            additive_cfg,
+            mssp_cfg,
+            ledger,
+            substrates: Substrates::new(),
+            apsp2_result: None,
+            apsp3_result: None,
+            additive_result: None,
+            mssp_results: Vec::new(),
+            cached: DistanceMatrix::new(n),
+        })
+    }
+}
+
+/// A prepared shortest-path session over one graph.
+///
+/// Created by [`SolverBuilder`]. All queries charge simulated rounds to the
+/// solver-owned [`RoundLedger`] (accessible via [`Solver::ledger`]), and the
+/// expensive substrates — emulator, bounded hopsets, hitting sets — are
+/// built once and memoized (keyed by mode and threshold) across queries.
+/// Query results themselves are memoized too, so repeating a query is free,
+/// and [`Solver::query`] answers point lookups from everything computed so
+/// far without charging any rounds.
+#[derive(Debug)]
+pub struct Solver {
+    graph: Graph,
+    eps: f64,
+    execution: Execution,
+    profile: ParamProfile,
+    apsp2_cfg: Apsp2Config,
+    apsp3_cfg: Apsp3Config,
+    additive_cfg: AdditiveApspConfig,
+    mssp_cfg: MsspConfig,
+    ledger: RoundLedger,
+    substrates: Substrates,
+    apsp2_result: Option<Apsp2>,
+    apsp3_result: Option<Apsp3>,
+    additive_result: Option<AdditiveApsp>,
+    mssp_results: Vec<(Vec<usize>, Mssp)>,
+    cached: DistanceMatrix,
+}
+
+/// Runs `body` with a fresh per-query mode derived from `execution`.
+macro_rules! with_mode {
+    ($execution:expr, |$mode:ident| $body:expr) => {{
+        match $execution {
+            Execution::Seeded(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let $mode = Mode::Rng(&mut rng);
+                $body
+            }
+            Execution::Deterministic => {
+                let $mode = Mode::Det;
+                $body
+            }
+        }
+    }};
+}
+
+impl Solver {
+    /// Shorthand for [`SolverBuilder::new`].
+    pub fn builder(graph: Graph) -> SolverBuilder {
+        SolverBuilder::new(graph)
+    }
+
+    /// The graph this session answers queries about.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Graph order `n`.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The accuracy `ε` shared by all queries.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The execution mode.
+    pub fn execution(&self) -> Execution {
+        self.execution
+    }
+
+    /// The parameter profile.
+    pub fn profile(&self) -> ParamProfile {
+        self.profile
+    }
+
+    /// The session's round ledger: every query's simulated communication,
+    /// attributed by phase. Substrate reuse shows up here as construction
+    /// entries appearing once rather than once per query.
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Total simulated rounds charged so far.
+    pub fn total_rounds(&self) -> u64 {
+        self.ledger.total_rounds()
+    }
+
+    /// `(2+ε)`-approximate APSP (Thm 4/34). Memoized: the first call runs
+    /// the pipeline, later calls return the cached result without charging
+    /// rounds (they still copy the `n × n` result; use [`Solver::query`]
+    /// for repeated point lookups).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcError`] if a pipeline-internal hitting-set instance
+    /// fails validation.
+    pub fn apsp_2eps(&mut self) -> Result<Apsp2, CcError> {
+        if self.apsp2_result.is_none() {
+            let out = with_mode!(self.execution, |mode| apsp2::run_mode(
+                &self.graph,
+                &self.apsp2_cfg,
+                mode,
+                &mut self.ledger,
+                &mut self.substrates,
+            ))?;
+            self.cached.merge(&out.estimates);
+            self.apsp2_result = Some(out);
+        }
+        Ok(self.apsp2_result.clone().expect("memoized above"))
+    }
+
+    /// `(3+ε)`-approximate APSP (the §4.3 warm-up pipeline). Memoized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcError`] if a pipeline-internal hitting-set instance
+    /// fails validation.
+    pub fn apsp_3eps(&mut self) -> Result<Apsp3, CcError> {
+        if self.apsp3_result.is_none() {
+            let out = with_mode!(self.execution, |mode| apsp3::run_mode(
+                &self.graph,
+                &self.apsp3_cfg,
+                mode,
+                &mut self.ledger,
+                &mut self.substrates,
+            ))?;
+            self.cached.merge(&out.estimates);
+            self.apsp3_result = Some(out);
+        }
+        Ok(self.apsp3_result.clone().expect("memoized above"))
+    }
+
+    /// `(1+ε, β)`-approximate APSP (Thm 5/32). Memoized.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after [`SolverBuilder::build`]; returns
+    /// `Result` for uniformity with the other queries.
+    pub fn apsp_near_additive(&mut self) -> Result<AdditiveApsp, CcError> {
+        if self.additive_result.is_none() {
+            let out = with_mode!(self.execution, |mode| apsp_additive::run_mode(
+                &self.graph,
+                &self.additive_cfg,
+                mode,
+                &mut self.ledger,
+                &mut self.substrates,
+            ));
+            self.cached.merge(&out.estimates);
+            self.additive_result = Some(out);
+        }
+        Ok(self.additive_result.clone().expect("memoized above"))
+    }
+
+    /// `(1+ε)`-approximate multi-source shortest paths from `O(√n)` sources
+    /// (Thm 3/33). Memoized per source set (order-sensitive, matching the
+    /// row order of the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcError::Mssp`] for an empty, out-of-range, or
+    /// over-the-`O(√n)`-limit source set.
+    pub fn mssp(&mut self, sources: &[usize]) -> Result<Mssp, CcError> {
+        if let Some((_, out)) = self.mssp_results.iter().find(|(s, _)| s == sources) {
+            return Ok(out.clone());
+        }
+        let out = with_mode!(self.execution, |mode| mssp::run_mode(
+            &self.graph,
+            sources,
+            &self.mssp_cfg,
+            mode,
+            &mut self.ledger,
+            &mut self.substrates,
+        ))?;
+        for (i, &s) in out.sources.iter().enumerate() {
+            for v in 0..self.graph.n() {
+                let d = out.estimates[i][v];
+                if v != s && d < INF {
+                    self.cached.improve(s, v, d);
+                }
+            }
+        }
+        self.mssp_results.push((sources.to_vec(), out.clone()));
+        Ok(out)
+    }
+
+    /// Cheap point lookup over everything computed so far: the best cached
+    /// estimate for `d(u, v)`, or `None` if no query has produced one yet.
+    /// Charges no rounds — in the model, estimates are already local to
+    /// their vertices.
+    pub fn query(&self, u: usize, v: usize) -> Option<Dist> {
+        if u >= self.graph.n() || v >= self.graph.n() {
+            return None;
+        }
+        let d = self.cached.get(u, v);
+        (d < INF).then_some(d)
+    }
+
+    /// Number of ordered vertex pairs with a cached finite estimate.
+    pub fn cached_pairs(&self) -> usize {
+        self.cached.finite_pairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mssp::MsspError;
+    use cc_emulator::params::ParamError;
+    use cc_graphs::{bfs, generators, Graph};
+
+    #[test]
+    fn builder_defaults_and_accessors() {
+        let g = generators::cycle(24);
+        let solver = SolverBuilder::new(g).build().unwrap();
+        assert_eq!(solver.n(), 24);
+        assert_eq!(solver.eps(), 0.5);
+        assert_eq!(solver.execution(), Execution::Seeded(0));
+        assert_eq!(solver.profile(), ParamProfile::Scaled);
+        assert_eq!(solver.total_rounds(), 0);
+        assert_eq!(solver.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_eps_and_tiny_graphs() {
+        let g = generators::cycle(16);
+        let err = SolverBuilder::new(g.clone()).eps(2.0).build().unwrap_err();
+        assert!(matches!(err, CcError::Params(ParamError::BadEps(_))));
+        let err = SolverBuilder::new(g.clone()).eps(0.0).build().unwrap_err();
+        assert!(matches!(err, CcError::Params(ParamError::BadEps(_))));
+        let tiny = Graph::from_edges(1, &[]);
+        let err = SolverBuilder::new(tiny).build().unwrap_err();
+        assert!(matches!(err, CcError::Params(ParamError::BadN(1))));
+        let err = SolverBuilder::new(g)
+            .profile(ParamProfile::Paper { levels: 0 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CcError::Params(ParamError::BadLevels(0))));
+    }
+
+    #[test]
+    fn repeated_apsp_queries_are_free() {
+        let g = generators::caveman(6, 6);
+        let mut solver = SolverBuilder::new(g)
+            .execution(Execution::Seeded(3))
+            .build()
+            .unwrap();
+        let first = solver.apsp_2eps().unwrap();
+        let rounds_after_first = solver.total_rounds();
+        assert!(rounds_after_first > 0);
+        let second = solver.apsp_2eps().unwrap();
+        assert_eq!(first.estimates, second.estimates);
+        assert_eq!(solver.total_rounds(), rounds_after_first);
+    }
+
+    #[test]
+    fn query_reflects_computed_estimates() {
+        let g = generators::grid(6, 6);
+        let mut solver = SolverBuilder::new(g.clone())
+            .eps(0.25)
+            .execution(Execution::Deterministic)
+            .build()
+            .unwrap();
+        assert_eq!(solver.query(0, 5), None, "nothing computed yet");
+        solver.apsp_near_additive().unwrap();
+        let exact = bfs::apsp_exact(&g);
+        for v in 1..g.n() {
+            let est = solver.query(0, v).expect("estimate cached");
+            assert!(est >= exact[0][v]);
+        }
+        assert_eq!(solver.query(99, 0), None, "out of range is None");
+    }
+
+    #[test]
+    fn mssp_is_memoized_per_source_set() {
+        let g = generators::cycle(36);
+        let mut solver = SolverBuilder::new(g)
+            .execution(Execution::Seeded(2))
+            .build()
+            .unwrap();
+        let a = solver.mssp(&[0, 9, 18]).unwrap();
+        let rounds = solver.total_rounds();
+        let b = solver.mssp(&[0, 9, 18]).unwrap();
+        assert_eq!(a.estimates, b.estimates);
+        assert_eq!(solver.total_rounds(), rounds, "repeat is free");
+        let _ = solver.mssp(&[1, 2]).unwrap();
+        assert!(solver.total_rounds() > rounds, "new source set runs");
+        let err = solver.mssp(&[]).unwrap_err();
+        assert!(matches!(err, CcError::Mssp(MsspError::NoSources)));
+    }
+
+    #[test]
+    fn deterministic_sessions_reproduce() {
+        let g = generators::caveman(6, 6);
+        let run = || {
+            let mut solver = SolverBuilder::new(g.clone())
+                .eps(0.25)
+                .execution(Execution::Deterministic)
+                .build()
+                .unwrap();
+            solver.apsp_near_additive().unwrap().estimates
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -216,7 +216,11 @@ mod tests {
         let universe = 128;
         let k = 16;
         let sets: Vec<Vec<usize>> = (0..60)
-            .map(|i| (0..k).map(|j| (i * 7 + j * 11) % universe).collect::<Vec<_>>())
+            .map(|i| {
+                (0..k)
+                    .map(|j| (i * 7 + j * 11) % universe)
+                    .collect::<Vec<_>>()
+            })
             .map(|mut s: Vec<usize>| {
                 s.sort_unstable();
                 s.dedup();

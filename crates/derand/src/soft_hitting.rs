@@ -140,7 +140,8 @@ impl SoftHittingInstance {
 
     /// The normalization `χ = N / (Δ² |L|)` of Thm 57.
     fn chi(&self) -> f64 {
-        self.universe as f64 / (self.delta as f64 * self.delta as f64 * self.sets.len().max(1) as f64)
+        self.universe as f64
+            / (self.delta as f64 * self.delta as f64 * self.sets.len().max(1) as f64)
     }
 
     fn ell(&self) -> u32 {

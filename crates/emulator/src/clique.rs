@@ -385,7 +385,10 @@ mod tests {
         let mut ledger = RoundLedger::new(400);
         let _ = build(&g, &cfg, &mut r, &mut ledger);
         let total = ledger.total_rounds() as f64;
-        assert!(total < 3.0 * formula, "rounds = {total}, formula ≈ {formula}");
+        assert!(
+            total < 3.0 * formula,
+            "rounds = {total}, formula ≈ {formula}"
+        );
         // The scaled profile tempers the constant by 4×.
         let mut ledger2 = RoundLedger::new(400);
         let cfg2 = CliqueEmulatorConfig::scaled(cfg.params.clone());

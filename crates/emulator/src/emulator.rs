@@ -112,9 +112,7 @@ impl Emulator {
             lower_violations,
             missed,
             worst_pair,
-            within_bounds: lower_violations == 0
-                && missed == 0
-                && max_add_err <= add_bound + 1e-6,
+            within_bounds: lower_violations == 0 && missed == 0 && max_add_err <= add_bound + 1e-6,
         }
     }
 }

@@ -57,10 +57,7 @@ pub fn build_with_levels(g: &Graph, params: &EmulatorParams, levels: Vec<u8>) ->
         if i < r {
             // Dense: one edge to the closest S_{i+1} vertex (ties by id via
             // the ball's (dist, id) order).
-            if let Some(&(c, d)) = ball
-                .iter()
-                .find(|&&(u, _)| levels[u as usize] as usize > i)
-            {
+            if let Some(&(c, d)) = ball.iter().find(|&&(u, _)| levels[u as usize] as usize > i) {
                 add(v, c as usize, d);
                 continue;
             }
@@ -105,10 +102,7 @@ mod tests {
             let params = params_of(g.n());
             let emu = build(&g, &params, &mut r);
             let report = emu.verify(&g, &params);
-            assert!(
-                report.within_bounds,
-                "{name}: {report:?}"
-            );
+            assert!(report.within_bounds, "{name}: {report:?}");
         }
     }
 

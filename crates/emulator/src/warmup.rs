@@ -191,7 +191,10 @@ mod tests {
         for (name, g) in [
             ("grid", cc_graphs::generators::grid(9, 9)),
             ("caveman", cc_graphs::generators::caveman(10, 8)),
-            ("gnp", cc_graphs::generators::connected_gnp(90, 0.06, &mut r)),
+            (
+                "gnp",
+                cc_graphs::generators::connected_gnp(90, 0.06, &mut r),
+            ),
         ] {
             let params = WarmupParams::paper(g.n(), 0.34);
             let emu = build(&g, &params, &mut r);

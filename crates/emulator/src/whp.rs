@@ -59,7 +59,13 @@ pub fn build(
     let lll = model::log2_ceil(model::log2_ceil(model::log2_ceil(n as u64).max(2)).max(2)).max(1);
     phase.charge("announce levels of all runs", lll);
 
-    let kn = KNearest::compute(g, config.k, params.delta(r), Strategy::TruncatedBfs, &mut phase);
+    let kn = KNearest::compute(
+        g,
+        config.k,
+        params.delta(r),
+        Strategy::TruncatedBfs,
+        &mut phase,
+    );
 
     // Evaluate each run (one aggregation round per run batch: the per-run
     // counters travel to distinct referee vertices in parallel — 2 rounds).
@@ -182,8 +188,11 @@ mod tests {
         let _ = build(&g, &cfg, &mut rng, &mut l_whp);
         let mut l_single = RoundLedger::new(96);
         let _ = clique::build(&g, &cfg, &mut rng, &mut l_single);
+        // A recomputation-per-run bug would cost ~runs× (14× here); allow a
+        // generous constant factor for sampling variance between the two
+        // builds' level draws.
         assert!(
-            l_whp.total_rounds() <= l_single.total_rounds() + 16,
+            l_whp.total_rounds() <= 2 * l_single.total_rounds(),
             "whp {} vs single {}",
             l_whp.total_rounds(),
             l_single.total_rounds()

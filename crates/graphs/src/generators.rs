@@ -299,7 +299,10 @@ pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
         ("cycle", cycle(n.max(3))),
         ("grid", grid(side.max(2), side.max(2))),
         ("caveman", caveman((n / 8).max(3), 8)),
-        ("pref-attach", preferential_attachment(n.max(4), 3, &mut rng)),
+        (
+            "pref-attach",
+            preferential_attachment(n.max(4), 3, &mut rng),
+        ),
         ("tree", random_tree(n, &mut rng)),
     ]
 }
@@ -379,7 +382,11 @@ mod tests {
     fn preferential_attachment_is_connected_with_hubs() {
         let g = preferential_attachment(200, 2, &mut rng(3));
         assert!(g.is_connected());
-        assert!(g.max_degree() >= 8, "expected hubs, max degree {}", g.max_degree());
+        assert!(
+            g.max_degree() >= 8,
+            "expected hubs, max degree {}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -232,7 +232,11 @@ mod tests {
     fn missed_pairs_detected() {
         let g = generators::path(4);
         let exact = bfs::apsp_exact(&g);
-        let report = evaluate(&exact, |u, v| if u == 0 && v == 3 { INF } else { exact[u][v] }, 0.0);
+        let report = evaluate(
+            &exact,
+            |u, v| if u == 0 && v == 3 { INF } else { exact[u][v] },
+            0.0,
+        );
         assert_eq!(report.missed, 1);
     }
 

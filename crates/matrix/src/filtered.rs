@@ -156,7 +156,7 @@ mod tests {
         let mut ledger = RoundLedger::new(8);
         let m = knearest_matrix(&g, 3, 1, &mut ledger);
         assert_eq!(ledger.total_rounds(), 0); // no products needed
-        // Center keeps itself + 2 smallest leaves.
+                                              // Center keeps itself + 2 smallest leaves.
         assert_eq!(m.row(0).len(), 3);
     }
 

@@ -196,7 +196,10 @@ fn full_knearest_sets(kn: &KNearest, n: usize, k: usize) -> Vec<(usize, Vec<usiz
         .map(|v| {
             (
                 v,
-                kn.list(v).iter().map(|&(c, _)| c as usize).collect::<Vec<_>>(),
+                kn.list(v)
+                    .iter()
+                    .map(|&(c, _)| c as usize)
+                    .collect::<Vec<_>>(),
             )
         })
         .collect()
@@ -413,7 +416,11 @@ mod tests {
         let hs = build_randomized(&g, params, &mut rng, &mut ledger);
         let exact = cc_graphs::bfs::apsp_exact(&g);
         for (u, v, w) in hs.edges.edges() {
-            assert!(w >= exact[u][v], "edge ({u},{v}) weight {w} < {}", exact[u][v]);
+            assert!(
+                w >= exact[u][v],
+                "edge ({u},{v}) weight {w} < {}",
+                exact[u][v]
+            );
         }
     }
 }

@@ -45,12 +45,20 @@ impl KNearest {
     /// # Panics
     ///
     /// Panics if `k == 0`.
-    pub fn compute(g: &Graph, k: usize, d: Dist, strategy: Strategy, ledger: &mut RoundLedger) -> Self {
+    pub fn compute(
+        g: &Graph,
+        k: usize,
+        d: Dist,
+        strategy: Strategy,
+        ledger: &mut RoundLedger,
+    ) -> Self {
         assert!(k > 0, "k must be positive");
         let n = g.n();
         ledger.charge("(k,d)-nearest", Self::rounds(n, k, d));
         let lists: Vec<Vec<(u32, Dist)>> = match strategy {
-            Strategy::TruncatedBfs => (0..n).map(|v| bfs::knearest_reference(g, v, k, d)).collect(),
+            Strategy::TruncatedBfs => (0..n)
+                .map(|v| bfs::knearest_reference(g, v, k, d))
+                .collect(),
             Strategy::Filtered => {
                 // The per-product charges of the matrix path are replaced by
                 // the single Thm 10 aggregate above, so use a scratch ledger.

@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let universe = 512;
     let delta = 16;
     let sets: Vec<Vec<usize>> = (0..160)
-        .map(|i| (0..delta + i % 8).map(|j| (i * 13 + j * 29) % universe).collect::<Vec<_>>())
+        .map(|i| {
+            (0..delta + i % 8)
+                .map(|j| (i * 13 + j * 29) % universe)
+                .collect::<Vec<_>>()
+        })
         .map(|mut s| {
             s.sort_unstable();
             s.dedup();
@@ -53,17 +57,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         l1.total_rounds()
     );
 
-    // 3. Deterministic (2+ε)-APSP (Thm 53).
-    let acfg = Apsp2Config::scaled(g.n(), 0.5)?;
-    let mut l3 = RoundLedger::new(g.n());
-    let out = apsp2::run_deterministic(&g, &acfg, &mut l3);
+    // 3. Deterministic (2+ε)-APSP (Thm 53) through a deterministic Solver
+    //    session: two sessions must agree bit-for-bit.
+    let mut solver = SolverBuilder::new(g.clone())
+        .eps(0.5)
+        .execution(Execution::Deterministic)
+        .build()?;
+    let out = solver.apsp_2eps()?;
+    let mut solver2 = SolverBuilder::new(g.clone())
+        .eps(0.5)
+        .execution(Execution::Deterministic)
+        .build()?;
+    assert_eq!(
+        out.estimates,
+        solver2.apsp_2eps()?.estimates,
+        "deterministic sessions must reproduce"
+    );
     let exact = bfs::apsp_exact(&g);
     let report = stretch::evaluate_range(&exact, out.estimates.as_fn(), 0.0, 1, out.t);
     println!(
         "deterministic (2+eps)-APSP: max stretch {:.3} (guarantee {:.1}), rounds = {}",
         report.max_multiplicative,
         out.short_range_guarantee,
-        l3.total_rounds()
+        solver.total_rounds()
     );
     assert!(report.max_multiplicative <= out.short_range_guarantee);
     Ok(())

@@ -26,7 +26,10 @@ fn main() {
         "broadcast:   rounds = {}, messages = {}, everyone informed = {}",
         stats.rounds,
         stats.messages,
-        engine.nodes().iter().all(|p| p.received() == Some(0xC0FFEE))
+        engine
+            .nodes()
+            .iter()
+            .all(|p| p.received() == Some(0xC0FFEE))
     );
 
     // 2. Min aggregation: two rounds via a root node.
@@ -49,7 +52,10 @@ fn main() {
             DistributedBfs::new(
                 NodeId::new(v),
                 NodeId::new(0),
-                g.neighbors(v).iter().map(|&u| NodeId::new(u as usize)).collect(),
+                g.neighbors(v)
+                    .iter()
+                    .map(|&u| NodeId::new(u as usize))
+                    .collect(),
                 None,
             )
         })

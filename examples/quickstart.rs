@@ -1,12 +1,10 @@
-//! Quickstart: (2+ε)-approximate APSP on a clustered graph.
+//! Quickstart: a `Solver` session answering (2+ε)-APSP and point queries.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use congested_clique::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), CcError> {
     // A "caveman" graph: 12 cliques of 8 vertices in a ring — dense local
     // neighborhoods, large diameter. The kind of input where both the
     // short-range tool-kit and the emulator earn their keep.
@@ -18,11 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bfs::diameter(&g)
     );
 
-    let mut rng = ChaCha8Rng::seed_from_u64(2020);
-    let mut ledger = RoundLedger::new(g.n());
+    // One session: configured once, substrates cached across queries.
+    let mut solver = SolverBuilder::new(g.clone())
+        .eps(0.5)
+        .execution(Execution::Seeded(2020))
+        .build()?;
 
-    let cfg = Apsp2Config::scaled(g.n(), 0.5)?;
-    let result = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+    let result = solver.apsp_2eps()?;
 
     // Compare against exact ground truth.
     let exact = bfs::apsp_exact(&g);
@@ -37,6 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(report.lower_violations, 0);
 
-    println!("\nsimulated Congested Clique cost:\n{}", ledger.report());
+    // Point queries over the cached estimates are free — no further rounds.
+    let rounds_after_apsp = solver.total_rounds();
+    let d = solver.query(0, g.n() - 1).expect("estimate cached");
+    assert_eq!(solver.total_rounds(), rounds_after_apsp);
+    println!("cached point query d(0, {}) = {d}", g.n() - 1);
+
+    // A second identical query is also free (memoized result).
+    let _ = solver.apsp_2eps()?;
+    assert_eq!(solver.total_rounds(), rounds_after_apsp);
+
+    println!(
+        "\nsimulated Congested Clique cost:\n{}",
+        solver.ledger().report()
+    );
     Ok(())
 }

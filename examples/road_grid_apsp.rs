@@ -4,15 +4,15 @@
 //! apart, and there the near-additive guarantee `(1+ε)d + β` approaches a
 //! pure `(1+ε)` — much better than a multiplicative `(2+ε)`. This example
 //! reproduces that crossover (the paper's motivation for Question 2) by
-//! bucketing approximation quality by true distance.
+//! bucketing approximation quality by true distance. Both pipelines run in
+//! one `Solver` session, so the `(2+ε)` query reuses the emulator the
+//! near-additive query already built.
 //!
 //! Run with: `cargo run --release --example road_grid_apsp`
 
 use congested_clique::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), CcError> {
     let g = generators::grid(24, 24);
     println!(
         "road grid: n = {}, m = {}, diameter = {}",
@@ -20,18 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.m(),
         bfs::diameter(&g)
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
     let exact = bfs::apsp_exact(&g);
 
-    // Near-additive (1+ε, β)-APSP.
-    let add_cfg = AdditiveApspConfig::scaled(g.n(), 0.25)?;
-    let mut add_ledger = RoundLedger::new(g.n());
-    let additive = apsp_additive::run(&g, &add_cfg, &mut rng, &mut add_ledger);
+    let mut solver = SolverBuilder::new(g.clone())
+        .eps(0.25)
+        .execution(Execution::Seeded(7))
+        .build()?;
 
-    // Multiplicative (2+ε)-APSP.
-    let mul_cfg = Apsp2Config::scaled(g.n(), 0.25)?;
-    let mut mul_ledger = RoundLedger::new(g.n());
-    let multiplicative = apsp2::run(&g, &mul_cfg, &mut rng, &mut mul_ledger);
+    // Near-additive (1+ε, β)-APSP, then multiplicative (2+ε)-APSP through
+    // the same session — the emulator is constructed exactly once.
+    let additive = solver.apsp_near_additive()?;
+    let rounds_additive = solver.total_rounds();
+    let multiplicative = solver.apsp_2eps()?;
+    let rounds_both = solver.total_rounds();
 
     println!("\n  distance bucket | additive mean stretch | (2+eps) mean stretch");
     let add_buckets = stretch::bucketed_profile(&exact, additive.estimates.as_fn());
@@ -46,14 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!(
-        "\nadditive APSP rounds: {}   (2+eps) APSP rounds: {}",
-        add_ledger.total_rounds(),
-        mul_ledger.total_rounds()
+        "\nadditive APSP rounds: {rounds_additive}   (2+eps) on top (emulator reused): {}",
+        rounds_both - rounds_additive
     );
     println!(
         "additive guarantee: (1+{:.2})·d + {:.0}",
         additive.multiplicative_bound - 1.0,
         additive.additive_bound
     );
+    println!("\nper-phase cost:\n{}", solver.ledger().report());
     Ok(())
 }

@@ -4,7 +4,9 @@
 //! A preferential-attachment graph stands in for a social network (heavy
 //! hubs, small diameter). A √n-sized set of "landmark" vertices — the use
 //! case the paper's MSSP theorem targets — learns (1+ε)-approximate
-//! distances to everyone in poly(log log n) simulated rounds.
+//! distances to everyone in poly(log log n) simulated rounds. A second
+//! landmark batch through the same `Solver` session reuses the emulator and
+//! hopset the first batch built.
 //!
 //! Run with: `cargo run --release --example social_network_mssp`
 
@@ -12,24 +14,33 @@ use congested_clique::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), CcError> {
     let n = 600;
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let g = generators::preferential_attachment(n, 3, &mut rng);
-    println!("social graph: n = {}, m = {}, max degree = {}", g.n(), g.m(), g.max_degree());
+    println!(
+        "social graph: n = {}, m = {}, max degree = {}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
 
     // Landmarks: the ⌈√n⌉ highest-degree vertices (hubs).
     let mut by_degree: Vec<usize> = (0..n).collect();
     by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
     let landmarks: Vec<usize> = by_degree
-        .into_iter()
+        .iter()
+        .copied()
         .take((n as f64).sqrt().ceil() as usize)
         .collect();
     println!("landmarks: {} hubs", landmarks.len());
 
-    let cfg = MsspConfig::scaled(n, 0.25)?;
-    let mut ledger = RoundLedger::new(n);
-    let out = mssp::run(&g, &landmarks, &cfg, &mut rng, &mut ledger)?;
+    let mut solver = SolverBuilder::new(g.clone())
+        .eps(0.25)
+        .execution(Execution::Seeded(99))
+        .build()?;
+    let out = solver.mssp(&landmarks)?;
+    let rounds_first = solver.total_rounds();
 
     // Validate against exact BFS for every landmark.
     let mut worst: f64 = 1.0;
@@ -49,8 +60,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "checked {checked} landmark-vertex pairs: worst stretch {:.4} (short-range guarantee 1+ε = {:.2})",
         worst,
-        1.0 + cfg.eps
+        1.0 + solver.eps()
     );
-    println!("\nsimulated Congested Clique cost:\n{}", ledger.report());
+
+    // A fresh landmark batch (the next ⌈√n⌉ hubs) reuses the substrates:
+    // only the per-query source detection charges new rounds.
+    let second_batch: Vec<usize> = by_degree
+        .iter()
+        .copied()
+        .skip(landmarks.len())
+        .take(landmarks.len())
+        .collect();
+    let _ = solver.mssp(&second_batch)?;
+    println!(
+        "second landmark batch: {} new rounds (first batch cost {rounds_first})",
+        solver.total_rounds() - rounds_first
+    );
+
+    println!(
+        "\nsimulated Congested Clique cost:\n{}",
+        solver.ledger().report()
+    );
     Ok(())
 }

@@ -17,30 +17,36 @@
 //! graph algorithms ([`graphs`]) and baselines ([`baselines`]).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the architecture and
-//! simulation methodology, and `EXPERIMENTS.md` for the paper-vs-measured
-//! results of every theorem-level claim.
+//! simulation methodology, and `EXPERIMENTS.md` for the experiment index.
 //!
 //! ## Quickstart
 //!
+//! The [`core::Solver`] session API is the front door: configure a session
+//! once, then issue queries that share the cached emulator and hopsets.
+//!
 //! ```
 //! use congested_clique::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! // A graph with dense local clusters and a large diameter.
 //! let g = generators::caveman(8, 8);
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-//! let mut ledger = RoundLedger::new(g.n());
+//! let mut solver = SolverBuilder::new(g.clone())
+//!     .eps(0.5)
+//!     .execution(Execution::Seeded(7))
+//!     .build()?;
 //!
 //! // (2+ε)-approximate all-pairs shortest paths, ε = 0.5.
-//! let cfg = Apsp2Config::scaled(g.n(), 0.5)?;
-//! let apsp = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
-//!
+//! let apsp = solver.apsp_2eps()?;
 //! let exact = bfs::apsp_exact(&g);
 //! let est = apsp.estimates.get(0, 40);
 //! assert!(est >= exact[0][40]);
 //! assert!(est as f64 <= 2.5 * exact[0][40] as f64);
-//! println!("simulated rounds: {}", ledger.total_rounds());
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//!
+//! // Follow-up queries reuse the substrates; point lookups are free.
+//! let landmarks = solver.mssp(&[0, 16, 32])?;
+//! assert_eq!(landmarks.dist(0, 0), 0);
+//! assert!(solver.query(0, 40).is_some());
+//! println!("simulated rounds: {}", solver.total_rounds());
+//! # Ok::<(), congested_clique::core::CcError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -64,7 +70,10 @@ pub mod prelude {
     pub use cc_core::apsp3::{self, Apsp3Config};
     pub use cc_core::apsp_additive::{self, AdditiveApspConfig};
     pub use cc_core::mssp::{self, MsspConfig};
-    pub use cc_core::DistanceMatrix;
+    pub use cc_core::{
+        Algorithm, AlgorithmOutput, CcError, DistanceMatrix, Execution, ParamProfile, Solver,
+        SolverBuilder,
+    };
     pub use cc_emulator::clique::CliqueEmulatorConfig;
     pub use cc_emulator::{Emulator, EmulatorParams};
     pub use cc_graphs::{bfs, generators, stretch, Dist, Graph, WeightedGraph, INF};

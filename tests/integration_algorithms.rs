@@ -1,0 +1,87 @@
+#![allow(clippy::needless_range_loop)]
+//! Every APSP-class algorithm in the workspace — the paper's pipelines and
+//! all four baselines — driven through the shared `Algorithm` interface.
+
+use congested_clique::baselines::{FullGather, MatrixSquaring, PolylogApsp, SpannerApsp};
+use congested_clique::core::algorithm::{NearAdditiveApsp, ThreePlusEpsApsp, TwoPlusEpsApsp};
+use congested_clique::prelude::*;
+
+fn portfolio() -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(NearAdditiveApsp { eps: 0.25 }),
+        Box::new(TwoPlusEpsApsp { eps: 0.5 }),
+        Box::new(ThreePlusEpsApsp { eps: 0.5 }),
+        Box::new(FullGather),
+        Box::new(MatrixSquaring),
+        Box::new(SpannerApsp { k: 2 }),
+        Box::new(PolylogApsp { eps: 0.5 }),
+    ]
+}
+
+#[test]
+fn every_algorithm_upper_bounds_true_distances() {
+    let g = generators::caveman(6, 6);
+    let exact = bfs::apsp_exact(&g);
+    for alg in portfolio() {
+        let mut ledger = RoundLedger::new(g.n());
+        let out = alg
+            .run(&g, Execution::Seeded(17), &mut ledger)
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert_eq!(out.estimates.len(), g.n(), "{}", alg.name());
+        assert!(ledger.total_rounds() > 0, "{}", alg.name());
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert!(
+                    out.estimates[u][v] >= exact[u][v],
+                    "{} undercuts at ({u},{v})",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn guarantees_are_honest_on_connected_inputs() {
+    // For each algorithm, measured error never exceeds the declared
+    // (mult, add) guarantee on the pairs it covers. The multiplicative
+    // pipelines' guarantee applies to their short range; the cycle's small
+    // diameter at this size keeps every pair in range except for the
+    // long-range emulator regime, which the additive slack absorbs.
+    let g = generators::caveman(5, 5);
+    let exact = bfs::apsp_exact(&g);
+    for alg in portfolio() {
+        let mut ledger = RoundLedger::new(g.n());
+        let out = alg.run(&g, Execution::Seeded(3), &mut ledger).unwrap();
+        let (mult, add) = out.guarantee;
+        assert!(mult >= 1.0 && add >= 0.0, "{}", alg.name());
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                if u == v {
+                    continue;
+                }
+                let est = out.estimates[u][v] as f64;
+                let d = exact[u][v] as f64;
+                assert!(
+                    est <= mult * d + add + 1e-9,
+                    "{}: δ({u},{v}) = {est} exceeds {mult}·{d} + {add}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_algorithms_agree_with_each_other() {
+    let g = generators::grid(6, 6);
+    let mut l1 = RoundLedger::new(g.n());
+    let a = FullGather
+        .run(&g, Execution::Deterministic, &mut l1)
+        .unwrap();
+    let mut l2 = RoundLedger::new(g.n());
+    let b = MatrixSquaring
+        .run(&g, Execution::Deterministic, &mut l2)
+        .unwrap();
+    assert_eq!(a.estimates, b.estimates);
+}

@@ -26,10 +26,7 @@ fn all_four_constructions_meet_their_bounds() {
         let add = params.clique_additive_bound(cfg.eps_prime);
 
         let emu_ideal = ideal::build(&g, &params, &mut rng);
-        assert!(
-            emu_ideal.verify(&g, &params).within_bounds,
-            "{name}: ideal"
-        );
+        assert!(emu_ideal.verify(&g, &params).within_bounds, "{name}: ideal");
 
         let mut ledger = RoundLedger::new(g.n());
         let emu_clique = clique::build(&g, &cfg, &mut rng, &mut ledger);

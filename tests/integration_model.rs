@@ -20,7 +20,10 @@ fn distributed_bfs_matches_centralized_on_random_graphs() {
                 DistributedBfs::new(
                     NodeId::new(v),
                     NodeId::new(src),
-                    g.neighbors(v).iter().map(|&u| NodeId::new(u as usize)).collect(),
+                    g.neighbors(v)
+                        .iter()
+                        .map(|&u| NodeId::new(u as usize))
+                        .collect(),
                     None,
                 )
             })
@@ -38,7 +41,12 @@ fn distributed_bfs_matches_centralized_on_random_graphs() {
         }
         // Rounds track eccentricity, not n.
         let ecc = bfs::eccentricity(&g, src) as u64;
-        assert!(stats.rounds <= ecc + 4, "rounds {} ecc {}", stats.rounds, ecc);
+        assert!(
+            stats.rounds <= ecc + 4,
+            "rounds {} ecc {}",
+            stats.rounds,
+            ecc
+        );
     }
 }
 
@@ -115,7 +123,7 @@ fn ledger_breakdown_is_complete() {
     let g = generators::caveman(6, 6);
     let cfg = Apsp2Config::new(g.n(), 0.5, 2).expect("valid");
     let mut ledger = RoundLedger::new(g.n());
-    let _ = apsp2::run(&g, &cfg, &mut rng, &mut ledger);
+    let _ = apsp2::run(&g, &cfg, &mut rng, &mut ledger).expect("apsp2");
     let by_phase: u64 = ledger.by_phase().values().sum();
     assert_eq!(by_phase, ledger.total_rounds());
     assert!(ledger.report().contains("apsp2"));

@@ -35,11 +35,8 @@ fn mssp_one_plus_eps_across_families_and_source_patterns() {
         let n = g.n();
         let cfg = MsspConfig::new(n, 0.5, 2).expect("valid");
         // Three source patterns: spread, clustered, single.
-        let patterns: Vec<Vec<usize>> = vec![
-            (0..n).step_by(9).collect(),
-            (0..6).collect(),
-            vec![n / 2],
-        ];
+        let patterns: Vec<Vec<usize>> =
+            vec![(0..n).step_by(9).collect(), (0..6).collect(), vec![n / 2]];
         for (pi, sources) in patterns.iter().enumerate() {
             let mut ledger = RoundLedger::new(n);
             let out = mssp::run(&g, sources, &cfg, &mut rng, &mut ledger)
