@@ -11,9 +11,14 @@
 //! * [`engine`] — a genuine synchronous message-passing simulator. Nodes are
 //!   [`engine::NodeProgram`] state machines and the engine enforces the model's
 //!   bandwidth constraints (one message per ordered pair per round, bounded
-//!   message width). The [`programs`] module contains real distributed
-//!   programs (broadcast, all-to-all, hop-limited BFS, two-phase routing) used
-//!   to validate the model and to ground the cost constants.
+//!   message width). Messages flow through a flat, preallocated
+//!   double-buffered mailbox (zero steady-state allocation, `O(1)` model
+//!   checks, a store-once broadcast fast path) and node execution can be
+//!   sharded across threads with bit-identical results
+//!   ([`engine::EngineConfig::threads`]). The [`programs`] module contains
+//!   real distributed programs (broadcast, all-to-all, hop-limited BFS,
+//!   two-phase routing) used to validate the model and to ground the cost
+//!   constants.
 //! * [`cost`] — a round/message ledger ([`cost::RoundLedger`]) together with
 //!   the documented round-cost formulas ([`cost::model`]) of the communication
 //!   primitives used by Dory–Parter (PODC 2020) and the prior work it builds
@@ -53,7 +58,7 @@ pub mod node;
 pub mod programs;
 
 pub use cost::{model, RoundLedger};
-pub use engine::{Engine, EngineConfig, NodeProgram, RoundCtx, RunStats};
+pub use engine::{Delivery, Engine, EngineConfig, InboxIter, NodeProgram, RoundCtx, RunStats};
 pub use error::EngineError;
-pub use message::{Envelope, Message};
+pub use message::Message;
 pub use node::NodeId;

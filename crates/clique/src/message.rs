@@ -1,6 +1,20 @@
-//! Messages and envelopes exchanged by the message engine.
+//! Messages exchanged by the message engine.
 
-use crate::node::NodeId;
+/// Payload words stored inline when they fit in the common case.
+///
+/// The engine's default bandwidth budget is 4 words
+/// ([`crate::EngineConfig::max_words`]), so almost every legal message fits
+/// inline and carries no heap allocation; larger payloads (used by tests that
+/// probe bandwidth enforcement) spill to a `Vec`.
+const INLINE_WORDS: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Payload {
+    /// `len ≤ INLINE_WORDS` words stored in place; unused slots are zero.
+    Inline { len: u8, words: [u64; INLINE_WORDS] },
+    /// Oversized payloads (beyond the inline budget) on the heap.
+    Heap(Vec<u64>),
+}
 
 /// A single Congested Clique message.
 ///
@@ -11,6 +25,11 @@ use crate::node::NodeId;
 /// the simulator's concrete rendering of the model's `O(log n)`-bit bandwidth
 /// constraint.
 ///
+/// Payloads of at most four words (every message within the default
+/// bandwidth budget) are stored inline, so constructing, cloning, and
+/// delivering such messages performs no heap allocation — the property the
+/// flat-mailbox engine relies on for allocation-free steady-state rounds.
+///
 /// # Example
 ///
 /// ```
@@ -20,31 +39,57 @@ use crate::node::NodeId;
 /// assert_eq!(msg.words(), &[42, 7]);
 /// assert_eq!(msg.word_count(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Debug)]
 pub struct Message {
     tag: u16,
-    words: Vec<u64>,
+    payload: Payload,
 }
 
 impl Message {
     /// Creates a message with the given protocol tag and payload words.
     pub fn new(tag: u16, words: Vec<u64>) -> Self {
-        Message { tag, words }
+        let payload = if words.len() <= INLINE_WORDS {
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(&words);
+            Payload::Inline {
+                len: words.len() as u8,
+                words: inline,
+            }
+        } else {
+            Payload::Heap(words)
+        };
+        Message { tag, payload }
     }
 
-    /// Creates a message carrying a single word.
+    /// Creates a message carrying a single word (allocation-free).
     pub fn word(tag: u16, word: u64) -> Self {
+        let mut words = [0u64; INLINE_WORDS];
+        words[0] = word;
         Message {
             tag,
-            words: vec![word],
+            payload: Payload::Inline { len: 1, words },
         }
     }
 
-    /// Creates an empty (signal-only) message.
+    /// Creates a message carrying two words (allocation-free).
+    pub fn pair(tag: u16, a: u64, b: u64) -> Self {
+        let mut words = [0u64; INLINE_WORDS];
+        words[0] = a;
+        words[1] = b;
+        Message {
+            tag,
+            payload: Payload::Inline { len: 2, words },
+        }
+    }
+
+    /// Creates an empty (signal-only) message (allocation-free).
     pub fn signal(tag: u16) -> Self {
         Message {
             tag,
-            words: Vec::new(),
+            payload: Payload::Inline {
+                len: 0,
+                words: [0u64; INLINE_WORDS],
+            },
         }
     }
 
@@ -55,33 +100,41 @@ impl Message {
 
     /// The payload words.
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.payload {
+            Payload::Inline { len, words } => &words[..*len as usize],
+            Payload::Heap(words) => words,
+        }
     }
 
     /// Number of payload words.
     pub fn word_count(&self) -> usize {
-        self.words.len()
+        match &self.payload {
+            Payload::Inline { len, .. } => *len as usize,
+            Payload::Heap(words) => words.len(),
+        }
     }
 
     /// First payload word, if present.
     pub fn first(&self) -> Option<u64> {
-        self.words.first().copied()
+        self.words().first().copied()
     }
 }
 
-/// A message together with its sender, as delivered to a node's inbox.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Envelope {
-    /// The node that sent the message.
-    pub from: NodeId,
-    /// The message itself.
-    pub msg: Message,
+// Equality and hashing go through the logical word slice so that an inline
+// and a (hypothetical) heap representation of the same payload compare equal
+// regardless of unused inline slots.
+impl PartialEq for Message {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag && self.words() == other.words()
+    }
 }
 
-impl Envelope {
-    /// Creates an envelope.
-    pub fn new(from: NodeId, msg: Message) -> Self {
-        Envelope { from, msg }
+impl Eq for Message {}
+
+impl std::hash::Hash for Message {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tag.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -105,9 +158,38 @@ mod tests {
     }
 
     #[test]
-    fn envelope_retains_sender() {
-        let e = Envelope::new(NodeId::new(4), Message::word(0, 99));
-        assert_eq!(e.from.index(), 4);
-        assert_eq!(e.msg.first(), Some(99));
+    fn pair_carries_two_words() {
+        let m = Message::pair(2, 10, 20);
+        assert_eq!(m.words(), &[10, 20]);
+    }
+
+    #[test]
+    fn inline_and_heap_agree() {
+        // ≤ 4 words stays inline, > 4 spills; the API is identical.
+        let small = Message::new(1, vec![1, 2, 3, 4]);
+        let big = Message::new(1, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(small.word_count(), 4);
+        assert_eq!(big.word_count(), 6);
+        assert_eq!(big.words()[5], 6);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        assert_eq!(Message::word(1, 7), Message::new(1, vec![7]));
+        assert_ne!(Message::word(1, 7), Message::word(2, 7));
+        assert_ne!(Message::word(1, 7), Message::word(1, 8));
+        assert_ne!(Message::signal(0), Message::word(0, 0));
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |m: &Message| {
+            let mut s = DefaultHasher::new();
+            m.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Message::word(1, 7)), h(&Message::new(1, vec![7])));
     }
 }

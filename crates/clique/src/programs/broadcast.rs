@@ -78,16 +78,17 @@ mod tests {
     use crate::engine::Engine;
 
     #[test]
-    fn completes_in_two_engine_steps() {
+    fn completes_in_one_round() {
         let n = 16;
         let nodes = (0..n)
             .map(|i| Broadcast::new(NodeId::new(i), NodeId::new(0), 7))
             .collect();
         let mut engine = Engine::new(nodes);
         let stats = engine.run().unwrap();
-        // One sending round plus one delivery round in engine terms; the
-        // model counts this as a single communication round.
-        assert_eq!(stats.rounds, 2);
+        // Exactly one communication round — the constant the ledger charges
+        // via `model::broadcast_one`; the engine's trailing drain step is
+        // free local computation (see `RunStats::rounds`).
+        assert_eq!(stats.rounds, 1);
         assert_eq!(stats.messages, (n - 1) as u64);
         for p in engine.nodes() {
             assert_eq!(p.received(), Some(7));

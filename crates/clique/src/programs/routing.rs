@@ -122,7 +122,7 @@ impl NodeProgram for TwoPhaseRouting {
                 used[inter.index()] = true;
                 ctx.send(
                     inter,
-                    Message::new(TAG_FORWARD, vec![w.dest.raw() as u64, w.payload]),
+                    Message::pair(TAG_FORWARD, w.dest.raw() as u64, w.payload),
                 );
             } else {
                 kept_out.push((inter, w));

@@ -1,0 +1,104 @@
+//! Property tests for the pure round-cost formulas in `cc_clique::cost::model`.
+//!
+//! The formulas are the contract between the algorithm layer (which charges
+//! them) and the paper's communication lemmas, so the integer helpers must be
+//! *exact*: `cbrt_ceil` and `log2_ceil` are checked against naive reference
+//! implementations over the full `u64` range (including near-`u64::MAX`
+//! saturation), and `learn_all` must be monotone in the word count.
+
+use cc_clique::cost::model;
+use proptest::prelude::*;
+
+/// Exact integer ceiling cube root via binary search in `u128` arithmetic.
+fn naive_cbrt_ceil(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1u64, 2_642_246u64); // 2642246³ > u64::MAX
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if (mid as u128).pow(3) >= x as u128 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Exact `⌈log₂ x⌉` by repeated doubling in `u128`.
+fn naive_log2_ceil(x: u64) -> u64 {
+    let mut count = 0u64;
+    let mut p = 1u128;
+    while p < x as u128 {
+        p *= 2;
+        count += 1;
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn cbrt_ceil_is_exact_everywhere(x in 0u64..u64::MAX) {
+        prop_assert_eq!(model::cbrt_ceil(x), naive_cbrt_ceil(x), "x = {}", x);
+    }
+
+    #[test]
+    fn cbrt_ceil_is_exact_near_saturation(delta in 0u64..1_000_000) {
+        let x = u64::MAX - delta;
+        prop_assert_eq!(model::cbrt_ceil(x), naive_cbrt_ceil(x), "x = {}", x);
+    }
+
+    #[test]
+    fn cbrt_ceil_brackets_perfect_cubes(r in 1u64..2_642_245) {
+        let cube = (r as u128).pow(3);
+        if cube <= u64::MAX as u128 {
+            let cube = cube as u64;
+            prop_assert_eq!(model::cbrt_ceil(cube), r);
+            prop_assert_eq!(model::cbrt_ceil(cube - 1), r);
+            if cube < u64::MAX {
+                prop_assert_eq!(model::cbrt_ceil(cube + 1), r + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn log2_ceil_matches_naive_loop(x in 0u64..u64::MAX) {
+        prop_assert_eq!(model::log2_ceil(x), naive_log2_ceil(x), "x = {}", x);
+    }
+
+    #[test]
+    fn log2_ceil_exact_at_powers(p in 1u32..64) {
+        let x = 1u64 << p;
+        prop_assert_eq!(model::log2_ceil(x), p as u64);
+        prop_assert_eq!(model::log2_ceil(x - 1), if p == 1 { 0 } else { p as u64 });
+        if p < 63 {
+            prop_assert_eq!(model::log2_ceil(x + 1), p as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn learn_all_is_monotone_in_k((k1, k2, n) in (0u64..1 << 40, 0u64..1 << 40, 1u64..1 << 20)) {
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(
+            model::learn_all(lo, n) <= model::learn_all(hi, n),
+            "learn_all({lo}, {n}) > learn_all({hi}, {n})"
+        );
+    }
+
+    #[test]
+    fn learn_all_dominates_gather((k, n) in (0u64..1 << 40, 1u64..1 << 20)) {
+        // Learning at all nodes can never be cheaper than one node gathering.
+        prop_assert!(model::learn_all(k, n) >= model::gather_to_one(k, n));
+    }
+}
+
+#[test]
+fn cbrt_ceil_saturation_endpoints() {
+    // The exact ceiling cube root of u64::MAX is 2642246 (2642245³ < MAX).
+    assert_eq!(model::cbrt_ceil(u64::MAX), 2_642_246);
+    assert_eq!(model::cbrt_ceil(2_642_245u64.pow(3)), 2_642_245);
+    assert_eq!(model::cbrt_ceil(2_642_245u64.pow(3) + 1), 2_642_246);
+}

@@ -95,6 +95,8 @@ pub fn build_with_levels(
     ledger: &mut RoundLedger,
 ) -> Emulator {
     let mut phase = ledger.enter("emulator");
+    // One communication round: every vertex broadcasts its level in
+    // parallel (grounded by the engine in `announce_round_is_grounded`).
     phase.charge_broadcast("announce level membership");
     let kn = KNearest::compute(
         g,
@@ -415,6 +417,33 @@ mod tests {
             }
             VertexPlan::Sparse { .. } => panic!("expected dense"),
         }
+    }
+
+    #[test]
+    fn announce_round_is_grounded() {
+        // `build_with_levels` charges `broadcast_one()` for announcing level
+        // membership: every vertex broadcasts its level simultaneously (one
+        // word each). Run that step as a real message-passing program: the
+        // engine reports exactly one communication round (its trailing drain
+        // step is free local computation — see `RunStats::rounds`) and
+        // n(n−1) delivered messages.
+        use cc_clique::cost::model;
+        use cc_clique::programs::AllGather;
+        use cc_clique::{Engine, NodeId};
+        let n = 24usize;
+        let params = EmulatorParams::new(n, 0.25, 2).unwrap();
+        let levels = params.sample_levels(&mut rng(3));
+        let nodes = levels
+            .iter()
+            .enumerate()
+            .map(|(v, &lvl)| AllGather::new(NodeId::new(v), vec![lvl as u64]))
+            .collect();
+        let mut engine = Engine::new(nodes);
+        let stats = engine.run().unwrap();
+        assert_eq!(stats.rounds, model::broadcast_one());
+        assert_eq!(stats.messages, (n * (n - 1)) as u64);
+        // Every node ends up knowing all n levels.
+        assert!(engine.nodes().iter().all(|p| p.collected().len() == n));
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum ParseError {
         /// The parse failure.
         source: ParseIntError,
     },
+    /// Both endpoints of an edge were the same vertex. The graphs in this
+    /// workspace are simple, so a self-loop in an input file is a data
+    /// error rather than something to drop silently.
+    SelfLoop {
+        /// 1-based line number.
+        line: usize,
+        /// The offending vertex.
+        vertex: usize,
+    },
 }
 
 impl std::fmt::Display for ParseError {
@@ -34,6 +43,12 @@ impl std::fmt::Display for ParseError {
             ParseError::BadVertex { line, source } => {
                 write!(f, "line {line}: invalid vertex: {source}")
             }
+            ParseError::SelfLoop { line, vertex } => {
+                write!(
+                    f,
+                    "line {line}: self-loop at vertex {vertex} (graphs are simple)"
+                )
+            }
         }
     }
 }
@@ -42,7 +57,7 @@ impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParseError::BadVertex { source, .. } => Some(source),
-            ParseError::BadArity { .. } => None,
+            ParseError::BadArity { .. } | ParseError::SelfLoop { .. } => None,
         }
     }
 }
@@ -61,9 +76,16 @@ pub fn to_edge_list(g: &Graph) -> String {
 /// Parses a `u v` edge list. Lines starting with `#` and blank lines are
 /// ignored; the vertex count is `max endpoint + 1` (or `min_n` if larger).
 ///
+/// Duplicate edges — including the same edge listed in both orientations,
+/// as many interchange formats do — are collapsed to a single undirected
+/// edge, so `from_edge_list` ∘ [`to_edge_list`] is the identity on graphs
+/// and [`to_edge_list`] ∘ `from_edge_list` canonicalizes any valid edge
+/// list (each edge once, `u < v`, as the `# n= m=` header claims).
+///
 /// # Errors
 ///
-/// Returns [`ParseError`] on malformed lines.
+/// Returns [`ParseError`] on malformed lines; self-loops are rejected with
+/// [`ParseError::SelfLoop`] because the workspace's graphs are simple.
 pub fn from_edge_list(text: &str, min_n: usize) -> Result<Graph, ParseError> {
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut max_v = 0usize;
@@ -84,6 +106,12 @@ pub fn from_edge_list(text: &str, min_n: usize) -> Result<Graph, ParseError> {
             line: idx + 1,
             source,
         })?;
+        if u == v {
+            return Err(ParseError::SelfLoop {
+                line: idx + 1,
+                vertex: u,
+            });
+        }
         max_v = max_v.max(u).max(v);
         edges.push((u, v));
     }
@@ -129,6 +157,43 @@ mod tests {
         let text = to_edge_list(&g);
         let back = from_edge_list(&text, 0).unwrap();
         assert_eq!(back, g);
+        // Text-level round trip: re-rendering the parsed graph reproduces
+        // the canonical text exactly (header included).
+        assert_eq!(to_edge_list(&back), text);
+    }
+
+    #[test]
+    fn header_claims_hold_on_canonical_output() {
+        let g = generators::caveman(4, 5);
+        let text = to_edge_list(&g);
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, format!("# n={} m={}", g.n(), g.m()));
+        // Every edge line satisfies u < v and appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines().skip(1) {
+            let mut it = line.split_whitespace();
+            let u: usize = it.next().unwrap().parse().unwrap();
+            let v: usize = it.next().unwrap().parse().unwrap();
+            assert!(u < v, "{line}");
+            assert!(seen.insert((u, v)), "duplicate {line}");
+        }
+        assert_eq!(seen.len(), g.m());
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        // The same edge repeated — including both orientations — parses to
+        // a single undirected edge, and re-rendering canonicalizes.
+        let g = from_edge_list("0 1\n1 0\n0 1\n1 2\n", 0).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(to_edge_list(&g), "# n=3 m=2\n0 1\n1 2\n");
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let err = from_edge_list("0 1\n2 2\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::SelfLoop { line: 2, vertex: 2 });
+        assert!(err.to_string().contains("self-loop"));
     }
 
     #[test]

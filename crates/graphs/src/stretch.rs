@@ -12,6 +12,11 @@ use crate::dist::{Dist, INF};
 /// Summary of estimate quality over a set of vertex pairs.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StretchReport {
+    /// The `ε` the additive residual was computed against (the residual is
+    /// `est − (1+ε)d`, so it is only meaningful for this ε). Recorded so
+    /// [`StretchReport::satisfies`] can reject validation against a
+    /// different ε than [`evaluate`] used.
+    pub eps: f64,
     /// Number of (ordered) pairs evaluated with finite true distance > 0.
     pub pairs: usize,
     /// Maximum `est/d` over evaluated pairs.
@@ -29,11 +34,16 @@ pub struct StretchReport {
 
 impl StretchReport {
     /// `true` when the report witnesses a `(1+ε, β)` guarantee.
+    ///
+    /// The residual column was computed against the ε passed to
+    /// [`evaluate`]; validating the same report against a *different* ε
+    /// would silently vouch for a guarantee that was never measured, so a
+    /// mismatched ε returns `false`.
     pub fn satisfies(&self, eps: f64, beta: f64) -> bool {
-        self.lower_violations == 0
+        (eps - self.eps).abs() <= 1e-12
+            && self.lower_violations == 0
             && self.missed == 0
             && self.max_additive_residual <= beta + 1e-9
-            && eps >= 0.0
     }
 
     /// `true` when the report witnesses a pure multiplicative `α` guarantee.
@@ -84,6 +94,7 @@ where
         }
     }
     StretchReport {
+        eps,
         pairs,
         max_multiplicative: max_mult,
         mean_multiplicative: if pairs > 0 {
@@ -238,6 +249,21 @@ mod tests {
             0.0,
         );
         assert_eq!(report.missed, 1);
+    }
+
+    #[test]
+    fn mismatched_eps_is_rejected() {
+        // Regression: `satisfies` used to ignore its ε argument entirely, so
+        // a report computed with one ε could "validate" any other ε ≥ 0.
+        let g = generators::path(10);
+        let exact = bfs::apsp_exact(&g);
+        let report = evaluate(&exact, |u, v| exact[u][v], 0.1);
+        assert!((report.eps - 0.1).abs() < 1e-15);
+        assert!(report.satisfies(0.1, 0.0));
+        // Same residuals, different claimed ε: must be rejected even with a
+        // generous β.
+        assert!(!report.satisfies(0.2, 100.0));
+        assert!(!report.satisfies(0.0, 100.0));
     }
 
     #[test]

@@ -52,15 +52,16 @@ fn distributed_bfs_matches_centralized_on_random_graphs() {
 
 #[test]
 fn broadcast_cost_constant_grounded_by_engine() {
-    // The ledger charges 1 round per broadcast; the engine realizes it in
-    // one communication round (2 engine steps: send + drain).
+    // The ledger charges 1 round per broadcast and the engine reports
+    // exactly that: `RunStats::rounds` counts communication rounds, with
+    // the trailing drain step free (local computation).
     let n = 32;
     let nodes = (0..n)
         .map(|i| Broadcast::new(NodeId::new(i), NodeId::new(0), 7))
         .collect();
     let mut engine = Engine::new(nodes);
     let stats = engine.run().unwrap();
-    assert_eq!(stats.rounds, 1 + model::broadcast_one());
+    assert_eq!(stats.rounds, model::broadcast_one());
     assert_eq!(stats.messages as usize, n - 1);
 }
 
@@ -80,6 +81,39 @@ fn aggregation_uses_receive_parallelism() {
 }
 
 #[test]
+fn sharded_execution_matches_serial_on_bfs() {
+    // The flat-mailbox engine's sharded mode must be bit-identical to
+    // serial execution: same RunStats, same program outputs.
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = generators::connected_gnp(60, 0.07, &mut rng);
+    let build = || -> Vec<DistributedBfs> {
+        (0..g.n())
+            .map(|v| {
+                DistributedBfs::new(
+                    NodeId::new(v),
+                    NodeId::new(3),
+                    g.neighbors(v)
+                        .iter()
+                        .map(|&u| NodeId::new(u as usize))
+                        .collect(),
+                    None,
+                )
+            })
+            .collect()
+    };
+    let mut serial = Engine::new(build());
+    let serial_stats = serial.run().expect("serial BFS");
+    for threads in [2, 4] {
+        let mut sharded = Engine::with_config(build(), EngineConfig::threaded(threads));
+        let stats = sharded.run().expect("sharded BFS");
+        assert_eq!(stats, serial_stats, "threads = {threads}");
+        for (a, b) in serial.nodes().iter().zip(sharded.nodes()) {
+            assert_eq!(a.distance(), b.distance());
+        }
+    }
+}
+
+#[test]
 fn round_limit_protects_against_nontermination() {
     struct Forever;
     impl congested_clique::clique::NodeProgram for Forever {
@@ -91,9 +125,8 @@ fn round_limit_protects_against_nontermination() {
     let mut engine = Engine::with_config(
         vec![Forever, Forever],
         EngineConfig {
-            max_words: 4,
             max_rounds: 5,
-            broadcast_only: false,
+            ..EngineConfig::default()
         },
     );
     assert!(engine.run().is_err());
