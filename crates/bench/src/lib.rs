@@ -1,7 +1,7 @@
 //! Experiment harness for the Dory–Parter reproduction.
 //!
 //! Each theorem-level claim of the paper maps to one experiment binary in
-//! `src/bin/` (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for
+//! `src/bin/` (see `DESIGN.md` §5 for the index and `EXPERIMENTS.md` for
 //! recorded results). This library provides the shared scaffolding: aligned
 //! text tables, seeded RNGs, and the standard graph suite.
 

@@ -32,7 +32,9 @@ use rand::Rng;
 
 use crate::error::CcError;
 use crate::estimates::DistanceMatrix;
+use crate::oracle::{DistOracle, Guarantee};
 use crate::pipeline::{self, Mode, Substrates};
+use cc_graphs::StorageKind;
 
 /// Configuration of the `(2+ε)` pipeline.
 #[derive(Clone, Debug)]
@@ -103,6 +105,21 @@ pub struct Apsp2 {
     pub high_degree_pivots: Vec<usize>,
     /// Low-degree pivot set `A`.
     pub low_degree_pivots: Vec<usize>,
+}
+
+impl Apsp2 {
+    /// The provenance every estimate of this result is served under.
+    pub fn guarantee(&self) -> Guarantee {
+        Guarantee::mult2(self.short_range_guarantee - 2.0)
+    }
+
+    /// Freezes the estimates into an immutable, `Arc`-shareable
+    /// [`DistOracle`]. The pipeline's output is symmetric, so the oracle
+    /// uses the symmetric-packed layout (half the memory of the square).
+    pub fn into_oracle(self) -> DistOracle {
+        let guarantee = self.guarantee();
+        DistOracle::from_matrix(&self.estimates, guarantee, StorageKind::SymmetricPacked)
+    }
 }
 
 /// Randomized `(2+ε)`-APSP (Thm 34).

@@ -23,7 +23,9 @@ use rand::Rng;
 
 use crate::error::CcError;
 use crate::estimates::DistanceMatrix;
+use crate::oracle::{DistOracle, Guarantee};
 use crate::pipeline::{self, Mode, Substrates};
+use cc_graphs::StorageKind;
 
 /// Configuration of the `(3+ε)` pipeline.
 #[derive(Clone, Debug)]
@@ -87,6 +89,20 @@ pub struct Apsp3 {
     pub pivots: Vec<usize>,
     /// The proven short-range guarantee `3+ε`.
     pub short_range_guarantee: f64,
+}
+
+impl Apsp3 {
+    /// The provenance every estimate of this result is served under.
+    pub fn guarantee(&self) -> Guarantee {
+        Guarantee::mult3(self.short_range_guarantee - 3.0)
+    }
+
+    /// Freezes the estimates into an immutable, `Arc`-shareable
+    /// [`DistOracle`] (symmetric-packed layout).
+    pub fn into_oracle(self) -> DistOracle {
+        let guarantee = self.guarantee();
+        DistOracle::from_matrix(&self.estimates, guarantee, StorageKind::SymmetricPacked)
+    }
 }
 
 /// Randomized `(3+ε)`-APSP.

@@ -12,7 +12,9 @@ use cc_graphs::Graph;
 use rand::Rng;
 
 use crate::estimates::DistanceMatrix;
+use crate::oracle::{DistOracle, Guarantee};
 use crate::pipeline::{self, Mode, Substrates};
+use cc_graphs::StorageKind;
 
 /// Configuration of the near-additive APSP algorithm.
 #[derive(Clone, Debug)]
@@ -71,6 +73,20 @@ pub struct AdditiveApsp {
     pub multiplicative_bound: f64,
     /// The proven additive bound `β̂`.
     pub additive_bound: f64,
+}
+
+impl AdditiveApsp {
+    /// The provenance every estimate of this result is served under.
+    pub fn guarantee(&self) -> Guarantee {
+        Guarantee::near_additive(self.multiplicative_bound - 1.0, self.additive_bound)
+    }
+
+    /// Freezes the estimates into an immutable, `Arc`-shareable
+    /// [`DistOracle`] (symmetric-packed layout).
+    pub fn into_oracle(self) -> DistOracle {
+        let guarantee = self.guarantee();
+        DistOracle::from_matrix(&self.estimates, guarantee, StorageKind::SymmetricPacked)
+    }
 }
 
 /// Randomized `(1+ε, β)`-APSP (Thm 32).

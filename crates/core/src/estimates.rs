@@ -33,6 +33,33 @@ impl DistanceMatrix {
         self.data[u * self.n + v]
     }
 
+    /// Borrows the full row of `u` (`row(u)[v] = δ(u, v)`). By symmetry this
+    /// is also the column of `u`, so callers that previously walked
+    /// `get(u, 0..n)` — or materialized both orientations — can iterate one
+    /// contiguous slice instead.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[Dist] {
+        &self.data[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Debug-build check that the symmetric-write invariant held up. All
+    /// mutations go through [`DistanceMatrix::improve`]/merge, which write
+    /// both orientations; this micro-assert catches any future fast path
+    /// that forgets one. Compiled out of release builds.
+    #[inline]
+    fn debug_assert_symmetric(&self) {
+        #[cfg(debug_assertions)]
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                debug_assert_eq!(
+                    self.data[u * self.n + v],
+                    self.data[v * self.n + u],
+                    "symmetry broken at ({u},{v})"
+                );
+            }
+        }
+    }
+
     /// Lowers `δ(u,v)` (and `δ(v,u)`) to `min(current, value)`.
     #[inline]
     pub fn improve(&mut self, u: usize, v: usize, value: Dist) {
@@ -49,7 +76,9 @@ impl DistanceMatrix {
         self.improve(u, v, dadd(a, b));
     }
 
-    /// Merges another matrix pointwise.
+    /// Merges another matrix pointwise. Both operands are symmetric, so the
+    /// element-wise pass needs no per-entry branch or mirrored second write:
+    /// `min` compiles to branch-free selects over the flat arrays.
     ///
     /// # Panics
     ///
@@ -57,10 +86,9 @@ impl DistanceMatrix {
     pub fn merge(&mut self, other: &DistanceMatrix) {
         assert_eq!(self.n, other.n, "dimension mismatch");
         for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            if b < *a {
-                *a = b;
-            }
+            *a = (*a).min(b);
         }
+        self.debug_assert_symmetric();
     }
 
     /// Merges a dense `Vec<Vec<Dist>>` (e.g. the output of
@@ -79,6 +107,7 @@ impl DistanceMatrix {
                 }
             }
         }
+        self.debug_assert_symmetric();
     }
 
     /// Number of finite off-diagonal (ordered) entries.
@@ -102,9 +131,23 @@ impl DistanceMatrix {
     /// Dense row copies (`rows[u][v] = δ(u,v)`), the common currency of the
     /// [`crate::Algorithm`] interface.
     pub fn to_rows(&self) -> Vec<Vec<Dist>> {
-        (0..self.n)
-            .map(|u| self.data[u * self.n..(u + 1) * self.n].to_vec())
-            .collect()
+        (0..self.n).map(|u| self.row(u).to_vec()).collect()
+    }
+
+    /// The flat row-major entry array (the `Full` freeze layout).
+    pub fn to_flat(&self) -> Vec<Dist> {
+        self.data.clone()
+    }
+
+    /// The packed upper triangle, diagonal included (the `SymmetricPacked`
+    /// freeze layout) — `n(n+1)/2` entries, half the memory of the square.
+    pub fn to_packed(&self) -> Vec<Dist> {
+        self.debug_assert_symmetric();
+        let mut packed = Vec::with_capacity(self.n * (self.n + 1) / 2);
+        for u in 0..self.n {
+            packed.extend_from_slice(&self.row(u)[u..]);
+        }
+        packed
     }
 }
 
@@ -167,5 +210,36 @@ mod tests {
         let mut a = DistanceMatrix::new(2);
         let b = DistanceMatrix::new(3);
         a.merge(&b);
+    }
+
+    #[test]
+    fn row_view_matches_get() {
+        let mut m = DistanceMatrix::new(4);
+        m.improve(0, 2, 3);
+        m.improve(1, 3, 7);
+        for u in 0..4 {
+            let row = m.row(u);
+            assert_eq!(row.len(), 4);
+            for v in 0..4 {
+                assert_eq!(row[v], m.get(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_export_round_trips_through_storage() {
+        use cc_graphs::DistStorage;
+        let mut m = DistanceMatrix::new(5);
+        m.improve(0, 1, 2);
+        m.improve(2, 4, 6);
+        m.improve(1, 4, 1);
+        let sym = DistStorage::symmetric_packed(5, m.to_packed());
+        let full = DistStorage::full(5, m.to_flat());
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(sym.get(u, v), m.get(u, v));
+                assert_eq!(full.get(u, v), m.get(u, v));
+            }
+        }
     }
 }

@@ -67,6 +67,7 @@ pub mod error;
 pub mod estimates;
 pub mod facade;
 pub mod mssp;
+pub mod oracle;
 mod pipeline;
 pub mod solver;
 
@@ -76,4 +77,5 @@ pub use estimates::DistanceMatrix;
 #[allow(deprecated)]
 pub use facade::solve;
 pub use facade::{Problem, Solution};
+pub use oracle::{DistOracle, Guarantee, GuaranteeKind, PointEstimate, SnapshotError};
 pub use solver::{Execution, ParamProfile, Solver, SolverBuilder};

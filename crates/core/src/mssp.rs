@@ -10,11 +10,12 @@
 use cc_clique::RoundLedger;
 use cc_emulator::clique::CliqueEmulatorConfig;
 use cc_emulator::EmulatorParams;
-use cc_graphs::{Dist, Graph, INF};
+use cc_graphs::{Dist, DistStorage, Graph, INF};
 use cc_toolkit::source_detection::SourceDetection;
 use rand::Rng;
 
 use crate::error::CcError;
+use crate::oracle::{DistOracle, Guarantee};
 use crate::pipeline::{self, Mode, Substrates};
 
 /// Configuration of the MSSP algorithm.
@@ -139,6 +140,27 @@ impl Mssp {
     /// Estimate for `(sources[i], v)`.
     pub fn dist(&self, i: usize, v: usize) -> Dist {
         self.estimates[i][v]
+    }
+
+    /// The provenance every estimate of this result is served under.
+    pub fn guarantee_tag(&self) -> Guarantee {
+        Guarantee::mssp(self.guarantee - 1.0)
+    }
+
+    /// Freezes the source rows into an immutable, `Arc`-shareable
+    /// [`DistOracle`] in the row-sparse layout (`|S| × n` entries — the
+    /// natural shape of an MSSP result). Point queries answer both
+    /// orientations of a source pair; rows of non-sources are served from
+    /// the source columns.
+    pub fn into_oracle(self) -> DistOracle {
+        let guarantee = self.guarantee_tag();
+        let n = self.estimates.first().map_or(0, Vec::len);
+        let sources: Vec<u32> = self.sources.iter().map(|&s| s as u32).collect();
+        let mut data = Vec::with_capacity(sources.len() * n);
+        for row in &self.estimates {
+            data.extend_from_slice(row);
+        }
+        DistOracle::from_storage(DistStorage::row_sparse(n, sources, data), guarantee)
     }
 }
 

@@ -1,0 +1,1015 @@
+//! The frozen, `Arc`-shareable read side of a solved session: [`DistOracle`].
+//!
+//! The paper's pipelines do all their expensive work up front — hopsets,
+//! hitting sets, `O(log²n/ε)` rounds of emulation — and their output is a
+//! *static* table of distance estimates. This module freezes that output
+//! into an immutable oracle that
+//!
+//! * answers [`dist`](DistOracle::dist), [`dist_batch`](DistOracle::dist_batch),
+//!   [`dists_from`](DistOracle::dists_from) and
+//!   [`k_nearest`](DistOracle::k_nearest) lock-free from any number of
+//!   threads (`&self` everywhere, `DistOracle: Send + Sync`);
+//! * tags **every answer with its provenance** — a [`Guarantee`] naming the
+//!   pipeline that produced the winning estimate and the `ε` it ran with,
+//!   instead of a bare `Option<Dist>`;
+//! * stores the table in the most compact [`DistStorage`] layout for its
+//!   shape (square, symmetric-packed triangle, or source rows only), chosen
+//!   automatically at freeze time;
+//! * persists to a versioned binary snapshot
+//!   ([`save`](DistOracle::save)/[`load`](DistOracle::load), no external
+//!   dependencies) so a solved substrate can be served by a fresh process.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cc_core::{Execution, SolverBuilder};
+//! use cc_graphs::generators;
+//!
+//! let g = generators::caveman(6, 6);
+//! let mut solver = SolverBuilder::new(g)
+//!     .eps(0.5)
+//!     .execution(Execution::Seeded(7))
+//!     .build()?;
+//! solver.apsp_2eps()?;
+//! let oracle = Arc::new(solver.freeze()?);
+//! let answer = oracle.dist(0, 20).expect("estimate frozen");
+//! assert!(answer.dist >= 1);
+//! println!("d(0,20) ≤ {} under {}", answer.dist, answer.guarantee);
+//! # Ok::<(), cc_core::CcError>(())
+//! ```
+
+use std::borrow::Cow;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use cc_graphs::{Dist, DistStorage, StorageKind, INF};
+
+use crate::estimates::DistanceMatrix;
+
+/// Which pipeline an estimate came from — the shape of its proven bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuaranteeKind {
+    /// `(2+ε)`-approximate APSP (Thm 4/34).
+    Mult2Eps,
+    /// `(3+ε)`-approximate APSP (the §4.3 warm-up).
+    Mult3Eps,
+    /// `(1+ε, β)`-approximate APSP (Thm 5/32).
+    NearAdditive,
+    /// `(1+ε)`-approximate MSSP from `O(√n)` sources (Thm 3/33).
+    Mssp,
+}
+
+impl GuaranteeKind {
+    /// Stable wire tag (snapshot format v1).
+    fn wire(self) -> u8 {
+        match self {
+            GuaranteeKind::Mult2Eps => 0,
+            GuaranteeKind::Mult3Eps => 1,
+            GuaranteeKind::NearAdditive => 2,
+            GuaranteeKind::Mssp => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => GuaranteeKind::Mult2Eps,
+            1 => GuaranteeKind::Mult3Eps,
+            2 => GuaranteeKind::NearAdditive,
+            3 => GuaranteeKind::Mssp,
+            _ => return None,
+        })
+    }
+
+    /// Strength rank used for tie-breaking: lower is stronger. Orders by
+    /// multiplicative quality at the short range the guarantees are proven
+    /// for: `1+ε` (MSSP) < `(1+ε)d + β` < `2+ε` < `3+ε`.
+    fn rank(self) -> u8 {
+        match self {
+            GuaranteeKind::Mssp => 0,
+            GuaranteeKind::NearAdditive => 1,
+            GuaranteeKind::Mult2Eps => 2,
+            GuaranteeKind::Mult3Eps => 3,
+        }
+    }
+}
+
+/// The provenance of a frozen estimate: which pipeline proved it, with which
+/// accuracy parameters. Every oracle answer carries one.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Guarantee {
+    /// The pipeline / bound shape.
+    pub kind: GuaranteeKind,
+    /// The multiplicative slack `ε` of the bound (`2+ε`, `3+ε`, `1+ε`).
+    pub eps: f64,
+    /// The additive part `β` ([`GuaranteeKind::NearAdditive`] only; `0`
+    /// otherwise).
+    pub additive: f64,
+}
+
+impl Guarantee {
+    /// `(2+ε)`-APSP provenance.
+    pub fn mult2(eps: f64) -> Self {
+        Guarantee {
+            kind: GuaranteeKind::Mult2Eps,
+            eps,
+            additive: 0.0,
+        }
+    }
+
+    /// `(3+ε)`-APSP provenance.
+    pub fn mult3(eps: f64) -> Self {
+        Guarantee {
+            kind: GuaranteeKind::Mult3Eps,
+            eps,
+            additive: 0.0,
+        }
+    }
+
+    /// `(1+ε, β)`-APSP provenance.
+    pub fn near_additive(eps: f64, beta: f64) -> Self {
+        Guarantee {
+            kind: GuaranteeKind::NearAdditive,
+            eps,
+            additive: beta,
+        }
+    }
+
+    /// `(1+ε)`-MSSP provenance.
+    pub fn mssp(eps: f64) -> Self {
+        Guarantee {
+            kind: GuaranteeKind::Mssp,
+            eps,
+            additive: 0.0,
+        }
+    }
+
+    /// The proven upper bound on an estimate for a pair at true distance
+    /// `d` (the short-range bound; long-range pairs are only ever better).
+    pub fn bound(&self, d: Dist) -> f64 {
+        let d = d as f64;
+        match self.kind {
+            GuaranteeKind::Mult2Eps => (2.0 + self.eps) * d,
+            GuaranteeKind::Mult3Eps => (3.0 + self.eps) * d,
+            GuaranteeKind::NearAdditive => (1.0 + self.eps) * d + self.additive,
+            GuaranteeKind::Mssp => (1.0 + self.eps) * d,
+        }
+    }
+
+    /// Total-order key: lower sorts stronger. Ranks by bound shape first,
+    /// then smaller `ε`, then smaller `β` (all are non-negative, so the IEEE
+    /// bit patterns order correctly).
+    fn strength(&self) -> (u8, u64, u64) {
+        (
+            self.kind.rank(),
+            self.eps.to_bits(),
+            self.additive.to_bits(),
+        )
+    }
+
+    /// `true` when `self` is strictly stronger provenance than `other`
+    /// (used to break equal-distance ties deterministically).
+    pub fn stronger_than(&self, other: &Guarantee) -> bool {
+        self.strength() < other.strength()
+    }
+}
+
+impl std::fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            GuaranteeKind::Mult2Eps => write!(f, "(2+{:.3})·d [apsp2]", self.eps),
+            GuaranteeKind::Mult3Eps => write!(f, "(3+{:.3})·d [apsp3]", self.eps),
+            GuaranteeKind::NearAdditive => {
+                write!(
+                    f,
+                    "(1+{:.3})·d+{:.0} [near-additive]",
+                    self.eps, self.additive
+                )
+            }
+            GuaranteeKind::Mssp => write!(f, "(1+{:.3})·d [mssp]", self.eps),
+        }
+    }
+}
+
+/// One oracle answer: the estimate and the provenance it is proven under.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PointEstimate {
+    /// The frozen estimate `δ(u, v)` (`d_G(u,v) ≤ δ`).
+    pub dist: Dist,
+    /// The bound `δ` satisfies.
+    pub guarantee: Guarantee,
+}
+
+/// An immutable, `Arc`-shareable distance oracle over solved estimates.
+///
+/// Built by [`crate::Solver::freeze`] or the per-pipeline `into_oracle()`
+/// conversions ([`crate::apsp2::Apsp2::into_oracle`], …). All query methods
+/// take `&self` and touch only frozen data, so one oracle behind an
+/// [`std::sync::Arc`] serves any number of threads without locks; answers
+/// are bit-identical to a serial replay.
+///
+/// Provenance is tracked per entry: a small [`Guarantee`] table plus an
+/// optional byte tag per stored entry (elided when the whole table shares
+/// one guarantee, which keeps single-pipeline oracles at 4 bytes/entry).
+#[derive(Clone, PartialEq, Debug)]
+pub struct DistOracle {
+    storage: DistStorage,
+    /// Provenance table; `tags` index into it. Never empty.
+    guarantees: Vec<Guarantee>,
+    /// Per-entry provenance (same indexing as `storage` entries), or `None`
+    /// when every entry is covered by `guarantees[0]`.
+    tags: Option<Vec<u8>>,
+}
+
+impl DistOracle {
+    /// Freezes a storage under a single uniform guarantee.
+    pub fn from_storage(storage: DistStorage, guarantee: Guarantee) -> Self {
+        DistOracle {
+            storage,
+            guarantees: vec![guarantee],
+            tags: None,
+        }
+    }
+
+    /// Freezes an estimate matrix under a single guarantee, into the given
+    /// layout. [`StorageKind::RowSparse`] keeps every row (useful as a
+    /// layout-sweep vehicle for benches and tests; real row-sparse oracles
+    /// come from [`crate::mssp::Mssp::into_oracle`]).
+    pub fn from_matrix(m: &DistanceMatrix, guarantee: Guarantee, kind: StorageKind) -> Self {
+        let n = m.n();
+        let storage = match kind {
+            StorageKind::Full => DistStorage::full(n, m.to_flat()),
+            StorageKind::SymmetricPacked => DistStorage::symmetric_packed(n, m.to_packed()),
+            StorageKind::RowSparse => {
+                DistStorage::row_sparse(n, (0..n as u32).collect(), m.to_flat())
+            }
+        };
+        DistOracle::from_storage(storage, guarantee)
+    }
+
+    /// Assembles an oracle from pre-merged packed data with per-entry tags
+    /// (the [`crate::Solver::freeze`] path). Collapses the tag array when
+    /// only one guarantee is referenced.
+    pub(crate) fn from_tagged_packed(
+        n: usize,
+        data: Vec<Dist>,
+        tags: Vec<u8>,
+        guarantees: Vec<Guarantee>,
+    ) -> Self {
+        assert!(!guarantees.is_empty(), "at least one guarantee required");
+        assert_eq!(data.len(), tags.len(), "one tag per entry");
+        let tags = if guarantees.len() > 1 {
+            Some(tags)
+        } else {
+            None
+        };
+        DistOracle {
+            storage: DistStorage::symmetric_packed(n, data),
+            guarantees,
+            tags,
+        }
+    }
+
+    /// Dimension `n` (vertices are `0..n`).
+    pub fn n(&self) -> usize {
+        self.storage.n()
+    }
+
+    /// The frozen storage.
+    pub fn storage(&self) -> &DistStorage {
+        &self.storage
+    }
+
+    /// The storage layout.
+    pub fn storage_kind(&self) -> StorageKind {
+        self.storage.kind()
+    }
+
+    /// Payload bytes held by the oracle: distance entries (plus the source
+    /// list for row-sparse layouts) plus per-entry provenance tags, if any.
+    pub fn storage_bytes(&self) -> usize {
+        self.storage.bytes() + self.tags.as_ref().map_or(0, Vec::len)
+    }
+
+    /// The provenance table answers are tagged from.
+    pub fn guarantees(&self) -> &[Guarantee] {
+        &self.guarantees
+    }
+
+    /// The strongest guarantee in the table (diagonal answers use it).
+    fn strongest(&self) -> Guarantee {
+        *self
+            .guarantees
+            .iter()
+            .reduce(|a, b| if b.stronger_than(a) { b } else { a })
+            .expect("guarantee table is never empty")
+    }
+
+    #[inline]
+    fn tag_of(&self, entry: usize) -> Guarantee {
+        match &self.tags {
+            Some(tags) => self.guarantees[tags[entry] as usize],
+            None => self.guarantees[0],
+        }
+    }
+
+    /// The frozen estimate for `(u, v)` with its provenance, or `None` when
+    /// out of range or no estimate was frozen for the pair. `dist(u, u)` is
+    /// always `0` (exact under any guarantee; tagged with the strongest in
+    /// the table).
+    #[inline]
+    pub fn dist(&self, u: usize, v: usize) -> Option<PointEstimate> {
+        let n = self.n();
+        if u >= n || v >= n {
+            return None;
+        }
+        if u == v {
+            return Some(PointEstimate {
+                dist: 0,
+                guarantee: self.strongest(),
+            });
+        }
+        match self.storage.lookup(u, v) {
+            Some((d, entry)) if d < INF => Some(PointEstimate {
+                dist: d,
+                guarantee: self.tag_of(entry),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Answers a batch of point queries in order. Exactly equivalent to
+    /// mapping [`DistOracle::dist`] over `pairs`; the batch form amortizes
+    /// call overhead in high-throughput serving loops.
+    pub fn dist_batch(&self, pairs: &[(usize, usize)]) -> Vec<Option<PointEstimate>> {
+        pairs.iter().map(|&(u, v)| self.dist(u, v)).collect()
+    }
+
+    /// The full estimate row of `u` (`row[v] = δ(u, v)`, [`INF`] where no
+    /// estimate is frozen). Borrows storage directly where the layout holds
+    /// a contiguous row (`Full`; `RowSparse` when `u` is a source) and
+    /// materializes otherwise, so hot serving paths on row-addressable
+    /// layouts are copy-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n`.
+    pub fn dists_from(&self, u: usize) -> Cow<'_, [Dist]> {
+        assert!(u < self.n(), "vertex {u} out of range for n = {}", self.n());
+        match self.storage.row(u) {
+            Some(row) => Cow::Borrowed(row),
+            None => {
+                let mut out = vec![INF; self.n()];
+                self.storage.copy_row(u, &mut out);
+                Cow::Owned(out)
+            }
+        }
+    }
+
+    /// The `k` nearest vertices to `u` among the frozen finite estimates,
+    /// sorted by `(distance, vertex id)` — deterministic across layouts and
+    /// threads. `u` itself is excluded; fewer than `k` entries are returned
+    /// when fewer estimates exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n`.
+    pub fn k_nearest(&self, u: usize, k: usize) -> Vec<(u32, Dist)> {
+        let row = self.dists_from(u);
+        let mut near: Vec<(u32, Dist)> = row
+            .iter()
+            .enumerate()
+            .filter(|&(v, &d)| v != u && d < INF)
+            .map(|(v, &d)| (v as u32, d))
+            .collect();
+        near.sort_unstable_by_key(|&(v, d)| (d, v));
+        near.truncate(k);
+        near
+    }
+
+    /// Number of ordered off-diagonal pairs with a frozen finite estimate.
+    pub fn finite_pairs(&self) -> usize {
+        let n = self.n();
+        let mut count = 0;
+        for u in 0..n {
+            let row = self.dists_from(u);
+            count += row
+                .iter()
+                .enumerate()
+                .filter(|&(v, &d)| v != u && d < INF)
+                .count();
+        }
+        count
+    }
+
+    /// Re-freezes the same answers into another layout, preserving
+    /// per-entry provenance. Converting to [`StorageKind::SymmetricPacked`]
+    /// keeps the min over both orientations (all oracles in this crate are
+    /// symmetric already); converting to [`StorageKind::RowSparse`] keeps
+    /// the existing source set, or every row when coming from a square
+    /// layout.
+    pub fn with_layout(&self, kind: StorageKind) -> DistOracle {
+        let n = self.n();
+        // (value, tag) for one ordered pair, INF/0 when absent.
+        let cell = |u: usize, v: usize| -> (Dist, u8) {
+            match self.storage.lookup(u, v) {
+                Some((d, entry)) => (d, self.tags.as_ref().map_or(0, |t| t[entry])),
+                None => (INF, 0),
+            }
+        };
+        let (storage, tags) = match kind {
+            StorageKind::Full => {
+                let mut data = vec![INF; n * n];
+                let mut tags = vec![0u8; n * n];
+                for u in 0..n {
+                    for v in 0..n {
+                        let (d, t) = cell(u, v);
+                        data[u * n + v] = d;
+                        tags[u * n + v] = t;
+                    }
+                }
+                (DistStorage::full(n, data), tags)
+            }
+            StorageKind::SymmetricPacked => {
+                let mut data = Vec::with_capacity(n * (n + 1) / 2);
+                let mut tags = Vec::with_capacity(n * (n + 1) / 2);
+                for u in 0..n {
+                    for v in u..n {
+                        // Min over both orientations: every oracle in this
+                        // crate is symmetric already, but a hand-built Full
+                        // table may not be, and the packed layout can only
+                        // keep one value per pair.
+                        let (d1, t1) = cell(u, v);
+                        let (d2, t2) = cell(v, u);
+                        let (d, t) = if d2 < d1 { (d2, t2) } else { (d1, t1) };
+                        data.push(d);
+                        tags.push(t);
+                    }
+                }
+                (DistStorage::symmetric_packed(n, data), tags)
+            }
+            StorageKind::RowSparse => {
+                let sources: Vec<u32> = match self.storage.sources() {
+                    Some(s) => s.to_vec(),
+                    None => (0..n as u32).collect(),
+                };
+                let mut data = Vec::with_capacity(sources.len() * n);
+                let mut tags = Vec::with_capacity(sources.len() * n);
+                for &s in &sources {
+                    for v in 0..n {
+                        let (d, t) = cell(s as usize, v);
+                        data.push(d);
+                        tags.push(t);
+                    }
+                }
+                (DistStorage::row_sparse(n, sources, data), tags)
+            }
+        };
+        DistOracle {
+            storage,
+            guarantees: self.guarantees.clone(),
+            tags: if self.guarantees.len() > 1 {
+                Some(tags)
+            } else {
+                None
+            },
+        }
+    }
+
+    // ── Snapshot format ──────────────────────────────────────────────────
+    //
+    // Version 1, all integers and float bit patterns little-endian:
+    //
+    //   magic  b"CCDO"                                    4 bytes
+    //   version u16 = 1                                   2
+    //   flags   u8 (bit0: per-entry tags present)         1
+    //   kind    u8 (0 full, 1 symmetric, 2 row-sparse)    1
+    //   n       u64                                       8
+    //   G       u16 guarantee count                       2
+    //   G × { kind u8, eps f64 bits, additive f64 bits }  17 each
+    //   [row-sparse only] S u64, then S × source u32      8 + 4S
+    //   E       u64 entry count                           8
+    //   E × entry u32                                     4E
+    //   [tags]  E × tag u8                                E
+    //   checksum u64: FNV-1a over every preceding byte    8
+
+    /// Serializes the oracle into the versioned binary snapshot format
+    /// (documented in `DESIGN.md` §2.2) and writes it to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf: Vec<u8> = Vec::with_capacity(32 + self.storage.entries() * 5);
+        buf.extend_from_slice(b"CCDO");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(u8::from(self.tags.is_some()));
+        buf.push(match self.storage.kind() {
+            StorageKind::Full => 0,
+            StorageKind::SymmetricPacked => 1,
+            StorageKind::RowSparse => 2,
+        });
+        buf.extend_from_slice(&(self.n() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.guarantees.len() as u16).to_le_bytes());
+        for g in &self.guarantees {
+            buf.push(g.kind.wire());
+            buf.extend_from_slice(&g.eps.to_bits().to_le_bytes());
+            buf.extend_from_slice(&g.additive.to_bits().to_le_bytes());
+        }
+        if let Some(sources) = self.storage.sources() {
+            buf.extend_from_slice(&(sources.len() as u64).to_le_bytes());
+            for &s in sources {
+                buf.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.storage.entries() as u64).to_le_bytes());
+        for &d in self.storage.data() {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        if let Some(tags) = &self.tags {
+            buf.extend_from_slice(tags);
+        }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        w.write_all(&buf)
+    }
+
+    /// Reads a snapshot produced by [`DistOracle::save`]. The result is
+    /// bit-identical to the oracle that was saved (validated by the
+    /// checksum, structural length checks and tag-range checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] for I/O failures, a wrong magic, an
+    /// unsupported version, or a corrupt/truncated payload.
+    pub fn load<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        if buf.len() < 8 {
+            return Err(SnapshotError::corrupt("shorter than header + checksum"));
+        }
+        let (payload, tail) = buf.split_at(buf.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a(payload) != stored {
+            return Err(SnapshotError::corrupt("checksum mismatch"));
+        }
+        let mut c = Cursor::new(payload);
+        let magic = c.take_n::<4>()?;
+        if &magic != b"CCDO" {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(c.take_n::<2>()?);
+        if version != 1 {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let flags = c.take_n::<1>()?[0];
+        if flags > 1 {
+            return Err(SnapshotError::corrupt("unknown flag bits"));
+        }
+        let kind = c.take_n::<1>()?[0];
+        let n = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("n exceeds the address space"))?;
+        let g_count = u16::from_le_bytes(c.take_n::<2>()?) as usize;
+        if g_count == 0 || g_count > 256 {
+            return Err(SnapshotError::corrupt("guarantee count out of range"));
+        }
+        let mut guarantees = Vec::with_capacity(g_count);
+        for _ in 0..g_count {
+            let kind = GuaranteeKind::from_wire(c.take_n::<1>()?[0])
+                .ok_or_else(|| SnapshotError::corrupt("unknown guarantee kind"))?;
+            let eps = f64::from_bits(u64::from_le_bytes(c.take_n::<8>()?));
+            let additive = f64::from_bits(u64::from_le_bytes(c.take_n::<8>()?));
+            guarantees.push(Guarantee {
+                kind,
+                eps,
+                additive,
+            });
+        }
+        // Counts below come from the (forgeable) header: every allocation
+        // is bounded by the bytes actually present before reserving.
+        let sources: Option<Vec<u32>> = if kind == 2 {
+            let s_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+                .map_err(|_| SnapshotError::corrupt("source count exceeds the address space"))?;
+            // With ≥ 1 source the entry array has ≥ n entries, so the
+            // remaining-bytes check below bounds `n` (and the O(n) source
+            // index built at construction). Zero sources would leave `n`
+            // unbounded by any stored bytes.
+            if s_count == 0 {
+                return Err(SnapshotError::corrupt(
+                    "row-sparse snapshot with no sources",
+                ));
+            }
+            if c.remaining() / 4 < s_count {
+                return Err(SnapshotError::corrupt("truncated source list"));
+            }
+            let mut sources = Vec::with_capacity(s_count);
+            for _ in 0..s_count {
+                let s = u32::from_le_bytes(c.take_n::<4>()?);
+                if s as usize >= n {
+                    return Err(SnapshotError::corrupt("source out of range"));
+                }
+                sources.push(s);
+            }
+            Some(sources)
+        } else {
+            None
+        };
+        let entries = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("entry count exceeds the address space"))?;
+        let expected = match kind {
+            0 => n.checked_mul(n),
+            1 => n
+                .checked_add(1)
+                .and_then(|m| n.checked_mul(m))
+                .map(|x| x / 2),
+            2 => sources.as_ref().and_then(|s| s.len().checked_mul(n)),
+            _ => return Err(SnapshotError::corrupt("unknown storage kind")),
+        };
+        if expected != Some(entries) {
+            return Err(SnapshotError::corrupt("entry count does not match layout"));
+        }
+        if c.remaining() / 4 < entries {
+            return Err(SnapshotError::corrupt("truncated entry array"));
+        }
+        let mut data = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            data.push(u32::from_le_bytes(c.take_n::<4>()?));
+        }
+        let tags = if flags & 1 == 1 {
+            let raw = c.take(entries)?.to_vec();
+            if raw.iter().any(|&t| t as usize >= g_count) {
+                return Err(SnapshotError::corrupt("tag beyond guarantee table"));
+            }
+            Some(raw)
+        } else {
+            None
+        };
+        if !c.at_end() {
+            return Err(SnapshotError::corrupt("trailing bytes after payload"));
+        }
+        let storage = match kind {
+            0 => DistStorage::full(n, data),
+            1 => DistStorage::symmetric_packed(n, data),
+            _ => DistStorage::row_sparse(n, sources.expect("parsed above"), data),
+        };
+        Ok(DistOracle {
+            storage,
+            guarantees,
+            tags,
+        })
+    }
+
+    /// [`DistOracle::save`] to a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.save(&mut f)
+    }
+
+    /// [`DistOracle::load`] from a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] as [`DistOracle::load`] does.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::load(&mut f)
+    }
+}
+
+/// FNV-1a over a byte slice (the snapshot checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Bounds-checked reader over the snapshot payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SnapshotError::corrupt("truncated payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        Ok(self.take(N)?.try_into().expect("length checked"))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Errors reading or writing oracle snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the `CCDO` magic.
+    BadMagic([u8; 4]),
+    /// A version this build does not understand.
+    UnsupportedVersion(u16),
+    /// Structurally invalid or truncated payload (detail in the message).
+    Corrupt(String),
+}
+
+impl SnapshotError {
+    fn corrupt(msg: &str) -> Self {
+        SnapshotError::Corrupt(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic(m) => write!(f, "not an oracle snapshot (magic {m:02x?})"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix(n: usize) -> DistanceMatrix {
+        let mut m = DistanceMatrix::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if (u + v) % 3 != 0 {
+                    m.improve(u, v, (v - u) as Dist);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn layouts_answer_identically() {
+        let m = sample_matrix(7);
+        let g = Guarantee::mult2(0.5);
+        let full = DistOracle::from_matrix(&m, g, StorageKind::Full);
+        let sym = DistOracle::from_matrix(&m, g, StorageKind::SymmetricPacked);
+        let sparse = DistOracle::from_matrix(&m, g, StorageKind::RowSparse);
+        for u in 0..7 {
+            for v in 0..7 {
+                let a = full.dist(u, v);
+                assert_eq!(a, sym.dist(u, v), "({u},{v})");
+                assert_eq!(a, sparse.dist(u, v), "({u},{v})");
+                if u == v {
+                    assert_eq!(a.unwrap().dist, 0);
+                } else if let Some(est) = a {
+                    assert_eq!(est.dist, m.get(u, v));
+                    assert_eq!(est.guarantee, g);
+                }
+            }
+        }
+        assert!(sym.storage_bytes() < full.storage_bytes());
+    }
+
+    #[test]
+    fn batch_matches_point_queries() {
+        let m = sample_matrix(6);
+        let o = DistOracle::from_matrix(&m, Guarantee::mult3(0.25), StorageKind::SymmetricPacked);
+        let pairs: Vec<(usize, usize)> = (0..6).flat_map(|u| (0..6).map(move |v| (u, v))).collect();
+        let batch = o.dist_batch(&pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(batch[i], o.dist(u, v));
+        }
+        assert_eq!(o.dist(9, 0), None, "out of range");
+    }
+
+    #[test]
+    fn dists_from_borrows_where_possible() {
+        let m = sample_matrix(5);
+        let g = Guarantee::near_additive(0.25, 4.0);
+        let full = DistOracle::from_matrix(&m, g, StorageKind::Full);
+        assert!(matches!(full.dists_from(2), Cow::Borrowed(_)));
+        let sym = DistOracle::from_matrix(&m, g, StorageKind::SymmetricPacked);
+        assert!(matches!(sym.dists_from(2), Cow::Owned(_)));
+        assert_eq!(&full.dists_from(2)[..], &sym.dists_from(2)[..]);
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_tie_broken_by_id() {
+        let mut m = DistanceMatrix::new(5);
+        m.improve(0, 1, 2);
+        m.improve(0, 2, 2);
+        m.improve(0, 3, 1);
+        let o = DistOracle::from_matrix(&m, Guarantee::mssp(0.5), StorageKind::Full);
+        assert_eq!(o.k_nearest(0, 2), vec![(3, 1), (1, 2)]);
+        assert_eq!(o.k_nearest(0, 10), vec![(3, 1), (1, 2), (2, 2)]);
+        assert_eq!(o.k_nearest(4, 3), vec![], "no frozen estimates");
+    }
+
+    #[test]
+    fn strength_ordering_prefers_tighter_bounds() {
+        let mssp = Guarantee::mssp(0.5);
+        let add = Guarantee::near_additive(0.5, 8.0);
+        let two = Guarantee::mult2(0.5);
+        let three = Guarantee::mult3(0.5);
+        assert!(mssp.stronger_than(&add));
+        assert!(add.stronger_than(&two));
+        assert!(two.stronger_than(&three));
+        assert!(Guarantee::mult2(0.25).stronger_than(&two));
+        assert!(!two.stronger_than(&two));
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_layouts() {
+        let m = sample_matrix(9);
+        for kind in [
+            StorageKind::Full,
+            StorageKind::SymmetricPacked,
+            StorageKind::RowSparse,
+        ] {
+            let o = DistOracle::from_matrix(&m, Guarantee::mult2(0.5), kind);
+            let mut buf = Vec::new();
+            o.save(&mut buf).unwrap();
+            let back = DistOracle::load(&mut &buf[..]).unwrap();
+            assert_eq!(o, back, "{kind:?}");
+            let mut again = Vec::new();
+            back.save(&mut again).unwrap();
+            assert_eq!(buf, again, "{kind:?}: re-save must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let m = sample_matrix(4);
+        let o = DistOracle::from_matrix(&m, Guarantee::mssp(0.1), StorageKind::SymmetricPacked);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            DistOracle::load(&mut &flipped[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        // Checksum catches it first (the magic is covered by the checksum).
+        assert!(DistOracle::load(&mut &wrong_magic[..]).is_err());
+
+        let truncated = &buf[..buf.len() - 9];
+        assert!(DistOracle::load(&mut &truncated[..]).is_err());
+        assert!(matches!(
+            DistOracle::load(&mut &b"1234567"[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn with_layout_preserves_answers() {
+        let m = sample_matrix(8);
+        let o = DistOracle::from_matrix(&m, Guarantee::mult2(0.5), StorageKind::SymmetricPacked);
+        for kind in [
+            StorageKind::Full,
+            StorageKind::SymmetricPacked,
+            StorageKind::RowSparse,
+        ] {
+            let converted = o.with_layout(kind);
+            assert_eq!(converted.storage_kind(), kind);
+            for u in 0..8 {
+                for v in 0..8 {
+                    assert_eq!(o.dist(u, v), converted.dist(u, v), "{kind:?} ({u},{v})");
+                }
+            }
+        }
+    }
+
+    /// Forged header up to (but excluding) the guarantee table's end:
+    /// magic, version, flags=0, `kind`, `n`, one mult2 guarantee.
+    fn forged_header(kind: u8, n: u64) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(b"CCDO");
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.push(0); // no tags
+        payload.push(kind);
+        payload.extend_from_slice(&n.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes()); // one guarantee
+        payload.push(0);
+        payload.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+        payload.extend_from_slice(&0.0f64.to_bits().to_le_bytes());
+        payload
+    }
+
+    fn seal(mut payload: Vec<u8>) -> Vec<u8> {
+        let checksum = fnv1a(&payload);
+        payload.extend_from_slice(&checksum.to_le_bytes());
+        payload
+    }
+
+    #[test]
+    fn forged_header_sizes_are_rejected_not_allocated() {
+        // Syntactically valid snapshots whose headers declare absurd sizes:
+        // the FNV checksum is trivially forgeable, so load must bound every
+        // allocation by the bytes actually present and never trust a
+        // header-declared count.
+
+        // Full layout, n = 2^31, entries = n².
+        let mut p = forged_header(0, 1 << 31);
+        p.extend_from_slice(&(1u64 << 62).to_le_bytes());
+        assert!(matches!(
+            DistOracle::load(&mut &seal(p)[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Symmetric layout, n = u64::MAX: the n(n+1)/2 size formula must
+        // not wrap around and accept entries = 0.
+        let mut p = forged_header(1, u64::MAX);
+        p.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            DistOracle::load(&mut &seal(p)[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Row-sparse layout with zero sources: nothing stored would bound
+        // n, so the O(n) source index must never be allocated.
+        let mut p = forged_header(2, 1 << 40);
+        p.extend_from_slice(&0u64.to_le_bytes()); // no sources
+        p.extend_from_slice(&0u64.to_le_bytes()); // no entries
+        assert!(matches!(
+            DistOracle::load(&mut &seal(p)[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn with_layout_symmetrizes_an_asymmetric_full_table() {
+        // Hand-built asymmetric square table: packing must keep the min of
+        // both orientations, not silently drop the lower triangle.
+        let g = Guarantee::mult2(0.5);
+        let o = DistOracle::from_storage(DistStorage::full(2, vec![0, 9, 3, 0]), g);
+        assert_eq!(o.dist(0, 1).unwrap().dist, 9);
+        assert_eq!(o.dist(1, 0).unwrap().dist, 3);
+        let sym = o.with_layout(StorageKind::SymmetricPacked);
+        assert_eq!(sym.dist(0, 1).unwrap().dist, 3);
+        assert_eq!(sym.dist(1, 0).unwrap().dist, 3);
+    }
+
+    #[test]
+    fn duplicate_source_oracle_round_trips() {
+        let g = Guarantee::mssp(0.25);
+        let o = DistOracle::from_storage(
+            DistStorage::row_sparse(2, vec![0, 0, 1], vec![0, 7, 0, 9, 5, 0]),
+            g,
+        );
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        let back = DistOracle::load(&mut &buf[..]).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(back.dist(0, 1).unwrap().dist, 5, "first row wins, then min");
+    }
+
+    #[test]
+    fn bound_formulas() {
+        assert_eq!(Guarantee::mult2(0.5).bound(10), 25.0);
+        assert_eq!(Guarantee::mult3(0.5).bound(10), 35.0);
+        assert_eq!(Guarantee::near_additive(0.25, 4.0).bound(8), 14.0);
+        assert_eq!(Guarantee::mssp(0.5).bound(10), 15.0);
+    }
+}

@@ -21,14 +21,18 @@
 //! // The MSSP query reuses the emulator the APSP query built.
 //! let landmarks = solver.mssp(&[0, 9, 18])?;
 //! assert_eq!(landmarks.dist(0, 0), 0);
-//! // Cheap point lookups over everything computed so far.
-//! assert!(solver.query(0, 20).is_some());
+//! // Cheap tagged point lookups over everything computed so far.
+//! let answer = solver.estimate(0, 20).expect("estimate cached");
+//! println!("d(0,20) ≤ {} under {}", answer.dist, answer.guarantee);
+//! // Freeze the read side for lock-free concurrent serving.
+//! let oracle = std::sync::Arc::new(solver.freeze()?);
+//! assert_eq!(oracle.dist(0, 20).map(|e| e.dist), Some(answer.dist));
 //! println!("{}", solver.ledger().report());
 //! # Ok::<(), cc_core::CcError>(())
 //! ```
 
 use cc_clique::RoundLedger;
-use cc_graphs::{Dist, Graph, INF};
+use cc_graphs::{Dist, DistStorage, Graph, INF};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,8 +40,8 @@ use crate::apsp2::{self, Apsp2, Apsp2Config};
 use crate::apsp3::{self, Apsp3, Apsp3Config};
 use crate::apsp_additive::{self, AdditiveApsp, AdditiveApspConfig};
 use crate::error::CcError;
-use crate::estimates::DistanceMatrix;
 use crate::mssp::{self, Mssp, MsspConfig};
+use crate::oracle::{DistOracle, Guarantee, PointEstimate};
 use crate::pipeline::{Mode, Substrates};
 
 /// Randomized (seeded) or deterministic execution.
@@ -155,7 +159,6 @@ impl SolverBuilder {
             apsp3_result: None,
             additive_result: None,
             mssp_results: Vec::new(),
-            cached: DistanceMatrix::new(n),
         })
     }
 }
@@ -185,7 +188,6 @@ pub struct Solver {
     apsp3_result: Option<Apsp3>,
     additive_result: Option<AdditiveApsp>,
     mssp_results: Vec<(Vec<usize>, Mssp)>,
-    cached: DistanceMatrix,
 }
 
 /// Runs `body` with a fresh per-query mode derived from `execution`.
@@ -266,7 +268,6 @@ impl Solver {
                 &mut self.ledger,
                 &mut self.substrates,
             ))?;
-            self.cached.merge(&out.estimates);
             self.apsp2_result = Some(out);
         }
         Ok(self.apsp2_result.clone().expect("memoized above"))
@@ -287,7 +288,6 @@ impl Solver {
                 &mut self.ledger,
                 &mut self.substrates,
             ))?;
-            self.cached.merge(&out.estimates);
             self.apsp3_result = Some(out);
         }
         Ok(self.apsp3_result.clone().expect("memoized above"))
@@ -308,7 +308,6 @@ impl Solver {
                 &mut self.ledger,
                 &mut self.substrates,
             ));
-            self.cached.merge(&out.estimates);
             self.additive_result = Some(out);
         }
         Ok(self.additive_result.clone().expect("memoized above"))
@@ -334,33 +333,239 @@ impl Solver {
             &mut self.ledger,
             &mut self.substrates,
         ))?;
-        for (i, &s) in out.sources.iter().enumerate() {
-            for v in 0..self.graph.n() {
-                let d = out.estimates[i][v];
-                if v != s && d < INF {
-                    self.cached.improve(s, v, d);
-                }
-            }
-        }
         self.mssp_results.push((sources.to_vec(), out.clone()));
         Ok(out)
     }
 
-    /// Cheap point lookup over everything computed so far: the best cached
-    /// estimate for `d(u, v)`, or `None` if no query has produced one yet.
-    /// Charges no rounds — in the model, estimates are already local to
-    /// their vertices.
-    pub fn query(&self, u: usize, v: usize) -> Option<Dist> {
-        if u >= self.graph.n() || v >= self.graph.n() {
-            return None;
+    /// Feeds every estimate any computed result holds for `(u, v)` — with
+    /// the guarantee that result proved — to `consider`.
+    fn for_each_candidate(&self, u: usize, v: usize, mut consider: impl FnMut(Dist, Guarantee)) {
+        if let Some(r) = &self.apsp3_result {
+            consider(r.estimates.get(u, v), r.guarantee());
         }
-        let d = self.cached.get(u, v);
-        (d < INF).then_some(d)
+        if let Some(r) = &self.apsp2_result {
+            consider(r.estimates.get(u, v), r.guarantee());
+        }
+        if let Some(r) = &self.additive_result {
+            consider(r.estimates.get(u, v), r.guarantee());
+        }
+        for (_, m) in &self.mssp_results {
+            let g = m.guarantee_tag();
+            for (i, &s) in m.sources.iter().enumerate() {
+                if s == u {
+                    consider(m.estimates[i][v], g);
+                }
+                if s == v {
+                    consider(m.estimates[i][u], g);
+                }
+            }
+        }
     }
 
-    /// Number of ordered vertex pairs with a cached finite estimate.
+    /// The strongest guarantee among the results computed so far.
+    fn strongest_computed(&self) -> Option<Guarantee> {
+        let mut best: Option<Guarantee> = None;
+        let mut upd = |g: Guarantee| {
+            if best.is_none_or(|b| g.stronger_than(&b)) {
+                best = Some(g);
+            }
+        };
+        if let Some(r) = &self.apsp3_result {
+            upd(r.guarantee());
+        }
+        if let Some(r) = &self.apsp2_result {
+            upd(r.guarantee());
+        }
+        if let Some(r) = &self.additive_result {
+            upd(r.guarantee());
+        }
+        for (_, m) in &self.mssp_results {
+            upd(m.guarantee_tag());
+        }
+        best
+    }
+
+    /// Cheap tagged point lookup over everything computed so far: the best
+    /// estimate for `d(u, v)` together with the [`Guarantee`] of the
+    /// pipeline that actually produced it, or `None` if no query has
+    /// produced one yet. Charges no rounds — in the model, estimates are
+    /// already local to their vertices.
+    ///
+    /// When several pipelines (possibly run with different `ε`) hold equal
+    /// best estimates, the answer is tagged with the strongest of their
+    /// guarantees; a strictly better estimate always wins regardless of its
+    /// guarantee, so a weak-`ε` pipeline can improve the *value* but never
+    /// silently upgrade the *bound* of an answer.
+    pub fn estimate(&self, u: usize, v: usize) -> Option<PointEstimate> {
+        let n = self.graph.n();
+        if u >= n || v >= n {
+            return None;
+        }
+        if u == v {
+            return self
+                .strongest_computed()
+                .map(|guarantee| PointEstimate { dist: 0, guarantee });
+        }
+        let mut best: Option<PointEstimate> = None;
+        self.for_each_candidate(u, v, |d, g| {
+            if d >= INF {
+                return;
+            }
+            let wins = match &best {
+                Some(b) => d < b.dist || (d == b.dist && g.stronger_than(&b.guarantee)),
+                None => true,
+            };
+            if wins {
+                best = Some(PointEstimate {
+                    dist: d,
+                    guarantee: g,
+                });
+            }
+        });
+        best
+    }
+
+    /// Untagged point lookup.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Solver::estimate` (tagged answer) or `Solver::freeze` + \
+                `DistOracle::dist` for serving; a bare `Option<Dist>` loses \
+                the approximation guarantee of the winning pipeline"
+    )]
+    pub fn query(&self, u: usize, v: usize) -> Option<Dist> {
+        self.estimate(u, v).map(|e| e.dist)
+    }
+
+    /// Freezes everything computed so far into an immutable,
+    /// `Arc`-shareable [`DistOracle`] for lock-free concurrent serving.
+    ///
+    /// The oracle stores the pointwise-best estimate per pair in the
+    /// symmetric-packed layout (all session pipelines produce symmetric
+    /// estimates) with a per-entry provenance tag, so
+    /// [`DistOracle::dist`] answers exactly like [`Solver::estimate`] —
+    /// same values, same guarantees. The solver remains usable afterwards;
+    /// re-freezing after further queries produces a new oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcError::UnsupportedQuery`] when no pipeline query has run
+    /// yet (there is nothing to freeze).
+    pub fn freeze(&self) -> Result<DistOracle, CcError> {
+        let n = self.graph.n();
+        // Dedup guarantees into a small table (repeat MSSP batches share
+        // one entry); the per-entry tag bytes index into it.
+        let mut guarantees: Vec<Guarantee> = Vec::new();
+        let tag_for = |g: Guarantee, table: &mut Vec<Guarantee>| -> u8 {
+            if let Some(i) = table.iter().position(|&h| h == g) {
+                return i as u8;
+            }
+            assert!(table.len() < 256, "provenance table overflow");
+            table.push(g);
+            (table.len() - 1) as u8
+        };
+        let entries = n * (n + 1) / 2;
+        let mut data = vec![INF; entries];
+        let mut tags = vec![0u8; entries];
+        let merge = |idx: usize,
+                     d: Dist,
+                     tag: u8,
+                     data: &mut [Dist],
+                     tags: &mut [u8],
+                     table: &[Guarantee]| {
+            let wins = d < data[idx]
+                || (d < INF
+                    && d == data[idx]
+                    && table[tag as usize].stronger_than(&table[tags[idx] as usize]));
+            if wins {
+                data[idx] = d;
+                tags[idx] = tag;
+            }
+        };
+        let mut frozen_any = false;
+        let mut matrix_layers = Vec::new();
+        if let Some(r) = &self.apsp3_result {
+            matrix_layers.push((&r.estimates, r.guarantee()));
+        }
+        if let Some(r) = &self.apsp2_result {
+            matrix_layers.push((&r.estimates, r.guarantee()));
+        }
+        if let Some(r) = &self.additive_result {
+            matrix_layers.push((&r.estimates, r.guarantee()));
+        }
+        for (m, g) in matrix_layers {
+            frozen_any = true;
+            let tag = tag_for(g, &mut guarantees);
+            let mut idx = 0;
+            for u in 0..n {
+                let row = m.row(u);
+                for &d in &row[u..] {
+                    merge(idx, d, tag, &mut data, &mut tags, &guarantees);
+                    idx += 1;
+                }
+            }
+        }
+        for (_, m) in &self.mssp_results {
+            frozen_any = true;
+            let tag = tag_for(m.guarantee_tag(), &mut guarantees);
+            for (i, &s) in m.sources.iter().enumerate() {
+                for (v, &d) in m.estimates[i].iter().enumerate() {
+                    merge(
+                        DistStorage::packed_index(n, s, v),
+                        d,
+                        tag,
+                        &mut data,
+                        &mut tags,
+                        &guarantees,
+                    );
+                }
+            }
+        }
+        if !frozen_any {
+            return Err(CcError::UnsupportedQuery {
+                reason: "nothing to freeze: run a pipeline query (apsp_2eps, mssp, …) first".into(),
+            });
+        }
+        Ok(DistOracle::from_tagged_packed(n, data, tags, guarantees))
+    }
+
+    /// Number of ordered vertex pairs with a cached finite estimate —
+    /// a single union pass over the stored results (one packed coverage
+    /// flag per unordered pair; no freeze-sized value/tag materialization).
     pub fn cached_pairs(&self) -> usize {
-        self.cached.finite_pairs()
+        let n = self.graph.n();
+        let mut covered = vec![false; n * (n + 1) / 2];
+        let mut matrices = Vec::new();
+        if let Some(r) = &self.apsp3_result {
+            matrices.push(&r.estimates);
+        }
+        if let Some(r) = &self.apsp2_result {
+            matrices.push(&r.estimates);
+        }
+        if let Some(r) = &self.additive_result {
+            matrices.push(&r.estimates);
+        }
+        for m in matrices {
+            let mut idx = 0;
+            for u in 0..n {
+                let row = m.row(u);
+                for (v, &d) in row.iter().enumerate().skip(u) {
+                    covered[idx] |= v != u && d < INF;
+                    idx += 1;
+                }
+            }
+        }
+        for (_, m) in &self.mssp_results {
+            for (i, &s) in m.sources.iter().enumerate() {
+                for (v, &d) in m.estimates[i].iter().enumerate() {
+                    if v != s && d < INF {
+                        covered[DistStorage::packed_index(n, s, v)] = true;
+                    }
+                }
+            }
+        }
+        // Estimates are symmetric, so each covered unordered pair counts
+        // for both orientations.
+        2 * covered.iter().filter(|&&b| b).count()
     }
 }
 
@@ -416,21 +621,94 @@ mod tests {
     }
 
     #[test]
-    fn query_reflects_computed_estimates() {
+    fn estimate_reflects_computed_estimates() {
         let g = generators::grid(6, 6);
         let mut solver = SolverBuilder::new(g.clone())
             .eps(0.25)
             .execution(Execution::Deterministic)
             .build()
             .unwrap();
-        assert_eq!(solver.query(0, 5), None, "nothing computed yet");
+        assert_eq!(solver.estimate(0, 5), None, "nothing computed yet");
         solver.apsp_near_additive().unwrap();
         let exact = bfs::apsp_exact(&g);
         for v in 1..g.n() {
-            let est = solver.query(0, v).expect("estimate cached");
-            assert!(est >= exact[0][v]);
+            let est = solver.estimate(0, v).expect("estimate cached");
+            assert!(est.dist >= exact[0][v]);
+            assert_eq!(
+                est.guarantee.kind,
+                crate::oracle::GuaranteeKind::NearAdditive
+            );
         }
-        assert_eq!(solver.query(99, 0), None, "out of range is None");
+        assert_eq!(solver.estimate(99, 0), None, "out of range is None");
+        #[allow(deprecated)]
+        let legacy = solver.query(0, 5);
+        assert_eq!(legacy, solver.estimate(0, 5).map(|e| e.dist));
+    }
+
+    #[test]
+    fn estimates_keep_the_provenance_of_the_winning_pipeline() {
+        // The old `query` returned the pointwise min across pipelines with
+        // no tag — a (3+ε) estimate could masquerade under a caller-assumed
+        // stronger bound. Run the weak pipeline plus an MSSP batch: answers
+        // improved by MSSP must be tagged Mssp, the rest Mult3Eps.
+        let g = generators::caveman(6, 6);
+        let mut solver = SolverBuilder::new(g.clone())
+            .eps(0.5)
+            .execution(Execution::Seeded(11))
+            .build()
+            .unwrap();
+        let weak = solver.apsp_3eps().unwrap();
+        let sources = [0usize, 14, 28];
+        let strong = solver.mssp(&sources).unwrap();
+        let mut mssp_tagged = 0;
+        for (i, &s) in sources.iter().enumerate() {
+            for v in 0..g.n() {
+                if v == s {
+                    continue;
+                }
+                let est = solver.estimate(s, v).expect("covered by both");
+                let weak_d = weak.estimates.get(s, v);
+                let strong_d = strong.estimates[i][v];
+                assert_eq!(est.dist, weak_d.min(strong_d), "min wins at ({s},{v})");
+                let expected_kind = if strong_d <= weak_d {
+                    crate::oracle::GuaranteeKind::Mssp
+                } else {
+                    crate::oracle::GuaranteeKind::Mult3Eps
+                };
+                assert_eq!(est.guarantee.kind, expected_kind, "tag at ({s},{v})");
+                if expected_kind == crate::oracle::GuaranteeKind::Mssp {
+                    mssp_tagged += 1;
+                }
+            }
+        }
+        assert!(mssp_tagged > 0, "MSSP should win somewhere");
+        // A pair not covered by any source keeps the weak pipeline's tag.
+        let est = solver.estimate(1, 2).unwrap();
+        assert_eq!(est.guarantee.kind, crate::oracle::GuaranteeKind::Mult3Eps);
+    }
+
+    #[test]
+    fn freeze_matches_estimate_everywhere() {
+        let g = generators::caveman(6, 6);
+        let mut solver = SolverBuilder::new(g.clone())
+            .eps(0.5)
+            .execution(Execution::Seeded(4))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            solver.freeze(),
+            Err(CcError::UnsupportedQuery { .. })
+        ));
+        solver.apsp_3eps().unwrap();
+        solver.mssp(&[0, 9, 18]).unwrap();
+        let oracle = solver.freeze().unwrap();
+        assert_eq!(oracle.n(), g.n());
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(oracle.dist(u, v), solver.estimate(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(oracle.finite_pairs(), solver.cached_pairs());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   deterministic set of size `O(N log L / k)` computed here by the greedy
 //!   max-coverage derandomization (the centralized equivalent of the
 //!   conditional-expectation/PRG protocol; substitution documented in
-//!   `DESIGN.md` §2), charged `O((log log n)³)` rounds per Lemma 9.
+//!   `DESIGN.md` §3), charged `O((log log n)³)` rounds per Lemma 9.
 
 use cc_clique::RoundLedger;
 use rand::Rng;

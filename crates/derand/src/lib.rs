@@ -22,7 +22,7 @@
 //! compress the seed so the distributed protocol runs in `O((log log n)³)`
 //! rounds; we charge exactly those rounds
 //! ([`cc_clique::cost::model::conditional_expectation_rounds`]) and document
-//! the substitution in `DESIGN.md` §2.
+//! the substitution in `DESIGN.md` §3.
 //!
 //! # Example
 //!

@@ -60,7 +60,7 @@ impl CliqueEmulatorConfig {
     }
 
     /// Benchmark-scale configuration: same exponents, tempered hopset
-    /// constants (see `DESIGN.md` §5).
+    /// constants (see `DESIGN.md` §6).
     pub fn scaled(params: EmulatorParams) -> Self {
         let mut c = Self::paper(params);
         c.scaled_hopset = true;

@@ -1,4 +1,5 @@
-//! The distance scalar used throughout the workspace.
+//! The distance scalar used throughout the workspace, plus the physical
+//! storage layouts distance tables are frozen into for serving.
 
 /// Distance value. Unweighted distances are at most `n`; emulator and hopset
 /// weights are sums of at most `n` unit lengths, so `u32` suffices for every
@@ -32,6 +33,310 @@ pub fn is_finite(d: Dist) -> bool {
     d < INF
 }
 
+/// The physical layout of a [`DistStorage`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StorageKind {
+    /// Row-major square `n × n` table.
+    Full,
+    /// Packed upper triangle (diagonal included), `n(n+1)/2` entries —
+    /// half the memory of [`StorageKind::Full`] for symmetric tables.
+    SymmetricPacked,
+    /// Only the rows of selected source vertices, `|S| × n` entries —
+    /// the shape MSSP results come in.
+    RowSparse,
+}
+
+impl StorageKind {
+    /// Short lowercase label (used by benches and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageKind::Full => "full",
+            StorageKind::SymmetricPacked => "symmetric",
+            StorageKind::RowSparse => "rowsparse",
+        }
+    }
+}
+
+/// An immutable distance table in one of three physical layouts.
+///
+/// This is the read-side counterpart of the mutable estimate matrices the
+/// pipelines build: once estimates are final they are frozen into a
+/// `DistStorage`, which answers `get(u, v)` lock-free from shared
+/// references. All layouts treat a missing entry as [`INF`] and are
+/// symmetric-by-convention: a row-sparse table answers `(u, v)` from the
+/// row of `v` when only `v` is a source.
+///
+/// Entry indexing (the order of [`DistStorage::data`]) is part of the
+/// public contract — snapshot files and per-entry provenance tags index
+/// into it:
+///
+/// * `Full`: `data[u * n + v]`.
+/// * `SymmetricPacked`: for `u ≤ v`, `data[packed_index(n, u, v)]`
+///   (row-major upper triangle, diagonal included — see
+///   [`DistStorage::packed_index`]).
+/// * `RowSparse`: `data[i * n + v]` where `i` is the position of `u` in
+///   `sources`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DistStorage {
+    repr: Repr,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Repr {
+    /// Row-major square table: `n * n` entries.
+    Full { n: usize, data: Vec<Dist> },
+    /// Packed upper triangle of a symmetric table: `n(n+1)/2` entries.
+    SymmetricPacked { n: usize, data: Vec<Dist> },
+    /// Rows of selected sources only: `sources.len() * n` entries,
+    /// `data[i * n + v] = δ(sources[i], v)`.
+    RowSparse {
+        n: usize,
+        /// Source vertices, in input order (duplicates allowed; the first
+        /// occurrence wins on lookup).
+        sources: Vec<u32>,
+        /// First-occurrence row of each vertex (`NO_ROW` for non-sources):
+        /// the O(1) index point lookups go through.
+        row_of: Vec<u32>,
+        data: Vec<Dist>,
+    },
+}
+
+/// `row_of` sentinel for vertices that are not sources.
+const NO_ROW: u32 = u32::MAX;
+
+impl DistStorage {
+    /// Wraps a row-major square table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn full(n: usize, data: Vec<Dist>) -> Self {
+        assert_eq!(data.len(), n * n, "full storage needs n^2 entries");
+        DistStorage {
+            repr: Repr::Full { n, data },
+        }
+    }
+
+    /// Wraps a packed upper triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n(n+1)/2`.
+    pub fn symmetric_packed(n: usize, data: Vec<Dist>) -> Self {
+        assert_eq!(
+            data.len(),
+            n * (n + 1) / 2,
+            "packed storage needs n(n+1)/2 entries"
+        );
+        DistStorage {
+            repr: Repr::SymmetricPacked { n, data },
+        }
+    }
+
+    /// Wraps source rows. Duplicate sources are allowed; the first
+    /// occurrence wins on lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != sources.len() * n` or a source is `≥ n`.
+    pub fn row_sparse(n: usize, sources: Vec<u32>, data: Vec<Dist>) -> Self {
+        assert_eq!(
+            data.len(),
+            sources.len() * n,
+            "row-sparse storage needs |S|·n entries"
+        );
+        assert!(
+            sources.iter().all(|&s| (s as usize) < n),
+            "source out of range"
+        );
+        let mut row_of = vec![NO_ROW; n];
+        for (i, &s) in sources.iter().enumerate() {
+            if row_of[s as usize] == NO_ROW {
+                row_of[s as usize] = i as u32;
+            }
+        }
+        DistStorage {
+            repr: Repr::RowSparse {
+                n,
+                sources,
+                row_of,
+                data,
+            },
+        }
+    }
+
+    /// The layout tag.
+    pub fn kind(&self) -> StorageKind {
+        match &self.repr {
+            Repr::Full { .. } => StorageKind::Full,
+            Repr::SymmetricPacked { .. } => StorageKind::SymmetricPacked,
+            Repr::RowSparse { .. } => StorageKind::RowSparse,
+        }
+    }
+
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        match &self.repr {
+            Repr::Full { n, .. } | Repr::SymmetricPacked { n, .. } | Repr::RowSparse { n, .. } => {
+                *n
+            }
+        }
+    }
+
+    /// Number of stored entries (the length of the entry index space).
+    pub fn entries(&self) -> usize {
+        self.data().len()
+    }
+
+    /// Payload bytes held by the table: the distance entries, plus the
+    /// source list and its O(1) lookup index for row-sparse layouts.
+    pub fn bytes(&self) -> usize {
+        let extra = match &self.repr {
+            Repr::RowSparse {
+                sources, row_of, ..
+            } => {
+                std::mem::size_of_val(sources.as_slice()) + std::mem::size_of_val(row_of.as_slice())
+            }
+            _ => 0,
+        };
+        std::mem::size_of_val(self.data()) + extra
+    }
+
+    /// The raw entry array, in the documented entry order.
+    pub fn data(&self) -> &[Dist] {
+        match &self.repr {
+            Repr::Full { data, .. }
+            | Repr::SymmetricPacked { data, .. }
+            | Repr::RowSparse { data, .. } => data,
+        }
+    }
+
+    /// The source list of a row-sparse table (`None` for square layouts).
+    pub fn sources(&self) -> Option<&[u32]> {
+        match &self.repr {
+            Repr::RowSparse { sources, .. } => Some(sources),
+            _ => None,
+        }
+    }
+
+    /// The entry index of `(u, v)` in the packed-upper-triangle layout
+    /// (orientation is normalized, so `u > v` is fine). This is the single
+    /// definition freeze sites and lookups share.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or return a wrong index) if `u ≥ n` or `v ≥ n`;
+    /// callers bounds-check first.
+    #[inline]
+    pub fn packed_index(n: usize, u: usize, v: usize) -> usize {
+        let (a, b) = if u <= v { (u, v) } else { (v, u) };
+        a * (2 * n - a + 1) / 2 + (b - a)
+    }
+
+    /// Looks up `(u, v)`, returning the value together with the entry index
+    /// it came from (the index provenance tags are keyed by). Returns `None`
+    /// for out-of-range vertices and for row-sparse lookups where neither
+    /// endpoint is a source. A stored [`INF`] is returned as-is.
+    ///
+    /// Row-sparse ties (both endpoints are sources) resolve to the smaller
+    /// value; on equal values the row of `u` wins.
+    #[inline]
+    pub fn lookup(&self, u: usize, v: usize) -> Option<(Dist, usize)> {
+        let n = self.n();
+        if u >= n || v >= n {
+            return None;
+        }
+        match &self.repr {
+            Repr::Full { data, .. } => {
+                let idx = u * n + v;
+                Some((data[idx], idx))
+            }
+            Repr::SymmetricPacked { data, .. } => {
+                let idx = Self::packed_index(n, u, v);
+                Some((data[idx], idx))
+            }
+            Repr::RowSparse { row_of, data, .. } => {
+                let entry = |x: usize, y: usize| match row_of[x] {
+                    NO_ROW => None,
+                    i => {
+                        let idx = i as usize * n + y;
+                        Some((data[idx], idx))
+                    }
+                };
+                let fwd = entry(u, v);
+                let rev = entry(v, u);
+                match (fwd, rev) {
+                    (Some(f), Some(r)) => Some(if r.0 < f.0 { r } else { f }),
+                    (f, r) => f.or(r),
+                }
+            }
+        }
+    }
+
+    /// The stored estimate for `(u, v)`, [`INF`] when nothing is stored.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> Dist {
+        self.lookup(u, v).map_or(INF, |(d, _)| d)
+    }
+
+    /// Borrows the full row of `u` when the layout physically holds one:
+    /// `Full` always, `RowSparse` when `u` is a source. `SymmetricPacked`
+    /// rows are not contiguous — use [`DistStorage::copy_row`] there.
+    pub fn row(&self, u: usize) -> Option<&[Dist]> {
+        let n = self.n();
+        if u >= n {
+            return None;
+        }
+        match &self.repr {
+            Repr::Full { data, .. } => Some(&data[u * n..(u + 1) * n]),
+            Repr::SymmetricPacked { .. } => None,
+            Repr::RowSparse { row_of, data, .. } => match row_of[u] {
+                NO_ROW => None,
+                i => Some(&data[i as usize * n..(i as usize + 1) * n]),
+            },
+        }
+    }
+
+    /// Materializes the row of `u` into `out` (length `n`), for every
+    /// layout. Entries with no stored estimate become [`INF`]; row-sparse
+    /// rows of a non-source `u` are filled from the source rows' columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u ≥ n` or `out.len() != n`.
+    pub fn copy_row(&self, u: usize, out: &mut [Dist]) {
+        let n = self.n();
+        assert!(u < n, "vertex {u} out of range for n = {n}");
+        assert_eq!(out.len(), n, "output row length mismatch");
+        match &self.repr {
+            Repr::Full { data, .. } => out.copy_from_slice(&data[u * n..(u + 1) * n]),
+            Repr::SymmetricPacked { data, .. } => {
+                for v in 0..u {
+                    out[v] = data[Self::packed_index(n, v, u)];
+                }
+                let start = Self::packed_index(n, u, u);
+                out[u..n].copy_from_slice(&data[start..start + (n - u)]);
+            }
+            Repr::RowSparse {
+                sources,
+                row_of,
+                data,
+                ..
+            } => match row_of[u] {
+                NO_ROW => {
+                    out.fill(INF);
+                    for (i, &s) in sources.iter().enumerate() {
+                        let d = data[i * n + u];
+                        let slot = &mut out[s as usize];
+                        *slot = (*slot).min(d);
+                    }
+                }
+                i => out.copy_from_slice(&data[i as usize * n..(i as usize + 1) * n]),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +365,136 @@ mod tests {
         assert!(is_finite(0));
         assert!(is_finite(INF - 1));
         assert!(!is_finite(INF));
+    }
+
+    /// A symmetric 4×4 reference table: d(u,v) = |u-v| except (0,3) missing.
+    fn reference_full(n: usize) -> Vec<Dist> {
+        let mut data = vec![INF; n * n];
+        for u in 0..n {
+            for v in 0..n {
+                if !(u == 0 && v == n - 1 || v == 0 && u == n - 1) {
+                    data[u * n + v] = u.abs_diff(v) as Dist;
+                }
+            }
+        }
+        data
+    }
+
+    fn packed_from_full(n: usize, full: &[Dist]) -> Vec<Dist> {
+        let mut data = Vec::with_capacity(n * (n + 1) / 2);
+        for u in 0..n {
+            for v in u..n {
+                data.push(full[u * n + v]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn layouts_agree_on_get() {
+        let n = 4;
+        let full_data = reference_full(n);
+        let full = DistStorage::full(n, full_data.clone());
+        let sym = DistStorage::symmetric_packed(n, packed_from_full(n, &full_data));
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(full.get(u, v), sym.get(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(full.get(0, 3), INF);
+        assert_eq!(full.get(9, 0), INF, "out of range is INF");
+        assert_eq!(full.kind(), StorageKind::Full);
+        assert_eq!(sym.kind(), StorageKind::SymmetricPacked);
+    }
+
+    #[test]
+    fn symmetric_packed_halves_the_bytes() {
+        let n = 64;
+        let full = DistStorage::full(n, vec![0; n * n]);
+        let sym = DistStorage::symmetric_packed(n, vec![0; n * (n + 1) / 2]);
+        assert!(sym.bytes() * 2 <= full.bytes() + n * std::mem::size_of::<Dist>());
+        assert!(sym.bytes() < full.bytes() * 55 / 100 + 1);
+    }
+
+    #[test]
+    fn row_sparse_answers_both_orientations() {
+        let n = 5;
+        // Source 2 only: row = exact cycle distances from 2 on a 5-cycle.
+        let row: Vec<Dist> = vec![2, 1, 0, 1, 2];
+        let rs = DistStorage::row_sparse(n, vec![2], row.clone());
+        assert_eq!(rs.get(2, 4), 2, "forward row");
+        assert_eq!(rs.get(4, 2), 2, "symmetric fallback via the source row");
+        assert_eq!(rs.get(0, 1), INF, "neither endpoint is a source");
+        assert_eq!(rs.row(2), Some(&row[..]));
+        assert_eq!(rs.row(3), None);
+        assert_eq!(rs.sources(), Some(&[2u32][..]));
+    }
+
+    #[test]
+    fn copy_row_matches_get_everywhere() {
+        let n = 4;
+        let full_data = reference_full(n);
+        let storages = [
+            DistStorage::full(n, full_data.clone()),
+            DistStorage::symmetric_packed(n, packed_from_full(n, &full_data)),
+            DistStorage::row_sparse(n, vec![1, 3], {
+                let mut rows = full_data[n..2 * n].to_vec();
+                rows.extend_from_slice(&full_data[3 * n..4 * n]);
+                rows
+            }),
+        ];
+        let mut out = vec![0; n];
+        for s in &storages {
+            for u in 0..n {
+                s.copy_row(u, &mut out);
+                for v in 0..n {
+                    assert_eq!(out[v], s.get(u, v), "{:?} row {u} col {v}", s.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_reports_the_entry_index() {
+        let n = 3;
+        let full = DistStorage::full(n, vec![0, 5, 9, 5, 0, 2, 9, 2, 0]);
+        assert_eq!(full.lookup(1, 2), Some((2, 5)));
+        let sym = DistStorage::symmetric_packed(n, vec![0, 5, 9, 0, 2, 0]);
+        assert_eq!(sym.lookup(2, 1), Some((2, 4)), "orientation normalized");
+    }
+
+    #[test]
+    fn duplicate_sources_first_occurrence_wins() {
+        let n = 3;
+        // Source 1 listed twice with different rows; lookups must serve the
+        // first row. Source list round-trips verbatim.
+        let rows = vec![9, 0, 9, /* dup: */ 5, 0, 5];
+        let rs = DistStorage::row_sparse(n, vec![1, 1], rows);
+        assert_eq!(rs.get(1, 0), 9);
+        assert_eq!(rs.get(0, 1), 9);
+        assert_eq!(rs.sources(), Some(&[1u32, 1][..]));
+        assert_eq!(rs.row(1), Some(&[9, 0, 9][..]));
+    }
+
+    #[test]
+    fn packed_index_normalizes_orientation() {
+        for n in [1usize, 2, 5, 9] {
+            let mut seen = vec![false; n * (n + 1) / 2];
+            for u in 0..n {
+                for v in u..n {
+                    let idx = DistStorage::packed_index(n, u, v);
+                    assert_eq!(idx, DistStorage::packed_index(n, v, u));
+                    assert!(!seen[idx], "index collision at ({u},{v}) n={n}");
+                    seen[idx] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "surjective for n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n(n+1)/2")]
+    fn packed_length_is_validated() {
+        let _ = DistStorage::symmetric_packed(4, vec![0; 9]);
     }
 }

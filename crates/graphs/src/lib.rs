@@ -39,5 +39,5 @@ pub mod graph;
 pub mod io;
 pub mod stretch;
 
-pub use dist::{dadd, Dist, INF};
+pub use dist::{dadd, Dist, DistStorage, StorageKind, INF};
 pub use graph::{Graph, WeightedGraph};

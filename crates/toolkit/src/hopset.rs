@@ -72,7 +72,7 @@ impl HopsetParams {
     /// Benchmark-scale profile: identical exponents and pivot density,
     /// tempered hop-bound constant (`β = 3·log t / ε` instead of the
     /// worst-case `12·log t / ε`). The guarantee is re-verified empirically
-    /// wherever this profile is used (DESIGN.md §5).
+    /// wherever this profile is used (DESIGN.md §6).
     ///
     /// # Panics
     ///

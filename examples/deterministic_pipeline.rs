@@ -82,5 +82,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solver.total_rounds()
     );
     assert!(report.max_multiplicative <= out.short_range_guarantee);
+
+    // 4. Persist the solved session: freeze → snapshot → reload. The
+    //    snapshot is a versioned little-endian binary format (DESIGN.md
+    //    §2.2), so a fresh process can serve the estimates without
+    //    re-running a single round of the pipeline.
+    let oracle = solver.freeze()?;
+    let path = std::env::temp_dir().join("deterministic_pipeline_oracle.snap");
+    oracle.save_to_path(&path)?;
+    let served = DistOracle::load_from_path(&path)?;
+    let snapshot_bytes = std::fs::metadata(&path)?.len();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(served, oracle, "snapshot round trip must be bit-identical");
+    let probe = served.dist(0, g.n() - 1).expect("frozen estimate");
+    println!(
+        "\nsnapshot: {snapshot_bytes} bytes ({} layout); reloaded oracle answers \
+         d(0, {}) = {} under {}",
+        served.storage_kind().label(),
+        g.n() - 1,
+        probe.dist,
+        probe.guarantee
+    );
     Ok(())
 }

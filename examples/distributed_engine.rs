@@ -11,7 +11,8 @@ use congested_clique::clique::programs::{
     Broadcast, DistributedBfs, MinAggregate, RoutedWord, TwoPhaseRouting,
 };
 use congested_clique::clique::{Engine, NodeId};
-use congested_clique::graphs::{bfs, generators};
+use congested_clique::core::oracle::{DistOracle, Guarantee};
+use congested_clique::graphs::{bfs, generators, Dist, DistStorage, INF};
 
 fn main() {
     let n = 64;
@@ -69,6 +70,25 @@ fn main() {
         stats.rounds,
         bfs::eccentricity(&g, 0),
         all_match
+    );
+
+    //    The engine's output is itself servable: freeze the one computed
+    //    BFS row into a row-sparse oracle (|S|·n = 1·n entries). BFS is
+    //    exact, so the answers carry a (1+0)·d guarantee.
+    let row: Vec<Dist> = (0..g.n())
+        .map(|v| engine.nodes()[v].distance().map_or(INF, |d| d as Dist))
+        .collect();
+    let oracle = DistOracle::from_storage(
+        DistStorage::row_sparse(g.n(), vec![0], row),
+        Guarantee::mssp(0.0),
+    );
+    let est = oracle.dist(g.n() - 1, 0).expect("grid is connected");
+    println!(
+        "frozen BFS row ({} bytes): d({}, 0) = {} under {}",
+        oracle.storage_bytes(),
+        g.n() - 1,
+        est.dist,
+        est.guarantee
     );
 
     // 4. Two-phase routing: an all-to-all permutation delivered in O(1)

@@ -1,6 +1,9 @@
-//! Quickstart: a `Solver` session answering (2+ε)-APSP and point queries.
+//! Quickstart: a `Solver` session answering (2+ε)-APSP and point queries,
+//! then frozen into an `Arc`-shareable oracle for concurrent serving.
 //!
 //! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
 
 use congested_clique::prelude::*;
 
@@ -37,15 +40,53 @@ fn main() -> Result<(), CcError> {
     );
     assert_eq!(report.lower_violations, 0);
 
-    // Point queries over the cached estimates are free — no further rounds.
+    // Point queries over the cached estimates are free — no further rounds —
+    // and every answer names the guarantee it is proven under.
     let rounds_after_apsp = solver.total_rounds();
-    let d = solver.query(0, g.n() - 1).expect("estimate cached");
+    let answer = solver.estimate(0, g.n() - 1).expect("estimate cached");
     assert_eq!(solver.total_rounds(), rounds_after_apsp);
-    println!("cached point query d(0, {}) = {d}", g.n() - 1);
+    println!(
+        "cached point query d(0, {}) = {} under {}",
+        g.n() - 1,
+        answer.dist,
+        answer.guarantee
+    );
 
     // A second identical query is also free (memoized result).
     let _ = solver.apsp_2eps()?;
     assert_eq!(solver.total_rounds(), rounds_after_apsp);
+
+    // Freeze the read side: an immutable oracle in the compact
+    // symmetric-packed layout, shared lock-free across query threads.
+    let oracle = Arc::new(solver.freeze()?);
+    println!(
+        "\nfrozen oracle: {} layout, {} bytes, {} finite pairs",
+        oracle.storage_kind().label(),
+        oracle.storage_bytes(),
+        oracle.finite_pairs()
+    );
+    let totals: Vec<u64> = std::thread::scope(|scope| {
+        (0..4u64)
+            .map(|t| {
+                let oracle = Arc::clone(&oracle);
+                scope.spawn(move || {
+                    let n = oracle.n();
+                    let pairs: Vec<(usize, usize)> =
+                        (0..n).map(|v| ((t as usize * 31 + v) % n, v)).collect();
+                    oracle
+                        .dist_batch(&pairs)
+                        .into_iter()
+                        .flatten()
+                        .map(|est| est.dist as u64)
+                        .sum()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("query thread"))
+            .collect()
+    });
+    println!("4 serving threads answered batches (checksums {totals:?})");
 
     println!(
         "\nsimulated Congested Clique cost:\n{}",

@@ -55,6 +55,34 @@ fn main() -> Result<(), CcError> {
         additive.multiplicative_bound - 1.0,
         additive.additive_bound
     );
+
+    // Freeze both pipelines into one oracle: each frozen entry keeps the
+    // provenance of the pipeline that actually won it, so we can count who
+    // serves which pairs instead of losing that in a pointwise min.
+    let oracle = solver.freeze()?;
+    let (mut by_additive, mut by_mult) = (0usize, 0usize);
+    for u in 0..g.n() {
+        for v in (u + 1)..g.n() {
+            match oracle
+                .dist(u, v)
+                .expect("grid fully covered")
+                .guarantee
+                .kind
+            {
+                GuaranteeKind::NearAdditive => by_additive += 1,
+                _ => by_mult += 1,
+            }
+        }
+    }
+    println!(
+        "\nfrozen oracle ({} layout, {} bytes): {} pairs served under the \
+         near-additive bound, {} under (2+eps)",
+        oracle.storage_kind().label(),
+        oracle.storage_bytes(),
+        by_additive,
+        by_mult
+    );
+
     println!("\nper-phase cost:\n{}", solver.ledger().report());
     Ok(())
 }

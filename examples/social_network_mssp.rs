@@ -77,6 +77,27 @@ fn main() -> Result<(), CcError> {
         solver.total_rounds() - rounds_first
     );
 
+    // Freeze the first batch alone into a row-sparse oracle: |S|·n entries
+    // instead of n², the natural serving shape for landmark workloads.
+    // Point queries answer both orientations of a landmark pair.
+    let oracle = out.into_oracle();
+    let full_bytes = n * n * std::mem::size_of::<Dist>();
+    println!(
+        "\nrow-sparse oracle: {} bytes vs {} for a square table ({:.1}%)",
+        oracle.storage_bytes(),
+        full_bytes,
+        100.0 * oracle.storage_bytes() as f64 / full_bytes as f64
+    );
+    let probe = 3 * n / 4;
+    if let Some(est) = oracle.dist(probe, landmarks[0]) {
+        println!(
+            "d({probe}, hub {}) = {} under {}",
+            landmarks[0], est.dist, est.guarantee
+        );
+    }
+    let near = oracle.k_nearest(probe, 3);
+    println!("three nearest landmarks of {probe}: {near:?}");
+
     println!(
         "\nsimulated Congested Clique cost:\n{}",
         solver.ledger().report()

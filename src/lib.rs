@@ -41,10 +41,16 @@
 //! assert!(est >= exact[0][40]);
 //! assert!(est as f64 <= 2.5 * exact[0][40] as f64);
 //!
-//! // Follow-up queries reuse the substrates; point lookups are free.
+//! // Follow-up queries reuse the substrates; point lookups are free and
+//! // carry the guarantee of the pipeline that produced them.
 //! let landmarks = solver.mssp(&[0, 16, 32])?;
 //! assert_eq!(landmarks.dist(0, 0), 0);
-//! assert!(solver.query(0, 40).is_some());
+//! let answer = solver.estimate(0, 40).expect("estimate cached");
+//! println!("d(0,40) ≤ {} under {}", answer.dist, answer.guarantee);
+//!
+//! // Freeze the read side into an Arc-shareable oracle for serving.
+//! let oracle = std::sync::Arc::new(solver.freeze()?);
+//! assert_eq!(oracle.dist(0, 40).map(|e| e.dist), Some(answer.dist));
 //! println!("simulated rounds: {}", solver.total_rounds());
 //! # Ok::<(), congested_clique::core::CcError>(())
 //! ```
@@ -71,10 +77,12 @@ pub mod prelude {
     pub use cc_core::apsp_additive::{self, AdditiveApspConfig};
     pub use cc_core::mssp::{self, MsspConfig};
     pub use cc_core::{
-        Algorithm, AlgorithmOutput, CcError, DistanceMatrix, Execution, ParamProfile, Solver,
-        SolverBuilder,
+        Algorithm, AlgorithmOutput, CcError, DistOracle, DistanceMatrix, Execution, Guarantee,
+        GuaranteeKind, ParamProfile, PointEstimate, SnapshotError, Solver, SolverBuilder,
     };
     pub use cc_emulator::clique::CliqueEmulatorConfig;
     pub use cc_emulator::{Emulator, EmulatorParams};
-    pub use cc_graphs::{bfs, generators, stretch, Dist, Graph, WeightedGraph, INF};
+    pub use cc_graphs::{
+        bfs, generators, stretch, Dist, DistStorage, Graph, StorageKind, WeightedGraph, INF,
+    };
 }

@@ -148,6 +148,46 @@ fn builder_validation_surfaces_unified_errors() {
     ));
 }
 
+/// The serving workflow: freeze a session, share the oracle via `Arc`, and
+/// answer tagged point queries that agree with `Solver::estimate` (and with
+/// the deprecated untagged `query` shim) everywhere.
+#[test]
+fn frozen_session_serves_tagged_answers() {
+    let g = generators::caveman(7, 7);
+    let mut solver = SolverBuilder::new(g.clone())
+        .eps(0.5)
+        .execution(Execution::Seeded(17))
+        .build()
+        .unwrap();
+    solver.apsp_2eps().unwrap();
+    solver.mssp(&[0, 13, 26]).unwrap();
+    let oracle = std::sync::Arc::new(solver.freeze().unwrap());
+    assert_eq!(oracle.n(), g.n());
+    assert_eq!(
+        oracle.storage_kind(),
+        StorageKind::SymmetricPacked,
+        "session freeze picks the compact symmetric layout"
+    );
+    for u in 0..g.n() {
+        for v in 0..g.n() {
+            let frozen = oracle.dist(u, v);
+            assert_eq!(frozen, solver.estimate(u, v), "({u},{v})");
+            #[allow(deprecated)]
+            let legacy = solver.query(u, v);
+            assert_eq!(legacy, frozen.map(|e| e.dist), "({u},{v})");
+        }
+    }
+    // k-nearest answers come back sorted and respect the frozen estimates.
+    let near = oracle.k_nearest(0, 8);
+    assert!(near.len() <= 8);
+    assert!(near
+        .windows(2)
+        .all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
+    for &(v, d) in &near {
+        assert_eq!(oracle.dist(0, v as usize).unwrap().dist, d);
+    }
+}
+
 #[test]
 fn errors_format_and_chain() {
     let g = generators::cycle(8);
