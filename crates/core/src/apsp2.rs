@@ -24,7 +24,7 @@ use cc_clique::RoundLedger;
 use cc_emulator::clique::CliqueEmulatorConfig;
 use cc_emulator::EmulatorParams;
 use cc_graphs::{Dist, Graph, INF};
-use cc_matrix::SparseMatrix;
+use cc_matrix::{MinplusWorkspace, RowBuilder};
 use cc_toolkit::knearest::{KNearest, Strategy};
 use cc_toolkit::source_detection::SourceDetection;
 use cc_toolkit::through_sets::distance_through_sets;
@@ -161,6 +161,7 @@ pub(crate) fn run_mode(
     let mut phase = ledger.enter("apsp2");
     let n = g.n();
     let t = cfg.threshold();
+    let threads = cfg.emulator.threads;
     let mut delta = DistanceMatrix::new(n);
 
     // ── Long range (Claim 37): emulator + adjacency. ──────────────────────
@@ -194,6 +195,7 @@ pub(crate) fn run_mode(
             2 * t,
             cfg.eps / 2.0,
             cfg.emulator.scaled_hopset,
+            threads,
             &mut mode,
             &mut phase,
         );
@@ -214,7 +216,7 @@ pub(crate) fn run_mode(
     let k = cfg.k;
 
     // Step 2: (k,t)-nearest in G' (exact distances).
-    let kn = KNearest::compute(&gp, k, t, Strategy::TruncatedBfs, &mut phase);
+    let kn = KNearest::compute_with(&gp, k, t, Strategy::TruncatedBfs, threads, &mut phase);
     for u in 0..n {
         for &(v, d) in kn.list(u) {
             if v as usize != u {
@@ -253,6 +255,7 @@ pub(crate) fn run_mode(
             2 * t,
             cfg.eps / 2.0,
             cfg.emulator.scaled_hopset,
+            threads,
             &mut mode,
             &mut phase,
         ))
@@ -363,23 +366,26 @@ pub(crate) fn run_mode(
     // (Case 3b): W₁ = nearest-lists, W₂ = edges leaving low-G'-degree
     // vertices, W₃ = W₁ᵀ.
     if gp.m() > 0 {
-        let mut w1 = SparseMatrix::new(n);
+        let mut w1 = RowBuilder::new(n);
         for u in 0..n {
             for &(v, d) in kn.list(u) {
-                w1.set_min(u, v as usize, d);
+                w1.push(u, v as usize, d);
             }
         }
-        let mut w2 = SparseMatrix::new(n);
+        let w1 = w1.build();
+        let mut w2 = RowBuilder::new(n);
         for x in 0..n {
             if gp.degree(x) <= thresh2 {
                 for &y in gp.neighbors(x) {
-                    w2.set_min(x, y as usize, 1);
+                    w2.push(x, y as usize, 1);
                 }
             }
         }
+        let w2 = w2.build();
         let w3 = w1.transpose();
-        let p = w1.minplus_charged(&w2, &mut phase, "E'' product W1·W2");
-        let q = p.minplus_charged(&w3, &mut phase, "E'' product (W1·W2)·W3");
+        let mut ws = MinplusWorkspace::with_threads(threads);
+        let p = w1.minplus_charged_with(&w2, &mut ws, &mut phase, "E'' product W1·W2");
+        let q = p.minplus_charged_with(&w3, &mut ws, &mut phase, "E'' product (W1·W2)·W3");
         for u in 0..n {
             for &(v, d) in q.row(u) {
                 let v = v as usize;

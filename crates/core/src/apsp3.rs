@@ -157,7 +157,14 @@ pub(crate) fn run_mode(
     );
 
     // (k, t)-nearest: exact short distances to the k nearest.
-    let kn = KNearest::compute(g, cfg.k, t, Strategy::TruncatedBfs, &mut phase);
+    let kn = KNearest::compute_with(
+        g,
+        cfg.k,
+        t,
+        Strategy::TruncatedBfs,
+        cfg.emulator.threads,
+        &mut phase,
+    );
     for u in 0..n {
         for &(v, d) in kn.list(u) {
             if v as usize != u {
@@ -182,6 +189,7 @@ pub(crate) fn run_mode(
             2 * t,
             cfg.eps / 2.0,
             cfg.emulator.scaled_hopset,
+            cfg.emulator.threads,
             &mut mode,
             &mut phase,
         );

@@ -246,6 +246,7 @@ pub(crate) fn run_mode(
         t,
         cfg.eps,
         cfg.emulator.scaled_hopset,
+        cfg.emulator.threads,
         &mut mode,
         &mut phase,
     );

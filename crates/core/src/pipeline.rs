@@ -136,6 +136,9 @@ impl Substrates {
     ///
     /// Returns an owned clone so pipelines can interleave further cache
     /// lookups while holding the hopset.
+    /// `threads` is purely wall-clock (the construction is bit-identical at
+    /// any thread count), so it is deliberately **not** part of the cache
+    /// key.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn hopset_for(
         &mut self,
@@ -144,6 +147,7 @@ impl Substrates {
         t: Dist,
         eps: f64,
         scaled: bool,
+        threads: usize,
         mode: &mut Mode<'_>,
         ledger: &mut RoundLedger,
     ) -> BoundedHopset {
@@ -155,7 +159,8 @@ impl Substrates {
                     HopsetParams::scaled(g.n(), t, eps)
                 } else {
                     HopsetParams::paper(g.n(), t, eps)
-                };
+                }
+                .with_threads(threads);
                 match mode {
                     Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
                     Mode::Det => hopset::build_deterministic(g, params, ledger),
@@ -283,11 +288,11 @@ mod tests {
         let mut subs = Substrates::new();
         let mut ledger = RoundLedger::new(g.n());
         let mut det = Mode::Det;
-        subs.hopset_for("g", &g, 8, 0.5, true, &mut det, &mut ledger);
+        subs.hopset_for("g", &g, 8, 0.5, true, 1, &mut det, &mut ledger);
         let after_first = ledger.total_rounds();
-        subs.hopset_for("g", &g, 8, 0.5, true, &mut det, &mut ledger);
+        subs.hopset_for("g", &g, 8, 0.5, true, 1, &mut det, &mut ledger);
         assert_eq!(ledger.total_rounds(), after_first, "hit charges nothing");
-        subs.hopset_for("g", &g, 16, 0.5, true, &mut det, &mut ledger);
+        subs.hopset_for("g", &g, 16, 0.5, true, 1, &mut det, &mut ledger);
         assert!(
             ledger.total_rounds() > after_first,
             "different threshold is a different substrate"

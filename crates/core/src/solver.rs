@@ -84,19 +84,34 @@ pub struct SolverBuilder {
     eps: f64,
     execution: Execution,
     profile: ParamProfile,
+    threads: usize,
 }
 
 impl SolverBuilder {
     /// Starts a builder over `graph` with the defaults `eps = 0.5`,
-    /// [`Execution::Seeded(0)`](Execution::Seeded) and
-    /// [`ParamProfile::Scaled`].
+    /// [`Execution::Seeded(0)`](Execution::Seeded), [`ParamProfile::Scaled`]
+    /// and serial execution (`threads = 1`).
     pub fn new(graph: Graph) -> Self {
         SolverBuilder {
             graph,
             eps: 0.5,
             execution: Execution::Seeded(0),
             profile: ParamProfile::Scaled,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count the pipelines' local computation runs
+    /// with (`0` and `1` both mean serial): the min-plus kernels, `(k,d)`-
+    /// nearest lists and hopset construction shard across scoped threads.
+    ///
+    /// Purely wall-clock — results and charged rounds are **bit-identical**
+    /// at any thread count (every sharded unit depends only on the inputs;
+    /// same argument as the engine's sharded node execution, DESIGN.md §1.2).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Sets the accuracy `ε ∈ (0, 1)` shared by all queries.
@@ -129,7 +144,7 @@ impl SolverBuilder {
     /// the distance type.
     pub fn build(self) -> Result<Solver, CcError> {
         let n = self.graph.n();
-        let (apsp2_cfg, apsp3_cfg, additive_cfg, mssp_cfg) = match self.profile {
+        let (mut apsp2_cfg, mut apsp3_cfg, mut additive_cfg, mut mssp_cfg) = match self.profile {
             ParamProfile::Paper { levels } => (
                 Apsp2Config::new(n, self.eps, levels)?,
                 Apsp3Config::new(n, self.eps, levels)?,
@@ -143,12 +158,17 @@ impl SolverBuilder {
                 MsspConfig::scaled(n, self.eps)?,
             ),
         };
+        apsp2_cfg.emulator.threads = self.threads;
+        apsp3_cfg.emulator.threads = self.threads;
+        additive_cfg.emulator.threads = self.threads;
+        mssp_cfg.emulator.threads = self.threads;
         let ledger = RoundLedger::new(n);
         Ok(Solver {
             graph: self.graph,
             eps: self.eps,
             execution: self.execution,
             profile: self.profile,
+            threads: self.threads,
             apsp2_cfg,
             apsp3_cfg,
             additive_cfg,
@@ -178,6 +198,7 @@ pub struct Solver {
     eps: f64,
     execution: Execution,
     profile: ParamProfile,
+    threads: usize,
     apsp2_cfg: Apsp2Config,
     apsp3_cfg: Apsp3Config,
     additive_cfg: AdditiveApspConfig,
@@ -236,6 +257,11 @@ impl Solver {
     /// The parameter profile.
     pub fn profile(&self) -> ParamProfile {
         self.profile
+    }
+
+    /// The worker-thread count of the pipelines' local computation.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The session's round ledger: every query's simulated communication,
@@ -727,6 +753,30 @@ mod tests {
         assert!(solver.total_rounds() > rounds, "new source set runs");
         let err = solver.mssp(&[]).unwrap_err();
         assert!(matches!(err, CcError::Mssp(MsspError::NoSources)));
+    }
+
+    #[test]
+    fn threaded_sessions_are_bit_identical() {
+        // The threads knob is wall-clock only: estimates AND charged rounds
+        // must match the serial session exactly.
+        let g = generators::caveman(6, 6);
+        let run = |threads: usize| {
+            let mut solver = SolverBuilder::new(g.clone())
+                .eps(0.5)
+                .execution(Execution::Seeded(9))
+                .threads(threads)
+                .build()
+                .unwrap();
+            let apsp = solver.apsp_2eps().unwrap();
+            let mssp = solver.mssp(&[0, 14, 28]).unwrap();
+            (apsp.estimates, mssp.estimates, solver.total_rounds())
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+        let solver = SolverBuilder::new(g).threads(3).build().unwrap();
+        assert_eq!(solver.threads(), 3);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct CliqueEmulatorConfig {
     /// ([`HopsetParams::scaled`]) for the top-level stage instead of the
     /// paper-constant one.
     pub scaled_hopset: bool,
+    /// Worker threads for the local `(k,d)`-nearest and hopset computations
+    /// (`0` and `1` both mean serial). Purely wall-clock: the constructed
+    /// emulator and the rounds charged are identical at any thread count.
+    pub threads: usize,
 }
 
 impl CliqueEmulatorConfig {
@@ -56,7 +60,15 @@ impl CliqueEmulatorConfig {
             eps_prime,
             k,
             scaled_hopset: false,
+            threads: 1,
         }
+    }
+
+    /// Returns the configuration with the worker-thread count set.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Benchmark-scale configuration: same exponents, tempered hopset
@@ -98,11 +110,12 @@ pub fn build_with_levels(
     // One communication round: every vertex broadcasts its level in
     // parallel (grounded by the engine in `announce_round_is_grounded`).
     phase.charge_broadcast("announce level membership");
-    let kn = KNearest::compute(
+    let kn = KNearest::compute_with(
         g,
         config.k,
         config.params.delta(config.params.r()),
         Strategy::TruncatedBfs,
+        config.threads,
         &mut phase,
     );
     build_with_levels_and_kn(g, config, levels, &kn, rng, &mut phase)
@@ -161,7 +174,8 @@ pub(crate) fn build_with_levels_and_kn(
             HopsetParams::scaled(g.n(), t, config.eps_prime)
         } else {
             HopsetParams::paper(g.n(), t, config.eps_prime)
-        };
+        }
+        .with_threads(config.threads);
         let hs = match rng {
             Some(mut rng) => hopset::build_randomized(g, hp, &mut rng, ledger),
             None => hopset::build_deterministic(g, hp, ledger),

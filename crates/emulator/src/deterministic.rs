@@ -68,7 +68,14 @@ pub fn build_with_selector(
     let r = params.r();
     let k = config.k;
 
-    let kn = KNearest::compute(g, k, params.delta(r), Strategy::TruncatedBfs, &mut phase);
+    let kn = KNearest::compute_with(
+        g,
+        k,
+        params.delta(r),
+        Strategy::TruncatedBfs,
+        config.threads,
+        &mut phase,
+    );
 
     // Iteratively build S'₀ ⊃ S'₁ ⊃ … ⊃ S'_r via soft hitting sets.
     let mut s_prime: Vec<Vec<bool>> = vec![vec![true; n]];

@@ -59,11 +59,12 @@ pub fn build(
     let lll = model::log2_ceil(model::log2_ceil(model::log2_ceil(n as u64).max(2)).max(2)).max(1);
     phase.charge("announce levels of all runs", lll);
 
-    let kn = KNearest::compute(
+    let kn = KNearest::compute_with(
         g,
         config.k,
         params.delta(r),
         Strategy::TruncatedBfs,
+        config.threads,
         &mut phase,
     );
 

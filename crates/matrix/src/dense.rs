@@ -1,7 +1,17 @@
 //! Dense min-plus matrices: the algebraic baseline of the "first era".
+//!
+//! The product kernel tiles the `i`/`k` loops so the panel of `other` rows a
+//! tile consumes stays cache-resident across the tile's output rows, skips
+//! all-∞ `(i, k)` cells before touching the panel, and keeps the inner
+//! `j`-loop branch-free (`min` select) so it vectorizes. Row-sharded
+//! parallel execution is available through [`MinplusWorkspace`].
+
+use std::ops::Range;
 
 use cc_clique::RoundLedger;
-use cc_graphs::{dadd, Dist, Graph, INF};
+use cc_graphs::{Dist, Graph, INF};
+
+use crate::workspace::MinplusWorkspace;
 
 /// A dense `n × n` matrix over the min-plus semiring.
 ///
@@ -19,9 +29,17 @@ use cc_graphs::{dadd, Dist, Graph, INF};
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DenseMatrix {
-    n: usize,
-    data: Vec<Dist>,
+    pub(crate) n: usize,
+    pub(crate) data: Vec<Dist>,
 }
+
+/// Output rows processed per tile: the tile's output rows (`I_TILE · n`
+/// words) stay resident while a `k`-panel streams through them.
+const I_TILE: usize = 16;
+
+/// `other` rows per panel: `K_TILE · n` words (256 KiB at `n = 1024`) are
+/// reused by every row of the `i`-tile before the panel is evicted.
+const K_TILE: usize = 64;
 
 impl DenseMatrix {
     /// All-∞ matrix (the min-plus zero matrix).
@@ -62,10 +80,24 @@ impl DenseMatrix {
         self.data[i * self.n + j]
     }
 
-    /// Sets entry `(i, j)`.
+    /// Sets entry `(i, j)`. Values above [`INF`] are clamped to [`INF`]
+    /// (any "infinity" a caller writes behaves as the canonical ∞), which
+    /// keeps every stored entry `≤ INF` — the invariant the raw-sum product
+    /// kernel's no-wrap argument stands on.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: Dist) {
-        self.data[i * self.n + j] = v;
+        self.data[i * self.n + j] = v.min(INF);
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Dist] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The whole matrix, row-major.
+    pub fn as_slice(&self) -> &[Dist] {
+        &self.data
     }
 
     /// Entry-wise minimum with `other`.
@@ -80,44 +112,95 @@ impl DenseMatrix {
         }
     }
 
-    /// Min-plus product `self · other`.
+    /// Min-plus product `self · other` (serial).
     ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     pub fn minplus(&self, other: &DenseMatrix) -> DenseMatrix {
+        self.minplus_with(other, &MinplusWorkspace::new())
+    }
+
+    /// Min-plus product on `ws.threads()` worker threads (contiguous row
+    /// shards). Each output row depends only on the inputs and per-cell
+    /// `min` accumulation is order-independent, so the result is
+    /// **bit-identical** to serial execution at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minplus_with(&self, other: &DenseMatrix, ws: &MinplusWorkspace) -> DenseMatrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         let n = self.n;
         let mut out = DenseMatrix::infinite(n);
-        for i in 0..n {
-            for k in 0..n {
-                let a = self.get(i, k);
-                if a >= INF {
-                    continue;
-                }
-                let row_k = &other.data[k * n..(k + 1) * n];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(row_k.iter()) {
-                    let cand = dadd(a, b);
-                    if cand < *o {
-                        *o = cand;
-                    }
-                }
-            }
+        let threads = ws.threads().clamp(1, n.max(1));
+        if threads <= 1 {
+            product_rows_blocked(self, other, 0..n, &mut out.data);
+            return out;
         }
+        let shard = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, chunk) in out.data.chunks_mut(shard * n).enumerate() {
+                let rows = (t * shard).min(n)..((t + 1) * shard).min(n);
+                scope.spawn(move || product_rows_blocked(self, other, rows, chunk));
+            }
+        });
         out
     }
 
     /// Min-plus square with the dense-product round cost charged to `ledger`
     /// (`Θ(n^{1/3})` per product; Censor-Hillel et al.).
     pub fn square_charged(&self, ledger: &mut RoundLedger) -> DenseMatrix {
+        self.square_charged_with(ledger, &MinplusWorkspace::new())
+    }
+
+    /// [`DenseMatrix::minplus_with`] square plus the dense round charge.
+    /// Model accounting is independent of the thread count.
+    pub fn square_charged_with(
+        &self,
+        ledger: &mut RoundLedger,
+        ws: &MinplusWorkspace,
+    ) -> DenseMatrix {
         ledger.charge_dense_minplus("dense min-plus square");
-        self.minplus(self)
+        self.minplus_with(self, ws)
     }
 
     /// Number of finite entries.
     pub fn finite_entries(&self) -> usize {
         self.data.iter().filter(|&&d| d < INF).count()
+    }
+}
+
+/// Computes output rows `rows` of `a · b` into `out` (the rows' slice of the
+/// output arena), with `i`/`k` tiling and a skip-∞ test per `(i, k)` cell.
+fn product_rows_blocked(a: &DenseMatrix, b: &DenseMatrix, rows: Range<usize>, out: &mut [Dist]) {
+    let n = a.n;
+    let base = rows.start;
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let iend = (i0 + I_TILE).min(rows.end);
+        let mut k0 = 0;
+        while k0 < n {
+            let kend = (k0 + K_TILE).min(n);
+            for i in i0..iend {
+                let arow = &a.data[i * n..(i + 1) * n];
+                let orow = &mut out[(i - base) * n..(i - base + 1) * n];
+                for k in k0..kend {
+                    let av = arow[k];
+                    if av >= INF {
+                        continue;
+                    }
+                    let brow = &b.data[k * n..(k + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        // av < INF < 2³⁰ and bv ≤ INF, so the raw sum cannot
+                        // wrap u32; sums ≥ INF lose to the ∞-initialized cell.
+                        *o = (*o).min(av + bv);
+                    }
+                }
+            }
+            k0 = kend;
+        }
+        i0 = iend;
     }
 }
 
@@ -162,6 +245,20 @@ mod tests {
     }
 
     #[test]
+    fn threaded_product_is_bit_identical() {
+        // Sizes straddling the tile boundaries and odd shard splits.
+        for n in [7usize, 16, 33, 70] {
+            let g = generators::gnp(n, 0.15, &mut seeded(n as u64));
+            let a = DenseMatrix::adjacency(&g);
+            let serial = a.minplus(&a);
+            for threads in [2, 3, 5, 16] {
+                let ws = MinplusWorkspace::with_threads(threads);
+                assert_eq!(a.minplus_with(&a, &ws), serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn min_with_takes_pointwise_min() {
         let mut a = DenseMatrix::infinite(2);
         a.set(0, 1, 5);
@@ -171,6 +268,21 @@ mod tests {
         a.min_with(&b);
         assert_eq!(a.get(0, 1), 3);
         assert_eq!(a.get(1, 0), 9);
+        assert_eq!(a.row(0), &[INF, 3]);
+        assert_eq!(a.as_slice().len(), 4);
+    }
+
+    #[test]
+    fn oversized_infinity_is_clamped_and_does_not_wrap() {
+        // The old dadd-based kernel saturated; the raw-sum kernel relies on
+        // set() clamping instead. A caller's u32::MAX "infinity" must stay
+        // non-finite through a product, never wrap to a small distance.
+        let mut a = DenseMatrix::identity(3);
+        a.set(0, 1, u32::MAX);
+        assert_eq!(a.get(0, 1), INF);
+        let p = a.minplus(&a);
+        assert_eq!(p.get(0, 1), INF);
+        assert_eq!(p.get(0, 2), INF);
     }
 
     #[test]

@@ -6,29 +6,38 @@
 //! Iterating `A_{i+1} = filter(A_i · A_i)` from the filtered adjacency matrix
 //! computes, after `⌈log₂ d⌉` iterations, the `(ρ, d)`-nearest sets of every
 //! vertex (Claim 59) — while every intermediate matrix stays `ρ`-sparse.
+//!
+//! The `_with` variants thread one [`MinplusWorkspace`] through the whole
+//! squaring loop, so the repeated products reuse scratch and run on the
+//! workspace's worker threads.
 
 use cc_clique::RoundLedger;
 use cc_graphs::{Dist, Graph};
 
 use crate::sparse::SparseMatrix;
+use crate::workspace::MinplusWorkspace;
 
 /// Keeps the `rho` smallest finite entries of each row, ties broken by
 /// smaller column id. Rows with at most `rho` entries are unchanged.
 pub fn filter_rows(m: &SparseMatrix, rho: usize) -> SparseMatrix {
     let n = m.n();
-    let mut out = SparseMatrix::new(n);
+    let mut out = SparseMatrix::with_row_capacity(n, m.nnz().min(n.saturating_mul(rho)));
+    let mut by_value: Vec<(Dist, u32)> = Vec::new();
+    let mut kept: Vec<(u32, Dist)> = Vec::new();
     for i in 0..n {
         let row = m.row(i);
         if row.len() <= rho {
-            out.set_row(i, row.to_vec());
+            out.push_sorted_row(row);
             continue;
         }
-        let mut entries: Vec<(Dist, u32)> = row.iter().map(|&(c, v)| (v, c)).collect();
-        entries.sort_unstable();
-        entries.truncate(rho);
-        let mut kept: Vec<(u32, Dist)> = entries.into_iter().map(|(v, c)| (c, v)).collect();
+        by_value.clear();
+        by_value.extend(row.iter().map(|&(c, v)| (v, c)));
+        by_value.sort_unstable();
+        by_value.truncate(rho);
+        kept.clear();
+        kept.extend(by_value.iter().map(|&(v, c)| (c, v)));
         kept.sort_unstable_by_key(|&(c, _)| c);
-        out.set_row(i, kept);
+        out.push_sorted_row(&kept);
     }
     out
 }
@@ -42,7 +51,20 @@ pub fn filtered_product(
     ledger: &mut RoundLedger,
     label: &str,
 ) -> SparseMatrix {
-    let product = s.minplus(t);
+    filtered_product_with(s, t, rho, &mut MinplusWorkspace::new(), ledger, label)
+}
+
+/// [`filtered_product`] with a caller-provided workspace (scratch reuse and
+/// row-sharded parallel products; round charges are unchanged).
+pub fn filtered_product_with(
+    s: &SparseMatrix,
+    t: &SparseMatrix,
+    rho: usize,
+    ws: &mut MinplusWorkspace,
+    ledger: &mut RoundLedger,
+    label: &str,
+) -> SparseMatrix {
+    let product = s.minplus_with(t, ws);
     let out = filter_rows(&product, rho);
     let w = out.max_value().max(1) as u64;
     ledger.charge_filtered_minplus(label, s.density(), t.density(), rho as u64, w);
@@ -59,21 +81,42 @@ pub fn filtered_product(
 /// Rounds charged: one filtered product per iteration (Thm 10 total:
 /// `O((k/n^{2/3} + log d) · log d)`).
 pub fn knearest_matrix(g: &Graph, rho: usize, d: Dist, ledger: &mut RoundLedger) -> SparseMatrix {
+    knearest_matrix_with(g, rho, d, &mut MinplusWorkspace::new(), ledger)
+}
+
+/// [`knearest_matrix`] with a caller-provided workspace: every squaring
+/// iteration reuses the same scratch and thread configuration.
+pub fn knearest_matrix_with(
+    g: &Graph,
+    rho: usize,
+    d: Dist,
+    ws: &mut MinplusWorkspace,
+    ledger: &mut RoundLedger,
+) -> SparseMatrix {
     let mut phase = ledger.enter("knearest-matrix");
     let mut a = filter_rows(&SparseMatrix::adjacency(g), rho);
     let mut reach: Dist = 1;
     let mut iter = 0;
     while reach < d {
         iter += 1;
-        a = filtered_product(&a, &a, rho, &mut phase, &format!("filtered square #{iter}"));
+        a = filtered_product_with(
+            &a,
+            &a,
+            rho,
+            ws,
+            &mut phase,
+            &format!("filtered square #{iter}"),
+        );
         reach = reach.saturating_mul(2);
     }
     // Drop entries beyond the distance bound d.
     let n = a.n();
-    let mut out = SparseMatrix::new(n);
+    let mut out = SparseMatrix::with_row_capacity(n, a.nnz());
+    let mut kept: Vec<(u32, Dist)> = Vec::new();
     for i in 0..n {
-        let kept: Vec<(u32, Dist)> = a.row(i).iter().copied().filter(|&(_, v)| v <= d).collect();
-        out.set_row(i, kept);
+        kept.clear();
+        kept.extend(a.row(i).iter().copied().filter(|&(_, v)| v <= d));
+        out.push_sorted_row(&kept);
     }
     out
 }
@@ -81,14 +124,17 @@ pub fn knearest_matrix(g: &Graph, rho: usize, d: Dist, ledger: &mut RoundLedger)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sparse::RowBuilder;
     use cc_clique::RoundLedger;
     use cc_graphs::{bfs, generators, INF};
 
     #[test]
     fn filter_keeps_smallest_with_id_ties() {
-        let mut m = SparseMatrix::new(1);
-        m.set_row(0, vec![(0, 5), (1, 2), (2, 2), (3, 1), (4, 9)]);
-        let f = filter_rows(&m, 3);
+        let mut b = RowBuilder::new(5);
+        for (c, v) in [(0, 5), (1, 2), (2, 2), (3, 1), (4, 9)] {
+            b.push(0, c, v);
+        }
+        let f = filter_rows(&b.build(), 3);
         // Smallest: (3,1), then ties at 2 -> columns 1 and 2.
         assert_eq!(f.row(0), &[(1, 2), (2, 2), (3, 1)]);
     }
@@ -120,6 +166,21 @@ mod tests {
                     assert_eq!(got, want, "{name} v={v} k={k} d={d}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn workspace_and_threads_do_not_change_the_object() {
+        let g = generators::caveman(4, 5);
+        let serial = {
+            let mut ledger = RoundLedger::new(g.n());
+            knearest_matrix(&g, 6, 8, &mut ledger)
+        };
+        for threads in [2, 5] {
+            let mut ws = MinplusWorkspace::with_threads(threads);
+            let mut ledger = RoundLedger::new(g.n());
+            let got = knearest_matrix_with(&g, 6, 8, &mut ws, &mut ledger);
+            assert_eq!(got, serial, "threads = {threads}");
         }
     }
 

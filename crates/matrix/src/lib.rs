@@ -10,12 +10,25 @@
 //!
 //! This crate implements:
 //!
-//! * [`dense::DenseMatrix`] — dense min-plus matrices and products
-//!   (`Θ(n^{1/3})` rounds each, the algebraic baseline),
-//! * [`sparse::SparseMatrix`] — row-sparse matrices with density tracking and
-//!   sparse products (Thm 36 cost),
+//! * [`dense::DenseMatrix`] — dense min-plus matrices with a cache-blocked,
+//!   skip-∞ product kernel (`Θ(n^{1/3})` rounds each, the algebraic
+//!   baseline),
+//! * [`sparse::SparseMatrix`] — CSR row-sparse matrices (contiguous
+//!   `(column, value)` arena + row offsets) with density tracking, batched
+//!   construction through [`sparse::RowBuilder`], and sparse products
+//!   (Thm 36 cost),
+//! * [`workspace::MinplusWorkspace`] — reusable kernel scratch plus the
+//!   worker-thread count; both kernels shard output rows across scoped
+//!   threads with bit-identical results at any thread count,
 //! * [`filtered`] — row filtering and the iterated filtered squaring of
-//!   Claim 59, the computational core of the `(k,d)`-nearest primitive.
+//!   Claim 59, the computational core of the `(k,d)`-nearest primitive,
+//! * [`legacy`] — verbatim ports of the pre-CSR kernels, kept purely as
+//!   cross-check baselines for the proptests and the `t15_minplus_kernels`
+//!   bench.
+//!
+//! Round accounting is orthogonal to wall-clock execution: the `_charged`
+//! product variants charge the same Thm 36 / Thm 58 formulas regardless of
+//! thread count.
 //!
 //! # Example
 //!
@@ -37,7 +50,10 @@
 
 pub mod dense;
 pub mod filtered;
+pub mod legacy;
 pub mod sparse;
+pub mod workspace;
 
 pub use dense::DenseMatrix;
-pub use sparse::SparseMatrix;
+pub use sparse::{RowBuilder, SparseMatrix};
+pub use workspace::MinplusWorkspace;

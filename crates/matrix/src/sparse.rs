@@ -1,29 +1,130 @@
-//! Row-sparse min-plus matrices (Thm 36 of the paper, from \[3, 5\]).
+//! Row-sparse min-plus matrices (Thm 36 of the paper, from \[3, 5\]) in
+//! compressed sparse row (CSR) form.
+
+use std::ops::Range;
 
 use cc_clique::RoundLedger;
-use cc_graphs::{dadd, Dist, Graph, INF};
+use cc_graphs::{Dist, Graph, INF};
 
-/// A row-sparse `n × n` min-plus matrix: each row stores its finite entries
-/// as `(column, value)` pairs sorted by column. Missing entries are ∞.
+use crate::workspace::{MinplusWorkspace, Scratch};
+
+/// A row-sparse `n × n` min-plus matrix in CSR form: one contiguous
+/// `(column, value)` arena plus row offsets. Each row stores its finite
+/// entries sorted by column; missing entries are ∞.
 ///
-/// The *density* `ρ` of the matrix — the average number of finite entries per
-/// row — drives the round cost of products (Thm 36).
+/// Matrices are built batched through a [`RowBuilder`]
+/// (push-then-sort-dedup-min) or produced by the kernels — there is no
+/// per-entry insert path, so construction costs `O(nnz log nnz)` total
+/// instead of the `O(nnz · row)` an insert-sorted layout pays.
+///
+/// The *density* `ρ` of the matrix — the average number of finite entries
+/// per row, rounded **up** — drives the round cost of products (Thm 36).
 ///
 /// # Example
 ///
 /// ```
-/// use cc_matrix::SparseMatrix;
+/// use cc_matrix::RowBuilder;
 ///
-/// let mut m = SparseMatrix::new(3);
-/// m.set_min(0, 1, 4);
-/// m.set_min(0, 1, 2); // keeps the minimum
+/// let mut b = RowBuilder::new(3);
+/// b.push(0, 1, 4);
+/// b.push(0, 1, 2); // duplicate column: the minimum survives
+/// let m = b.build();
 /// assert_eq!(m.get(0, 1), 2);
 /// assert_eq!(m.get(1, 0), cc_graphs::INF);
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SparseMatrix {
     n: usize,
-    rows: Vec<Vec<(u32, Dist)>>,
+    /// `entries[offsets[i]..offsets[i + 1]]` is row `i`, column-sorted.
+    offsets: Vec<usize>,
+    /// The contiguous `(column, value)` arena.
+    entries: Vec<(u32, Dist)>,
+}
+
+/// Batched builder for a [`SparseMatrix`]: entries are pushed in any order
+/// and materialized by [`RowBuilder::build`] with one counting sort by row
+/// followed by a per-row sort-dedup-min. Pushing is `O(1)`; the build is
+/// `O(nnz log ρ + n)`.
+///
+/// Setting a value of ∞ is a no-op, and duplicate `(row, column)` pushes
+/// keep the minimum — the same semantics the old per-entry `set_min` had,
+/// without its `O(row)` insertion.
+#[derive(Clone, Debug)]
+pub struct RowBuilder {
+    n: usize,
+    triples: Vec<(u32, u32, Dist)>,
+}
+
+impl RowBuilder {
+    /// An empty builder for an `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        RowBuilder {
+            n,
+            triples: Vec::new(),
+        }
+    }
+
+    /// An empty builder with arena capacity for `cap` entries.
+    pub fn with_capacity(n: usize, cap: usize) -> Self {
+        RowBuilder {
+            n,
+            triples: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Records `entry (i, j) = min(current, v)`; pushing ∞ is a no-op.
+    #[inline]
+    pub fn push(&mut self, i: usize, j: usize, v: Dist) {
+        debug_assert!(i < self.n && j < self.n, "entry ({i},{j}) out of range");
+        if v >= INF {
+            return;
+        }
+        self.triples.push((i as u32, j as u32, v));
+    }
+
+    /// Materializes the matrix: counting-sort by row, per-row column sort,
+    /// duplicate columns collapsed to their minimum value.
+    pub fn build(self) -> SparseMatrix {
+        let n = self.n;
+        // Pass 1: row counts → start offsets.
+        let mut starts = vec![0usize; n + 1];
+        for &(i, _, _) in &self.triples {
+            starts[i as usize + 1] += 1;
+        }
+        for i in 0..n {
+            starts[i + 1] += starts[i];
+        }
+        // Pass 2: scatter into row-grouped slots.
+        let mut cursor = starts.clone();
+        let mut slots: Vec<(u32, Dist)> = vec![(0, 0); self.triples.len()];
+        for &(i, j, v) in &self.triples {
+            let c = &mut cursor[i as usize];
+            slots[*c] = (j, v);
+            *c += 1;
+        }
+        // Per-row sort by (column, value), keep the first (minimal) value
+        // per column, compact into the final arena.
+        let mut entries = Vec::with_capacity(slots.len());
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for i in 0..n {
+            let row = &mut slots[starts[i]..starts[i + 1]];
+            row.sort_unstable();
+            let mut last = u32::MAX;
+            for &(c, v) in row.iter() {
+                if c != last {
+                    entries.push((c, v));
+                    last = c;
+                }
+            }
+            offsets.push(entries.len());
+        }
+        SparseMatrix {
+            n,
+            offsets,
+            entries,
+        }
+    }
 }
 
 impl SparseMatrix {
@@ -31,28 +132,57 @@ impl SparseMatrix {
     pub fn new(n: usize) -> Self {
         SparseMatrix {
             n,
-            rows: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            entries: Vec::new(),
         }
     }
 
     /// Min-plus identity: 0 diagonal.
     pub fn identity(n: usize) -> Self {
-        let mut m = Self::new(n);
-        for i in 0..n {
-            m.set_min(i, i, 0);
+        SparseMatrix {
+            n,
+            offsets: (0..=n).collect(),
+            entries: (0..n).map(|i| (i as u32, 0)).collect(),
         }
-        m
     }
 
     /// Adjacency matrix of an unweighted graph with 0 diagonal: the starting
     /// point of distance-product iterations.
     pub fn adjacency(g: &Graph) -> Self {
-        let mut m = Self::identity(g.n());
-        for (u, v) in g.edges() {
-            m.set_min(u, v, 1);
-            m.set_min(v, u, 1);
+        let mut b = RowBuilder::with_capacity(g.n(), g.n() + 2 * g.m());
+        for i in 0..g.n() {
+            b.push(i, i, 0);
         }
-        m
+        for (u, v) in g.edges() {
+            b.push(u, v, 1);
+            b.push(v, u, 1);
+        }
+        b.build()
+    }
+
+    /// Empty matrix whose arena has room for `cap` entries; rows are
+    /// appended in order via [`SparseMatrix::push_sorted_row`].
+    pub(crate) fn with_row_capacity(n: usize, cap: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        SparseMatrix {
+            n,
+            offsets,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends the next row (must be column-sorted with finite values;
+    /// callers append exactly `n` rows total, in row order).
+    pub(crate) fn push_sorted_row(&mut self, row: &[(u32, Dist)]) {
+        debug_assert!(self.offsets.len() <= self.n, "more than n rows appended");
+        debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row not sorted");
+        debug_assert!(
+            row.iter().all(|&(c, v)| v < INF && (c as usize) < self.n),
+            "row entry infinite or out of range"
+        );
+        self.entries.extend_from_slice(row);
+        self.offsets.push(self.entries.len());
     }
 
     /// Matrix dimension.
@@ -62,101 +192,97 @@ impl SparseMatrix {
 
     /// Entry `(i, j)` (∞ if absent).
     pub fn get(&self, i: usize, j: usize) -> Dist {
-        match self.rows[i].binary_search_by_key(&(j as u32), |&(c, _)| c) {
-            Ok(pos) => self.rows[i][pos].1,
+        let row = self.row(i);
+        match row.binary_search_by_key(&(j as u32), |&(c, _)| c) {
+            Ok(pos) => row[pos].1,
             Err(_) => INF,
         }
     }
 
-    /// Sets entry `(i, j)` to `min(current, v)`; setting ∞ is a no-op.
-    pub fn set_min(&mut self, i: usize, j: usize, v: Dist) {
-        if v >= INF {
-            return;
-        }
-        match self.rows[i].binary_search_by_key(&(j as u32), |&(c, _)| c) {
-            Ok(pos) => {
-                if v < self.rows[i][pos].1 {
-                    self.rows[i][pos].1 = v;
-                }
-            }
-            Err(pos) => self.rows[i].insert(pos, (j as u32, v)),
-        }
-    }
-
     /// The finite entries of row `i`, sorted by column.
+    #[inline]
     pub fn row(&self, i: usize) -> &[(u32, Dist)] {
-        &self.rows[i]
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
     }
 
-    /// Replaces row `i` with `entries` (must be column-sorted, finite).
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug) if entries are unsorted or infinite.
-    pub fn set_row(&mut self, i: usize, entries: Vec<(u32, Dist)>) {
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        debug_assert!(entries.iter().all(|&(_, v)| v < INF));
-        self.rows[i] = entries;
+    /// Number of finite entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
     }
 
     /// Total finite entries.
     pub fn nnz(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.entries.len()
     }
 
-    /// Average finite entries per row (`ρ` of Thm 36), at least 1.
+    /// Average finite entries per row (`ρ` of Thm 36), rounded **up** and at
+    /// least 1. Ceiling (not floor) division: a matrix with `nnz = 3n − 1`
+    /// has ρ = 3 — flooring would under-charge the Thm 36 product cost.
     pub fn density(&self) -> u64 {
-        ((self.nnz() as u64) / self.n.max(1) as u64).max(1)
+        (self.entries.len() as u64)
+            .div_ceil(self.n.max(1) as u64)
+            .max(1)
     }
 
     /// Maximum finite entries in any row.
     pub fn max_row_nnz(&self) -> usize {
-        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.n).map(|i| self.row_nnz(i)).max().unwrap_or(0)
     }
 
     /// Largest finite value in the matrix (0 if empty).
     pub fn max_value(&self) -> Dist {
-        self.rows
-            .iter()
-            .flat_map(|r| r.iter().map(|&(_, v)| v))
-            .max()
-            .unwrap_or(0)
+        self.entries.iter().map(|&(_, v)| v).max().unwrap_or(0)
     }
 
-    /// Min-plus product `self · other`.
+    /// Min-plus product `self · other` (serial, one-shot scratch). Loops
+    /// should use [`SparseMatrix::minplus_with`] with a persistent
+    /// [`MinplusWorkspace`] instead.
     ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     pub fn minplus(&self, other: &SparseMatrix) -> SparseMatrix {
+        self.minplus_with(other, &mut MinplusWorkspace::new())
+    }
+
+    /// Min-plus product `self · other` using (and reusing) `ws` for scratch
+    /// and thread configuration.
+    ///
+    /// With `ws.threads() > 1`, output rows are sharded contiguously across
+    /// scoped worker threads. Every output row depends only on the inputs,
+    /// so the result is **bit-identical** to serial execution at any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minplus_with(&self, other: &SparseMatrix, ws: &mut MinplusWorkspace) -> SparseMatrix {
         assert_eq!(self.n, other.n, "dimension mismatch");
         let n = self.n;
-        let mut out = SparseMatrix::new(n);
-        // Scratch dense accumulator reused across rows.
-        let mut acc: Vec<Dist> = vec![INF; n];
-        let mut touched: Vec<u32> = Vec::new();
-        for i in 0..n {
-            for &(k, a) in &self.rows[i] {
-                for &(j, b) in &other.rows[k as usize] {
-                    let cand = dadd(a, b);
-                    let cell = &mut acc[j as usize];
-                    if *cell == INF {
-                        touched.push(j);
-                    }
-                    if cand < *cell {
-                        *cell = cand;
-                    }
-                }
-            }
-            touched.sort_unstable();
-            let row: Vec<(u32, Dist)> = touched.iter().map(|&j| (j, acc[j as usize])).collect();
-            for &j in &touched {
-                acc[j as usize] = INF;
-            }
-            touched.clear();
-            out.rows[i] = row;
+        let threads = ws.threads().clamp(1, n.max(1));
+        if threads <= 1 {
+            let lane = &mut ws.lanes(1, n)[0];
+            let part = product_rows(self, other, 0..n, lane);
+            return assemble(n, vec![part]);
         }
-        out
+        let shard = n.div_ceil(threads);
+        let ranges: Vec<Range<usize>> = (0..threads)
+            .map(|t| (t * shard).min(n)..((t + 1) * shard).min(n))
+            .collect();
+        let lanes = ws.lanes(threads, n);
+        let parts: Vec<RowsPart> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .zip(lanes.iter_mut())
+                .map(|(range, lane)| scope.spawn(move || product_rows(self, other, range, lane)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("min-plus worker panicked"))
+                .collect()
+        });
+        assemble(n, parts)
     }
 
     /// Min-plus product with the Thm 36 round cost charged to `ledger`.
@@ -166,58 +292,232 @@ impl SparseMatrix {
         ledger: &mut RoundLedger,
         label: &str,
     ) -> SparseMatrix {
-        let out = self.minplus(other);
+        self.minplus_charged_with(other, &mut MinplusWorkspace::new(), ledger, label)
+    }
+
+    /// [`SparseMatrix::minplus_with`] plus the Thm 36 round charge. Model
+    /// accounting is independent of the thread count: rounds depend only on
+    /// the densities.
+    pub fn minplus_charged_with(
+        &self,
+        other: &SparseMatrix,
+        ws: &mut MinplusWorkspace,
+        ledger: &mut RoundLedger,
+        label: &str,
+    ) -> SparseMatrix {
+        let out = self.minplus_with(other, ws);
         ledger.charge_sparse_minplus(label, self.density(), other.density(), out.density());
         out
     }
 
-    /// Transpose.
+    /// Transpose, by a two-pass counting sort over columns: `O(nnz + n)`,
+    /// no per-row sorting (scattering rows in ascending order leaves each
+    /// output row column-sorted).
     pub fn transpose(&self) -> SparseMatrix {
-        let mut out = SparseMatrix::new(self.n);
-        for i in 0..self.n {
-            for &(j, v) in &self.rows[i] {
-                out.rows[j as usize].push((i as u32, v));
+        let n = self.n;
+        let mut offsets = vec![0usize; n + 1];
+        for &(j, _) in &self.entries {
+            offsets[j as usize + 1] += 1;
+        }
+        for j in 0..n {
+            offsets[j + 1] += offsets[j];
+        }
+        let mut cursor = offsets.clone();
+        let mut entries: Vec<(u32, Dist)> = vec![(0, 0); self.entries.len()];
+        for i in 0..n {
+            for &(j, v) in self.row(i) {
+                let c = &mut cursor[j as usize];
+                entries[*c] = (i as u32, v);
+                *c += 1;
             }
         }
-        for row in &mut out.rows {
-            row.sort_unstable_by_key(|&(c, _)| c);
+        SparseMatrix {
+            n,
+            offsets,
+            entries,
         }
-        out
     }
 
-    /// Entry-wise minimum with `other`.
+    /// Entry-wise minimum with `other`, by merging the column-sorted rows
+    /// (`O(nnz_self + nnz_other)`).
     ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     pub fn min_with(&mut self, other: &SparseMatrix) {
         assert_eq!(self.n, other.n, "dimension mismatch");
-        for i in 0..self.n {
-            for &(j, v) in &other.rows[i] {
-                self.set_min(i, j as usize, v);
+        let n = self.n;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut entries = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        for i in 0..n {
+            let (a, b) = (self.row(i), other.row(i));
+            let (mut x, mut y) = (0, 0);
+            while x < a.len() && y < b.len() {
+                let ((ca, va), (cb, vb)) = (a[x], b[y]);
+                match ca.cmp(&cb) {
+                    std::cmp::Ordering::Less => {
+                        entries.push((ca, va));
+                        x += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        entries.push((cb, vb));
+                        y += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        entries.push((ca, va.min(vb)));
+                        x += 1;
+                        y += 1;
+                    }
+                }
             }
+            entries.extend_from_slice(&a[x..]);
+            entries.extend_from_slice(&b[y..]);
+            offsets.push(entries.len());
         }
+        self.offsets = offsets;
+        self.entries = entries;
+    }
+}
+
+/// One shard's product output: per-row entry counts plus its slice of the
+/// arena, stitched into a full CSR matrix by [`assemble`].
+type RowsPart = (Vec<usize>, Vec<(u32, Dist)>);
+
+/// Output rows denser than `n / SCAN_DIVISOR` are emitted by scanning the
+/// accumulator (sorted for free, no touched tracking in the inner loop);
+/// sparser rows sort their touched-column list instead.
+const SCAN_DIVISOR: usize = 8;
+
+/// Computes output rows `rows` of `a · b`. Each row is independent, so any
+/// partition of the row space yields bit-identical results.
+fn product_rows(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    rows: Range<usize>,
+    lane: &mut Scratch,
+) -> RowsPart {
+    let n = a.n;
+    let mut lens = Vec::with_capacity(rows.len());
+    // Per-row upper bound on the touched columns — computed once, used both
+    // to size the arena and to pick each row's emit path (one predicate, so
+    // the sizing and the emit mode cannot drift apart). Scan-mode rows may
+    // slide their write cursor across up to n slots; sparse-mode rows emit
+    // at most `bound` entries — with the arena sized accordingly, the emit
+    // loops below are pure indexed writes: no reallocation, no per-entry
+    // capacity branch.
+    let bounds: Vec<usize> = rows
+        .clone()
+        .map(|i| a.row(i).iter().map(|&(k, _)| b.row_nnz(k as usize)).sum())
+        .collect();
+    let cap: usize = bounds
+        .iter()
+        .map(|&bound| if bound * SCAN_DIVISOR >= n { n } else { bound })
+        .sum();
+    let mut out: Vec<(u32, Dist)> = vec![(0, 0); cap];
+    let mut w = 0usize; // write cursor into `out`
+    let acc = &mut lane.acc[..n];
+    let touched = &mut lane.touched;
+    for (i, &bound) in rows.zip(bounds.iter()) {
+        let arow = a.row(i);
+        let before = w;
+        if bound * SCAN_DIVISOR >= n {
+            // Dense-ish row: branch-free accumulate, then one ordered scan
+            // that emits, resets and advances without a mispredictable
+            // branch (finite cells bump the cursor; ∞ slots are overwritten
+            // by the next write or truncated at the end).
+            for &(k, av) in arow {
+                for &(j, bv) in b.row(k as usize) {
+                    // Finite entries are < INF < 2³⁰, so the raw sum cannot
+                    // wrap u32; sums ≥ INF lose to the ∞ cell and vanish.
+                    let cell = &mut acc[j as usize];
+                    *cell = (*cell).min(av + bv);
+                }
+            }
+            for (j, cell) in acc.iter_mut().enumerate() {
+                let v = *cell;
+                *cell = INF;
+                out[w] = (j as u32, v);
+                w += usize::from(v < INF);
+            }
+        } else {
+            // Sparse row: track first-touched columns, sort once at emit.
+            for &(k, av) in arow {
+                for &(j, bv) in b.row(k as usize) {
+                    let cand = av + bv;
+                    let cell = &mut acc[j as usize];
+                    if cand < *cell {
+                        if *cell == INF {
+                            touched.push(j);
+                        }
+                        *cell = cand;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &j in touched.iter() {
+                out[w] = (j, acc[j as usize]);
+                w += 1;
+                acc[j as usize] = INF;
+            }
+            touched.clear();
+        }
+        lens.push(w - before);
+    }
+    out.truncate(w);
+    (lens, out)
+}
+
+/// Stitches per-shard products (in row order) into one CSR matrix. The
+/// serial (single-shard) case moves the arena instead of copying it.
+fn assemble(n: usize, parts: Vec<RowsPart>) -> SparseMatrix {
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    let mut cum = 0usize;
+    let mut entries: Vec<(u32, Dist)> = Vec::new();
+    let single = parts.len() == 1;
+    if !single {
+        entries.reserve_exact(parts.iter().map(|(_, e)| e.len()).sum());
+    }
+    for (lens, mut part) in parts {
+        for len in lens {
+            cum += len;
+            offsets.push(cum);
+        }
+        if single {
+            entries = part;
+        } else {
+            entries.append(&mut part);
+        }
+    }
+    debug_assert_eq!(offsets.len(), n + 1);
+    SparseMatrix {
+        n,
+        offsets,
+        entries,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cc_clique::cost::model;
     use cc_graphs::{bfs, generators};
 
     #[test]
-    fn get_set_roundtrip() {
-        let mut m = SparseMatrix::new(4);
-        m.set_min(1, 2, 7);
-        m.set_min(1, 0, 3);
+    fn builder_roundtrip_with_dedup_min() {
+        let mut b = RowBuilder::new(4);
+        b.push(1, 2, 7);
+        b.push(1, 0, 3);
+        b.push(1, 2, 9); // larger duplicate: the minimum survives
+        b.push(1, 2, INF); // infinite: no-op
+        let m = b.build();
         assert_eq!(m.get(1, 2), 7);
         assert_eq!(m.get(1, 0), 3);
         assert_eq!(m.get(1, 3), INF);
         assert_eq!(m.row(1), &[(0, 3), (2, 7)]);
-        m.set_min(1, 2, 9); // larger: no-op
-        assert_eq!(m.get(1, 2), 7);
-        m.set_min(1, 2, INF); // infinite: no-op
-        assert_eq!(m.get(1, 2), 7);
+        assert_eq!(m.row(0), &[]);
+        assert_eq!(m.nnz(), 2);
     }
 
     #[test]
@@ -239,15 +539,31 @@ mod tests {
         let g = generators::caveman(3, 4);
         let exact = bfs::apsp_exact(&g);
         let mut a = SparseMatrix::adjacency(&g);
+        let mut ws = MinplusWorkspace::new();
         let mut hops = 1;
         while hops < g.n() {
-            a = a.minplus(&a);
+            a = a.minplus_with(&a, &mut ws);
             hops *= 2;
         }
         for u in 0..g.n() {
             for v in 0..g.n() {
                 assert_eq!(a.get(u, v), exact[u][v]);
             }
+        }
+    }
+
+    #[test]
+    fn threaded_product_is_bit_identical() {
+        let g = generators::connected_gnp(48, 0.1, &mut seeded(4));
+        let a = SparseMatrix::adjacency(&g);
+        let serial = a.minplus(&a);
+        for threads in [2, 3, 8, 64] {
+            let mut ws = MinplusWorkspace::with_threads(threads);
+            let par = a.minplus_with(&a, &mut ws);
+            assert_eq!(par, serial, "threads = {threads}");
+            // The workspace is reusable: a second product from warm scratch
+            // must also agree.
+            assert_eq!(a.minplus_with(&a, &mut ws), serial);
         }
     }
 
@@ -261,13 +577,70 @@ mod tests {
     }
 
     #[test]
+    fn density_rounds_up() {
+        // nnz = 3n − 1 is ρ = 3 under Thm 36 (ceiling); the old floor
+        // division reported 2 and under-charged sparse products.
+        let n = 10;
+        let mut b = RowBuilder::new(n);
+        for i in 0..n {
+            for j in 0..3 {
+                if !(i == n - 1 && j == 2) {
+                    b.push(i, (i + j + 1) % n, 1);
+                }
+            }
+        }
+        let m = b.build();
+        assert_eq!(m.nnz(), 3 * n - 1);
+        assert_eq!(m.density(), 3);
+    }
+
+    #[test]
+    fn charged_rounds_use_ceiled_density() {
+        // Regression pin for the Thm 36 charge at a scale where flooring
+        // genuinely under-counts. Left factor: circulant band with offsets
+        // 0..10, one entry removed (nnz = 10n − 1, so ρ = 10 ceiled but 9
+        // floored). Right factor: stride-10 circulant (ρ = 10). Offset sums
+        // o₁ + 10·o₂ cover every residue mod 100, so the product is
+        // (almost) full and ρ_out = 100.
+        let n = 100;
+        let mut ab = RowBuilder::new(n);
+        for i in 0..n {
+            for o in 0..10 {
+                if !(i == n - 1 && o == 9) {
+                    ab.push(i, (i + o) % n, 1);
+                }
+            }
+        }
+        let a = ab.build();
+        let mut bb = RowBuilder::new(n);
+        for i in 0..n {
+            for o in 0..10 {
+                bb.push(i, (i + 10 * o) % n, 1);
+            }
+        }
+        let b = bb.build();
+        assert_eq!(a.nnz(), 10 * n - 1);
+        assert_eq!((a.density(), b.density()), (10, 10));
+        let out = a.minplus(&b);
+        assert_eq!(out.density(), 100);
+        let mut ledger = RoundLedger::new(n);
+        let _ = a.minplus_charged(&b, &mut ledger, "band × stride");
+        let charged = ledger.total_rounds();
+        assert_eq!(charged, model::sparse_minplus(10, 10, 100, n as u64));
+        // The old floored left density (ρ = 9) charged strictly fewer
+        // rounds — exactly the under-count this pins against.
+        assert!(model::sparse_minplus(9, 10, 100, n as u64) < charged);
+    }
+
+    #[test]
     fn transpose_involutive_and_symmetric_fixed() {
         let g = generators::grid(3, 3);
         let a = SparseMatrix::adjacency(&g);
         // Adjacency of an undirected graph is symmetric.
         assert_eq!(a.transpose(), a);
-        let mut m = SparseMatrix::new(3);
-        m.set_min(0, 2, 5);
+        let mut b = RowBuilder::new(3);
+        b.push(0, 2, 5);
+        let m = b.build();
         let t = m.transpose();
         assert_eq!(t.get(2, 0), 5);
         assert_eq!(t.get(0, 2), INF);
@@ -276,14 +649,16 @@ mod tests {
 
     #[test]
     fn min_with_merges() {
-        let mut a = SparseMatrix::new(2);
-        a.set_min(0, 1, 5);
-        let mut b = SparseMatrix::new(2);
-        b.set_min(0, 1, 3);
-        b.set_min(1, 1, 0);
-        a.min_with(&b);
+        let mut b = RowBuilder::new(2);
+        b.push(0, 1, 5);
+        let mut a = b.build();
+        let mut b2 = RowBuilder::new(2);
+        b2.push(0, 1, 3);
+        b2.push(1, 1, 0);
+        a.min_with(&b2.build());
         assert_eq!(a.get(0, 1), 3);
         assert_eq!(a.get(1, 1), 0);
+        assert_eq!(a.nnz(), 2);
     }
 
     #[test]
@@ -299,10 +674,22 @@ mod tests {
     #[test]
     fn max_value_reflects_entries() {
         let g = generators::path(5);
-        let mut a = SparseMatrix::adjacency(&g);
+        let a = SparseMatrix::adjacency(&g);
         assert_eq!(a.max_value(), 1);
-        a.set_min(0, 4, 9);
-        assert_eq!(a.max_value(), 9);
+        let mut b = RowBuilder::new(5);
+        b.push(0, 4, 9);
+        let mut a2 = a.clone();
+        a2.min_with(&b.build());
+        assert_eq!(a2.max_value(), 9);
+    }
+
+    #[test]
+    fn identity_is_neutral_for_products() {
+        let g = generators::grid(4, 3);
+        let a = SparseMatrix::adjacency(&g);
+        let id = SparseMatrix::identity(g.n());
+        assert_eq!(a.minplus(&id), a);
+        assert_eq!(id.minplus(&a), a);
     }
 
     fn seeded(s: u64) -> impl rand::Rng {

@@ -1,0 +1,135 @@
+//! Reusable scratch and thread configuration for the min-plus kernels.
+//!
+//! The repeated-squaring loops (hopset iterations, filtered `(k,d)`-nearest
+//! squaring, the APSP pipelines' exact products) call the kernels many times
+//! on same-sized matrices. A [`MinplusWorkspace`] owns the dense accumulator
+//! rows and touched-column lists those kernels need, so steady-state products
+//! perform no scratch allocation, and carries the worker-thread count the
+//! row-sharded parallel kernels run with.
+
+use cc_graphs::{Dist, INF};
+
+/// Per-worker scratch of the sparse kernel: a dense accumulator row that is
+/// kept all-∞ between products, and the touched-column list of the sparse
+/// emit path. One lane is handed to each worker thread.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    pub(crate) acc: Vec<Dist>,
+    pub(crate) touched: Vec<u32>,
+}
+
+impl Scratch {
+    /// Grows the accumulator to dimension `n`. The all-∞ invariant is
+    /// maintained by the kernels (they restore every cell they write), so
+    /// growth only needs to initialize the new tail.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.acc.len() < n {
+            self.acc.resize(n, INF);
+        }
+        debug_assert!(
+            self.acc.iter().all(|&d| d == INF),
+            "workspace accumulator must be all-∞ between products"
+        );
+    }
+}
+
+/// Reusable workspace for the min-plus kernels.
+///
+/// Holds the scratch lanes of [`SparseMatrix::minplus_with`] and the worker
+/// thread count both kernels shard rows across. Each output row of a
+/// min-plus product depends only on the input matrices, so row sharding is
+/// **bit-identical** to serial execution at any thread count (the same
+/// determinism argument as the sharded clique engine, DESIGN.md §1.2).
+///
+/// Construct once and pass to every product of a loop:
+///
+/// ```
+/// use cc_graphs::generators;
+/// use cc_matrix::{MinplusWorkspace, SparseMatrix};
+///
+/// let g = generators::cycle(32);
+/// let mut ws = MinplusWorkspace::with_threads(4);
+/// let mut a = SparseMatrix::adjacency(&g);
+/// for _ in 0..3 {
+///     a = a.minplus_with(&a, &mut ws); // no scratch allocation after iter 1
+/// }
+/// assert_eq!(a.get(0, 8), 8);
+/// ```
+///
+/// [`SparseMatrix::minplus_with`]: crate::SparseMatrix::minplus_with
+#[derive(Debug)]
+pub struct MinplusWorkspace {
+    threads: usize,
+    lanes: Vec<Scratch>,
+}
+
+impl MinplusWorkspace {
+    /// A serial (single-thread) workspace.
+    pub fn new() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// A workspace running kernels on `threads` worker threads
+    /// (`0` and `1` both mean serial).
+    pub fn with_threads(threads: usize) -> Self {
+        MinplusWorkspace {
+            threads: threads.max(1),
+            lanes: Vec::new(),
+        }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Changes the worker-thread count (scratch lanes are kept).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// `count` scratch lanes, each grown to dimension `n`.
+    pub(crate) fn lanes(&mut self, count: usize, n: usize) -> &mut [Scratch] {
+        if self.lanes.len() < count {
+            self.lanes.resize_with(count, Scratch::default);
+        }
+        for lane in &mut self.lanes[..count] {
+            lane.ensure(n);
+        }
+        &mut self.lanes[..count]
+    }
+}
+
+impl Default for MinplusWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_is_clamped_and_mutable() {
+        let mut ws = MinplusWorkspace::with_threads(0);
+        assert_eq!(ws.threads(), 1);
+        ws.set_threads(6);
+        assert_eq!(ws.threads(), 6);
+        assert_eq!(MinplusWorkspace::default().threads(), 1);
+    }
+
+    #[test]
+    fn lanes_grow_and_are_reused() {
+        let mut ws = MinplusWorkspace::with_threads(2);
+        {
+            let lanes = ws.lanes(2, 8);
+            assert_eq!(lanes.len(), 2);
+            assert!(lanes.iter().all(|l| l.acc.len() == 8));
+        }
+        // Larger n grows in place; the all-∞ invariant holds for the tail.
+        let lanes = ws.lanes(2, 16);
+        assert!(lanes.iter().all(|l| l.acc.len() == 16));
+        assert!(lanes.iter().all(|l| l.acc.iter().all(|&d| d == INF)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests pinning the CSR min-plus kernels to their references.
+//!
+//! Two families of properties over random gnp / grid / caveman graphs:
+//!
+//! 1. **Cross-kernel agreement** — the CSR sparse product, the blocked dense
+//!    product and the legacy Vec-of-Vec product compute the same matrix
+//!    entry-for-entry (first and second adjacency powers, so both the
+//!    sparse-row and the dense-row emit paths of the CSR kernel are hit).
+//! 2. **Thread determinism** — `threads ∈ {1, 2, 4, 8}` produce bit-identical
+//!    matrices (values *and* nnz) for both kernels, including when a warm
+//!    workspace is reused across products.
+
+use cc_graphs::{generators, Graph};
+use cc_matrix::legacy::{dense_minplus_unblocked, LegacySparseMatrix};
+use cc_matrix::{DenseMatrix, MinplusWorkspace, SparseMatrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One random graph from the (family, size, seed) triple.
+fn graph_for(family: usize, size: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match family {
+        0 => generators::gnp(size, 0.12, &mut rng),
+        1 => generators::grid(3 + size % 5, 3 + size / 5),
+        _ => generators::caveman(3 + size % 4, 3 + size % 5),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kernels_agree_entry_for_entry((family, size, seed) in (0usize..3, 12usize..40, 0u64..1 << 40)) {
+        let g = graph_for(family, size, seed);
+        let n = g.n();
+        let s = SparseMatrix::adjacency(&g);
+        let d = DenseMatrix::adjacency(&g);
+        let l = LegacySparseMatrix::adjacency(&g);
+        prop_assert_eq!(l.to_csr(), s.clone(), "construction paths diverge");
+        // First power: sparse rows; second power: dense-ish rows.
+        let (mut sp, mut dp, mut lp) = (s, d, l);
+        for power in 0..2 {
+            sp = sp.minplus(&sp);
+            dp = dp.minplus(&dp);
+            lp = lp.minplus(&lp);
+            let mut finite = 0usize;
+            for u in 0..n {
+                for v in 0..n {
+                    let want = dp.get(u, v);
+                    prop_assert_eq!(sp.get(u, v), want, "csr vs dense at ({},{}) power {}", u, v, power);
+                    prop_assert_eq!(lp.get(u, v), want, "legacy vs dense at ({},{}) power {}", u, v, power);
+                    if want < cc_graphs::INF {
+                        finite += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(sp.nnz(), finite, "csr nnz mismatch at power {}", power);
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical((family, size, seed) in (0usize..3, 12usize..40, 0u64..1 << 40)) {
+        let g = graph_for(family, size, seed);
+        let s = SparseMatrix::adjacency(&g);
+        let d = DenseMatrix::adjacency(&g);
+        let sparse_serial = s.minplus(&s);
+        let dense_serial = d.minplus(&d);
+        for threads in [2usize, 4, 8] {
+            let mut ws = MinplusWorkspace::with_threads(threads);
+            let sp = s.minplus_with(&s, &mut ws);
+            prop_assert_eq!(&sp, &sparse_serial, "sparse kernel, threads = {}", threads);
+            prop_assert_eq!(sp.nnz(), sparse_serial.nnz());
+            // Second product from the warm workspace (scratch reuse path).
+            let sp2 = sp.minplus_with(&sp, &mut ws);
+            prop_assert_eq!(sp2, sparse_serial.minplus(&sparse_serial), "warm workspace, threads = {}", threads);
+            let dp = d.minplus_with(&d, &ws);
+            prop_assert_eq!(dp, dense_serial.clone(), "dense kernel, threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn legacy_dense_matches_blocked((family, size, seed) in (0usize..3, 12usize..36, 0u64..1 << 40)) {
+        let g = graph_for(family, size, seed);
+        let d = DenseMatrix::adjacency(&g);
+        let blocked = d.minplus(&d);
+        prop_assert_eq!(dense_minplus_unblocked(&d, &d), blocked);
+    }
+}

@@ -47,6 +47,10 @@ pub struct HopsetParams {
     /// uses a smaller factor — worst-case-loose but empirically sufficient
     /// (every experiment re-verifies the guarantee).
     pub beta_factor: f64,
+    /// Worker threads for the local `(k,t)`-nearest computation (`0` and `1`
+    /// both mean serial). Purely wall-clock: the constructed hopset and the
+    /// rounds charged are identical at any thread count.
+    pub threads: usize,
 }
 
 impl HopsetParams {
@@ -66,7 +70,15 @@ impl HopsetParams {
             k,
             hitting_c: 2.0,
             beta_factor: 12.0,
+            threads: 1,
         }
+    }
+
+    /// Returns the parameters with the worker-thread count set.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Benchmark-scale profile: identical exponents and pivot density,
@@ -154,7 +166,14 @@ pub fn build_randomized(
     ledger: &mut RoundLedger,
 ) -> BoundedHopset {
     let mut phase = ledger.enter("hopset");
-    let kn = KNearest::compute(g, params.k, params.t, Strategy::TruncatedBfs, &mut phase);
+    let kn = KNearest::compute_with(
+        g,
+        params.k,
+        params.t,
+        Strategy::TruncatedBfs,
+        params.threads,
+        &mut phase,
+    );
     let full_sets = full_knearest_sets(&kn, g.n(), params.k);
     let a1 = hitting::random_hitting_set(
         g.n(),
@@ -176,7 +195,14 @@ pub fn build_deterministic(
     ledger: &mut RoundLedger,
 ) -> BoundedHopset {
     let mut phase = ledger.enter("hopset");
-    let kn = KNearest::compute(g, params.k, params.t, Strategy::TruncatedBfs, &mut phase);
+    let kn = KNearest::compute_with(
+        g,
+        params.k,
+        params.t,
+        Strategy::TruncatedBfs,
+        params.threads,
+        &mut phase,
+    );
     let full_sets = full_knearest_sets(&kn, g.n(), params.k);
     let a1 = hitting::deterministic_hitting_set(
         g.n(),

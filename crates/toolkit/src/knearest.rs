@@ -8,7 +8,8 @@
 
 use cc_clique::{cost::model, RoundLedger};
 use cc_graphs::{bfs, Dist, Graph};
-use cc_matrix::filtered::knearest_matrix;
+use cc_matrix::filtered::knearest_matrix_with;
+use cc_matrix::MinplusWorkspace;
 
 /// How to compute the `(k,d)`-nearest sets.
 ///
@@ -52,18 +53,60 @@ impl KNearest {
         strategy: Strategy,
         ledger: &mut RoundLedger,
     ) -> Self {
+        Self::compute_with(g, k, d, strategy, 1, ledger)
+    }
+
+    /// [`KNearest::compute`] on `threads` worker threads (`0` and `1` both
+    /// mean serial). Per-vertex truncated BFS runs are independent and the
+    /// filtered squaring shards output rows, so the computed object — and
+    /// the rounds charged — are **identical** at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn compute_with(
+        g: &Graph,
+        k: usize,
+        d: Dist,
+        strategy: Strategy,
+        threads: usize,
+        ledger: &mut RoundLedger,
+    ) -> Self {
         assert!(k > 0, "k must be positive");
         let n = g.n();
         ledger.charge("(k,d)-nearest", Self::rounds(n, k, d));
+        let threads = threads.clamp(1, n.max(1));
         let lists: Vec<Vec<(u32, Dist)>> = match strategy {
-            Strategy::TruncatedBfs => (0..n)
+            Strategy::TruncatedBfs if threads <= 1 => (0..n)
                 .map(|v| bfs::knearest_reference(g, v, k, d))
                 .collect(),
+            Strategy::TruncatedBfs => {
+                let shard = n.div_ceil(threads);
+                let chunks: Vec<Vec<Vec<(u32, Dist)>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let lo = (t * shard).min(n);
+                            let hi = ((t + 1) * shard).min(n);
+                            scope.spawn(move || {
+                                (lo..hi)
+                                    .map(|v| bfs::knearest_reference(g, v, k, d))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("knearest worker panicked"))
+                        .collect()
+                });
+                chunks.into_iter().flatten().collect()
+            }
             Strategy::Filtered => {
                 // The per-product charges of the matrix path are replaced by
                 // the single Thm 10 aggregate above, so use a scratch ledger.
                 let mut scratch = RoundLedger::new(n);
-                let m = knearest_matrix(g, k, d, &mut scratch);
+                let mut ws = MinplusWorkspace::with_threads(threads);
+                let m = knearest_matrix_with(g, k, d, &mut ws, &mut scratch);
                 (0..n)
                     .map(|v| {
                         let mut row: Vec<(u32, Dist)> = m.row(v).to_vec();
@@ -199,6 +242,22 @@ mod tests {
         assert_eq!(kn.nearest_in(3, &mask), Some((2, 1)));
         let empty = vec![false; 8];
         assert_eq!(kn.nearest_in(3, &empty), None);
+    }
+
+    #[test]
+    fn threaded_compute_is_identical() {
+        let mut rng = seeded(47);
+        let g = generators::connected_gnp(40, 0.08, &mut rng);
+        for strategy in [Strategy::TruncatedBfs, Strategy::Filtered] {
+            let mut l0 = RoundLedger::new(g.n());
+            let serial = KNearest::compute(&g, 7, 5, strategy, &mut l0);
+            for threads in [2, 3, 64] {
+                let mut l1 = RoundLedger::new(g.n());
+                let par = KNearest::compute_with(&g, 7, 5, strategy, threads, &mut l1);
+                assert_eq!(par, serial, "{strategy:?} threads={threads}");
+                assert_eq!(l0.total_rounds(), l1.total_rounds());
+            }
+        }
     }
 
     #[test]
