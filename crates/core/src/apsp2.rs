@@ -23,11 +23,12 @@
 use cc_clique::RoundLedger;
 use cc_emulator::clique::CliqueEmulatorConfig;
 use cc_emulator::EmulatorParams;
-use cc_graphs::{Dist, Graph, INF};
-use cc_matrix::{MinplusWorkspace, RowBuilder};
+use cc_graphs::{dadd, Dist, Graph, INF};
+use cc_matrix::{MinplusWorkspace, RowBuilder, SparseMatrix};
+use cc_routes::{PathStore, RecId};
 use cc_toolkit::knearest::{KNearest, Strategy};
 use cc_toolkit::source_detection::SourceDetection;
-use cc_toolkit::through_sets::distance_through_sets;
+use cc_toolkit::through_sets::{distance_through_sets, distance_through_sets_with_witness};
 use rand::Rng;
 
 use crate::error::CcError;
@@ -105,6 +106,9 @@ pub struct Apsp2 {
     pub high_degree_pivots: Vec<usize>,
     /// Low-degree pivot set `A`.
     pub low_degree_pivots: Vec<usize>,
+    /// Per-pair path witnesses, recorded when the configuration set
+    /// `record_paths`. `Arc`-shared so memoized results clone cheaply.
+    pub paths: Option<std::sync::Arc<PathStore>>,
 }
 
 impl Apsp2 {
@@ -163,6 +167,11 @@ pub(crate) fn run_mode(
     let t = cfg.threshold();
     let threads = cfg.emulator.threads;
     let mut delta = DistanceMatrix::new(n);
+    // Witness shadowing: every `delta` improvement below is mirrored by an
+    // offer with the same strict-improvement rule, so the estimates (and the
+    // rounds — witnesses ride the same messages) are identical with
+    // recording on or off.
+    let mut paths = cfg.emulator.record_paths.then(|| PathStore::new(n));
 
     // ── Long range (Claim 37): emulator + adjacency. ──────────────────────
     let _ = pipeline::collect_emulator(
@@ -171,6 +180,7 @@ pub(crate) fn run_mode(
         &mut mode,
         &mut delta,
         substrates,
+        paths.as_mut(),
         &mut phase,
     );
 
@@ -196,31 +206,58 @@ pub(crate) fn run_mode(
             cfg.eps / 2.0,
             cfg.emulator.scaled_hopset,
             threads,
+            cfg.emulator.record_paths,
             &mut mode,
             &mut phase,
         );
         let union = hs.union_with(g);
-        let sd = SourceDetection::run(&union, &s_pivots, hs.beta, &mut phase);
+        let sd = match &paths {
+            Some(_) => SourceDetection::run_with_parents(&union, &s_pivots, hs.beta, &mut phase),
+            None => SourceDetection::run(&union, &s_pivots, hs.beta, &mut phase),
+        };
+        if let Some(p) = paths.as_mut() {
+            p.absorb_routes(hs.routes.as_ref().expect("hopset built with paths"));
+        }
         for v in 0..n {
-            for (s, d) in sd.detected(v) {
-                delta.improve(v, s, d);
+            for (i, &s) in s_pivots.iter().enumerate() {
+                let d = sd.dist_to_source_index(v, i);
+                if d < INF {
+                    delta.improve(v, s, d);
+                    if let Some(p) = paths.as_mut() {
+                        offer_sd_chain(p, g, &sd, i, v, d);
+                    }
+                }
             }
         }
         let sets: Vec<Vec<usize>> = vec![s_pivots.clone(); n];
-        let rows = distance_through_sets(n, &sets, |v, w| delta.get(v, w), &mut phase);
-        delta.merge_rows(&rows);
+        merge_through_sets(n, &sets, &mut delta, paths.as_mut(), &mut phase);
     }
 
     // ── Short low-degree-only paths (Claims 40/41), on G'. ───────────────
     let gp = g.low_degree_subgraph(hdt);
     let k = cfg.k;
 
-    // Step 2: (k,t)-nearest in G' (exact distances).
-    let kn = KNearest::compute_with(&gp, k, t, Strategy::TruncatedBfs, threads, &mut phase);
+    // Step 2: (k,t)-nearest in G' (exact distances). G' edges are G edges,
+    // so the parent chains unroll into the input graph directly.
+    let mut kn = KNearest::compute_with(&gp, k, t, Strategy::TruncatedBfs, threads, &mut phase);
+    if paths.is_some() {
+        kn = kn.with_parents(&gp);
+    }
+    // Per-entry records of the lists (recording only), reused by the kn
+    // offers and as the W₁/W₃ factor provenance of Case 3b.
+    let kn_recs: Vec<Vec<Option<RecId>>> = match paths.as_mut() {
+        Some(p) => (0..n)
+            .map(|u| kn.route_recs(u, p.routes_mut().arena_mut()))
+            .collect(),
+        None => Vec::new(),
+    };
     for u in 0..n {
-        for &(v, d) in kn.list(u) {
+        for (idx, &(v, d)) in kn.list(u).iter().enumerate() {
             if v as usize != u {
                 delta.improve(u, v as usize, d);
+                if let Some(p) = paths.as_mut() {
+                    p.offer_rec(u, v as usize, d, kn_recs[u][idx].expect("non-root entry"));
+                }
             }
         }
     }
@@ -229,8 +266,7 @@ pub(crate) fn run_mode(
     let kn_sets: Vec<Vec<usize>> = (0..n)
         .map(|u| kn.list(u).iter().map(|&(v, _)| v as usize).collect())
         .collect();
-    let rows = distance_through_sets(n, &kn_sets, |v, w| delta.get(v, w), &mut phase);
-    delta.merge_rows(&rows);
+    merge_through_sets(n, &kn_sets, &mut delta, paths.as_mut(), &mut phase);
 
     // Steps 4–7: pivot set A over full lists; route through p_A (Case 2).
     let full_sets: Vec<Vec<usize>> = (0..n)
@@ -256,16 +292,29 @@ pub(crate) fn run_mode(
             cfg.eps / 2.0,
             cfg.emulator.scaled_hopset,
             threads,
+            cfg.emulator.record_paths,
             &mut mode,
             &mut phase,
         ))
     };
+    if let (Some(hs), Some(p)) = (&gp_hopset, paths.as_mut()) {
+        p.absorb_routes(hs.routes.as_ref().expect("hopset built with paths"));
+    }
     if let (Some(hs), false) = (&gp_hopset, a_pivots.is_empty()) {
         let union = hs.union_with(&gp);
-        let sd = SourceDetection::run(&union, &a_pivots, hs.beta, &mut phase);
+        let sd = match &paths {
+            Some(_) => SourceDetection::run_with_parents(&union, &a_pivots, hs.beta, &mut phase),
+            None => SourceDetection::run(&union, &a_pivots, hs.beta, &mut phase),
+        };
         for v in 0..n {
-            for (a, d) in sd.detected(v) {
-                delta.improve(v, a, d);
+            for (i, &a) in a_pivots.iter().enumerate() {
+                let d = sd.dist_to_source_index(v, i);
+                if d < INF {
+                    delta.improve(v, a, d);
+                    if let Some(p) = paths.as_mut() {
+                        offer_sd_chain(p, g, &sd, i, v, d);
+                    }
+                }
             }
         }
         phase.charge_broadcast("announce nearest A-pivots");
@@ -285,6 +334,9 @@ pub(crate) fn run_mode(
                         let leg = delta.get(a, v);
                         if leg < INF {
                             delta.improve_via(u, v, via, leg);
+                            if let Some(p) = paths.as_mut() {
+                                p.offer_via(u, v, dadd(via, leg), a);
+                            }
                         }
                     }
                 }
@@ -309,10 +361,19 @@ pub(crate) fn run_mode(
     )?;
     if let (Some(hs), false) = (&gp_hopset, a2_pivots.is_empty()) {
         let union = hs.union_with(&gp);
-        let sd = SourceDetection::run(&union, &a2_pivots, hs.beta, &mut phase);
+        let sd = match &paths {
+            Some(_) => SourceDetection::run_with_parents(&union, &a2_pivots, hs.beta, &mut phase),
+            None => SourceDetection::run(&union, &a2_pivots, hs.beta, &mut phase),
+        };
         for v in 0..n {
-            for (a, d) in sd.detected(v) {
-                delta.improve(v, a, d);
+            for (i, &a) in a2_pivots.iter().enumerate() {
+                let d = sd.dist_to_source_index(v, i);
+                if d < INF {
+                    delta.improve(v, a, d);
+                    if let Some(p) = paths.as_mut() {
+                        offer_sd_chain(p, g, &sd, i, v, d);
+                    }
+                }
             }
         }
         // Step 10: every vertex announces one A'-neighbor (1 round); each u
@@ -355,6 +416,9 @@ pub(crate) fn run_mode(
                         let leg = delta.get(w, v);
                         if leg < INF {
                             delta.improve_via(u, v, via, leg);
+                            if let Some(p) = paths.as_mut() {
+                                p.offer_via(u, v, dadd(via, leg), w);
+                            }
                         }
                     }
                 }
@@ -384,8 +448,38 @@ pub(crate) fn run_mode(
         let w2 = w2.build();
         let w3 = w1.transpose();
         let mut ws = MinplusWorkspace::with_threads(threads);
-        let p = w1.minplus_charged_with(&w2, &mut ws, &mut phase, "E'' product W1·W2");
-        let q = p.minplus_charged_with(&w3, &mut ws, &mut phase, "E'' product (W1·W2)·W3");
+        // When recording, the witness-carrying kernels run instead; their
+        // outputs are bit-identical and the Thm 36 charge is the same
+        // density formula either way.
+        let (pm, wp) = match &paths {
+            Some(_) => {
+                let (pm, wp) = w1.minplus_with_witness(&w2, &mut ws);
+                (pm, Some(wp))
+            }
+            None => (w1.minplus_with(&w2, &mut ws), None),
+        };
+        phase.charge_sparse_minplus(
+            "E'' product W1·W2",
+            w1.density(),
+            w2.density(),
+            pm.density(),
+        );
+        let (q, wq) = match &paths {
+            Some(_) => {
+                let (q, wq) = pm.minplus_with_witness(&w3, &mut ws);
+                (q, Some(wq))
+            }
+            None => (pm.minplus_with(&w3, &mut ws), None),
+        };
+        phase.charge_sparse_minplus(
+            "E'' product (W1·W2)·W3",
+            pm.density(),
+            w3.density(),
+            q.density(),
+        );
+        if let (Some(p), Some(wp), Some(wq)) = (paths.as_mut(), &wp, &wq) {
+            offer_product_routes(p, &kn, &kn_recs, &w1, &pm, wp, &q, wq);
+        }
         for u in 0..n {
             for &(v, d) in q.row(u) {
                 let v = v as usize;
@@ -402,7 +496,132 @@ pub(crate) fn run_mode(
         short_range_guarantee: 2.0 + cfg.eps,
         high_degree_pivots: s_pivots,
         low_degree_pivots: a_pivots,
+        paths: paths.map(std::sync::Arc::new),
     })
+}
+
+/// Offers the source-detection walk behind `(sources[i], v)` at value `d`.
+/// The chains step over `G ∪ H`; hopset hops resolve against the routes the
+/// store absorbed from the hopset.
+fn offer_sd_chain(p: &mut PathStore, g: &Graph, sd: &SourceDetection, i: usize, v: usize, d: Dist) {
+    if let Some(chain) = sd.chain(i, v) {
+        let chain: Vec<u32> = chain.into_iter().map(|x| x as u32).collect();
+        p.offer_walk(g, d, &chain);
+    }
+}
+
+/// `distance_through_sets` followed by the symmetric merge, shadowed with
+/// `Via` witnesses when recording. Values and round charges are identical in
+/// both branches (the witness variant is pinned to the plain one by test).
+fn merge_through_sets(
+    n: usize,
+    sets: &[Vec<usize>],
+    delta: &mut DistanceMatrix,
+    paths: Option<&mut PathStore>,
+    ledger: &mut RoundLedger,
+) {
+    match paths {
+        None => {
+            let rows = distance_through_sets(n, sets, |v, w| delta.get(v, w), ledger);
+            delta.merge_rows(&rows);
+        }
+        Some(p) => {
+            let (rows, wit) =
+                distance_through_sets_with_witness(n, sets, |v, w| delta.get(v, w), ledger);
+            // The witnesses were computed against the pre-merge estimates,
+            // which is exactly what the store still mirrors: d ≥
+            // value(u,w) + value(w,v) holds at offer time.
+            for (u, row) in rows.iter().enumerate() {
+                for (v, &d) in row.iter().enumerate() {
+                    if u != v && d < INF {
+                        p.offer_via(u, v, d, wit[u][v] as usize);
+                    }
+                }
+            }
+            delta.merge_rows(&rows);
+        }
+    }
+}
+
+/// Offers routes for the Case 3b three-hop product `q = (W₁·W₂)·W₃`: each
+/// winning entry's walk is assembled from the kernel witnesses — `u ⇝ k`
+/// from the `(k,t)`-nearest record, the border edge `k → y`, and the
+/// reversed nearest record `y ⇝ v`.
+#[allow(clippy::too_many_arguments)]
+fn offer_product_routes(
+    store: &mut PathStore,
+    kn: &KNearest,
+    kn_recs: &[Vec<Option<RecId>>],
+    w1: &SparseMatrix,
+    pm: &SparseMatrix,
+    wp: &[u32],
+    q: &SparseMatrix,
+    wq: &[u32],
+) {
+    let n = w1.n();
+    // Column-indexed nearest-list records per vertex: rec_of[u] is sorted by
+    // column, mirroring w1.row(u).
+    let rec_of: Vec<Vec<(u32, RecId)>> = (0..n)
+        .map(|u| {
+            let mut row: Vec<(u32, RecId)> = kn
+                .list(u)
+                .iter()
+                .zip(&kn_recs[u])
+                .filter(|&(&(c, _), _)| c as usize != u)
+                .map(|(&(c, _), rec)| (c, rec.expect("non-root entry")))
+                .collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            row
+        })
+        .collect();
+    let lookup = |row: &[(u32, RecId)], col: u32| -> RecId {
+        let pos = row
+            .binary_search_by_key(&col, |&(c, _)| c)
+            .expect("witness column is a list entry");
+        row[pos].1
+    };
+    // The arena is append-only, so only intern records for offers that will
+    // actually win (and only the pm prefixes those winners reference) —
+    // losing records would otherwise sit in the arena for the session and
+    // bloat the CCRO snapshot.
+    let mut precs: Vec<Option<RecId>> = Vec::new();
+    for u in 0..n {
+        let prow = pm.row(u);
+        let pwit = &wp[pm.row_range(u)];
+        let qwit = &wq[q.row_range(u)];
+        precs.clear();
+        precs.resize(prow.len(), None);
+        for (&(v, d), &y) in q.row(u).iter().zip(qwit) {
+            let v = v as usize;
+            if v == u || d >= INF || d >= store.value(u, v) {
+                continue;
+            }
+            // q(u,v) = pm(u,y) + w3(y,v); w3 = W₁ᵀ, so the right leg is the
+            // reversed nearest record of v toward y.
+            let pos = prow
+                .binary_search_by_key(&y, |&(c, _)| c)
+                .expect("witness column is a pm entry");
+            let left = *precs[pos].get_or_insert_with(|| {
+                // pm(u,y) = w1(u,k) + w2(k,y); w2 entries are G' ⊆ G edges.
+                let kk = pwit[pos];
+                let hop = store.routes_mut().arena_mut().edge(kk, y);
+                if kk as usize == u {
+                    hop // w1 diagonal (distance 0): the border edge alone
+                } else {
+                    let prefix = lookup(&rec_of[u], kk);
+                    store.routes_mut().arena_mut().cat(prefix, hop)
+                }
+            });
+            let rec = if y as usize == v {
+                left // w1 diagonal on the right: nothing to append
+            } else {
+                let fwd = lookup(&rec_of[v], y);
+                let back = store.routes_mut().arena_mut().rev(fwd);
+                store.routes_mut().arena_mut().cat(left, back)
+            };
+            store.offer_rec(u, v, d, rec);
+        }
+    }
 }
 
 #[cfg(test)]

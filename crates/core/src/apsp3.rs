@@ -89,6 +89,9 @@ pub struct Apsp3 {
     pub pivots: Vec<usize>,
     /// The proven short-range guarantee `3+ε`.
     pub short_range_guarantee: f64,
+    /// Per-pair path witnesses, recorded when the configuration set
+    /// `record_paths`. `Arc`-shared so memoized results clone cheaply.
+    pub paths: Option<std::sync::Arc<cc_routes::PathStore>>,
 }
 
 impl Apsp3 {
@@ -145,6 +148,14 @@ pub(crate) fn run_mode(
     let n = g.n();
     let t = cfg.threshold();
     let mut delta = DistanceMatrix::new(n);
+    // Witness shadowing: every `delta` improvement below is mirrored by an
+    // offer with the same strict-improvement rule, so the estimates (and the
+    // rounds — witnesses ride the same messages) are identical with
+    // recording on or off.
+    let mut paths = cfg
+        .emulator
+        .record_paths
+        .then(|| cc_routes::PathStore::new(n));
 
     // Long range + adjacency.
     let _ = pipeline::collect_emulator(
@@ -153,11 +164,12 @@ pub(crate) fn run_mode(
         &mut mode,
         &mut delta,
         substrates,
+        paths.as_mut(),
         &mut phase,
     );
 
     // (k, t)-nearest: exact short distances to the k nearest.
-    let kn = KNearest::compute_with(
+    let mut kn = KNearest::compute_with(
         g,
         cfg.k,
         t,
@@ -165,10 +177,20 @@ pub(crate) fn run_mode(
         cfg.emulator.threads,
         &mut phase,
     );
+    if paths.is_some() {
+        kn = kn.with_parents(g);
+    }
     for u in 0..n {
-        for &(v, d) in kn.list(u) {
+        let recs = paths
+            .as_mut()
+            .map(|p| kn.route_recs(u, p.routes_mut().arena_mut()))
+            .unwrap_or_default();
+        for (idx, &(v, d)) in kn.list(u).iter().enumerate() {
             if v as usize != u {
                 delta.improve(u, v as usize, d);
+                if let Some(p) = paths.as_mut() {
+                    p.offer_rec(u, v as usize, d, recs[idx].expect("non-root entry"));
+                }
             }
         }
     }
@@ -190,14 +212,33 @@ pub(crate) fn run_mode(
             cfg.eps / 2.0,
             cfg.emulator.scaled_hopset,
             cfg.emulator.threads,
+            cfg.emulator.record_paths,
             &mut mode,
             &mut phase,
         );
         let union = hs.union_with(g);
-        let sd = SourceDetection::run(&union, &pivots, hs.beta, &mut phase);
+        let sd = match &paths {
+            Some(_) => SourceDetection::run_with_parents(&union, &pivots, hs.beta, &mut phase),
+            None => SourceDetection::run(&union, &pivots, hs.beta, &mut phase),
+        };
+        if let Some(p) = paths.as_mut() {
+            p.absorb_routes(hs.routes.as_ref().expect("hopset built with paths"));
+        }
         for v in 0..n {
-            for (a, d) in sd.detected(v) {
-                delta.improve(v, a, d);
+            for (i, &a) in pivots.iter().enumerate() {
+                let d = sd.dist_to_source_index(v, i);
+                if d < INF {
+                    delta.improve(v, a, d);
+                    if let Some(p) = paths.as_mut() {
+                        let chain: Vec<u32> = sd
+                            .chain(i, v)
+                            .expect("detected pair has a chain")
+                            .into_iter()
+                            .map(|x| x as u32)
+                            .collect();
+                        p.offer_walk(g, d, &chain);
+                    }
+                }
             }
         }
         // Route every pair through the nearer endpoint's pivot. Each vertex
@@ -219,6 +260,9 @@ pub(crate) fn run_mode(
                         let leg = delta.get(a, v);
                         if leg < INF {
                             delta.improve_via(u, v, via, leg);
+                            if let Some(p) = paths.as_mut() {
+                                p.offer_via(u, v, cc_graphs::dadd(via, leg), a);
+                            }
                         }
                     }
                 }
@@ -231,6 +275,7 @@ pub(crate) fn run_mode(
         t,
         pivots,
         short_range_guarantee: 3.0 + cfg.eps,
+        paths: paths.map(std::sync::Arc::new),
     })
 }
 

@@ -73,6 +73,10 @@ pub struct AdditiveApsp {
     pub multiplicative_bound: f64,
     /// The proven additive bound `β̂`.
     pub additive_bound: f64,
+    /// Per-pair path witnesses, recorded when the configuration set
+    /// [`CliqueEmulatorConfig::record_paths`]. `Arc`-shared so memoized
+    /// results clone cheaply.
+    pub paths: Option<std::sync::Arc<cc_routes::PathStore>>,
 }
 
 impl AdditiveApsp {
@@ -117,12 +121,17 @@ pub(crate) fn run_mode(
 ) -> AdditiveApsp {
     let mut phase = ledger.enter("apsp-additive");
     let mut delta = DistanceMatrix::new(g.n());
+    let mut paths = cfg
+        .emulator
+        .record_paths
+        .then(|| cc_routes::PathStore::new(g.n()));
     let emulator = pipeline::collect_emulator(
         g,
         &cfg.emulator,
         &mut mode,
         &mut delta,
         substrates,
+        paths.as_mut(),
         &mut phase,
     )
     .clone();
@@ -131,6 +140,7 @@ pub(crate) fn run_mode(
         emulator,
         multiplicative_bound: cfg.multiplicative_bound(),
         additive_bound: cfg.additive_bound(),
+        paths: paths.map(std::sync::Arc::new),
     }
 }
 

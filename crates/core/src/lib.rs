@@ -68,6 +68,7 @@ pub mod estimates;
 pub mod facade;
 pub mod mssp;
 pub mod oracle;
+pub mod path_oracle;
 mod pipeline;
 pub mod solver;
 
@@ -78,4 +79,5 @@ pub use estimates::DistanceMatrix;
 pub use facade::solve;
 pub use facade::{Problem, Solution};
 pub use oracle::{DistOracle, Guarantee, GuaranteeKind, PointEstimate, SnapshotError};
+pub use path_oracle::{PathOracle, PathProvider, Route};
 pub use solver::{Execution, ParamProfile, Solver, SolverBuilder};

@@ -134,6 +134,9 @@ pub struct Mssp {
     pub t: Dist,
     /// The proven multiplicative guarantee.
     pub guarantee: f64,
+    /// Per-row path witnesses, recorded when the configuration set
+    /// `record_paths`. `Arc`-shared so memoized results clone cheaply.
+    pub paths: Option<std::sync::Arc<cc_routes::RowStore>>,
 }
 
 impl Mssp {
@@ -230,13 +233,26 @@ pub(crate) fn run_mode(
     }
     let mut phase = ledger.enter("mssp");
     let t = cfg.threshold();
+    // Witness shadowing: every estimate update below is mirrored by an offer
+    // with the same improvement rule, so estimates and rounds are identical
+    // with recording on or off.
+    let mut paths = cfg
+        .emulator
+        .record_paths
+        .then(|| cc_routes::RowStore::new(g.n(), sources));
 
     // Long range: the emulator, learned by everyone (cached across queries
     // by the session's substrate store); each vertex runs local Dijkstra
     // from the sources.
     let mut estimates: Vec<Vec<Dist>> = {
         let emu = substrates.emulator_for(g, &cfg.emulator, &mut mode, &mut phase);
-        sources.iter().map(|&s| emu.sssp(s)).collect()
+        match paths.as_mut() {
+            None => sources.iter().map(|&s| emu.sssp(s)).collect(),
+            // The recording pass's Dijkstra trees carry the same distances
+            // `emu.sssp` computes — start the estimates from them instead of
+            // running a second per-source sweep.
+            Some(store) => pipeline::record_emulator_rows(g, emu, sources, store),
+        }
     };
 
     // Short range: bounded hopset + source detection with h = β hops.
@@ -247,16 +263,34 @@ pub(crate) fn run_mode(
         cfg.eps,
         cfg.emulator.scaled_hopset,
         cfg.emulator.threads,
+        cfg.emulator.record_paths,
         &mut mode,
         &mut phase,
     );
     let union = hs.union_with(g);
-    let sd = SourceDetection::run(&union, sources, hs.beta, &mut phase);
+    let sd = match &paths {
+        Some(_) => SourceDetection::run_with_parents(&union, sources, hs.beta, &mut phase),
+        None => SourceDetection::run(&union, sources, hs.beta, &mut phase),
+    };
+    if let Some(store) = paths.as_mut() {
+        store.absorb_routes(hs.routes.as_ref().expect("hopset built with paths"));
+    }
     for (i, row) in estimates.iter_mut().enumerate() {
         for (v, est) in row.iter_mut().enumerate() {
             let short = sd.dist_to_source_index(v, i);
             if short < *est {
                 *est = short;
+            }
+            if short < INF {
+                if let Some(store) = paths.as_mut() {
+                    let chain: Vec<u32> = sd
+                        .chain(i, v)
+                        .expect("detected pair has a chain")
+                        .into_iter()
+                        .map(|x| x as u32)
+                        .collect();
+                    store.offer_walk(g, i, short, &chain);
+                }
             }
             if v == sources[i] {
                 *est = 0;
@@ -268,14 +302,17 @@ pub(crate) fn run_mode(
         for &u in g.neighbors(s) {
             let e = &mut estimates[i][u as usize];
             *e = (*e).min(1);
+            if let Some(store) = paths.as_mut() {
+                store.offer_edge(i, u as usize);
+            }
         }
     }
-    let _ = INF;
     Ok(Mssp {
         sources: sources.to_vec(),
         estimates,
         t,
         guarantee: cfg.guarantee(),
+        paths: paths.map(std::sync::Arc::new),
     })
 }
 

@@ -369,6 +369,12 @@ impl DistOracle {
     /// threads. `u` itself is excluded; fewer than `k` entries are returned
     /// when fewer estimates exist.
     ///
+    /// Selection runs in `O(n + k log k)`: a `select_nth_unstable` partition
+    /// on the full `(distance, id)` key isolates the `k` smallest entries,
+    /// and only that prefix is sorted — the previous full `O(n log n)` sort
+    /// of every finite entry is gone. The full key makes the partition cut
+    /// deterministic even through runs of equal distances.
+    ///
     /// # Panics
     ///
     /// Panics if `u ≥ n`.
@@ -380,8 +386,11 @@ impl DistOracle {
             .filter(|&(v, &d)| v != u && d < INF)
             .map(|(v, &d)| (v as u32, d))
             .collect();
+        if k < near.len() {
+            near.select_nth_unstable_by_key(k, |&(v, d)| (d, v));
+            near.truncate(k);
+        }
         near.sort_unstable_by_key(|&(v, d)| (d, v));
-        near.truncate(k);
         near
     }
 
@@ -536,6 +545,11 @@ impl DistOracle {
     /// bit-identical to the oracle that was saved (validated by the
     /// checksum, structural length checks and tag-range checks).
     ///
+    /// Magic and version are inspected **before** the checksum: a snapshot
+    /// written by a future format version (whose trailing bytes this build
+    /// cannot even locate) reports [`SnapshotError::UnsupportedVersion`],
+    /// not a misleading checksum mismatch.
+    ///
     /// # Errors
     ///
     /// Returns [`SnapshotError`] for I/O failures, a wrong magic, an
@@ -543,23 +557,10 @@ impl DistOracle {
     pub fn load<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf)?;
-        if buf.len() < 8 {
-            return Err(SnapshotError::corrupt("shorter than header + checksum"));
-        }
-        let (payload, tail) = buf.split_at(buf.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
-        if fnv1a(payload) != stored {
-            return Err(SnapshotError::corrupt("checksum mismatch"));
-        }
+        let payload = checked_payload(&buf, b"CCDO", 1)?;
         let mut c = Cursor::new(payload);
-        let magic = c.take_n::<4>()?;
-        if &magic != b"CCDO" {
-            return Err(SnapshotError::BadMagic(magic));
-        }
-        let version = u16::from_le_bytes(c.take_n::<2>()?);
-        if version != 1 {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
+        let _ = c.take_n::<4>()?; // magic, validated above
+        let _ = c.take_n::<2>()?; // version, validated above
         let flags = c.take_n::<1>()?[0];
         if flags > 1 {
             return Err(SnapshotError::corrupt("unknown flag bits"));
@@ -678,8 +679,42 @@ impl DistOracle {
     }
 }
 
+/// Validates the frame of a snapshot buffer — magic, then version, then the
+/// trailing FNV-1a checksum, in that order — and returns the checksummed
+/// payload (everything before the 8-byte tail). Shared by the `CCDO`
+/// ([`DistOracle`]) and `CCRO` ([`crate::path_oracle::PathOracle`]) loaders.
+pub(crate) fn checked_payload<'a>(
+    buf: &'a [u8],
+    magic: &[u8; 4],
+    version: u16,
+) -> Result<&'a [u8], SnapshotError> {
+    // Magic and version live in the first 6 bytes and are validated before
+    // the checksum, so future-version snapshots fail with the actionable
+    // error even though this build cannot verify their integrity.
+    if buf.len() < 6 {
+        return Err(SnapshotError::corrupt("shorter than magic + version"));
+    }
+    let got: [u8; 4] = buf[..4].try_into().expect("4-byte magic");
+    if &got != magic {
+        return Err(SnapshotError::BadMagic(got));
+    }
+    let got_version = u16::from_le_bytes(buf[4..6].try_into().expect("2-byte version"));
+    if got_version != version {
+        return Err(SnapshotError::UnsupportedVersion(got_version));
+    }
+    if buf.len() < 14 {
+        return Err(SnapshotError::corrupt("shorter than header + checksum"));
+    }
+    let (payload, tail) = buf.split_at(buf.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(payload) != stored {
+        return Err(SnapshotError::corrupt("checksum mismatch"));
+    }
+    Ok(payload)
+}
+
 /// FNV-1a over a byte slice (the snapshot checksum).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -689,17 +724,17 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Bounds-checked reader over the snapshot payload.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self
             .pos
             .checked_add(len)
@@ -710,15 +745,15 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+    pub(crate) fn take_n<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
         Ok(self.take(N)?.try_into().expect("length checked"))
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn at_end(&self) -> bool {
+    pub(crate) fn at_end(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -737,7 +772,7 @@ pub enum SnapshotError {
 }
 
 impl SnapshotError {
-    fn corrupt(msg: &str) -> Self {
+    pub(crate) fn corrupt(msg: &str) -> Self {
         SnapshotError::Corrupt(msg.to_string())
     }
 }
@@ -891,15 +926,91 @@ mod tests {
 
         let mut wrong_magic = buf.clone();
         wrong_magic[0] = b'X';
-        // Checksum catches it first (the magic is covered by the checksum).
-        assert!(DistOracle::load(&mut &wrong_magic[..]).is_err());
+        // Magic is validated before the checksum: the error names the cause.
+        assert!(matches!(
+            DistOracle::load(&mut &wrong_magic[..]),
+            Err(SnapshotError::BadMagic(_))
+        ));
 
         let truncated = &buf[..buf.len() - 9];
         assert!(DistOracle::load(&mut &truncated[..]).is_err());
+        // Garbage that is long enough to carry a magic reports BadMagic;
+        // anything shorter is Corrupt.
         assert!(matches!(
             DistOracle::load(&mut &b"1234567"[..]),
+            Err(SnapshotError::BadMagic(_))
+        ));
+        assert!(matches!(
+            DistOracle::load(&mut &b"1234"[..]),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn unknown_version_reports_unsupported_not_checksum() {
+        // A future-format snapshot: valid magic, version 255, arbitrary body
+        // whose checksum this build cannot even locate. The old loader
+        // verified the checksum first and reported a misleading corruption;
+        // version must win.
+        let mut future = Vec::new();
+        future.extend_from_slice(b"CCDO");
+        future.extend_from_slice(&255u16.to_le_bytes());
+        future.extend_from_slice(&[0xAB; 32]);
+        let err = DistOracle::load(&mut &future[..]).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(255)));
+        assert_eq!(err.to_string(), "unsupported snapshot version 255");
+        // A version-2 header over an otherwise valid v1 body (checksum
+        // recomputed, so only the version differs): same answer.
+        let m = sample_matrix(4);
+        let o = DistOracle::from_matrix(&m, Guarantee::mult2(0.5), StorageKind::Full);
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 8);
+        buf[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            DistOracle::load(&mut &buf[..]),
+            Err(SnapshotError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn k_nearest_selection_matches_full_sort_with_ties() {
+        // Regression for the select_nth fast path: a row full of equal
+        // distances must cut the prefix by (distance, id) — the same answer
+        // the old full sort produced — for every k including the tie run.
+        let n = 40;
+        let mut data = vec![INF; n * n];
+        for v in 1..n {
+            // Distances 5,5,5,...,5,3,3,2 in scrambled id order.
+            let d = match v % 4 {
+                0 => 2,
+                1 => 3,
+                _ => 5,
+            };
+            data[v] = d;
+            data[v * n] = d;
+        }
+        for i in 0..n {
+            data[i * n + i] = 0;
+        }
+        let o = DistOracle::from_storage(DistStorage::full(n, data), Guarantee::mult2(0.5));
+        let full: Vec<(u32, Dist)> = {
+            let row = o.dists_from(0);
+            let mut all: Vec<(u32, Dist)> = row
+                .iter()
+                .enumerate()
+                .filter(|&(v, &d)| v != 0 && d < INF)
+                .map(|(v, &d)| (v as u32, d))
+                .collect();
+            all.sort_unstable_by_key(|&(v, d)| (d, v));
+            all
+        };
+        for k in [0usize, 1, 9, 10, 11, 20, n - 1, n, 2 * n] {
+            let got = o.k_nearest(0, k);
+            assert_eq!(got, full[..k.min(full.len())].to_vec(), "k={k}");
+        }
     }
 
     #[test]

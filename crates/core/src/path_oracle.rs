@@ -1,0 +1,606 @@
+//! The frozen route-serving side of a solved session: [`PathOracle`].
+//!
+//! [`crate::DistOracle`] answers *how far*; this module answers *which way*.
+//! A `PathOracle` is frozen beside the distance oracle by
+//! [`crate::Solver::freeze_with_paths`] from the witness stores the
+//! pipelines filled while solving (`SolverBuilder::record_paths(true)`), and
+//! serves
+//!
+//! * [`path`](PathOracle::path)`(u, v) → Option<Route>` — a real walk in the
+//!   input graph whose exact weight is at most the frozen estimate and
+//!   therefore satisfies the same tagged [`Guarantee`];
+//! * [`path_batch`](PathOracle::path_batch) — the batched form;
+//! * the embedded distance oracle ([`PathOracle::dist_oracle`]) for plain
+//!   distance queries,
+//!
+//! all lock-free from `&self` (`PathOracle: Send + Sync` — one oracle behind
+//! an `Arc` serves any number of threads).
+//!
+//! Snapshots extend the `CCDO` distance format: a `CCRO` file embeds the
+//! distance snapshot and appends the witness arenas and per-pair witness
+//! tables (layout in `DESIGN.md` §8.3).
+//!
+//! ```
+//! use cc_core::{Execution, SolverBuilder};
+//! use cc_graphs::generators;
+//!
+//! let g = generators::caveman(5, 5);
+//! let mut solver = SolverBuilder::new(g.clone())
+//!     .eps(0.5)
+//!     .execution(Execution::Seeded(3))
+//!     .record_paths(true)
+//!     .build()?;
+//! solver.apsp_3eps()?;
+//! let oracle = std::sync::Arc::new(solver.freeze_with_paths()?);
+//! let route = oracle.path(0, 20).expect("connected");
+//! assert_eq!(route.edges[0].0, 0);
+//! for (x, y) in &route.edges {
+//!     assert!(g.has_edge(*x as usize, *y as usize));
+//! }
+//! # Ok::<(), cc_core::CcError>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use cc_graphs::{Dist, DistStorage};
+use cc_routes::{PairWitness, PathStore, RecId, RouteArena, RowStore};
+
+use crate::oracle::{checked_payload, fnv1a, Cursor, DistOracle, Guarantee, SnapshotError};
+
+/// One reconstructed route: a real walk in the input graph `G`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Route {
+    /// The query endpoints.
+    pub src: u32,
+    /// See [`Route::src`].
+    pub dst: u32,
+    /// The walk as directed `G` edges, consecutive edges sharing their
+    /// middle vertex (empty for `src == dst`).
+    pub edges: Vec<(u32, u32)>,
+    /// The exact weight of the walk in `G` (the edge count — inputs are
+    /// unweighted). Always `d_G(src,dst) ≤ weight ≤` the frozen estimate,
+    /// so the tagged guarantee bounds it too.
+    pub weight: Dist,
+    /// The [`Guarantee`] of the pipeline whose estimate (and witness) won
+    /// this pair — the same tag [`DistOracle::dist`] reports.
+    pub guarantee: Guarantee,
+}
+
+impl Route {
+    /// The walk as a vertex sequence `src, …, dst`.
+    pub fn vertices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        out.push(self.src);
+        out.extend(self.edges.iter().map(|&(_, y)| y));
+        out
+    }
+}
+
+/// One pipeline's frozen witnesses.
+#[derive(Clone, Debug)]
+pub enum PathProvider {
+    /// Symmetric per-pair store (APSP pipelines).
+    Pairs(Arc<PathStore>),
+    /// Row store (MSSP results).
+    Rows(Arc<RowStore>),
+}
+
+/// An immutable, `Arc`-shareable route oracle over solved witnesses.
+///
+/// Holds the frozen [`DistOracle`] plus, per packed pair, which pipeline's
+/// witness store serves its route. All query methods take `&self` and touch
+/// only frozen data.
+#[derive(Clone, Debug)]
+pub struct PathOracle {
+    oracle: DistOracle,
+    /// Per packed pair: index into `providers` of the winning pipeline
+    /// (meaningless where no estimate is frozen).
+    origins: Vec<u8>,
+    providers: Vec<PathProvider>,
+}
+
+impl PathOracle {
+    /// Assembles an oracle from a frozen distance oracle, a per-pair origin
+    /// table (index into `providers` of the store serving each pair) and the
+    /// witness providers. [`crate::Solver::freeze_with_paths`] is the usual
+    /// entry point; this constructor exists for custom serving layers and
+    /// golden-file references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origins` is not one byte per packed pair or `providers`
+    /// is empty.
+    pub fn new(oracle: DistOracle, origins: Vec<u8>, providers: Vec<PathProvider>) -> Self {
+        let n = oracle.n();
+        assert_eq!(origins.len(), n * (n + 1) / 2, "one origin per packed pair");
+        assert!(!providers.is_empty(), "at least one witness provider");
+        PathOracle {
+            oracle,
+            origins,
+            providers,
+        }
+    }
+
+    /// Dimension `n` (vertices are `0..n`).
+    pub fn n(&self) -> usize {
+        self.oracle.n()
+    }
+
+    /// The embedded distance oracle (same values and tags the routes are
+    /// served under).
+    pub fn dist_oracle(&self) -> &DistOracle {
+        &self.oracle
+    }
+
+    /// Convenience passthrough to [`DistOracle::dist`].
+    pub fn dist(&self, u: usize, v: usize) -> Option<crate::oracle::PointEstimate> {
+        self.oracle.dist(u, v)
+    }
+
+    /// Approximate bytes held by the witness side (arena nodes + per-pair
+    /// witness tables); the distance side is
+    /// [`DistOracle::storage_bytes`].
+    pub fn witness_bytes(&self) -> usize {
+        self.providers
+            .iter()
+            .map(|p| match p {
+                PathProvider::Pairs(s) => s.arena().len() * 12 + s.witnesses().len() * 5,
+                PathProvider::Rows(r) => r.arena().len() * 12 + r.recs().len() * 5,
+            })
+            .sum::<usize>()
+            + self.origins.len()
+    }
+
+    /// The route for `(u, v)`: a real walk in `G` running `u → v`, its exact
+    /// weight, and the guarantee of the pipeline that produced it. `None`
+    /// when out of range or no estimate was frozen for the pair;
+    /// `Some(empty)` on the diagonal.
+    pub fn path(&self, u: usize, v: usize) -> Option<Route> {
+        let est = self.oracle.dist(u, v)?;
+        if u == v {
+            return Some(Route {
+                src: u as u32,
+                dst: v as u32,
+                edges: Vec::new(),
+                weight: 0,
+                guarantee: est.guarantee,
+            });
+        }
+        let origin = self.origins[DistStorage::packed_index(self.n(), u, v)];
+        let edges = match self.providers.get(origin as usize)? {
+            PathProvider::Pairs(s) => s.emit(u, v)?,
+            PathProvider::Rows(r) => emit_row_pair(r, u, v)?,
+        };
+        let weight = edges.len() as Dist;
+        Some(Route {
+            src: u as u32,
+            dst: v as u32,
+            edges,
+            weight,
+            guarantee: est.guarantee,
+        })
+    }
+
+    /// Answers a batch of route queries in order — exactly equivalent to
+    /// mapping [`PathOracle::path`] over `pairs`.
+    pub fn path_batch(&self, pairs: &[(usize, usize)]) -> Vec<Option<Route>> {
+        pairs.iter().map(|&(u, v)| self.path(u, v)).collect()
+    }
+
+    // ── Snapshot format ──────────────────────────────────────────────────
+    //
+    // Version 1, all integers little-endian (layout: DESIGN.md §8.3):
+    //
+    //   magic  b"CCRO"                                    4 bytes
+    //   version u16 = 1                                   2
+    //   L      u64 embedded CCDO length                   8
+    //   CCDO   the DistOracle snapshot, verbatim          L
+    //   E      u64 origin count (= n(n+1)/2)              8
+    //   E × origin u8                                     E
+    //   P      u16 provider count                         2
+    //   P × provider:
+    //     kind u8 (0 pairs, 1 rows)                       1
+    //     N    u64 arena nodes                            8
+    //     N × { tag u8, a u32, b u32 }                    9 each
+    //     pairs: W u64 (= E), W × { tag u8, payload u32 } 8 + 5W
+    //     rows:  S u64, S × source u32,                   8 + 4S
+    //            S·n × { tag u8, payload u32 }            5Sn
+    //   checksum u64: FNV-1a over every preceding byte    8
+
+    /// Serializes the oracle into the versioned `CCRO` snapshot and writes
+    /// it to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut inner = Vec::new();
+        self.oracle.save(&mut inner)?;
+        let mut buf: Vec<u8> = Vec::with_capacity(inner.len() + self.origins.len() + 64);
+        buf.extend_from_slice(b"CCRO");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&inner);
+        buf.extend_from_slice(&(self.origins.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&self.origins);
+        buf.extend_from_slice(&(self.providers.len() as u16).to_le_bytes());
+        for provider in &self.providers {
+            let arena = match provider {
+                PathProvider::Pairs(s) => {
+                    buf.push(0);
+                    s.arena()
+                }
+                PathProvider::Rows(r) => {
+                    buf.push(1);
+                    r.arena()
+                }
+            };
+            buf.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+            for i in 0..arena.len() {
+                let (tag, a, b) = arena.wire_node(i);
+                buf.push(tag);
+                buf.extend_from_slice(&a.to_le_bytes());
+                buf.extend_from_slice(&b.to_le_bytes());
+            }
+            match provider {
+                PathProvider::Pairs(s) => {
+                    let wits = s.witnesses();
+                    buf.extend_from_slice(&(wits.len() as u64).to_le_bytes());
+                    for &wit in wits {
+                        let (tag, payload) = match wit {
+                            PairWitness::None => (0u8, 0u32),
+                            PairWitness::Rec { rec, rev: false } => (1, rec.index()),
+                            PairWitness::Rec { rec, rev: true } => (2, rec.index()),
+                            PairWitness::Via(w) => (3, w),
+                        };
+                        buf.push(tag);
+                        buf.extend_from_slice(&payload.to_le_bytes());
+                    }
+                }
+                PathProvider::Rows(r) => {
+                    buf.extend_from_slice(&(r.sources().len() as u64).to_le_bytes());
+                    for &s in r.sources() {
+                        buf.extend_from_slice(&s.to_le_bytes());
+                    }
+                    for rec in r.recs() {
+                        match rec {
+                            None => {
+                                buf.push(0);
+                                buf.extend_from_slice(&0u32.to_le_bytes());
+                            }
+                            Some(rec) => {
+                                buf.push(1);
+                                buf.extend_from_slice(&rec.index().to_le_bytes());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        w.write_all(&buf)
+    }
+
+    /// Reads a snapshot produced by [`PathOracle::save`]. Magic and version
+    /// are inspected before the checksum (an unknown version reports
+    /// [`SnapshotError::UnsupportedVersion`], never a checksum mismatch);
+    /// every count is bounded by the bytes actually present before anything
+    /// is allocated, and all record/witness indices are range-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] for I/O failures, a wrong magic, an
+    /// unsupported version, or a corrupt/truncated payload.
+    pub fn load<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        let payload = checked_payload(&buf, b"CCRO", 1)?;
+        let mut c = Cursor::new(payload);
+        let _ = c.take_n::<4>()?; // magic, validated above
+        let _ = c.take_n::<2>()?; // version, validated above
+        let inner_len = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("inner length exceeds the address space"))?;
+        let inner = c.take(inner_len)?;
+        let oracle = DistOracle::load(&mut &inner[..])?;
+        let n = oracle.n();
+        let origin_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("origin count exceeds the address space"))?;
+        if origin_count != n * (n + 1) / 2 {
+            return Err(SnapshotError::corrupt("origin count does not match n"));
+        }
+        let origins = c.take(origin_count)?.to_vec();
+        let provider_count = u16::from_le_bytes(c.take_n::<2>()?) as usize;
+        if provider_count == 0 {
+            return Err(SnapshotError::corrupt("no witness providers"));
+        }
+        if origins.iter().any(|&o| o as usize >= provider_count) {
+            return Err(SnapshotError::corrupt("origin beyond provider table"));
+        }
+        let mut providers = Vec::with_capacity(provider_count);
+        for _ in 0..provider_count {
+            let kind = c.take_n::<1>()?[0];
+            let node_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+                .map_err(|_| SnapshotError::corrupt("node count exceeds the address space"))?;
+            if c.remaining() / 9 < node_count {
+                return Err(SnapshotError::corrupt("truncated witness arena"));
+            }
+            let mut arena = RouteArena::new();
+            for _ in 0..node_count {
+                let tag = c.take_n::<1>()?[0];
+                let a = u32::from_le_bytes(c.take_n::<4>()?);
+                let b = u32::from_le_bytes(c.take_n::<4>()?);
+                arena
+                    .push_wire_node(tag, a, b, n)
+                    .ok_or_else(|| SnapshotError::corrupt("invalid witness arena node"))?;
+            }
+            match kind {
+                0 => {
+                    let wit_count =
+                        usize::try_from(u64::from_le_bytes(c.take_n::<8>()?)).map_err(|_| {
+                            SnapshotError::corrupt("witness count exceeds the address space")
+                        })?;
+                    if wit_count != origin_count {
+                        return Err(SnapshotError::corrupt("pair witness count mismatch"));
+                    }
+                    if c.remaining() / 5 < wit_count {
+                        return Err(SnapshotError::corrupt("truncated pair witnesses"));
+                    }
+                    let mut entries = Vec::with_capacity(wit_count);
+                    for _ in 0..wit_count {
+                        let tag = c.take_n::<1>()?[0];
+                        let payload = u32::from_le_bytes(c.take_n::<4>()?);
+                        let entry = match tag {
+                            0 => PairWitness::None,
+                            1 | 2 => {
+                                if payload as usize >= arena.len() {
+                                    return Err(SnapshotError::corrupt(
+                                        "witness record out of range",
+                                    ));
+                                }
+                                PairWitness::Rec {
+                                    rec: RecId::from_index(payload),
+                                    rev: tag == 2,
+                                }
+                            }
+                            3 => {
+                                if payload as usize >= n {
+                                    return Err(SnapshotError::corrupt("via witness out of range"));
+                                }
+                                PairWitness::Via(payload)
+                            }
+                            _ => return Err(SnapshotError::corrupt("unknown witness tag")),
+                        };
+                        entries.push(entry);
+                    }
+                    providers.push(PathProvider::Pairs(Arc::new(PathStore::from_parts(
+                        n, arena, entries,
+                    ))));
+                }
+                1 => {
+                    let source_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+                        .map_err(|_| {
+                            SnapshotError::corrupt("source count exceeds the address space")
+                        })?;
+                    if c.remaining() / 4 < source_count {
+                        return Err(SnapshotError::corrupt("truncated source list"));
+                    }
+                    let mut sources = Vec::with_capacity(source_count);
+                    for _ in 0..source_count {
+                        let s = u32::from_le_bytes(c.take_n::<4>()?);
+                        if s as usize >= n {
+                            return Err(SnapshotError::corrupt("source out of range"));
+                        }
+                        sources.push(s);
+                    }
+                    let cell_count = source_count
+                        .checked_mul(n)
+                        .ok_or_else(|| SnapshotError::corrupt("row store too large"))?;
+                    if c.remaining() / 5 < cell_count {
+                        return Err(SnapshotError::corrupt("truncated row witnesses"));
+                    }
+                    let mut recs = Vec::with_capacity(cell_count);
+                    for _ in 0..cell_count {
+                        let tag = c.take_n::<1>()?[0];
+                        let payload = u32::from_le_bytes(c.take_n::<4>()?);
+                        let rec = match tag {
+                            0 => None,
+                            1 => {
+                                if payload as usize >= arena.len() {
+                                    return Err(SnapshotError::corrupt("row record out of range"));
+                                }
+                                Some(RecId::from_index(payload))
+                            }
+                            _ => return Err(SnapshotError::corrupt("unknown row witness tag")),
+                        };
+                        recs.push(rec);
+                    }
+                    providers.push(PathProvider::Rows(Arc::new(RowStore::from_parts(
+                        n, sources, arena, recs,
+                    ))));
+                }
+                _ => return Err(SnapshotError::corrupt("unknown provider kind")),
+            }
+        }
+        if !c.at_end() {
+            return Err(SnapshotError::corrupt("trailing bytes after payload"));
+        }
+        Ok(PathOracle {
+            oracle,
+            origins,
+            providers,
+        })
+    }
+
+    /// [`PathOracle::save`] to a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.save(&mut f)
+    }
+
+    /// [`PathOracle::load`] from a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] as [`PathOracle::load`] does.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::load(&mut f)
+    }
+}
+
+impl PartialEq for PathOracle {
+    fn eq(&self, other: &Self) -> bool {
+        if self.oracle != other.oracle || self.origins != other.origins {
+            return false;
+        }
+        if self.providers.len() != other.providers.len() {
+            return false;
+        }
+        self.providers
+            .iter()
+            .zip(&other.providers)
+            .all(|(a, b)| match (a, b) {
+                (PathProvider::Pairs(x), PathProvider::Pairs(y)) => {
+                    x.arena() == y.arena() && x.witnesses() == y.witnesses()
+                }
+                (PathProvider::Rows(x), PathProvider::Rows(y)) => {
+                    x.arena() == y.arena() && x.sources() == y.sources() && x.recs() == y.recs()
+                }
+                _ => false,
+            })
+    }
+}
+
+/// Emits a row-store walk for the ordered pair `(u, v)` where one endpoint
+/// is a source: the **shortest recorded walk** over every row covering the
+/// pair (first row on ties). Selecting by walk length — not by the mirrored
+/// estimate values, which snapshots do not persist — keeps loaded oracles
+/// byte-for-byte equivalent to the ones that were saved, and the winner is
+/// never heavier than the frozen estimate (some covering row realized it,
+/// and that row's walk is at most its value).
+fn emit_row_pair(r: &RowStore, u: usize, v: usize) -> Option<Vec<(u32, u32)>> {
+    let n = r.n();
+    let mut best: Option<(u32, usize, bool)> = None; // (walk len, row, reversed)
+    for (i, &s) in r.sources().iter().enumerate() {
+        for (from, to, reversed) in [(u, v, false), (v, u, true)] {
+            if s as usize != from {
+                continue;
+            }
+            if let Some(rec) = r.recs()[i * n + to] {
+                let len = r.arena().len_of(rec);
+                if best.is_none_or(|b| len < b.0) {
+                    best = Some((len, i, reversed));
+                }
+            }
+        }
+    }
+    let (_, i, reversed) = best?;
+    let mut edges = r.emit(i, if reversed { u } else { v })?;
+    if reversed {
+        edges.reverse();
+        for e in &mut edges {
+            *e = (e.1, e.0);
+        }
+    }
+    Some(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graphs::Graph;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    fn tiny_oracle() -> PathOracle {
+        // Hand-built: a 4-path with a pair store for all pairs.
+        let g = path_graph(4);
+        let mut store = PathStore::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                let verts: Vec<u32> = (u as u32..=v as u32).collect();
+                store.offer_walk(&g, (v - u) as Dist, &verts);
+            }
+        }
+        let mut m = crate::estimates::DistanceMatrix::new(4);
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    m.improve(u, v, u.abs_diff(v) as Dist);
+                }
+            }
+        }
+        let oracle = DistOracle::from_matrix(
+            &m,
+            Guarantee::mult2(0.5),
+            cc_graphs::StorageKind::SymmetricPacked,
+        );
+        PathOracle::new(
+            oracle,
+            vec![0; 10],
+            vec![PathProvider::Pairs(Arc::new(store))],
+        )
+    }
+
+    #[test]
+    fn paths_are_served_with_guarantees() {
+        let o = tiny_oracle();
+        let route = o.path(0, 3).expect("connected");
+        assert_eq!(route.edges, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(route.weight, 3);
+        assert_eq!(route.vertices(), vec![0, 1, 2, 3]);
+        assert_eq!(route.guarantee, o.dist(0, 3).unwrap().guarantee);
+        let back = o.path(3, 0).unwrap();
+        assert_eq!(back.edges, vec![(3, 2), (2, 1), (1, 0)]);
+        let diag = o.path(2, 2).unwrap();
+        assert_eq!((diag.weight, diag.edges.len()), (0, 0));
+        assert_eq!(o.path(0, 9), None, "out of range");
+        let batch = o.path_batch(&[(0, 3), (2, 2)]);
+        assert_eq!(batch[0].as_ref().unwrap().weight, 3);
+        assert!(o.witness_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_bad_frames() {
+        let o = tiny_oracle();
+        let mut buf = Vec::new();
+        o.save(&mut buf).unwrap();
+        let back = PathOracle::load(&mut &buf[..]).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(back.path(1, 3), o.path(1, 3));
+        let mut again = Vec::new();
+        back.save(&mut again).unwrap();
+        assert_eq!(buf, again, "re-save must be byte-identical");
+
+        // Unknown version wins over the (now unverifiable) checksum.
+        let mut future = Vec::new();
+        future.extend_from_slice(b"CCRO");
+        future.extend_from_slice(&9u16.to_le_bytes());
+        future.extend_from_slice(&[0; 16]);
+        assert!(matches!(
+            PathOracle::load(&mut &future[..]),
+            Err(SnapshotError::UnsupportedVersion(9))
+        ));
+        // Bad magic, flipped byte, truncation.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            PathOracle::load(&mut &bad[..]),
+            Err(SnapshotError::BadMagic(_))
+        ));
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(PathOracle::load(&mut &flipped[..]).is_err());
+        assert!(PathOracle::load(&mut &buf[..buf.len() - 3]).is_err());
+    }
+}

@@ -9,7 +9,8 @@ use cc_clique::RoundLedger;
 use cc_derand::hitting;
 use cc_emulator::clique::CliqueEmulatorConfig;
 use cc_emulator::{deterministic, whp, Emulator};
-use cc_graphs::{Dist, Graph};
+use cc_graphs::{dijkstra, Dist, Graph, INF};
+use cc_routes::{PathStore, RecId, RowStore};
 use cc_toolkit::hopset::{self, BoundedHopset, HopsetParams};
 use rand::RngCore;
 
@@ -40,8 +41,11 @@ fn bits(x: f64) -> u64 {
     x.to_bits()
 }
 
-/// Cache key identifying one emulator construction.
-type EmulatorKey = (&'static str, usize, u64, usize, u64, usize, bool);
+/// Cache key identifying one emulator construction. `record_paths` is part
+/// of the key: a path-carrying query must not be served a witness-less
+/// cached emulator (the estimates are identical either way, but the routes
+/// would be missing).
+type EmulatorKey = (&'static str, usize, u64, usize, u64, usize, bool, bool);
 
 fn emulator_key(cfg: &CliqueEmulatorConfig, mode: &Mode<'_>) -> EmulatorKey {
     (
@@ -52,12 +56,22 @@ fn emulator_key(cfg: &CliqueEmulatorConfig, mode: &Mode<'_>) -> EmulatorKey {
         bits(cfg.eps_prime),
         cfg.k,
         cfg.scaled_hopset,
+        cfg.record_paths,
     )
 }
 
 /// Cache key identifying one bounded-hopset construction: graph tag and
-/// shape, threshold, accuracy, profile, mode.
-type HopsetKey = (&'static str, &'static str, usize, usize, Dist, u64, bool);
+/// shape, threshold, accuracy, profile, mode, path recording.
+type HopsetKey = (
+    &'static str,
+    &'static str,
+    usize,
+    usize,
+    Dist,
+    u64,
+    bool,
+    bool,
+);
 
 /// Cache key identifying one hitting-set selection: mode, call-site label,
 /// universe, clamped `k`, and a fingerprint of the set contents (so a label
@@ -148,10 +162,20 @@ impl Substrates {
         eps: f64,
         scaled: bool,
         threads: usize,
+        record_paths: bool,
         mode: &mut Mode<'_>,
         ledger: &mut RoundLedger,
     ) -> BoundedHopset {
-        let key = (mode.tag(), graph_tag, g.n(), g.m(), t, bits(eps), scaled);
+        let key = (
+            mode.tag(),
+            graph_tag,
+            g.n(),
+            g.m(),
+            t,
+            bits(eps),
+            scaled,
+            record_paths,
+        );
         self.hopsets
             .entry(key)
             .or_insert_with(|| {
@@ -160,7 +184,8 @@ impl Substrates {
                 } else {
                     HopsetParams::paper(g.n(), t, eps)
                 }
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_paths(record_paths);
                 match mode {
                     Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
                     Mode::Det => hopset::build_deterministic(g, params, ledger),
@@ -204,21 +229,135 @@ impl Substrates {
 
 /// Obtains the emulator (cached or freshly built), lets every vertex learn
 /// it, and merges its all-pairs distances plus the input adjacency into
-/// `delta`.
+/// `delta`. When `paths` is given, every improvement is shadowed by a
+/// witness offer (the values written to `delta` are untouched either way).
 pub(crate) fn collect_emulator<'s>(
     g: &Graph,
     cfg: &CliqueEmulatorConfig,
     mode: &mut Mode<'_>,
     delta: &mut DistanceMatrix,
     substrates: &'s mut Substrates,
+    paths: Option<&mut PathStore>,
     ledger: &mut RoundLedger,
 ) -> &'s Emulator {
     let emu = substrates.emulator_for(g, cfg, mode, ledger);
     for (u, v) in g.edges() {
         delta.improve(u, v, 1);
     }
-    delta.merge_rows(&emu.apsp());
+    match paths {
+        None => delta.merge_rows(&emu.apsp()),
+        Some(store) => {
+            for (u, v) in g.edges() {
+                store.offer_edge(u, v);
+            }
+            // The recording pass's Dijkstra trees carry the same distances
+            // `emu.apsp()` would compute — merge from them instead of
+            // running a second per-source sweep.
+            let rows = record_emulator_pairs(g, emu, store);
+            delta.merge_rows(&rows);
+        }
+    }
     emu
+}
+
+/// Shadows the emulator all-pairs merge with witnesses: per source, the
+/// emulator Dijkstra tree's parent chains become records whose emulator-edge
+/// hops resolve against the emulator's own routes (absorbed here). Returns
+/// the per-source distance rows — the same table `emu.apsp()` computes — so
+/// the caller merges values without a second Dijkstra sweep.
+pub(crate) fn record_emulator_pairs(
+    g: &Graph,
+    emu: &Emulator,
+    store: &mut PathStore,
+) -> Vec<Vec<Dist>> {
+    let routes = emu
+        .routes
+        .as_ref()
+        .expect("path-recording pipelines build path-recording emulators");
+    store.absorb_routes(routes);
+    let n = g.n();
+    let mut rows = Vec::with_capacity(n);
+    for src in 0..n {
+        let tree = dijkstra::sssp_tree(&emu.graph, src);
+        let recs = emulator_tree_recs(g, store.routes_mut(), &tree);
+        for (v, rec) in recs.into_iter().enumerate() {
+            if let Some(rec) = rec {
+                store.offer_rec(src, v, tree.dist(v), rec);
+            }
+        }
+        rows.push(tree.dists().to_vec());
+    }
+    rows
+}
+
+/// The MSSP counterpart of [`record_emulator_pairs`]: shadows the per-source
+/// emulator Dijkstras into a [`RowStore`] and returns the distance rows the
+/// estimates start from (same values as `emu.sssp` per source).
+pub(crate) fn record_emulator_rows(
+    g: &Graph,
+    emu: &Emulator,
+    sources: &[usize],
+    rows: &mut RowStore,
+) -> Vec<Vec<Dist>> {
+    let routes = emu
+        .routes
+        .as_ref()
+        .expect("path-recording pipelines build path-recording emulators");
+    rows.absorb_routes(routes);
+    let mut out = Vec::with_capacity(sources.len());
+    for (i, &src) in sources.iter().enumerate() {
+        let tree = dijkstra::sssp_tree(&emu.graph, src);
+        let recs = emulator_tree_recs(g, rows.routes_mut(), &tree);
+        for (v, rec) in recs.into_iter().enumerate() {
+            if let Some(rec) = rec {
+                rows.offer_rec(i, v, tree.dist(v), rec);
+            }
+        }
+        out.push(tree.dists().to_vec());
+    }
+    out
+}
+
+/// Interns, for every vertex reachable in the emulator tree, the `G`-walk
+/// realizing its tree path (emulator-edge hops resolved through the
+/// unroller's absorbed routes; direct `G` edges preferred). Vertices are
+/// processed in `(distance, id)` order so every parent's record exists
+/// before its children extend it. Shared by the all-pairs and MSSP
+/// recorders.
+fn emulator_tree_recs(
+    g: &Graph,
+    routes: &mut cc_routes::Unroller,
+    tree: &dijkstra::ShortestPathTree,
+) -> Vec<Option<RecId>> {
+    let n = tree.dists().len();
+    let src = tree.src();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (tree.dist(v as usize), v));
+    let mut recs: Vec<Option<RecId>> = vec![None; n];
+    for &v32 in &order {
+        let v = v32 as usize;
+        if v == src || tree.dist(v) >= INF {
+            continue;
+        }
+        let p = tree.parent(v).expect("finite non-root has a parent") as usize;
+        let hop = if g.has_edge(p, v) {
+            routes.arena_mut().edge(p as u32, v32)
+        } else {
+            routes
+                .oriented(p, v)
+                .expect("emulator edge has provenance")
+                .1
+        };
+        let rec = match recs[p] {
+            Some(prefix) => routes.arena_mut().cat(prefix, hop),
+            None => {
+                debug_assert_eq!(p, src, "parents settle before children");
+                hop
+            }
+        };
+        recs[v] = Some(rec);
+    }
+    recs
 }
 
 /// The short/long threshold `t = ⌈2β̂/ε⌉` of §4 (β̂ = the emulator's
@@ -288,11 +427,11 @@ mod tests {
         let mut subs = Substrates::new();
         let mut ledger = RoundLedger::new(g.n());
         let mut det = Mode::Det;
-        subs.hopset_for("g", &g, 8, 0.5, true, 1, &mut det, &mut ledger);
+        subs.hopset_for("g", &g, 8, 0.5, true, 1, false, &mut det, &mut ledger);
         let after_first = ledger.total_rounds();
-        subs.hopset_for("g", &g, 8, 0.5, true, 1, &mut det, &mut ledger);
+        subs.hopset_for("g", &g, 8, 0.5, true, 1, false, &mut det, &mut ledger);
         assert_eq!(ledger.total_rounds(), after_first, "hit charges nothing");
-        subs.hopset_for("g", &g, 16, 0.5, true, 1, &mut det, &mut ledger);
+        subs.hopset_for("g", &g, 16, 0.5, true, 1, false, &mut det, &mut ledger);
         assert!(
             ledger.total_rounds() > after_first,
             "different threshold is a different substrate"

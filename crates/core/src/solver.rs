@@ -42,6 +42,7 @@ use crate::apsp_additive::{self, AdditiveApsp, AdditiveApspConfig};
 use crate::error::CcError;
 use crate::mssp::{self, Mssp, MsspConfig};
 use crate::oracle::{DistOracle, Guarantee, PointEstimate};
+use crate::path_oracle::{PathOracle, PathProvider};
 use crate::pipeline::{Mode, Substrates};
 
 /// Randomized (seeded) or deterministic execution.
@@ -85,12 +86,13 @@ pub struct SolverBuilder {
     execution: Execution,
     profile: ParamProfile,
     threads: usize,
+    record_paths: bool,
 }
 
 impl SolverBuilder {
     /// Starts a builder over `graph` with the defaults `eps = 0.5`,
-    /// [`Execution::Seeded(0)`](Execution::Seeded), [`ParamProfile::Scaled`]
-    /// and serial execution (`threads = 1`).
+    /// [`Execution::Seeded(0)`](Execution::Seeded), [`ParamProfile::Scaled`],
+    /// serial execution (`threads = 1`) and no path recording.
     pub fn new(graph: Graph) -> Self {
         SolverBuilder {
             graph,
@@ -98,7 +100,22 @@ impl SolverBuilder {
             execution: Execution::Seeded(0),
             profile: ParamProfile::Scaled,
             threads: 1,
+            record_paths: false,
         }
+    }
+
+    /// Makes every query record path witnesses alongside its estimates, so
+    /// [`Solver::freeze_with_paths`] can serve routes, not just distances.
+    ///
+    /// Purely local bookkeeping: estimates and charged rounds are
+    /// **bit-identical** with recording on or off (in the model, witnesses
+    /// ride the same messages as the distances they annotate — pinned by
+    /// tests against `cost::model`). The cost is wall-clock and memory for
+    /// the witness arenas.
+    #[must_use]
+    pub fn record_paths(mut self, record_paths: bool) -> Self {
+        self.record_paths = record_paths;
+        self
     }
 
     /// Sets the worker-thread count the pipelines' local computation runs
@@ -162,6 +179,10 @@ impl SolverBuilder {
         apsp3_cfg.emulator.threads = self.threads;
         additive_cfg.emulator.threads = self.threads;
         mssp_cfg.emulator.threads = self.threads;
+        apsp2_cfg.emulator.record_paths = self.record_paths;
+        apsp3_cfg.emulator.record_paths = self.record_paths;
+        additive_cfg.emulator.record_paths = self.record_paths;
+        mssp_cfg.emulator.record_paths = self.record_paths;
         let ledger = RoundLedger::new(n);
         Ok(Solver {
             graph: self.graph,
@@ -169,6 +190,7 @@ impl SolverBuilder {
             execution: self.execution,
             profile: self.profile,
             threads: self.threads,
+            record_paths: self.record_paths,
             apsp2_cfg,
             apsp3_cfg,
             additive_cfg,
@@ -199,6 +221,7 @@ pub struct Solver {
     execution: Execution,
     profile: ParamProfile,
     threads: usize,
+    record_paths: bool,
     apsp2_cfg: Apsp2Config,
     apsp3_cfg: Apsp3Config,
     additive_cfg: AdditiveApspConfig,
@@ -209,6 +232,16 @@ pub struct Solver {
     apsp3_result: Option<Apsp3>,
     additive_result: Option<AdditiveApsp>,
     mssp_results: Vec<(Vec<usize>, Mssp)>,
+}
+
+/// Output of the shared freeze merge (packed upper-triangle indexing).
+struct MergedTables {
+    data: Vec<Dist>,
+    tags: Vec<u8>,
+    guarantees: Vec<Guarantee>,
+    /// Index of the winning result per pair (provider numbering of
+    /// [`Solver::freeze_with_paths`]).
+    origins: Vec<u8>,
 }
 
 /// Runs `body` with a fresh per-query mode derived from `execution`.
@@ -262,6 +295,12 @@ impl Solver {
     /// The worker-thread count of the pipelines' local computation.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// `true` when queries record path witnesses
+    /// ([`SolverBuilder::record_paths`]).
+    pub fn records_paths(&self) -> bool {
+        self.record_paths
     }
 
     /// The session's round ledger: every query's simulated communication,
@@ -478,6 +517,79 @@ impl Solver {
     /// yet (there is nothing to freeze).
     pub fn freeze(&self) -> Result<DistOracle, CcError> {
         let n = self.graph.n();
+        let merged = self.merged_tables()?;
+        Ok(DistOracle::from_tagged_packed(
+            n,
+            merged.data,
+            merged.tags,
+            merged.guarantees,
+        ))
+    }
+
+    /// Freezes everything computed so far into an immutable,
+    /// `Arc`-shareable [`PathOracle`] serving **routes** — real walks in `G`
+    /// with their exact weight and the winning pipeline's [`Guarantee`] —
+    /// beside the same tagged distances [`Solver::freeze`] serves. Requires
+    /// the session to have been built with
+    /// [`SolverBuilder::record_paths`]`(true)`.
+    ///
+    /// The embedded distance oracle is identical to [`Solver::freeze`]'s
+    /// (same merge, same provenance tags); per pair, the witness of the
+    /// pipeline whose estimate won serves the route, so every route's
+    /// weight is bounded by the answered estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CcError::UnsupportedQuery`] when path recording is off or
+    /// no pipeline query has run yet.
+    pub fn freeze_with_paths(&self) -> Result<PathOracle, CcError> {
+        if !self.record_paths {
+            return Err(CcError::UnsupportedQuery {
+                reason: "path freezing requires SolverBuilder::record_paths(true)".into(),
+            });
+        }
+        // Origins are one byte per pair: more than 256 results cannot be
+        // addressed. (Distance-only `freeze()` has no such limit.)
+        if 3 + self.mssp_results.len() > 256 {
+            return Err(CcError::UnsupportedQuery {
+                reason: "freeze_with_paths supports at most 253 MSSP batches per session".into(),
+            });
+        }
+        let n = self.graph.n();
+        let merged = self.merged_tables()?;
+        // Providers in the exact order `merged_tables` numbered them.
+        let mut providers: Vec<PathProvider> = Vec::new();
+        if let Some(r) = &self.apsp3_result {
+            providers.push(PathProvider::Pairs(
+                r.paths.clone().expect("recorded session result"),
+            ));
+        }
+        if let Some(r) = &self.apsp2_result {
+            providers.push(PathProvider::Pairs(
+                r.paths.clone().expect("recorded session result"),
+            ));
+        }
+        if let Some(r) = &self.additive_result {
+            providers.push(PathProvider::Pairs(
+                r.paths.clone().expect("recorded session result"),
+            ));
+        }
+        for (_, m) in &self.mssp_results {
+            providers.push(PathProvider::Rows(
+                m.paths.clone().expect("recorded session result"),
+            ));
+        }
+        let oracle = DistOracle::from_tagged_packed(n, merged.data, merged.tags, merged.guarantees);
+        Ok(PathOracle::new(oracle, merged.origins, providers))
+    }
+
+    /// The shared freeze merge: pointwise-best packed values, provenance
+    /// tags, and — for the path oracle — the index of the result whose
+    /// estimate (and therefore witness) won each pair. Results are numbered
+    /// in the order they are merged: apsp3, apsp2, additive, then each MSSP
+    /// batch.
+    fn merged_tables(&self) -> Result<MergedTables, CcError> {
+        let n = self.graph.n();
         // Dedup guarantees into a small table (repeat MSSP batches share
         // one entry); the per-entry tag bytes index into it.
         let mut guarantees: Vec<Guarantee> = Vec::new();
@@ -492,11 +604,14 @@ impl Solver {
         let entries = n * (n + 1) / 2;
         let mut data = vec![INF; entries];
         let mut tags = vec![0u8; entries];
+        let mut origins = vec![0u8; entries];
         let merge = |idx: usize,
                      d: Dist,
                      tag: u8,
+                     origin: u8,
                      data: &mut [Dist],
                      tags: &mut [u8],
+                     origins: &mut [u8],
                      table: &[Guarantee]| {
             let wins = d < data[idx]
                 || (d < INF
@@ -505,8 +620,13 @@ impl Solver {
             if wins {
                 data[idx] = d;
                 tags[idx] = tag;
+                origins[idx] = origin;
             }
         };
+        // One origin byte per winning result. The byte can only wrap past
+        // 256 results; `freeze()` never reads origins, and
+        // `freeze_with_paths()` rejects such sessions before using them.
+        let mut origin: usize = 0;
         let mut frozen_any = false;
         let mut matrix_layers = Vec::new();
         if let Some(r) = &self.apsp3_result {
@@ -525,10 +645,20 @@ impl Solver {
             for u in 0..n {
                 let row = m.row(u);
                 for &d in &row[u..] {
-                    merge(idx, d, tag, &mut data, &mut tags, &guarantees);
+                    merge(
+                        idx,
+                        d,
+                        tag,
+                        origin as u8,
+                        &mut data,
+                        &mut tags,
+                        &mut origins,
+                        &guarantees,
+                    );
                     idx += 1;
                 }
             }
+            origin += 1;
         }
         for (_, m) in &self.mssp_results {
             frozen_any = true;
@@ -539,19 +669,27 @@ impl Solver {
                         DistStorage::packed_index(n, s, v),
                         d,
                         tag,
+                        origin as u8,
                         &mut data,
                         &mut tags,
+                        &mut origins,
                         &guarantees,
                     );
                 }
             }
+            origin += 1;
         }
         if !frozen_any {
             return Err(CcError::UnsupportedQuery {
                 reason: "nothing to freeze: run a pipeline query (apsp_2eps, mssp, …) first".into(),
             });
         }
-        Ok(DistOracle::from_tagged_packed(n, data, tags, guarantees))
+        Ok(MergedTables {
+            data,
+            tags,
+            guarantees,
+            origins,
+        })
     }
 
     /// Number of ordered vertex pairs with a cached finite estimate —
@@ -777,6 +915,129 @@ mod tests {
         }
         let solver = SolverBuilder::new(g).threads(3).build().unwrap();
         assert_eq!(solver.threads(), 3);
+    }
+
+    /// Asserts `route` is a real walk `u → v` in `g` whose weight equals
+    /// `Route::weight` and stays within the estimate and guarantee.
+    fn assert_route_valid(
+        g: &Graph,
+        exact: &[Vec<cc_graphs::Dist>],
+        route: &crate::Route,
+        est: crate::PointEstimate,
+    ) {
+        let (u, v) = (route.src as usize, route.dst as usize);
+        if u == v {
+            assert_eq!(route.weight, 0);
+            assert!(route.edges.is_empty());
+            return;
+        }
+        assert_eq!(route.edges[0].0 as usize, u);
+        assert_eq!(route.edges[route.edges.len() - 1].1 as usize, v);
+        for w in route.edges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "consecutive edges must chain");
+        }
+        for &(x, y) in &route.edges {
+            assert!(g.has_edge(x as usize, y as usize), "({x},{y}) not in G");
+        }
+        assert_eq!(route.weight, route.edges.len() as cc_graphs::Dist);
+        assert!(route.weight >= exact[u][v], "walk cannot undercut d_G");
+        assert!(route.weight <= est.dist, "walk heavier than the estimate");
+        assert!(
+            (route.weight as f64) <= est.guarantee.bound(exact[u][v]) + 1e-9,
+            "walk outside the tagged guarantee at ({u},{v})"
+        );
+        assert_eq!(route.guarantee, est.guarantee);
+    }
+
+    #[test]
+    fn recording_paths_changes_neither_estimates_nor_rounds() {
+        // The tentpole invariant: witnesses ride the same messages — per
+        // pipeline, estimates AND charged rounds are bit-identical with
+        // recording on or off.
+        let g = generators::caveman(6, 6);
+        let run = |record: bool| {
+            let mut solver = SolverBuilder::new(g.clone())
+                .eps(0.5)
+                .execution(Execution::Seeded(5))
+                .record_paths(record)
+                .build()
+                .unwrap();
+            let a2 = solver.apsp_2eps().unwrap();
+            let a3 = solver.apsp_3eps().unwrap();
+            let add = solver.apsp_near_additive().unwrap();
+            let ms = solver.mssp(&[0, 14, 28]).unwrap();
+            (
+                a2.estimates,
+                a3.estimates,
+                add.estimates,
+                ms.estimates,
+                solver.total_rounds(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn freeze_with_paths_serves_verified_routes() {
+        let g = generators::caveman(6, 6);
+        let mut solver = SolverBuilder::new(g.clone())
+            .eps(0.5)
+            .execution(Execution::Seeded(8))
+            .record_paths(true)
+            .build()
+            .unwrap();
+        solver.apsp_2eps().unwrap();
+        solver.mssp(&[0, 9, 18]).unwrap();
+        let oracle = solver.freeze_with_paths().unwrap();
+        let dist_oracle = solver.freeze().unwrap();
+        assert_eq!(*oracle.dist_oracle(), dist_oracle, "same frozen distances");
+        let exact = bfs::apsp_exact(&g);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                match (oracle.path(u, v), dist_oracle.dist(u, v)) {
+                    (Some(route), Some(est)) => assert_route_valid(&g, &exact, &route, est),
+                    (None, None) => {}
+                    (p, d) => panic!("route/dist coverage mismatch at ({u},{v}): {p:?} {d:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_with_paths_requires_recording() {
+        let g = generators::cycle(24);
+        let mut solver = SolverBuilder::new(g)
+            .execution(Execution::Seeded(1))
+            .build()
+            .unwrap();
+        solver.apsp_near_additive().unwrap();
+        let err = solver.freeze_with_paths().unwrap_err();
+        assert!(matches!(err, CcError::UnsupportedQuery { .. }));
+        assert!(err.to_string().contains("record_paths"));
+        assert!(!solver.records_paths());
+    }
+
+    #[test]
+    fn path_oracle_round_trips_through_ccro_snapshot() {
+        let g = generators::caveman(5, 5);
+        let mut solver = SolverBuilder::new(g.clone())
+            .eps(0.5)
+            .execution(Execution::Deterministic)
+            .record_paths(true)
+            .build()
+            .unwrap();
+        solver.apsp_3eps().unwrap();
+        solver.mssp(&[0, 12]).unwrap();
+        let oracle = solver.freeze_with_paths().unwrap();
+        let mut buf = Vec::new();
+        oracle.save(&mut buf).unwrap();
+        let back = crate::PathOracle::load(&mut &buf[..]).unwrap();
+        assert_eq!(back, oracle);
+        for u in (0..g.n()).step_by(3) {
+            for v in (0..g.n()).step_by(4) {
+                assert_eq!(back.path(u, v), oracle.path(u, v), "({u},{v})");
+            }
+        }
     }
 
     #[test]

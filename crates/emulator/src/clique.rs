@@ -46,6 +46,11 @@ pub struct CliqueEmulatorConfig {
     /// (`0` and `1` both mean serial). Purely wall-clock: the constructed
     /// emulator and the rounds charged are identical at any thread count.
     pub threads: usize,
+    /// Record per-edge provenance ([`Emulator::routes`]) so every emulator
+    /// edge unrolls into a real walk in `G`. Purely local witness
+    /// bookkeeping: the constructed edges and the rounds charged are
+    /// identical with or without it.
+    pub record_paths: bool,
 }
 
 impl CliqueEmulatorConfig {
@@ -61,6 +66,7 @@ impl CliqueEmulatorConfig {
             k,
             scaled_hopset: false,
             threads: 1,
+            record_paths: false,
         }
     }
 
@@ -68,6 +74,14 @@ impl CliqueEmulatorConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the configuration with per-edge path recording switched on or
+    /// off.
+    #[must_use]
+    pub fn with_paths(mut self, record_paths: bool) -> Self {
+        self.record_paths = record_paths;
         self
     }
 
@@ -110,7 +124,7 @@ pub fn build_with_levels(
     // One communication round: every vertex broadcasts its level in
     // parallel (grounded by the engine in `announce_round_is_grounded`).
     phase.charge_broadcast("announce level membership");
-    let kn = KNearest::compute_with(
+    let mut kn = KNearest::compute_with(
         g,
         config.k,
         config.params.delta(config.params.r()),
@@ -118,6 +132,9 @@ pub fn build_with_levels(
         config.threads,
         &mut phase,
     );
+    if config.record_paths {
+        kn = kn.with_parents(g);
+    }
     build_with_levels_and_kn(g, config, levels, &kn, rng, &mut phase)
 }
 
@@ -135,6 +152,9 @@ pub(crate) fn build_with_levels_and_kn(
     assert_eq!(levels.len(), g.n(), "one level per vertex");
     let params = &config.params;
     let r = params.r();
+    // Witness bookkeeping is local-only: it must not change the edges built
+    // or the rounds charged below.
+    let mut routes = config.record_paths.then(cc_routes::Unroller::new);
     let mut edges: std::collections::BTreeMap<(u32, u32), Dist> = std::collections::BTreeMap::new();
     let mut add = |u: usize, v: usize, w: Dist| {
         let key = if u < v {
@@ -148,25 +168,41 @@ pub(crate) fn build_with_levels_and_kn(
             .or_insert(w);
     };
 
-    // Non-top-level vertices via the (k,d)-nearest lists (Claim 26).
+    // Non-top-level vertices via the (k,d)-nearest lists (Claim 26). When
+    // recording, every edge registers its (k,d)-nearest parent chain: the
+    // recorded walk's weight is the exact distance, i.e. the edge weight.
     for v in 0..g.n() {
         let i = levels[v] as usize;
         if i >= r {
             continue;
         }
         let plan = plan_for_vertex(kn, &levels, v, params.delta(i), config.k, i);
-        match plan {
-            VertexPlan::Dense { target, dist } => add(v, target, dist),
-            VertexPlan::Sparse { targets } => {
-                for (u, d) in targets {
-                    add(v, u, d);
-                }
+        let planned: Vec<(usize, Dist)> = match plan {
+            VertexPlan::Dense { target, dist } => vec![(target, dist)],
+            VertexPlan::Sparse { targets } => targets,
+        };
+        if planned.is_empty() {
+            continue;
+        }
+        let recs = routes
+            .as_mut()
+            .map(|r| kn.route_recs(v, r.arena_mut()))
+            .unwrap_or_default();
+        for (u, d) in planned {
+            add(v, u, d);
+            if let Some(r) = routes.as_mut() {
+                let idx = kn
+                    .list(v)
+                    .binary_search_by_key(&(d, u as u32), |&(c, dist)| (dist, c))
+                    .expect("planned edge is a list entry");
+                r.register(v, u, recs[idx].expect("non-root entry has a record"));
             }
         }
     }
 
     // Top level: S_r × S_r within δ_r via bounded hopset + source detection
-    // (Claim 27).
+    // (Claim 27). When recording, the hopset carries its own edge routes,
+    // which the detection walks over G ∪ H resolve against.
     let sr: Vec<usize> = (0..g.n()).filter(|&v| levels[v] as usize >= r).collect();
     if sr.len() > 1 {
         let t = params.delta(r);
@@ -175,18 +211,38 @@ pub(crate) fn build_with_levels_and_kn(
         } else {
             HopsetParams::paper(g.n(), t, config.eps_prime)
         }
-        .with_threads(config.threads);
+        .with_threads(config.threads)
+        .with_paths(config.record_paths);
         let hs = match rng {
             Some(mut rng) => hopset::build_randomized(g, hp, &mut rng, ledger),
             None => hopset::build_deterministic(g, hp, ledger),
         };
+        if let (Some(r), Some(hr)) = (routes.as_mut(), hs.routes.as_ref()) {
+            r.absorb(hr);
+        }
         let union = hs.union_with(g);
-        let sd = SourceDetection::run(&union, &sr, hs.beta, ledger);
+        let sd = match &routes {
+            Some(_) => SourceDetection::run_with_parents(&union, &sr, hs.beta, ledger),
+            None => SourceDetection::run(&union, &sr, hs.beta, ledger),
+        };
         let threshold = ((1.0 + config.eps_prime) * t as f64).ceil() as Dist;
         for &v in &sr {
-            for (s, d) in sd.detected(v) {
-                if s != v && d <= threshold {
+            for (i, &s) in sr.iter().enumerate() {
+                let d = sd.dist_to_source_index(v, i);
+                if s != v && d < cc_graphs::INF && d <= threshold {
                     add(v, s, d);
+                    if let Some(r) = routes.as_mut() {
+                        let chain: Vec<u32> = sd
+                            .chain(i, v)
+                            .expect("detected pair has a parent chain")
+                            .into_iter()
+                            .map(|x| x as u32)
+                            .collect();
+                        let rec = r
+                            .intern_walk(g, &chain)
+                            .expect("detection hops are G or hopset edges");
+                        r.register(s, v, rec);
+                    }
                 }
             }
         }
@@ -197,7 +253,11 @@ pub(crate) fn build_with_levels_and_kn(
     for (&(u, v), &w) in &edges {
         graph.add_edge(u as usize, v as usize, w);
     }
-    Emulator { graph, levels }
+    Emulator {
+        graph,
+        levels,
+        routes,
+    }
 }
 
 /// What a non-top-level vertex contributes.
@@ -384,6 +444,55 @@ mod tests {
                 "edge ({u},{v}) weight {w} vs d {}",
                 exact[u][v]
             );
+        }
+    }
+
+    #[test]
+    fn recorded_routes_unroll_every_emulator_edge() {
+        let g = generators::caveman(7, 7);
+        let cfg = config(g.n(), 0.25, 2);
+        let levels = cfg.params.sample_levels(&mut rng(6));
+        // Same levels, same seed: recording must not change edges or rounds.
+        let mut l_plain = RoundLedger::new(g.n());
+        let mut r1 = rng(9);
+        let plain = build_with_levels(&g, &cfg, levels.clone(), Some(&mut r1), &mut l_plain);
+        let rec_cfg = cfg.clone().with_paths(true);
+        let mut l_rec = RoundLedger::new(g.n());
+        let mut r2 = rng(9);
+        let emu = build_with_levels(&g, &rec_cfg, levels, Some(&mut r2), &mut l_rec);
+        assert_eq!(emu.graph, plain.graph, "recording changed the emulator");
+        assert_eq!(l_plain.total_rounds(), l_rec.total_rounds());
+        assert!(plain.routes.is_none());
+        let routes = emu.routes.as_ref().expect("routes recorded");
+        let exact = bfs::apsp_exact(&g);
+        for (u, v, w) in emu.graph.edges() {
+            let walk = routes
+                .unroll(u, v)
+                .unwrap_or_else(|| panic!("edge ({u},{v}) has no route"));
+            assert_eq!(walk[0].0 as usize, u);
+            assert_eq!(walk[walk.len() - 1].1 as usize, v);
+            for win in walk.windows(2) {
+                assert_eq!(win[0].1, win[1].0, "edges must chain");
+            }
+            for &(x, y) in &walk {
+                assert!(g.has_edge(x as usize, y as usize), "real G edge");
+            }
+            assert!(walk.len() as Dist <= w, "route longer than edge weight");
+            assert!(walk.len() as Dist >= exact[u][v], "route undercuts");
+        }
+    }
+
+    #[test]
+    fn deterministic_emulator_records_routes() {
+        let g = generators::grid(6, 6);
+        let cfg = CliqueEmulatorConfig::scaled(EmulatorParams::loglog(g.n(), 0.5).unwrap())
+            .with_paths(true);
+        let mut ledger = RoundLedger::new(g.n());
+        let emu = crate::deterministic::build(&g, &cfg, &mut ledger);
+        let routes = emu.routes.as_ref().expect("routes recorded");
+        for (u, v, w) in emu.graph.edges() {
+            let walk = routes.unroll(u, v).expect("every edge unrolls");
+            assert!(walk.len() as Dist <= w);
         }
     }
 

@@ -68,7 +68,7 @@ pub fn build_with_selector(
     let r = params.r();
     let k = config.k;
 
-    let kn = KNearest::compute_with(
+    let mut kn = KNearest::compute_with(
         g,
         k,
         params.delta(r),
@@ -76,6 +76,9 @@ pub fn build_with_selector(
         config.threads,
         &mut phase,
     );
+    if config.record_paths {
+        kn = kn.with_parents(g);
+    }
 
     // Iteratively build S'₀ ⊃ S'₁ ⊃ … ⊃ S'_r via soft hitting sets.
     let mut s_prime: Vec<Vec<bool>> = vec![vec![true; n]];

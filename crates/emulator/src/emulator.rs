@@ -11,6 +11,12 @@ pub struct Emulator {
     pub graph: WeightedGraph,
     /// `levels[v] = max{i : v ∈ Sᵢ}` for the hierarchy used.
     pub levels: Vec<u8>,
+    /// Per-edge provenance when the emulator was built with
+    /// [`crate::clique::CliqueEmulatorConfig::record_paths`]: every emulator
+    /// edge unrolls into a real walk in `G` of weight at most the edge's
+    /// (non-top-level edges via their `(k,δ)`-nearest parent chains,
+    /// top-level edges via their hop-limited walks over `G` ∪ hopset).
+    pub routes: Option<cc_routes::Unroller>,
 }
 
 impl Emulator {
@@ -47,11 +53,11 @@ impl Emulator {
     /// whose weight upper-bounds the corresponding `G`-distance, so the
     /// route is a valid high-level itinerary through `G`.
     pub fn route(&self, u: usize, v: usize) -> Option<(Vec<usize>, Dist)> {
-        let (dist, parent) = dijkstra::sssp_with_parents(&self.graph, u);
-        if dist[v] >= INF {
+        let tree = dijkstra::sssp_tree(&self.graph, u);
+        if tree.dist(v) >= INF {
             return None;
         }
-        dijkstra::path_from_parents(&parent, u, v).map(|p| (p, dist[v]))
+        tree.path_to(v).map(|p| (p, tree.dist(v)))
     }
 
     /// Verifies the emulator against its parameters on graph `g` (exact
@@ -157,6 +163,7 @@ mod tests {
     fn identity_emulator_verifies() {
         let g = generators::grid(4, 4);
         let emu = Emulator {
+            routes: None,
             graph: WeightedGraph::from_unweighted(&g),
             levels: vec![0; g.n()],
         };
@@ -171,6 +178,7 @@ mod tests {
         let g = generators::path(4);
         // Emulator with a single edge: most pairs unreachable.
         let emu = Emulator {
+            routes: None,
             graph: WeightedGraph::from_edges(4, &[(0, 1, 1)]),
             levels: vec![0; 4],
         };
@@ -185,6 +193,7 @@ mod tests {
         let mut wg = WeightedGraph::from_unweighted(&g);
         wg.add_edge(0, 4, 1); // cheats: true distance is 4
         let emu = Emulator {
+            routes: None,
             graph: wg,
             levels: vec![0; 5],
         };
@@ -197,6 +206,7 @@ mod tests {
     fn route_matches_estimate_and_endpoints() {
         let g = generators::caveman(4, 4);
         let emu = Emulator {
+            routes: None,
             graph: WeightedGraph::from_unweighted(&g),
             levels: vec![0; g.n()],
         };
@@ -214,6 +224,7 @@ mod tests {
     #[test]
     fn route_none_when_disconnected() {
         let emu = Emulator {
+            routes: None,
             graph: WeightedGraph::from_edges(3, &[(0, 1, 1)]),
             levels: vec![0; 3],
         };
@@ -224,6 +235,7 @@ mod tests {
     #[test]
     fn level_sets_nest() {
         let emu = Emulator {
+            routes: None,
             graph: WeightedGraph::new(5),
             levels: vec![0, 1, 2, 1, 0],
         };

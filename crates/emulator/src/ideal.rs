@@ -74,7 +74,11 @@ pub fn build_with_levels(g: &Graph, params: &EmulatorParams, levels: Vec<u8>) ->
     for (&(u, v), &w) in &edges {
         graph.add_edge(u as usize, v as usize, w);
     }
-    Emulator { graph, levels }
+    Emulator {
+        graph,
+        levels,
+        routes: None,
+    }
 }
 
 #[cfg(test)]

@@ -172,7 +172,11 @@ pub fn build_with_levels(g: &Graph, params: &WarmupParams, levels: Vec<u8>) -> E
     for (&(u, v), &w) in &edges {
         graph.add_edge(u as usize, v as usize, w);
     }
-    Emulator { graph, levels }
+    Emulator {
+        graph,
+        levels,
+        routes: None,
+    }
 }
 
 #[cfg(test)]

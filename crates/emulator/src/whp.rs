@@ -59,7 +59,7 @@ pub fn build(
     let lll = model::log2_ceil(model::log2_ceil(model::log2_ceil(n as u64).max(2)).max(2)).max(1);
     phase.charge("announce levels of all runs", lll);
 
-    let kn = KNearest::compute_with(
+    let mut kn = KNearest::compute_with(
         g,
         config.k,
         params.delta(r),
@@ -67,6 +67,9 @@ pub fn build(
         config.threads,
         &mut phase,
     );
+    if config.record_paths {
+        kn = kn.with_parents(g);
+    }
 
     // Evaluate each run (one aggregation round per run batch: the per-run
     // counters travel to distinct referee vertices in parallel — 2 rounds).

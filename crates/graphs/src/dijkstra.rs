@@ -64,6 +64,67 @@ pub fn sssp_with_parents(g: &WeightedGraph, src: usize) -> (Vec<Dist>, Vec<Optio
     (dist, parent)
 }
 
+/// A rooted shortest-path tree: distances plus deterministic predecessors,
+/// the exact reference object route reconstruction is validated against.
+///
+/// Built by [`sssp_tree`]; wraps the `(dist, parent)` arrays of
+/// [`sssp_with_parents`] behind path-level queries so tests and benches stop
+/// re-implementing parent walking by hand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShortestPathTree {
+    src: usize,
+    dist: Vec<Dist>,
+    parent: Vec<Option<u32>>,
+}
+
+impl ShortestPathTree {
+    /// The root.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Distance from the root to `v` ([`INF`] when unreachable).
+    pub fn dist(&self, v: usize) -> Dist {
+        self.dist[v]
+    }
+
+    /// The full distance row.
+    pub fn dists(&self) -> &[Dist] {
+        &self.dist
+    }
+
+    /// The predecessor of `v` on its shortest path from the root (`None`
+    /// for the root and unreachable vertices).
+    pub fn parent(&self, v: usize) -> Option<u32> {
+        self.parent[v]
+    }
+
+    /// The shortest path `src, …, v` as a vertex sequence, or `None` when
+    /// `v` is unreachable.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        path_from_parents(&self.parent, self.src, v)
+    }
+
+    /// The shortest path to `v` as directed edges `(x, y)`, or `None` when
+    /// unreachable. An empty vector for `v == src`.
+    pub fn edges_to(&self, v: usize) -> Option<Vec<(u32, u32)>> {
+        let verts = self.path_to(v)?;
+        Some(
+            verts
+                .windows(2)
+                .map(|w| (w[0] as u32, w[1] as u32))
+                .collect(),
+        )
+    }
+}
+
+/// Single-source shortest paths with deterministic predecessor tracking,
+/// packaged as a [`ShortestPathTree`].
+pub fn sssp_tree(g: &WeightedGraph, src: usize) -> ShortestPathTree {
+    let (dist, parent) = sssp_with_parents(g, src);
+    ShortestPathTree { src, dist, parent }
+}
+
 /// Reconstructs the shortest path from `src` to `dst` using the parent
 /// array of [`sssp_with_parents`]. Returns the vertex sequence
 /// `src, …, dst`, or `None` if `dst` is unreachable.
@@ -143,6 +204,89 @@ pub fn hop_limited_from_sources(g: &WeightedGraph, sources: &[usize], h: usize) 
     dist
 }
 
+/// [`hop_limited_from_sources`] with per-source predecessor tracking:
+/// additionally returns `parents[i][v]`, the predecessor of `v` on the
+/// hop-limited search from `sources[i]` (`u32::MAX` for the source itself
+/// and unreached vertices).
+///
+/// Walking the parent chain from `v` back to the source yields a real walk
+/// in `g`; because every parent assignment strictly lowered the tentative
+/// distance, distances strictly decrease along the chain (so it terminates
+/// at the source) and the walk's weight is **at most** `dist[v][i]` — late
+/// relaxations can only shorten the recorded prefix.
+pub fn hop_limited_from_sources_with_parents(
+    g: &WeightedGraph,
+    sources: &[usize],
+    h: usize,
+) -> (Vec<Vec<Dist>>, Vec<Vec<u32>>) {
+    let n = g.n();
+    let s = sources.len();
+    let mut dist = vec![vec![INF; s]; n];
+    let mut parents: Vec<Vec<u32>> = vec![vec![u32::MAX; n]; s];
+    let mut cur: Vec<Dist> = Vec::new();
+    for (i, &src) in sources.iter().enumerate() {
+        cur.clear();
+        cur.resize(n, INF);
+        cur[src] = 0;
+        let parent = &mut parents[i];
+        let mut frontier: Vec<(usize, Dist)> = vec![(src, 0)];
+        let mut slot = vec![usize::MAX; n];
+        for _hop in 0..h {
+            let mut next: Vec<(usize, Dist)> = Vec::new();
+            for &(u, du) in &frontier {
+                for &(v, w) in g.neighbors(u) {
+                    let v = v as usize;
+                    let nd = dadd(du, w);
+                    if nd < cur[v] {
+                        cur[v] = nd;
+                        parent[v] = u as u32;
+                        if slot[v] == usize::MAX {
+                            slot[v] = next.len();
+                            next.push((v, nd));
+                        } else {
+                            next[slot[v]].1 = nd;
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            for &(v, _) in &next {
+                slot[v] = usize::MAX;
+            }
+            frontier = next;
+        }
+        for (v, row) in dist.iter_mut().enumerate() {
+            row[i] = cur[v];
+        }
+    }
+    (dist, parents)
+}
+
+/// Walks a hop-limited parent row back from `v`, returning the vertex
+/// sequence `src, …, v` (`None` when `v` was not reached or `parents` is
+/// inconsistent).
+pub fn chain_from_hop_parents(parents: &[u32], src: usize, v: usize) -> Option<Vec<usize>> {
+    if src == v {
+        return Some(vec![src]);
+    }
+    let mut chain = vec![v];
+    let mut cur = v;
+    while parents[cur] != u32::MAX {
+        cur = parents[cur] as usize;
+        chain.push(cur);
+        if cur == src {
+            chain.reverse();
+            return Some(chain);
+        }
+        if chain.len() > parents.len() {
+            return None; // cycle guard (corrupt parent array)
+        }
+    }
+    None
+}
+
 /// `h`-hop-limited single-pair check: length of the shortest `≤ h`-edge path
 /// between `u` and `v` (`INF` if none). `O(h·m)`; used by tests to verify
 /// hopset guarantees.
@@ -216,45 +360,83 @@ mod tests {
         }
     }
 
-    #[test]
-    fn parents_reconstruct_shortest_paths() {
-        let g = generators::grid(5, 5);
-        let wg = WeightedGraph::from_unweighted(&g);
-        let (dist, parent) = sssp_with_parents(&wg, 0);
-        for v in 0..g.n() {
-            let path = path_from_parents(&parent, 0, v).expect("grid is connected");
-            assert_eq!(path[0], 0);
-            assert_eq!(*path.last().unwrap(), v);
-            // Path length (in weight) must equal the distance.
-            let mut total = 0;
-            for w in path.windows(2) {
-                let weight = wg
-                    .neighbors(w[0])
+    /// Weight of a path (vertex sequence) in `g`, taking the minimum over
+    /// parallel edges; panics if a hop is not an edge.
+    fn path_weight(g: &WeightedGraph, path: &[usize]) -> Dist {
+        path.windows(2)
+            .map(|w| {
+                g.neighbors(w[0])
                     .iter()
                     .filter(|&&(x, _)| x as usize == w[1])
                     .map(|&(_, wt)| wt)
                     .min()
-                    .expect("consecutive path vertices are adjacent");
-                total += weight;
-            }
-            assert_eq!(total, dist[v], "path to {v}");
+                    .expect("consecutive path vertices are adjacent")
+            })
+            .sum()
+    }
+
+    #[test]
+    fn tree_reconstructs_shortest_paths() {
+        let g = generators::grid(5, 5);
+        let wg = WeightedGraph::from_unweighted(&g);
+        let tree = sssp_tree(&wg, 0);
+        for v in 0..g.n() {
+            let path = tree.path_to(v).expect("grid is connected");
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), v);
+            // Path length (in weight) must equal the distance.
+            assert_eq!(path_weight(&wg, &path), tree.dist(v), "path to {v}");
+            let edges = tree.edges_to(v).unwrap();
+            assert_eq!(edges.len(), path.len() - 1);
         }
     }
 
     #[test]
     fn unreachable_path_is_none() {
         let wg = WeightedGraph::from_edges(3, &[(0, 1, 1)]);
-        let (_, parent) = sssp_with_parents(&wg, 0);
-        assert_eq!(path_from_parents(&parent, 0, 2), None);
-        assert_eq!(path_from_parents(&parent, 0, 0), Some(vec![0]));
+        let tree = sssp_tree(&wg, 0);
+        assert_eq!(tree.path_to(2), None);
+        assert_eq!(tree.edges_to(2), None);
+        assert_eq!(tree.path_to(0), Some(vec![0]));
+        assert_eq!(tree.edges_to(0), Some(vec![]));
+        assert_eq!(tree.parent(0), None);
+        assert_eq!(tree.src(), 0);
     }
 
     #[test]
     fn parent_distances_agree_with_plain_sssp() {
         let g = generators::gnp(40, 0.12, &mut seeded(17));
         let wg = WeightedGraph::from_unweighted(&g);
-        let (dist, _) = sssp_with_parents(&wg, 3);
-        assert_eq!(dist, sssp(&wg, 3));
+        let tree = sssp_tree(&wg, 3);
+        assert_eq!(tree.dists(), &sssp(&wg, 3)[..]);
+    }
+
+    #[test]
+    fn hop_limited_parents_agree_and_chains_are_real_walks() {
+        let g = generators::gnp(40, 0.1, &mut seeded(23));
+        let mut wg = WeightedGraph::from_unweighted(&g);
+        wg.add_edge(0, 30, 7); // a heavy shortcut exercises weighted hops
+        let sources = [0usize, 5, 17];
+        for h in [2usize, 4, 40] {
+            let plain = hop_limited_from_sources(&wg, &sources, h);
+            let (dist, parents) = hop_limited_from_sources_with_parents(&wg, &sources, h);
+            assert_eq!(dist, plain, "h={h}: parents must not change distances");
+            for (i, &s) in sources.iter().enumerate() {
+                for v in 0..wg.n() {
+                    if dist[v][i] >= INF {
+                        assert_eq!(chain_from_hop_parents(&parents[i], s, v), None);
+                        continue;
+                    }
+                    let chain = chain_from_hop_parents(&parents[i], s, v)
+                        .unwrap_or_else(|| panic!("no chain for ({s},{v}) h={h}"));
+                    assert_eq!(chain[0], s);
+                    assert_eq!(*chain.last().unwrap(), v);
+                    // The chain is a real walk of weight ≤ the reported
+                    // distance (late relaxations can only shorten it).
+                    assert!(path_weight(&wg, &chain) <= dist[v][i], "({s},{v}) h={h}");
+                }
+            }
+        }
     }
 
     #[test]

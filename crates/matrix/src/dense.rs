@@ -148,6 +148,52 @@ impl DenseMatrix {
         out
     }
 
+    /// Witness-carrying min-plus product: `self · other` plus, for every
+    /// finite output cell `(i, j)`, a **deterministic realizing** index `k`
+    /// with `out(i,j) = self(i,k) + other(k,j)` (`u32::MAX` for ∞ cells).
+    /// The trivial realizers `k = i`, then `k = j` are preferred (in
+    /// repeated-squaring workloads — the dense kernel's home regime — most
+    /// cells stop improving and one of them applies, which is what keeps
+    /// witness recovery cheap); otherwise the smallest realizing `k` wins.
+    /// The witnesses come back as a parallel row-major `u32` arena of `n²`
+    /// entries.
+    ///
+    /// The output matrix is bit-identical to [`DenseMatrix::minplus_with`],
+    /// and rows are sharded across `ws.threads()` workers with bit-identical
+    /// values *and* witnesses at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minplus_with_witness(
+        &self,
+        other: &DenseMatrix,
+        ws: &MinplusWorkspace,
+    ) -> (DenseMatrix, Vec<u32>) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = DenseMatrix::infinite(n);
+        let mut wit = vec![u32::MAX; n * n];
+        let threads = ws.threads().clamp(1, n.max(1));
+        if threads <= 1 {
+            product_rows_blocked_witness(self, other, 0..n, &mut out.data, &mut wit);
+            return (out, wit);
+        }
+        let shard = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, (chunk, wchunk)) in out
+                .data
+                .chunks_mut(shard * n)
+                .zip(wit.chunks_mut(shard * n))
+                .enumerate()
+            {
+                let rows = (t * shard).min(n)..((t + 1) * shard).min(n);
+                scope.spawn(move || product_rows_blocked_witness(self, other, rows, chunk, wchunk));
+            }
+        });
+        (out, wit)
+    }
+
     /// Min-plus square with the dense-product round cost charged to `ledger`
     /// (`Θ(n^{1/3})` per product; Censor-Hillel et al.).
     pub fn square_charged(&self, ledger: &mut RoundLedger) -> DenseMatrix {
@@ -204,6 +250,91 @@ fn product_rows_blocked(a: &DenseMatrix, b: &DenseMatrix, rows: Range<usize>, ou
     }
 }
 
+/// Witness-carrying twin of [`product_rows_blocked`]: same tiling and
+/// skip-∞ test, with the accumulator packing `(value << 32) | k` per cell so
+/// the inner loop stays a single branch-free `min` — smaller values win, and
+/// among equal values the smaller `k` wins automatically (the witness
+/// specification). Untouched cells unpack to `(∞, u32::MAX)`; candidates at
+/// value ∞ may claim a witness inside the packed cell, but the split below
+/// restores the `u32::MAX` sentinel for every non-finite value, so outputs
+/// match the plain kernel exactly.
+fn product_rows_blocked_witness(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    rows: Range<usize>,
+    out: &mut [Dist],
+    wit: &mut [u32],
+) {
+    let n = a.n;
+    let base = rows.start;
+    // Pass 1: the values — literally the plain kernel, so the output matrix
+    // is bit-identical by construction (and keeps its vectorization).
+    product_rows_blocked(a, b, rows.clone(), out);
+    // Pass 2: witness recovery. The trivial realizers retire most cells in
+    // one vectorizable sweep (`k = i` whenever `a(i,i) + b(i,j)` already
+    // equals the minimum — always true for cells a squaring step left
+    // unchanged — then `k = j` symmetrically). The remainder goes through
+    // per-row compaction: sweeping k ascending and retiring a cell at its
+    // first matching sum assigns the smallest realizing k, and every cell
+    // is visited once per k until it matches. ∞ cells never enter and keep
+    // their u32::MAX sentinel.
+    let bdiag: Vec<Dist> = (0..n).map(|j| b.data[j * n + j]).collect();
+    let mut cells: Vec<(u32, Dist)> = Vec::with_capacity(n);
+    for i in rows {
+        let arow = &a.data[i * n..(i + 1) * n];
+        let orow = &out[(i - base) * n..(i - base + 1) * n];
+        let wrow = &mut wit[(i - base) * n..(i - base + 1) * n];
+        let adiag = arow[i];
+        let browi = &b.data[i * n..(i + 1) * n];
+        cells.clear();
+        cells.extend(
+            orow.iter()
+                .enumerate()
+                .filter(|&(j, &o)| {
+                    if o >= INF {
+                        return false;
+                    }
+                    // Sums of finite values stay below u32::MAX (≤ 2·INF),
+                    // so these comparisons cannot wrap into false matches.
+                    if adiag < INF && adiag + browi[j] == o {
+                        wrow[j] = i as u32;
+                        return false;
+                    }
+                    if arow[j] < INF && arow[j] + bdiag[j] == o {
+                        wrow[j] = j as u32;
+                        return false;
+                    }
+                    true
+                })
+                .map(|(j, &o)| (j as u32, o)),
+        );
+        for (k, &av) in arow.iter().enumerate() {
+            if cells.is_empty() {
+                break;
+            }
+            if av >= INF {
+                continue;
+            }
+            let kw = k as u32;
+            let brow = &b.data[k * n..(k + 1) * n];
+            // Branch-free compaction: matches at unpredictable positions
+            // would mispredict a `retain`, so keep/assign are conditional
+            // moves and the write cursor advances arithmetically.
+            let mut keep = 0usize;
+            for idx in 0..cells.len() {
+                let (j, o) = cells[idx];
+                let matched = av + brow[j as usize] == o;
+                let w = &mut wrow[j as usize];
+                *w = if matched { kw } else { *w };
+                cells[keep] = (j, o);
+                keep += usize::from(!matched);
+            }
+            cells.truncate(keep);
+        }
+        debug_assert!(cells.is_empty(), "every finite cell has a witness");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +385,60 @@ mod tests {
             for threads in [2, 3, 5, 16] {
                 let ws = MinplusWorkspace::with_threads(threads);
                 assert_eq!(a.minplus_with(&a, &ws), serial, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_product_matches_plain_and_realizes_entries() {
+        let g = generators::gnp(40, 0.12, &mut seeded(3));
+        let a = DenseMatrix::adjacency(&g);
+        let ws = MinplusWorkspace::new();
+        let (p, wit) = a.minplus_with_witness(&a, &ws);
+        assert_eq!(p, a.minplus(&a), "witness kernel must not change values");
+        let n = a.n();
+        for i in 0..n {
+            for j in 0..n {
+                let v = p.get(i, j);
+                let k = wit[i * n + j];
+                if v >= INF {
+                    assert_eq!(k, u32::MAX, "({i},{j})");
+                    continue;
+                }
+                let k = k as usize;
+                assert_eq!(a.get(i, k) + a.get(k, j), v, "({i},{j}) via {k}");
+                // The deterministic scan order: trivial realizers k = i,
+                // then k = j, then the smallest realizing k.
+                let realizes = |k: usize| a.get(i, k).saturating_add(a.get(k, j)) == v;
+                if realizes(i) {
+                    assert_eq!(k, i, "({i},{j}): trivial k = i preferred");
+                } else if realizes(j) {
+                    assert_eq!(k, j, "({i},{j}): trivial k = j preferred");
+                } else {
+                    for smaller in 0..k {
+                        assert!(
+                            !realizes(smaller),
+                            "({i},{j}): {smaller} also realizes the min"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_product_is_bit_identical_across_threads() {
+        for n in [7usize, 33, 70] {
+            let g = generators::gnp(n, 0.15, &mut seeded(n as u64));
+            let a = DenseMatrix::adjacency(&g);
+            let serial = a.minplus_with_witness(&a, &MinplusWorkspace::new());
+            for threads in [2, 3, 16] {
+                let ws = MinplusWorkspace::with_threads(threads);
+                assert_eq!(
+                    a.minplus_with_witness(&a, &ws),
+                    serial,
+                    "n={n} threads={threads}"
+                );
             }
         }
     }

@@ -205,6 +205,13 @@ impl SparseMatrix {
         &self.entries[self.offsets[i]..self.offsets[i + 1]]
     }
 
+    /// The arena index range of row `i` — parallel arrays (e.g. the witness
+    /// arena of [`SparseMatrix::minplus_with_witness`]) are sliced with it.
+    #[inline]
+    pub fn row_range(&self, i: usize) -> Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
     /// Number of finite entries in row `i`.
     #[inline]
     pub fn row_nnz(&self, i: usize) -> usize {
@@ -308,6 +315,62 @@ impl SparseMatrix {
         let out = self.minplus_with(other, ws);
         ledger.charge_sparse_minplus(label, self.density(), other.density(), out.density());
         out
+    }
+
+    /// Witness-carrying min-plus product: `self · other` plus, for every
+    /// finite output entry, the **smallest** intermediate index `k` with
+    /// `out(i,j) = self(i,k) + other(k,j)` — the classic witness matrix that
+    /// turns a distance product into a path product (Censor-Hillel & Paz).
+    ///
+    /// The witnesses come back as a parallel `u32` arena: `witness[e]`
+    /// belongs to the output entry at arena index `e`, so the witnesses of
+    /// output row `i` are `witness[out.row_range(i)]`.
+    ///
+    /// The output matrix is **bit-identical** to
+    /// [`SparseMatrix::minplus_with`] (same values, same nnz), and — like
+    /// it — rows are sharded across `ws.threads()` workers with bit-identical
+    /// results (values *and* witnesses) at any thread count: each output
+    /// row's witness depends only on the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn minplus_with_witness(
+        &self,
+        other: &SparseMatrix,
+        ws: &mut MinplusWorkspace,
+    ) -> (SparseMatrix, Vec<u32>) {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let threads = ws.threads().clamp(1, n.max(1));
+        if threads <= 1 {
+            let lane = &mut ws.lanes(1, n)[0];
+            lane.ensure_witness(n);
+            let part = product_rows_witness(self, other, 0..n, lane);
+            return assemble_witness(n, vec![part]);
+        }
+        let shard = n.div_ceil(threads);
+        let ranges: Vec<Range<usize>> = (0..threads)
+            .map(|t| (t * shard).min(n)..((t + 1) * shard).min(n))
+            .collect();
+        let lanes = ws.lanes(threads, n);
+        for lane in lanes.iter_mut() {
+            lane.ensure_witness(n);
+        }
+        let parts: Vec<WitnessRowsPart> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .zip(lanes.iter_mut())
+                .map(|(range, lane)| {
+                    scope.spawn(move || product_rows_witness(self, other, range, lane))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("min-plus witness worker panicked"))
+                .collect()
+        });
+        assemble_witness(n, parts)
     }
 
     /// Transpose, by a two-pass counting sort over columns: `O(nnz + n)`,
@@ -468,6 +531,126 @@ fn product_rows(
     (lens, out)
 }
 
+/// One shard's witness-product output: entry counts, entry arena and the
+/// parallel witness arena.
+type WitnessRowsPart = (Vec<usize>, Vec<(u32, Dist)>, Vec<u32>);
+
+/// Witness-carrying twin of [`product_rows`]: identical minima (so values
+/// and nnz are bit-identical), plus the smallest realizing `k` per finite
+/// output entry. The accumulator packs `(value << 32) | k` per cell, so the
+/// inner loop stays a single branch-free `min` — smaller values win, and
+/// among equal values the smaller `k` wins automatically (the witness
+/// specification). Candidates with value ≥ ∞ never beat
+/// [`crate::workspace::PACKED_EMPTY`], exactly mirroring the plain kernel.
+fn product_rows_witness(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    rows: Range<usize>,
+    lane: &mut Scratch,
+) -> WitnessRowsPart {
+    use crate::workspace::PACKED_EMPTY;
+    let n = a.n;
+    let mut lens = Vec::with_capacity(rows.len());
+    let bounds: Vec<usize> = rows
+        .clone()
+        .map(|i| a.row(i).iter().map(|&(k, _)| b.row_nnz(k as usize)).sum())
+        .collect();
+    let cap: usize = bounds
+        .iter()
+        .map(|&bound| if bound * SCAN_DIVISOR >= n { n } else { bound })
+        .sum();
+    let mut out: Vec<(u32, Dist)> = vec![(0, 0); cap];
+    let mut wit: Vec<u32> = vec![0; cap];
+    let mut w = 0usize;
+    let pacc = &mut lane.pacc[..n];
+    let touched = &mut lane.touched;
+    for (i, &bound) in rows.zip(bounds.iter()) {
+        let arow = a.row(i);
+        let before = w;
+        if bound * SCAN_DIVISOR >= n {
+            for &(k, av) in arow {
+                let kbits = k as u64;
+                for &(j, bv) in b.row(k as usize) {
+                    let cell = &mut pacc[j as usize];
+                    *cell = (*cell).min((((av + bv) as u64) << 32) | kbits);
+                }
+            }
+            for j in 0..n {
+                let packed = pacc[j];
+                pacc[j] = PACKED_EMPTY;
+                let v = (packed >> 32) as Dist;
+                out[w] = (j as u32, v);
+                wit[w] = packed as u32;
+                w += usize::from(v < INF);
+            }
+        } else {
+            for &(k, av) in arow {
+                let kbits = k as u64;
+                for &(j, bv) in b.row(k as usize) {
+                    let cand = (((av + bv) as u64) << 32) | kbits;
+                    let cell = &mut pacc[j as usize];
+                    if cand < *cell {
+                        if *cell == PACKED_EMPTY {
+                            touched.push(j);
+                        }
+                        *cell = cand;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &j in touched.iter() {
+                let packed = pacc[j as usize];
+                pacc[j as usize] = PACKED_EMPTY;
+                out[w] = (j, (packed >> 32) as Dist);
+                wit[w] = packed as u32;
+                w += 1;
+            }
+            touched.clear();
+        }
+        lens.push(w - before);
+    }
+    out.truncate(w);
+    wit.truncate(w);
+    (lens, out, wit)
+}
+
+/// [`assemble`] twin that also stitches the witness arenas.
+fn assemble_witness(n: usize, parts: Vec<WitnessRowsPart>) -> (SparseMatrix, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0);
+    let mut cum = 0usize;
+    let mut entries: Vec<(u32, Dist)> = Vec::new();
+    let mut witnesses: Vec<u32> = Vec::new();
+    let single = parts.len() == 1;
+    if !single {
+        let total = parts.iter().map(|(_, e, _)| e.len()).sum();
+        entries.reserve_exact(total);
+        witnesses.reserve_exact(total);
+    }
+    for (lens, mut part, mut wit) in parts {
+        for len in lens {
+            cum += len;
+            offsets.push(cum);
+        }
+        if single {
+            entries = part;
+            witnesses = wit;
+        } else {
+            entries.append(&mut part);
+            witnesses.append(&mut wit);
+        }
+    }
+    debug_assert_eq!(offsets.len(), n + 1);
+    (
+        SparseMatrix {
+            n,
+            offsets,
+            entries,
+        },
+        witnesses,
+    )
+}
+
 /// Stitches per-shard products (in row order) into one CSR matrix. The
 /// serial (single-shard) case moves the arena instead of copying it.
 fn assemble(n: usize, parts: Vec<RowsPart>) -> SparseMatrix {
@@ -564,6 +747,61 @@ mod tests {
             // The workspace is reusable: a second product from warm scratch
             // must also agree.
             assert_eq!(a.minplus_with(&a, &mut ws), serial);
+        }
+    }
+
+    /// The witness specification: smallest k with out = a(i,k) + b(k,j).
+    fn reference_witness(a: &SparseMatrix, b: &SparseMatrix, i: usize, j: usize, out: Dist) -> u32 {
+        for &(k, av) in a.row(i) {
+            if let Ok(pos) = b
+                .row(k as usize)
+                .binary_search_by_key(&(j as u32), |&(c, _)| c)
+            {
+                if av + b.row(k as usize)[pos].1 == out {
+                    return k;
+                }
+            }
+        }
+        panic!("no witness for finite entry ({i},{j})");
+    }
+
+    #[test]
+    fn witness_product_matches_plain_and_realizes_entries() {
+        let g = generators::connected_gnp(40, 0.12, &mut seeded(19));
+        let a = SparseMatrix::adjacency(&g);
+        // Second power too, so both the scan and the sparse emit paths run.
+        let mut ws = MinplusWorkspace::new();
+        let (p, wp) = a.minplus_with_witness(&a, &mut ws);
+        assert_eq!(p, a.minplus(&a), "witness kernel must not change values");
+        let (q, wq) = p.minplus_with_witness(&p, &mut ws);
+        assert_eq!(q, p.minplus(&p));
+        for (m, wit, left) in [(&p, &wp, &a), (&q, &wq, &p)] {
+            assert_eq!(wit.len(), m.nnz(), "one witness per finite entry");
+            for i in 0..m.n() {
+                let wrow = &wit[m.row_range(i)];
+                for (&(j, v), &k) in m.row(i).iter().zip(wrow) {
+                    assert_eq!(
+                        k,
+                        reference_witness(left, left, i, j as usize, v),
+                        "({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_product_is_bit_identical_across_threads() {
+        let g = generators::connected_gnp(48, 0.1, &mut seeded(7));
+        let a = SparseMatrix::adjacency(&g);
+        let mut ws = MinplusWorkspace::new();
+        let serial = a.minplus_with_witness(&a, &mut ws);
+        for threads in [2, 3, 8] {
+            let mut ws = MinplusWorkspace::with_threads(threads);
+            let par = a.minplus_with_witness(&a, &mut ws);
+            assert_eq!(par, serial, "threads = {threads}");
+            // Warm-workspace reuse must also agree.
+            assert_eq!(a.minplus_with_witness(&a, &mut ws), serial);
         }
     }
 

@@ -12,10 +12,21 @@ use cc_graphs::{Dist, INF};
 /// Per-worker scratch of the sparse kernel: a dense accumulator row that is
 /// kept all-∞ between products, and the touched-column list of the sparse
 /// emit path. One lane is handed to each worker thread.
+/// The "untouched" value of the packed witness accumulator: value ∞, witness
+/// bits zero. A candidate `(value << 32) | k` beats it exactly when its value
+/// is finite — and among equal values the **smaller witness wins**, which is
+/// how the witness kernels keep the smallest realizing `k` with a single
+/// branch-free `min`.
+pub(crate) const PACKED_EMPTY: u64 = (INF as u64) << 32;
+
 #[derive(Debug, Default)]
 pub(crate) struct Scratch {
     pub(crate) acc: Vec<Dist>,
     pub(crate) touched: Vec<u32>,
+    /// Packed accumulator of the witness-carrying kernels:
+    /// `(value << 32) | witness` per column, kept at [`PACKED_EMPTY`]
+    /// between products (same restore discipline as `acc`).
+    pub(crate) pacc: Vec<u64>,
 }
 
 impl Scratch {
@@ -29,6 +40,19 @@ impl Scratch {
         debug_assert!(
             self.acc.iter().all(|&d| d == INF),
             "workspace accumulator must be all-∞ between products"
+        );
+    }
+
+    /// Additionally grows the packed witness lane (only the witness kernels
+    /// pay for it).
+    pub(crate) fn ensure_witness(&mut self, n: usize) {
+        self.ensure(n);
+        if self.pacc.len() < n {
+            self.pacc.resize(n, PACKED_EMPTY);
+        }
+        debug_assert!(
+            self.pacc.iter().all(|&p| p == PACKED_EMPTY),
+            "packed accumulator must be empty between products"
         );
     }
 }

@@ -59,6 +59,55 @@ proptest! {
         }
     }
 
+    /// Witness-carrying kernels: values bit-identical to the plain kernels,
+    /// witnesses realize their entries, and threads ∈ {1, 2, 4, 8} are
+    /// bit-identical (values AND witnesses) for both the sparse and the
+    /// dense kernel.
+    #[test]
+    fn witness_kernels_are_bit_identical_across_threads((family, size, seed) in (0usize..3, 12usize..40, 0u64..1 << 40)) {
+        let g = graph_for(family, size, seed);
+        let n = g.n();
+        let s = SparseMatrix::adjacency(&g);
+        let d = DenseMatrix::adjacency(&g);
+        let mut ws = MinplusWorkspace::new();
+        let sparse_serial = s.minplus_with_witness(&s, &mut ws);
+        let dense_serial = d.minplus_with_witness(&d, &ws);
+        // Values must equal the plain kernels'.
+        prop_assert_eq!(&sparse_serial.0, &s.minplus(&s));
+        prop_assert_eq!(&dense_serial.0, &d.minplus(&d));
+        // Sparse witnesses realize their entries from the inputs.
+        for i in 0..n {
+            let wrow = &sparse_serial.1[sparse_serial.0.row_range(i)];
+            for (&(j, v), &k) in sparse_serial.0.row(i).iter().zip(wrow) {
+                let k = k as usize;
+                prop_assert_eq!(
+                    s.get(i, k) + s.get(k, j as usize), v,
+                    "sparse witness at ({},{})", i, j
+                );
+            }
+        }
+        // Dense witnesses: finite cells realized, ∞ cells sentinel.
+        for i in 0..n {
+            for j in 0..n {
+                let v = dense_serial.0.get(i, j);
+                let k = dense_serial.1[i * n + j];
+                if v >= cc_graphs::INF {
+                    prop_assert_eq!(k, u32::MAX);
+                } else {
+                    let k = k as usize;
+                    prop_assert_eq!(d.get(i, k) + d.get(k, j), v, "dense witness at ({},{})", i, j);
+                }
+            }
+        }
+        for threads in [2usize, 4, 8] {
+            let mut ws = MinplusWorkspace::with_threads(threads);
+            prop_assert_eq!(&s.minplus_with_witness(&s, &mut ws), &sparse_serial, "sparse, threads = {}", threads);
+            // Warm-workspace reuse must stay identical too.
+            prop_assert_eq!(&s.minplus_with_witness(&s, &mut ws), &sparse_serial, "sparse warm, threads = {}", threads);
+            prop_assert_eq!(&d.minplus_with_witness(&d, &ws), &dense_serial, "dense, threads = {}", threads);
+        }
+    }
+
     #[test]
     fn thread_counts_are_bit_identical((family, size, seed) in (0usize..3, 12usize..40, 0u64..1 << 40)) {
         let g = graph_for(family, size, seed);

@@ -1,0 +1,283 @@
+//! The append-only arena of path records.
+
+/// Handle of a record in a [`RouteArena`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RecId(pub(crate) u32);
+
+impl RecId {
+    /// The raw index (stable for the lifetime of the arena; snapshot files
+    /// store it).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw index (snapshot loading). The caller is
+    /// responsible for range-checking against [`RouteArena::len`].
+    pub fn from_index(i: u32) -> Self {
+        RecId(i)
+    }
+}
+
+/// One record. Children of [`Node::Cat`] and [`Node::Rev`] always have
+/// strictly smaller indices than the node itself — the arena is built
+/// append-only — so the node graph is a DAG and every walk over it
+/// terminates. This is the termination argument for unrolling arbitrarily
+/// nested shortcut edges (`DESIGN.md` §8.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Node {
+    /// A single original-graph edge `u → v`.
+    Edge(u32, u32),
+    /// Concatenation: the path of the first child followed by the second.
+    Cat(u32, u32),
+    /// The reversed path of the child.
+    Rev(u32),
+}
+
+/// Append-only arena of path records with structural sharing.
+///
+/// A long path that extends another path by one edge costs one `Cat` node,
+/// so the parent chains of BFS/Dijkstra trees intern in `O(1)` amortized per
+/// vertex, and the full expansion is only materialized on
+/// [`RouteArena::emit_into`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RouteArena {
+    nodes: Vec<Node>,
+    /// Number of `G`-edges of each record (the walk's weight on unweighted
+    /// inputs), kept incrementally so weights are O(1) without emitting.
+    lens: Vec<u32>,
+}
+
+impl RouteArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RouteArena::default()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no record has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, node: Node, len: u32) -> RecId {
+        let id = u32::try_from(self.nodes.len()).expect("arena exceeds u32 records");
+        self.nodes.push(node);
+        self.lens.push(len);
+        RecId(id)
+    }
+
+    /// Interns a single `G`-edge record `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loops are never part of a route).
+    pub fn edge(&mut self, u: u32, v: u32) -> RecId {
+        assert_ne!(u, v, "route edges cannot be self-loops");
+        self.push(Node::Edge(u, v), 1)
+    }
+
+    /// Interns the concatenation `a ++ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either child is out of range.
+    pub fn cat(&mut self, a: RecId, b: RecId) -> RecId {
+        let n = self.nodes.len() as u32;
+        assert!(a.0 < n && b.0 < n, "cat children must already be interned");
+        let len = self.lens[a.0 as usize] + self.lens[b.0 as usize];
+        self.push(Node::Cat(a.0, b.0), len)
+    }
+
+    /// Interns the reversal of `a`. Reversing a `Rev` node collapses back to
+    /// its child instead of stacking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn rev(&mut self, a: RecId) -> RecId {
+        assert!((a.0 as usize) < self.nodes.len(), "rev child out of range");
+        if let Node::Rev(inner) = self.nodes[a.0 as usize] {
+            return RecId(inner);
+        }
+        self.push(Node::Rev(a.0), self.lens[a.0 as usize])
+    }
+
+    /// Number of `G`-edges of record `id` (the walk's weight on unweighted
+    /// graphs).
+    pub fn len_of(&self, id: RecId) -> u32 {
+        self.lens[id.0 as usize]
+    }
+
+    /// Appends the expansion of `id` (reversed if `reversed`) to `out` as a
+    /// sequence of directed `G`-edges `(x, y)`, consecutive edges sharing
+    /// their middle vertex. Iterative — safe for arbitrarily deep `Cat`
+    /// chains.
+    pub fn emit_into(&self, id: RecId, reversed: bool, out: &mut Vec<(u32, u32)>) {
+        let mut stack: Vec<(u32, bool)> = vec![(id.0, reversed)];
+        while let Some((id, rev)) = stack.pop() {
+            match self.nodes[id as usize] {
+                Node::Edge(u, v) => out.push(if rev { (v, u) } else { (u, v) }),
+                Node::Cat(a, b) => {
+                    // Forward: a then b — push b first so a pops first.
+                    // Reversed: rev(b) then rev(a).
+                    if rev {
+                        stack.push((a, true));
+                        stack.push((b, true));
+                    } else {
+                        stack.push((b, false));
+                        stack.push((a, false));
+                    }
+                }
+                Node::Rev(a) => stack.push((a, !rev)),
+            }
+        }
+    }
+
+    /// The full expansion of `id` as a fresh vector.
+    pub fn emit(&self, id: RecId, reversed: bool) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.len_of(id) as usize);
+        self.emit_into(id, reversed, &mut out);
+        out
+    }
+
+    /// Appends a copy of every record of `other`, returning the index offset:
+    /// a record `r` of `other` becomes `RecId(r.index() + offset)` here.
+    /// O(|other|); id order (and therefore the DAG invariant) is preserved.
+    pub fn absorb(&mut self, other: &RouteArena) -> u32 {
+        let offset = u32::try_from(self.nodes.len()).expect("arena exceeds u32 records");
+        self.nodes.extend(other.nodes.iter().map(|&n| match n {
+            Node::Edge(u, v) => Node::Edge(u, v),
+            Node::Cat(a, b) => Node::Cat(a + offset, b + offset),
+            Node::Rev(a) => Node::Rev(a + offset),
+        }));
+        self.lens.extend_from_slice(&other.lens);
+        offset
+    }
+
+    /// Wire form of node `i` for snapshots: `(tag, a, b)` with tag 0 = Edge,
+    /// 1 = Cat, 2 = Rev (`b` unused for Rev).
+    pub fn wire_node(&self, i: usize) -> (u8, u32, u32) {
+        match self.nodes[i] {
+            Node::Edge(u, v) => (0, u, v),
+            Node::Cat(a, b) => (1, a, b),
+            Node::Rev(a) => (2, a, 0),
+        }
+    }
+
+    /// Rebuilds a node from its wire form, validating the DAG invariant
+    /// (children strictly smaller than the new id, edge endpoints below `n`,
+    /// no self-loop edges). Returns `None` on any violation.
+    pub fn push_wire_node(&mut self, tag: u8, a: u32, b: u32, n: usize) -> Option<RecId> {
+        let id = self.nodes.len() as u32;
+        match tag {
+            0 => {
+                if a == b || a as usize >= n || b as usize >= n {
+                    return None;
+                }
+                Some(self.edge(a, b))
+            }
+            1 => {
+                if a >= id || b >= id {
+                    return None;
+                }
+                Some(self.cat(RecId(a), RecId(b)))
+            }
+            2 => {
+                if a >= id {
+                    return None;
+                }
+                // Do not collapse Rev(Rev) here: loading must reproduce the
+                // saved arena byte-for-byte on re-save.
+                let len = self.lens[a as usize];
+                Some(self.push(Node::Rev(a), len))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_cat_and_rev_emit_correctly() {
+        let mut a = RouteArena::new();
+        let e01 = a.edge(0, 1);
+        let e12 = a.edge(1, 2);
+        let p = a.cat(e01, e12);
+        assert_eq!(a.len_of(p), 2);
+        assert_eq!(a.emit(p, false), vec![(0, 1), (1, 2)]);
+        assert_eq!(a.emit(p, true), vec![(2, 1), (1, 0)]);
+        let r = a.rev(p);
+        assert_eq!(a.emit(r, false), vec![(2, 1), (1, 0)]);
+        assert_eq!(a.emit(r, true), vec![(0, 1), (1, 2)]);
+        // Rev of Rev collapses.
+        assert_eq!(a.rev(r), p);
+    }
+
+    #[test]
+    fn deep_cat_chain_emits_iteratively() {
+        // 40k-edge linked chain: a recursive emit would overflow the stack.
+        let mut a = RouteArena::new();
+        let mut rec = a.edge(0, 1);
+        for i in 1..40_000u32 {
+            let e = a.edge(i, i + 1);
+            rec = a.cat(rec, e);
+        }
+        assert_eq!(a.len_of(rec), 40_000);
+        let edges = a.emit(rec, false);
+        assert_eq!(edges.len(), 40_000);
+        assert_eq!(edges[0], (0, 1));
+        assert_eq!(edges[39_999], (39_999, 40_000));
+        let back = a.emit(rec, true);
+        assert_eq!(back[0], (40_000, 39_999));
+    }
+
+    #[test]
+    fn absorb_shifts_ids_and_preserves_expansions() {
+        let mut a = RouteArena::new();
+        let _pad = a.edge(7, 8);
+        let mut b = RouteArena::new();
+        let e = b.edge(0, 1);
+        let f = b.edge(1, 2);
+        let p = b.cat(e, f);
+        let offset = a.absorb(&b);
+        assert_eq!(offset, 1);
+        let p2 = RecId(p.index() + offset);
+        assert_eq!(a.emit(p2, false), b.emit(p, false));
+        assert_eq!(a.len_of(p2), 2);
+    }
+
+    #[test]
+    fn wire_round_trip_validates() {
+        let mut a = RouteArena::new();
+        let e = a.edge(0, 1);
+        let r = a.rev(e);
+        let c = a.cat(e, r);
+        let mut b = RouteArena::new();
+        for i in 0..a.len() {
+            let (tag, x, y) = a.wire_node(i);
+            b.push_wire_node(tag, x, y, 4).expect("valid node");
+        }
+        assert_eq!(a, b);
+        assert_eq!(b.emit(c, false), vec![(0, 1), (1, 0)]);
+        // Forward references and bad edges are rejected.
+        let mut bad = RouteArena::new();
+        assert!(bad.push_wire_node(1, 0, 0, 4).is_none(), "forward cat");
+        assert!(bad.push_wire_node(0, 2, 2, 4).is_none(), "self-loop");
+        assert!(bad.push_wire_node(0, 0, 9, 4).is_none(), "out of range");
+        assert!(bad.push_wire_node(9, 0, 1, 4).is_none(), "unknown tag");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_edge_rejected() {
+        let mut a = RouteArena::new();
+        let _ = a.edge(3, 3);
+    }
+}

@@ -27,6 +27,7 @@
 use cc_clique::RoundLedger;
 use cc_derand::hitting;
 use cc_graphs::{dijkstra, Dist, Graph, WeightedGraph, INF};
+use cc_routes::Unroller;
 use rand::Rng;
 
 use crate::knearest::{KNearest, Strategy};
@@ -51,6 +52,11 @@ pub struct HopsetParams {
     /// both mean serial). Purely wall-clock: the constructed hopset and the
     /// rounds charged are identical at any thread count.
     pub threads: usize,
+    /// Record, per hopset edge, the walk in `G` that realizes it (an
+    /// [`Unroller`] on [`BoundedHopset::routes`]). Purely local witness
+    /// bookkeeping: the constructed edges and the rounds charged are
+    /// identical with or without it.
+    pub record_paths: bool,
 }
 
 impl HopsetParams {
@@ -71,6 +77,7 @@ impl HopsetParams {
             hitting_c: 2.0,
             beta_factor: 12.0,
             threads: 1,
+            record_paths: false,
         }
     }
 
@@ -78,6 +85,14 @@ impl HopsetParams {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns the parameters with per-edge path recording switched on or
+    /// off.
+    #[must_use]
+    pub fn with_paths(mut self, record_paths: bool) -> Self {
+        self.record_paths = record_paths;
         self
     }
 
@@ -123,6 +138,14 @@ pub struct BoundedHopset {
     pub params: HopsetParams,
     /// The pivot set `A₁`.
     pub a1: Vec<usize>,
+    /// Per-edge provenance ([`HopsetParams::record_paths`]): every hopset
+    /// edge unrolls into a real walk in `G` of weight at most the edge's.
+    /// Bunch edges intern their `(k,t)`-nearest parent chains; iteration-`ℓ`
+    /// interconnection edges intern their `≤ 4β`-hop walks over
+    /// `G ∪ H^{(ℓ-1)}`, whose shortcut hops resolve against the records of
+    /// earlier iterations — the arena's append-only order is the
+    /// termination argument (`DESIGN.md` §8.2).
+    pub routes: Option<Unroller>,
 }
 
 impl BoundedHopset {
@@ -249,45 +272,71 @@ fn build_from_pivots(
 ) -> BoundedHopset {
     let n = g.n();
     let beta = params.beta();
+    // Witness bookkeeping is local-only: it must not change the edges built
+    // or the rounds charged below.
+    let kn = if params.record_paths && !kn.has_parents() {
+        kn.with_parents(g)
+    } else {
+        kn
+    };
+    let mut routes = params.record_paths.then(Unroller::new);
     let mut in_a1 = vec![false; n];
     for &a in &a1 {
         in_a1[a] = true;
     }
 
     // H⁰: bounded bunches of non-pivot vertices (exact distances — they come
-    // from the (k,t)-nearest computation).
+    // from the (k,t)-nearest computation). When recording, each bunch edge
+    // registers its (k,t)-nearest parent chain as provenance.
     let mut h = WeightedGraph::new(n);
     for v in 0..n {
         if in_a1[v] {
             continue;
         }
         let list = kn.list(v);
+        let recs = routes
+            .as_mut()
+            .map(|r| kn.route_recs(v, r.arena_mut()))
+            .unwrap_or_default();
+        let mut add_bunch_edge = |routes: &mut Option<Unroller>, idx: usize, u: usize, du: Dist| {
+            h.add_edge(v, u, du);
+            if let Some(r) = routes.as_mut() {
+                r.register(v, u, recs[idx].expect("non-root bunch entry has a record"));
+            }
+        };
         match kn.nearest_in(v, &in_a1) {
             Some((pivot, pd)) => {
-                for &(u, du) in list {
+                let mut pivot_idx = usize::MAX;
+                for (idx, &(u, du)) in list.iter().enumerate() {
                     if u as usize == v {
                         continue;
                     }
+                    if u == pivot && du == pd {
+                        pivot_idx = pivot_idx.min(idx);
+                    }
                     if du < pd {
-                        h.add_edge(v, u as usize, du);
+                        add_bunch_edge(&mut routes, idx, u as usize, du);
                     }
                 }
-                h.add_edge(v, pivot as usize, pd);
+                add_bunch_edge(&mut routes, pivot_idx, pivot as usize, pd);
             }
             None => {
                 // No pivot within the (k,t)-list: the list covers the whole
                 // t-ball (or the hitting set missed — randomized tail case);
                 // connect the full known bunch.
-                for &(u, du) in list {
+                for (idx, &(u, du)) in list.iter().enumerate() {
                     if u as usize != v {
-                        h.add_edge(v, u as usize, du);
+                        add_bunch_edge(&mut routes, idx, u as usize, du);
                     }
                 }
             }
         }
     }
 
-    // Iterated pivot interconnection: ℓ = 1..⌈log₂ t⌉.
+    // Iterated pivot interconnection: ℓ = 1..⌈log₂ t⌉. Interconnection
+    // walks step over G ∪ H^{(ℓ-1)}; their shortcut hops resolve against
+    // records registered in earlier iterations (or the bunches), so
+    // unrolling strictly descends through the layering.
     if !a1.is_empty() {
         let iterations = params.iterations();
         for ell in 1..=iterations {
@@ -302,7 +351,17 @@ fn build_from_pivots(
                 a1.len() as u64,
                 4 * beta as u64,
             );
-            let dist = dijkstra::hop_limited_from_sources(&union, &a1, 4 * beta);
+            let (dist, parents) = match &routes {
+                Some(_) => {
+                    let (d, p) =
+                        dijkstra::hop_limited_from_sources_with_parents(&union, &a1, 4 * beta);
+                    (d, Some(p))
+                }
+                None => (
+                    dijkstra::hop_limited_from_sources(&union, &a1, 4 * beta),
+                    None,
+                ),
+            };
             for (i, &a) in a1.iter().enumerate() {
                 for &b in &a1 {
                     if b <= a {
@@ -311,6 +370,18 @@ fn build_from_pivots(
                     let d = dist[b][i];
                     if d < INF {
                         h.add_edge(a, b, d);
+                        if let (Some(r), Some(parents)) = (routes.as_mut(), parents.as_ref()) {
+                            let chain: Vec<u32> =
+                                dijkstra::chain_from_hop_parents(&parents[i], a, b)
+                                    .expect("detected pivot has a parent chain")
+                                    .into_iter()
+                                    .map(|x| x as u32)
+                                    .collect();
+                            let rec = r
+                                .intern_walk(g, &chain)
+                                .expect("interconnection hops are G or earlier-H edges");
+                            r.register(a, b, rec);
+                        }
                     }
                 }
             }
@@ -322,6 +393,7 @@ fn build_from_pivots(
         beta,
         params,
         a1,
+        routes,
     }
 }
 
@@ -419,6 +491,67 @@ mod tests {
                     assert!(w.unwrap() >= exact[a][b]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn recorded_routes_unroll_every_hopset_edge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for (name, g) in [
+            ("cycle", generators::cycle(40)),
+            ("caveman", generators::caveman(5, 6)),
+            ("gnp", generators::connected_gnp(50, 0.08, &mut rng)),
+        ] {
+            let params = check_params(g.n(), 8, 0.5);
+            let mut rng_a = ChaCha8Rng::seed_from_u64(77);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(77);
+            let mut l_plain = RoundLedger::new(g.n());
+            let mut l_rec = RoundLedger::new(g.n());
+            let plain = build_randomized(&g, params, &mut rng_a, &mut l_plain);
+            let hs = build_randomized(&g, params.with_paths(true), &mut rng_b, &mut l_rec);
+            // Recording is wall-clock only: same edges, same rounds.
+            assert_eq!(hs.edges, plain.edges, "{name}: recording changed edges");
+            assert_eq!(
+                l_plain.total_rounds(),
+                l_rec.total_rounds(),
+                "{name}: recording changed rounds"
+            );
+            assert!(plain.routes.is_none());
+            let routes = hs.routes.as_ref().expect("routes recorded");
+            for (u, v, w) in hs.edges.edges() {
+                let walk = routes
+                    .unroll(u, v)
+                    .unwrap_or_else(|| panic!("{name}: edge ({u},{v}) has no route"));
+                assert_eq!(walk[0].0 as usize, u, "{name}");
+                assert_eq!(walk[walk.len() - 1].1 as usize, v, "{name}");
+                for win in walk.windows(2) {
+                    assert_eq!(win[0].1, win[1].0, "{name}: edges must chain");
+                }
+                for &(x, y) in &walk {
+                    assert!(g.has_edge(x as usize, y as usize), "{name}: real G edge");
+                }
+                // Unweighted G: walk weight = edge count ≤ the edge weight.
+                assert!(
+                    walk.len() as Dist <= w,
+                    "{name}: route of ({u},{v}) weighs {} > {w}",
+                    walk.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_build_also_records_routes() {
+        let g = generators::caveman(5, 5);
+        let params = check_params(g.n(), 6, 0.4).with_paths(true);
+        let mut ledger = RoundLedger::new(g.n());
+        let hs = build_deterministic(&g, params, &mut ledger);
+        let routes = hs.routes.as_ref().expect("routes recorded");
+        let exact = cc_graphs::bfs::apsp_exact(&g);
+        for (u, v, w) in hs.edges.edges() {
+            let walk = routes.unroll(u, v).expect("every edge unrolls");
+            assert!(walk.len() as Dist >= exact[u][v], "walks cannot undercut");
+            assert!(walk.len() as Dist <= w);
         }
     }
 

@@ -7,9 +7,10 @@
 //! `O((k/n^{2/3} + log d)·log d)` rounds.
 
 use cc_clique::{cost::model, RoundLedger};
-use cc_graphs::{bfs, Dist, Graph};
+use cc_graphs::{bfs, Dist, Graph, INF};
 use cc_matrix::filtered::knearest_matrix_with;
 use cc_matrix::MinplusWorkspace;
+use cc_routes::{RecId, RouteArena};
 
 /// How to compute the `(k,d)`-nearest sets.
 ///
@@ -37,6 +38,9 @@ pub struct KNearest {
     k: usize,
     d: Dist,
     lists: Vec<Vec<(u32, Dist)>>,
+    /// Per-entry predecessors (see [`KNearest::with_parents`]); aligned with
+    /// `lists`.
+    parents: Option<Vec<Vec<u32>>>,
 }
 
 impl KNearest {
@@ -116,7 +120,98 @@ impl KNearest {
                     .collect()
             }
         };
-        KNearest { k, d, lists }
+        KNearest {
+            k,
+            d,
+            lists,
+            parents: None,
+        }
+    }
+
+    /// Derives, for every list entry, the **predecessor** of the entry's
+    /// vertex on a shortest path from the list's root: the smallest-id
+    /// neighbor at distance `d − 1`. This is the witness that turns every
+    /// exact `(k,d)`-nearest distance into a reconstructible path
+    /// (`DESIGN.md` §8.1): the predecessor is itself a list entry (everything
+    /// strictly closer than an entry precedes it in the `(distance, id)`
+    /// order), so parent chains stay inside the list until they reach the
+    /// root.
+    ///
+    /// Purely local post-processing on the already-computed object — no
+    /// rounds, identical lists, works for either [`Strategy`] — so recording
+    /// paths never changes what was computed or charged.
+    #[must_use]
+    pub fn with_parents(mut self, g: &Graph) -> Self {
+        let n = g.n();
+        let mut dist_of: Vec<Dist> = vec![INF; n];
+        let mut parents = Vec::with_capacity(self.lists.len());
+        for (v, list) in self.lists.iter().enumerate() {
+            for &(u, du) in list {
+                dist_of[u as usize] = du;
+            }
+            let row = list
+                .iter()
+                .map(|&(u, du)| {
+                    if u as usize == v {
+                        return u;
+                    }
+                    g.neighbors(u as usize)
+                        .iter()
+                        .copied()
+                        .find(|&w| dist_of[w as usize] + 1 == du)
+                        .expect("every non-root entry has an in-list predecessor")
+                })
+                .collect();
+            for &(u, _) in list {
+                dist_of[u as usize] = INF;
+            }
+            parents.push(row);
+        }
+        self.parents = Some(parents);
+        self
+    }
+
+    /// `true` once [`KNearest::with_parents`] has run.
+    pub fn has_parents(&self) -> bool {
+        self.parents.is_some()
+    }
+
+    /// Interns, for every entry of `v`'s list, the shortest path from `v` to
+    /// the entry as a record in `arena` (`None` for the root entry itself).
+    /// Parent chains share structure: each record extends the predecessor's
+    /// record by one `G` edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`KNearest::with_parents`] has not run.
+    pub fn route_recs(&self, v: usize, arena: &mut RouteArena) -> Vec<Option<RecId>> {
+        let parents = self
+            .parents
+            .as_ref()
+            .expect("route_recs requires with_parents");
+        let list = &self.lists[v];
+        let prow = &parents[v];
+        let mut recs: Vec<Option<RecId>> = Vec::with_capacity(list.len());
+        for (i, &(u, du)) in list.iter().enumerate() {
+            if u as usize == v {
+                recs.push(None);
+                continue;
+            }
+            let p = prow[i];
+            let hop = arena.edge(p, u);
+            if du == 1 {
+                debug_assert_eq!(p as usize, v);
+                recs.push(Some(hop));
+                continue;
+            }
+            // The predecessor sits earlier in the (distance, id)-sorted list.
+            let pidx = list
+                .binary_search_by_key(&(du - 1, p), |&(c, dist)| (dist, c))
+                .expect("predecessor is a list entry");
+            let prefix = recs[pidx].expect("predecessor record interned earlier");
+            recs.push(Some(arena.cat(prefix, hop)));
+        }
+        recs
     }
 
     /// The Thm 10 round formula.
@@ -256,6 +351,57 @@ mod tests {
                 let par = KNearest::compute_with(&g, 7, 5, strategy, threads, &mut l1);
                 assert_eq!(par, serial, "{strategy:?} threads={threads}");
                 assert_eq!(l0.total_rounds(), l1.total_rounds());
+            }
+        }
+    }
+
+    #[test]
+    fn parents_are_in_list_predecessors() {
+        let mut rng = seeded(9);
+        let g = generators::connected_gnp(36, 0.1, &mut rng);
+        let mut ledger = RoundLedger::new(g.n());
+        let plain = KNearest::compute(&g, 8, 5, Strategy::TruncatedBfs, &mut ledger);
+        let kn = plain.clone().with_parents(&g);
+        assert!(kn.has_parents() && !plain.has_parents());
+        for v in 0..g.n() {
+            assert_eq!(kn.list(v), plain.list(v), "parents must not change lists");
+            for (i, &(u, du)) in kn.list(v).iter().enumerate() {
+                let p = kn.parents.as_ref().unwrap()[v][i];
+                if u as usize == v {
+                    assert_eq!(p, u);
+                    continue;
+                }
+                assert!(g.has_edge(p as usize, u as usize), "parent is a neighbor");
+                assert_eq!(kn.dist(v, p as usize), Some(du - 1), "parent is closer");
+            }
+        }
+    }
+
+    #[test]
+    fn route_recs_expand_to_shortest_paths() {
+        use cc_routes::RouteArena;
+        let g = generators::caveman(4, 5);
+        let mut ledger = RoundLedger::new(g.n());
+        let kn = KNearest::compute(&g, 9, 6, Strategy::TruncatedBfs, &mut ledger).with_parents(&g);
+        let mut arena = RouteArena::new();
+        for v in 0..g.n() {
+            let recs = kn.route_recs(v, &mut arena);
+            for (&(u, du), rec) in kn.list(v).iter().zip(&recs) {
+                if u as usize == v {
+                    assert!(rec.is_none());
+                    continue;
+                }
+                let rec = rec.expect("non-root entries carry a record");
+                assert_eq!(arena.len_of(rec), du, "record length = exact distance");
+                let edges = arena.emit(rec, false);
+                assert_eq!(edges[0].0 as usize, v);
+                assert_eq!(edges[edges.len() - 1].1, u);
+                for win in edges.windows(2) {
+                    assert_eq!(win[0].1, win[1].0, "consecutive edges chain");
+                }
+                for &(x, y) in &edges {
+                    assert!(g.has_edge(x as usize, y as usize), "real G edge");
+                }
             }
         }
     }

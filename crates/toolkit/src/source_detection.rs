@@ -20,6 +20,8 @@ pub struct SourceDetection {
     /// `dist[v][i]` = length of the shortest `≤ hops`-edge path from `v` to
     /// `sources[i]`.
     dist: Vec<Vec<Dist>>,
+    /// Per-source predecessor rows (see [`SourceDetection::run_with_parents`]).
+    parents: Option<Vec<Vec<u32>>>,
 }
 
 impl SourceDetection {
@@ -35,6 +37,34 @@ impl SourceDetection {
         hops: usize,
         ledger: &mut RoundLedger,
     ) -> Self {
+        Self::run_impl(g, sources, hops, false, ledger)
+    }
+
+    /// [`SourceDetection::run`] with per-source predecessor tracking, so
+    /// every detected distance comes with a reconstructible walk over `g`
+    /// ([`SourceDetection::chain`]). Distances and charged rounds are
+    /// identical to [`SourceDetection::run`] — in the model the witnesses
+    /// ride the very messages that carry the distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or contains an out-of-range vertex.
+    pub fn run_with_parents(
+        g: &WeightedGraph,
+        sources: &[usize],
+        hops: usize,
+        ledger: &mut RoundLedger,
+    ) -> Self {
+        Self::run_impl(g, sources, hops, true, ledger)
+    }
+
+    fn run_impl(
+        g: &WeightedGraph,
+        sources: &[usize],
+        hops: usize,
+        with_parents: bool,
+        ledger: &mut RoundLedger,
+    ) -> Self {
         assert!(!sources.is_empty(), "source detection needs ≥ 1 source");
         assert!(
             sources.iter().all(|&s| s < g.n()),
@@ -47,12 +77,27 @@ impl SourceDetection {
             sources.len() as u64,
             hops as u64,
         );
-        let dist = dijkstra::hop_limited_from_sources(g, sources, hops);
+        let (dist, parents) = if with_parents {
+            let (dist, parents) = dijkstra::hop_limited_from_sources_with_parents(g, sources, hops);
+            (dist, Some(parents))
+        } else {
+            (dijkstra::hop_limited_from_sources(g, sources, hops), None)
+        };
         SourceDetection {
             sources: sources.to_vec(),
             hops,
             dist,
+            parents,
         }
+    }
+
+    /// The walk behind the detected distance of `(v, sources[i])`: the
+    /// vertex sequence `sources[i], …, v` over `g`, whose weight is at most
+    /// `dist_to_source_index(v, i)`. `None` when `v` was not detected or
+    /// parents were not recorded.
+    pub fn chain(&self, i: usize, v: usize) -> Option<Vec<usize>> {
+        let parents = self.parents.as_ref()?;
+        dijkstra::chain_from_hop_parents(&parents[i], self.sources[i], v)
     }
 
     /// The sources, in the order used for indexing.
@@ -184,6 +229,43 @@ mod tests {
         // Hop-bounded: from vertex 0 with 2 hops only sources within 2 hops.
         let sd = SourceDetection::run(&wg, &[0, 4, 8], 2, &mut ledger);
         assert_eq!(sd.nearest_sources(3, 10), vec![(4, 1)]);
+    }
+
+    #[test]
+    fn parent_chains_are_real_bounded_walks() {
+        let g = generators::caveman(4, 5);
+        let wg = weighted(&g);
+        let sources = [0usize, 9, 17];
+        let mut l1 = RoundLedger::new(g.n());
+        let mut l2 = RoundLedger::new(g.n());
+        let plain = SourceDetection::run(&wg, &sources, 6, &mut l1);
+        let sd = SourceDetection::run_with_parents(&wg, &sources, 6, &mut l2);
+        assert_eq!(l1.total_rounds(), l2.total_rounds(), "same charge");
+        assert!(plain.chain(0, 3).is_none(), "no parents recorded");
+        for (i, &s) in sources.iter().enumerate() {
+            for v in 0..g.n() {
+                let d = sd.dist_to_source_index(v, i);
+                assert_eq!(d, plain.dist_to_source_index(v, i), "same distances");
+                if d >= INF {
+                    continue;
+                }
+                let chain = sd.chain(i, v).expect("detected vertices have chains");
+                assert_eq!(chain[0], s);
+                assert_eq!(*chain.last().unwrap(), v);
+                let weight: Dist = chain
+                    .windows(2)
+                    .map(|w| {
+                        wg.neighbors(w[0])
+                            .iter()
+                            .filter(|&&(x, _)| x as usize == w[1])
+                            .map(|&(_, wt)| wt)
+                            .min()
+                            .expect("chain hop is an edge")
+                    })
+                    .sum();
+                assert!(weight <= d, "chain weight {weight} exceeds estimate {d}");
+            }
+        }
     }
 
     #[test]

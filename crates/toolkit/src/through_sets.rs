@@ -65,6 +65,65 @@ where
     out
 }
 
+/// [`distance_through_sets`] that additionally reports, per ordered pair,
+/// the **witness** `w` that realized the minimum (`u32::MAX` where no finite
+/// route exists, and on the diagonal). Distances are identical to the plain
+/// variant; the intermediate vertices are swept in ascending order with
+/// strict improvement, so the witness is the smallest realizing `w` —
+/// deterministic regardless of set order.
+///
+/// The round charge is unchanged: in the model the witness ids ride the same
+/// messages as the sums they annotate.
+///
+/// # Panics
+///
+/// Panics if a set contains an element `≥ n`.
+pub fn distance_through_sets_with_witness<F>(
+    n: usize,
+    sets: &[Vec<usize>],
+    estimate: F,
+    ledger: &mut RoundLedger,
+) -> (Vec<Vec<Dist>>, Vec<Vec<u32>>)
+where
+    F: Fn(usize, usize) -> Dist,
+{
+    assert_eq!(sets.len(), n, "one set per vertex required");
+    let total: usize = sets.iter().map(Vec::len).sum();
+    let rho = (total as u64 / n.max(1) as u64).max(1);
+    ledger.charge_through_sets("distance through sets", rho);
+
+    let mut members: Vec<Vec<(u32, Dist)>> = vec![Vec::new(); n];
+    for (v, set) in sets.iter().enumerate() {
+        for &w in set {
+            assert!(w < n, "set element {w} out of range");
+            let d = estimate(v, w);
+            if d < INF {
+                members[w].push((v as u32, d));
+            }
+        }
+    }
+    let mut out = vec![vec![INF; n]; n];
+    let mut wit = vec![vec![u32::MAX; n]; n];
+    for v in 0..n {
+        out[v][v] = 0;
+    }
+    for w in 0..n {
+        let list = &members[w];
+        for &(u, du) in list {
+            let row = &mut out[u as usize];
+            let wrow = &mut wit[u as usize];
+            for &(v, dv) in list {
+                let cand = dadd(du, dv);
+                if cand < row[v as usize] {
+                    row[v as usize] = cand;
+                    wrow[v as usize] = w as u32;
+                }
+            }
+        }
+    }
+    (out, wit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +183,51 @@ mod tests {
                     }
                 }
                 assert_eq!(out[u][v], want, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn witness_variant_matches_plain_and_realizes_minima() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = 20;
+        let g = generators::connected_gnp(n, 0.15, &mut rng);
+        let exact = bfs::apsp_exact(&g);
+        let sets: Vec<Vec<usize>> = (0..n)
+            .map(|_| {
+                let mut s: Vec<usize> = (0..rng.gen_range(1..4))
+                    .map(|_| rng.gen_range(0..n))
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let mut l1 = RoundLedger::new(n);
+        let mut l2 = RoundLedger::new(n);
+        let plain = distance_through_sets(n, &sets, |u, v| exact[u][v], &mut l1);
+        let (rows, wit) = distance_through_sets_with_witness(n, &sets, |u, v| exact[u][v], &mut l2);
+        assert_eq!(rows, plain, "witness tracking must not change distances");
+        assert_eq!(l1.total_rounds(), l2.total_rounds());
+        for u in 0..n {
+            for v in 0..n {
+                if u == v || rows[u][v] >= INF {
+                    assert_eq!(wit[u][v], u32::MAX, "({u},{v})");
+                    continue;
+                }
+                let w = wit[u][v] as usize;
+                assert!(sets[u].contains(&w) && sets[v].contains(&w));
+                assert_eq!(dadd(exact[u][w], exact[w][v]), rows[u][v], "({u},{v})");
+                // Smallest realizing witness.
+                for smaller in 0..w {
+                    if sets[u].contains(&smaller) && sets[v].contains(&smaller) {
+                        assert!(
+                            dadd(exact[u][smaller], exact[smaller][v]) > rows[u][v],
+                            "({u},{v}): {smaller} also realizes"
+                        );
+                    }
+                }
             }
         }
     }

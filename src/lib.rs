@@ -67,6 +67,7 @@ pub use cc_derand as derand;
 pub use cc_emulator as emulator;
 pub use cc_graphs as graphs;
 pub use cc_matrix as matrix;
+pub use cc_routes as routes;
 pub use cc_toolkit as toolkit;
 
 /// One-stop imports for the common workflow.
@@ -78,7 +79,8 @@ pub mod prelude {
     pub use cc_core::mssp::{self, MsspConfig};
     pub use cc_core::{
         Algorithm, AlgorithmOutput, CcError, DistOracle, DistanceMatrix, Execution, Guarantee,
-        GuaranteeKind, ParamProfile, PointEstimate, SnapshotError, Solver, SolverBuilder,
+        GuaranteeKind, ParamProfile, PathOracle, PointEstimate, Route, SnapshotError, Solver,
+        SolverBuilder,
     };
     pub use cc_emulator::clique::CliqueEmulatorConfig;
     pub use cc_emulator::{Emulator, EmulatorParams};
