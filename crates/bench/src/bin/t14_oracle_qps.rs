@@ -260,6 +260,36 @@ fn main() {
         }
     }
 
+    // ── Whole-row reads (`dists_from`). ───────────────────────────────────
+    //
+    // The symmetric-packed layout materializes a row with a strided walk
+    // over the triangle plus one contiguous copy — this measures that fast
+    // path against the full layout's plain row slice, and cross-checks
+    // both against point lookups.
+    let row_reps = if queries <= 400_000 { 20 } else { 100 };
+    let mut row_rates: Vec<(&'static str, f64)> = Vec::new();
+    for (label, oracle) in [("full", &full), ("symmetric", &sym)] {
+        for u in (0..n).step_by(n / 16) {
+            let row = oracle.dists_from(u);
+            for v in 0..n {
+                let expected = oracle.dist(u, v).map(|e| e.dist);
+                let got = (row[v] != cc_graphs::INF).then_some(row[v]);
+                assert_eq!(got, expected, "{label}: dists_from({u})[{v}] diverged");
+            }
+        }
+        let start = Instant::now();
+        let mut sink = 0u64;
+        for _ in 0..row_reps {
+            for u in 0..n {
+                let row = oracle.dists_from(u);
+                sink = sink.wrapping_add(row[u % n] as u64);
+            }
+        }
+        let wall = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        row_rates.push((label, (row_reps * n) as f64 / wall));
+    }
+
     // ── Report. ───────────────────────────────────────────────────────────
     let max_threads_swept = *thread_counts.last().expect("non-empty");
     let bytes_full = full.storage_bytes();
@@ -284,6 +314,9 @@ fn main() {
     for (label, s) in &speedups {
         eprintln!("{label}: {max_threads_swept}-thread batched speedup over 1 thread = {s:.2}x");
     }
+    for (label, rate) in &row_rates {
+        eprintln!("{label}: dists_from = {rate:.0} rows/sec");
+    }
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"t14_oracle_qps\",\n");
@@ -301,6 +334,14 @@ fn main() {
         speedups
             .iter()
             .map(|(label, s)| format!("\"{label}\": {s:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"dists_from_rows_per_sec\": {{{}}},\n",
+        row_rates
+            .iter()
+            .map(|(label, rate)| format!("\"{label}\": {rate:.0}"))
             .collect::<Vec<_>>()
             .join(", ")
     ));

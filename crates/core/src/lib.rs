@@ -70,6 +70,7 @@ pub mod mssp;
 pub mod oracle;
 pub mod path_oracle;
 mod pipeline;
+pub mod snapshot;
 pub mod solver;
 
 pub use algorithm::{Algorithm, AlgorithmOutput};

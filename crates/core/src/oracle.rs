@@ -40,10 +40,15 @@
 use std::borrow::Cow;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
-use cc_graphs::{Dist, DistStorage, StorageKind, INF};
+use cc_graphs::{ByteOwner, Dist, DistStorage, PodData, StorageKind, INF};
 
 use crate::estimates::DistanceMatrix;
+use crate::snapshot::header::{fnv1a, Cursor};
+use crate::snapshot::v2::{owner_from_bytes, SectionWriter, SnapshotView};
+
+pub use crate::snapshot::header::SnapshotError;
 
 /// Which pipeline an estimate came from — the shape of its proven bound.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -215,8 +220,9 @@ pub struct DistOracle {
     /// Provenance table; `tags` index into it. Never empty.
     guarantees: Vec<Guarantee>,
     /// Per-entry provenance (same indexing as `storage` entries), or `None`
-    /// when every entry is covered by `guarantees[0]`.
-    tags: Option<Vec<u8>>,
+    /// when every entry is covered by `guarantees[0]`. [`PodData`] so v2
+    /// snapshots serve it in place.
+    tags: Option<PodData<u8>>,
 }
 
 impl DistOracle {
@@ -239,7 +245,7 @@ impl DistOracle {
             StorageKind::Full => DistStorage::full(n, m.to_flat()),
             StorageKind::SymmetricPacked => DistStorage::symmetric_packed(n, m.to_packed()),
             StorageKind::RowSparse => {
-                DistStorage::row_sparse(n, (0..n as u32).collect(), m.to_flat())
+                DistStorage::row_sparse(n, (0..n as u32).collect::<Vec<_>>(), m.to_flat())
             }
         };
         DistOracle::from_storage(storage, guarantee)
@@ -257,7 +263,7 @@ impl DistOracle {
         assert!(!guarantees.is_empty(), "at least one guarantee required");
         assert_eq!(data.len(), tags.len(), "one tag per entry");
         let tags = if guarantees.len() > 1 {
-            Some(tags)
+            Some(tags.into())
         } else {
             None
         };
@@ -286,7 +292,7 @@ impl DistOracle {
     /// Payload bytes held by the oracle: distance entries (plus the source
     /// list for row-sparse layouts) plus per-entry provenance tags, if any.
     pub fn storage_bytes(&self) -> usize {
-        self.storage.bytes() + self.tags.as_ref().map_or(0, Vec::len)
+        self.storage.bytes() + self.tags.as_ref().map_or(0, |t| t.len())
     }
 
     /// The provenance table answers are tagged from.
@@ -340,7 +346,17 @@ impl DistOracle {
     /// mapping [`DistOracle::dist`] over `pairs`; the batch form amortizes
     /// call overhead in high-throughput serving loops.
     pub fn dist_batch(&self, pairs: &[(usize, usize)]) -> Vec<Option<PointEstimate>> {
-        pairs.iter().map(|&(u, v)| self.dist(u, v)).collect()
+        let mut out = Vec::new();
+        self.dist_batch_into(pairs, &mut out);
+        out
+    }
+
+    /// [`DistOracle::dist_batch`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free form serving workers reuse per batch.
+    pub fn dist_batch_into(&self, pairs: &[(usize, usize)], out: &mut Vec<Option<PointEstimate>>) {
+        out.clear();
+        out.reserve(pairs.len());
+        out.extend(pairs.iter().map(|&(u, v)| self.dist(u, v)));
     }
 
     /// The full estimate row of `u` (`row[v] = δ(u, v)`, [`INF`] where no
@@ -476,7 +492,7 @@ impl DistOracle {
             storage,
             guarantees: self.guarantees.clone(),
             tags: if self.guarantees.len() > 1 {
-                Some(tags)
+                Some(tags.into())
             } else {
                 None
             },
@@ -541,9 +557,10 @@ impl DistOracle {
         w.write_all(&buf)
     }
 
-    /// Reads a snapshot produced by [`DistOracle::save`]. The result is
-    /// bit-identical to the oracle that was saved (validated by the
-    /// checksum, structural length checks and tag-range checks).
+    /// Reads a snapshot produced by [`DistOracle::save`] (v1) or
+    /// [`DistOracle::save_v2`], dispatching on the version field. The
+    /// result is bit-identical to the oracle that was saved (validated by
+    /// the checksum, structural length checks and tag-range checks).
     ///
     /// Magic and version are inspected **before** the checksum: a snapshot
     /// written by a future format version (whose trailing bytes this build
@@ -557,7 +574,41 @@ impl DistOracle {
     pub fn load<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf)?;
-        let payload = checked_payload(&buf, b"CCDO", 1)?;
+        Self::from_snapshot_bytes(&buf)
+    }
+
+    /// [`DistOracle::load`] over an in-memory snapshot. v2 bytes are copied
+    /// once into an aligned owner so the hot tables can be viewed in place;
+    /// use [`DistOracle::load_v2_shared`] to serve an existing owner (a
+    /// mapped file) with no copy at all.
+    pub fn from_snapshot_bytes(buf: &[u8]) -> Result<Self, SnapshotError> {
+        let (magic, version) = crate::snapshot::sniff(buf)?;
+        if &magic != b"CCDO" {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        match version {
+            1 => Self::load_v1(buf),
+            2 => Self::load_v2_shared(owner_from_bytes(buf)),
+            v => Err(SnapshotError::UnsupportedVersion(v)),
+        }
+    }
+
+    /// Loads a v2 snapshot directly from a stable byte owner (an `mmap`'d
+    /// file, an [`cc_graphs::AlignedBytes`] buffer): the distance entries,
+    /// tags and sources become zero-copy views into the owner on
+    /// little-endian targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] as [`DistOracle::load`] does; a v1 owner
+    /// reports [`SnapshotError::UnsupportedVersion`] (convert it first).
+    pub fn load_v2_shared(owner: Arc<dyn ByteOwner>) -> Result<Self, SnapshotError> {
+        let view = SnapshotView::parse(owner, b"CCDO")?;
+        Self::load_v2(&view)
+    }
+
+    fn load_v1(buf: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = crate::snapshot::header::checked_payload(buf, b"CCDO", 1)?;
         let mut c = Cursor::new(payload);
         let _ = c.take_n::<4>()?; // magic, validated above
         let _ = c.take_n::<2>()?; // version, validated above
@@ -639,13 +690,177 @@ impl DistOracle {
             if raw.iter().any(|&t| t as usize >= g_count) {
                 return Err(SnapshotError::corrupt("tag beyond guarantee table"));
             }
-            Some(raw)
+            Some(raw.into())
         } else {
             None
         };
         if !c.at_end() {
             return Err(SnapshotError::corrupt("trailing bytes after payload"));
         }
+        let storage = match kind {
+            0 => DistStorage::full(n, data),
+            1 => DistStorage::symmetric_packed(n, data),
+            _ => DistStorage::row_sparse(n, sources.expect("parsed above"), data),
+        };
+        Ok(DistOracle {
+            storage,
+            guarantees,
+            tags,
+        })
+    }
+
+    // ── Snapshot format v2 ───────────────────────────────────────────────
+    //
+    // The v2 frame and directory are documented in `crate::snapshot::v2`
+    // (and DESIGN.md §9). CCDO sections:
+    //
+    //   1 META        kind u8, flags u8, pad[6], n u64, entries u64,
+    //                 source_count u64, guarantee_count u64      (40 bytes)
+    //   2 GUARANTEES  count × { kind u8, eps f64 bits, additive f64 bits }
+    //   3 SOURCES     [row-sparse only] source_count × u32
+    //   4 ENTRIES     entries × u32                              (hot)
+    //   5 TAGS        [flags bit0] entries × u8                  (hot)
+
+    /// Serializes the oracle into snapshot format v2 — the aligned-section
+    /// layout [`DistOracle::load_v2_shared`] serves zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save_v2<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.to_v2_bytes())
+    }
+
+    /// [`DistOracle::save_v2`] to a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_v2_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.save_v2(&mut f)
+    }
+
+    pub(crate) fn to_v2_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new(b"CCDO");
+        let sources = self.storage.sources();
+        let mut meta = Vec::with_capacity(40);
+        meta.push(match self.storage.kind() {
+            StorageKind::Full => 0,
+            StorageKind::SymmetricPacked => 1,
+            StorageKind::RowSparse => 2,
+        });
+        meta.push(u8::from(self.tags.is_some()));
+        meta.extend_from_slice(&[0u8; 6]);
+        meta.extend_from_slice(&(self.n() as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.storage.entries() as u64).to_le_bytes());
+        meta.extend_from_slice(&(sources.map_or(0, <[u32]>::len) as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.guarantees.len() as u64).to_le_bytes());
+        w.section(SEC_META, &meta);
+        let mut gbytes = Vec::with_capacity(self.guarantees.len() * 17);
+        for g in &self.guarantees {
+            gbytes.push(g.kind.wire());
+            gbytes.extend_from_slice(&g.eps.to_bits().to_le_bytes());
+            gbytes.extend_from_slice(&g.additive.to_bits().to_le_bytes());
+        }
+        w.section(SEC_GUARANTEES, &gbytes);
+        if let Some(sources) = sources {
+            w.section_u32(SEC_SOURCES, sources);
+        }
+        w.section_u32(SEC_ENTRIES, self.storage.data());
+        if let Some(tags) = &self.tags {
+            w.section(SEC_TAGS, tags);
+        }
+        w.finish()
+    }
+
+    pub(crate) fn load_v2(view: &SnapshotView) -> Result<Self, SnapshotError> {
+        let meta = view.bytes_of(SEC_META, "CCDO meta")?;
+        let mut c = Cursor::new(meta);
+        let kind = c.take_n::<1>()?[0];
+        let flags = c.take_n::<1>()?[0];
+        if flags > 1 {
+            return Err(SnapshotError::corrupt("unknown flag bits"));
+        }
+        let _ = c.take(6)?; // padding
+        let n = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("n exceeds the address space"))?;
+        let entries = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("entry count exceeds the address space"))?;
+        let source_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("source count exceeds the address space"))?;
+        let g_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("guarantee count exceeds the address space"))?;
+        if !c.at_end() {
+            return Err(SnapshotError::corrupt("CCDO meta section length mismatch"));
+        }
+        if g_count == 0 || g_count > 256 {
+            return Err(SnapshotError::corrupt("guarantee count out of range"));
+        }
+        let gbytes = view.bytes_of(SEC_GUARANTEES, "guarantee")?;
+        if gbytes.len() != g_count * 17 {
+            return Err(SnapshotError::corrupt("guarantee section length mismatch"));
+        }
+        let mut guarantees = Vec::with_capacity(g_count);
+        let mut gc = Cursor::new(gbytes);
+        for _ in 0..g_count {
+            let kind = GuaranteeKind::from_wire(gc.take_n::<1>()?[0])
+                .ok_or_else(|| SnapshotError::corrupt("unknown guarantee kind"))?;
+            let eps = f64::from_bits(u64::from_le_bytes(gc.take_n::<8>()?));
+            let additive = f64::from_bits(u64::from_le_bytes(gc.take_n::<8>()?));
+            guarantees.push(Guarantee {
+                kind,
+                eps,
+                additive,
+            });
+        }
+        // Entry count vs. declared layout, before touching the (large)
+        // sections: the section length checks inside u8_data/u32_data then
+        // bound every decode-copy by bytes actually present, and the shared
+        // path allocates nothing.
+        let expected = match kind {
+            0 => n.checked_mul(n),
+            1 => n
+                .checked_add(1)
+                .and_then(|m| n.checked_mul(m))
+                .map(|x| x / 2),
+            2 => {
+                // ≥ 1 source keeps `n ≤ entries`, bounding the O(n) source
+                // index built below by the entry section's byte length.
+                if source_count == 0 {
+                    return Err(SnapshotError::corrupt(
+                        "row-sparse snapshot with no sources",
+                    ));
+                }
+                source_count.checked_mul(n)
+            }
+            _ => return Err(SnapshotError::corrupt("unknown storage kind")),
+        };
+        if expected != Some(entries) {
+            return Err(SnapshotError::corrupt("entry count does not match layout"));
+        }
+        let sources = if kind == 2 {
+            let sources = view.u32_data(SEC_SOURCES, source_count, "source")?;
+            if sources.iter().any(|&s| s as usize >= n) {
+                return Err(SnapshotError::corrupt("source out of range"));
+            }
+            Some(sources)
+        } else {
+            if source_count != 0 {
+                return Err(SnapshotError::corrupt("sources on a non-row-sparse layout"));
+            }
+            None
+        };
+        let data = view.u32_data(SEC_ENTRIES, entries, "entry")?;
+        let tags = if flags & 1 == 1 {
+            let tags = view.u8_data(SEC_TAGS, entries, "tag")?;
+            if tags.iter().any(|&t| t as usize >= g_count) {
+                return Err(SnapshotError::corrupt("tag beyond guarantee table"));
+            }
+            Some(tags)
+        } else {
+            None
+        };
         let storage = match kind {
             0 => DistStorage::full(n, data),
             1 => DistStorage::symmetric_packed(n, data),
@@ -679,129 +894,12 @@ impl DistOracle {
     }
 }
 
-/// Validates the frame of a snapshot buffer — magic, then version, then the
-/// trailing FNV-1a checksum, in that order — and returns the checksummed
-/// payload (everything before the 8-byte tail). Shared by the `CCDO`
-/// ([`DistOracle`]) and `CCRO` ([`crate::path_oracle::PathOracle`]) loaders.
-pub(crate) fn checked_payload<'a>(
-    buf: &'a [u8],
-    magic: &[u8; 4],
-    version: u16,
-) -> Result<&'a [u8], SnapshotError> {
-    // Magic and version live in the first 6 bytes and are validated before
-    // the checksum, so future-version snapshots fail with the actionable
-    // error even though this build cannot verify their integrity.
-    if buf.len() < 6 {
-        return Err(SnapshotError::corrupt("shorter than magic + version"));
-    }
-    let got: [u8; 4] = buf[..4].try_into().expect("4-byte magic");
-    if &got != magic {
-        return Err(SnapshotError::BadMagic(got));
-    }
-    let got_version = u16::from_le_bytes(buf[4..6].try_into().expect("2-byte version"));
-    if got_version != version {
-        return Err(SnapshotError::UnsupportedVersion(got_version));
-    }
-    if buf.len() < 14 {
-        return Err(SnapshotError::corrupt("shorter than header + checksum"));
-    }
-    let (payload, tail) = buf.split_at(buf.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
-    if fnv1a(payload) != stored {
-        return Err(SnapshotError::corrupt("checksum mismatch"));
-    }
-    Ok(payload)
-}
-
-/// FNV-1a over a byte slice (the snapshot checksum).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
-
-/// Bounds-checked reader over the snapshot payload.
-pub(crate) struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
-        Cursor { buf, pos: 0 }
-    }
-
-    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
-        let end = self
-            .pos
-            .checked_add(len)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| SnapshotError::corrupt("truncated payload"))?;
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    pub(crate) fn take_n<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
-        Ok(self.take(N)?.try_into().expect("length checked"))
-    }
-
-    pub(crate) fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-
-    pub(crate) fn at_end(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-}
-
-/// Errors reading or writing oracle snapshots.
-#[derive(Debug)]
-pub enum SnapshotError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// The stream does not start with the `CCDO` magic.
-    BadMagic([u8; 4]),
-    /// A version this build does not understand.
-    UnsupportedVersion(u16),
-    /// Structurally invalid or truncated payload (detail in the message).
-    Corrupt(String),
-}
-
-impl SnapshotError {
-    pub(crate) fn corrupt(msg: &str) -> Self {
-        SnapshotError::Corrupt(msg.to_string())
-    }
-}
-
-impl std::fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
-            SnapshotError::BadMagic(m) => write!(f, "not an oracle snapshot (magic {m:02x?})"),
-            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SnapshotError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
-    }
-}
+// CCDO v2 section ids (see the layout comment on `to_v2_bytes`).
+const SEC_META: u16 = 1;
+const SEC_GUARANTEES: u16 = 2;
+const SEC_SOURCES: u16 = 3;
+const SEC_ENTRIES: u16 = 4;
+const SEC_TAGS: u16 = 5;
 
 #[cfg(test)]
 mod tests {
@@ -959,19 +1057,20 @@ mod tests {
         let err = DistOracle::load(&mut &future[..]).unwrap_err();
         assert!(matches!(err, SnapshotError::UnsupportedVersion(255)));
         assert_eq!(err.to_string(), "unsupported snapshot version 255");
-        // A version-2 header over an otherwise valid v1 body (checksum
-        // recomputed, so only the version differs): same answer.
+        // A version-3 header over an otherwise valid v1 body (checksum
+        // recomputed, so only the version differs): same answer. Version 2
+        // is a real format now, so 3 is the lowest unknown one.
         let m = sample_matrix(4);
         let o = DistOracle::from_matrix(&m, Guarantee::mult2(0.5), StorageKind::Full);
         let mut buf = Vec::new();
         o.save(&mut buf).unwrap();
         buf.truncate(buf.len() - 8);
-        buf[4..6].copy_from_slice(&2u16.to_le_bytes());
+        buf[4..6].copy_from_slice(&3u16.to_le_bytes());
         let checksum = fnv1a(&buf);
         buf.extend_from_slice(&checksum.to_le_bytes());
         assert!(matches!(
             DistOracle::load(&mut &buf[..]),
-            Err(SnapshotError::UnsupportedVersion(2))
+            Err(SnapshotError::UnsupportedVersion(3))
         ));
     }
 
@@ -1114,6 +1213,84 @@ mod tests {
         let back = DistOracle::load(&mut &buf[..]).unwrap();
         assert_eq!(back, o);
         assert_eq!(back.dist(0, 1).unwrap().dist, 5, "first row wins, then min");
+    }
+
+    #[test]
+    fn snapshot_v2_round_trips_all_layouts() {
+        let m = sample_matrix(9);
+        for kind in [
+            StorageKind::Full,
+            StorageKind::SymmetricPacked,
+            StorageKind::RowSparse,
+        ] {
+            let o = DistOracle::from_matrix(&m, Guarantee::mult2(0.5), kind);
+            let mut buf = Vec::new();
+            o.save_v2(&mut buf).unwrap();
+            let back = DistOracle::load(&mut &buf[..]).unwrap();
+            assert_eq!(o, back, "{kind:?}");
+            if cfg!(target_endian = "little") {
+                assert!(back.storage().is_shared(), "{kind:?}: entries are views");
+            }
+            let mut again = Vec::new();
+            back.save_v2(&mut again).unwrap();
+            assert_eq!(buf, again, "{kind:?}: v2 re-save must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn snapshot_v1_to_v2_upgrade_preserves_everything() {
+        // Multi-guarantee oracle (tagged entries) through v1 → load → v2 →
+        // load: values, tags and guarantee tables must survive unchanged.
+        let n = 6;
+        let entries = n * (n + 1) / 2;
+        let data: Vec<Dist> = (0..entries as Dist).map(|i| i % 11 + 1).collect();
+        let tags: Vec<u8> = (0..entries).map(|i| (i % 2) as u8).collect();
+        let o = DistOracle::from_tagged_packed(
+            n,
+            data,
+            tags,
+            vec![Guarantee::mult2(0.5), Guarantee::mssp(0.25)],
+        );
+        let mut v1 = Vec::new();
+        o.save(&mut v1).unwrap();
+        let loaded_v1 = DistOracle::load(&mut &v1[..]).unwrap();
+        let mut v2 = Vec::new();
+        loaded_v1.save_v2(&mut v2).unwrap();
+        let loaded_v2 = DistOracle::load(&mut &v2[..]).unwrap();
+        assert_eq!(o, loaded_v2);
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(o.dist(u, v), loaded_v2.dist(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_v2_rejects_corruption_with_typed_errors() {
+        let m = sample_matrix(5);
+        let o = DistOracle::from_matrix(&m, Guarantee::mssp(0.1), StorageKind::SymmetricPacked);
+        let mut buf = Vec::new();
+        o.save_v2(&mut buf).unwrap();
+
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            DistOracle::load(&mut &flipped[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        for cut in [3, 9, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                DistOracle::load(&mut &buf[..buf.len() - cut]).is_err(),
+                "truncated by {cut}"
+            );
+        }
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            DistOracle::load(&mut &wrong_magic[..]),
+            Err(SnapshotError::BadMagic(_))
+        ));
     }
 
     #[test]

@@ -44,10 +44,12 @@ use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-use cc_graphs::{Dist, DistStorage};
+use cc_graphs::{ByteOwner, Dist, DistStorage, PodData};
 use cc_routes::{PairWitness, PathStore, RecId, RouteArena, RowStore};
 
-use crate::oracle::{checked_payload, fnv1a, Cursor, DistOracle, Guarantee, SnapshotError};
+use crate::oracle::{DistOracle, Guarantee, SnapshotError};
+use crate::snapshot::header::{checked_payload, fnv1a, Cursor};
+use crate::snapshot::v2::{owner_from_bytes, SectionWriter, SnapshotView};
 
 /// One reconstructed route: a real walk in the input graph `G`.
 #[derive(Clone, PartialEq, Debug)]
@@ -96,10 +98,19 @@ pub enum PathProvider {
 pub struct PathOracle {
     oracle: DistOracle,
     /// Per packed pair: index into `providers` of the winning pipeline
-    /// (meaningless where no estimate is frozen).
-    origins: Vec<u8>,
+    /// (meaningless where no estimate is frozen). [`PodData`] so v2
+    /// snapshots serve it in place.
+    origins: PodData<u8>,
     providers: Vec<PathProvider>,
 }
+
+// CCRO v2 section ids. Providers get a block of ids each:
+// `RSEC_PROVIDER_BASE + RSEC_PROVIDER_STRIDE * p + k`.
+const RSEC_META: u16 = 1;
+const RSEC_DIST: u16 = 2;
+const RSEC_ORIGINS: u16 = 3;
+const RSEC_PROVIDER_BASE: u16 = 16;
+const RSEC_PROVIDER_STRIDE: u16 = 8;
 
 impl PathOracle {
     /// Assembles an oracle from a frozen distance oracle, a per-pair origin
@@ -112,7 +123,12 @@ impl PathOracle {
     ///
     /// Panics if `origins` is not one byte per packed pair or `providers`
     /// is empty.
-    pub fn new(oracle: DistOracle, origins: Vec<u8>, providers: Vec<PathProvider>) -> Self {
+    pub fn new(
+        oracle: DistOracle,
+        origins: impl Into<PodData<u8>>,
+        providers: Vec<PathProvider>,
+    ) -> Self {
+        let origins = origins.into();
         let n = oracle.n();
         assert_eq!(origins.len(), n * (n + 1) / 2, "one origin per packed pair");
         assert!(!providers.is_empty(), "at least one witness provider");
@@ -158,29 +174,37 @@ impl PathOracle {
     /// when out of range or no estimate was frozen for the pair;
     /// `Some(empty)` on the diagonal.
     pub fn path(&self, u: usize, v: usize) -> Option<Route> {
-        let est = self.oracle.dist(u, v)?;
-        if u == v {
-            return Some(Route {
-                src: u as u32,
-                dst: v as u32,
-                edges: Vec::new(),
-                weight: 0,
-                guarantee: est.guarantee,
-            });
-        }
-        let origin = self.origins[DistStorage::packed_index(self.n(), u, v)];
-        let edges = match self.providers.get(origin as usize)? {
-            PathProvider::Pairs(s) => s.emit(u, v)?,
-            PathProvider::Rows(r) => emit_row_pair(r, u, v)?,
-        };
-        let weight = edges.len() as Dist;
+        let mut edges = Vec::new();
+        let (weight, guarantee) = self.path_into(u, v, &mut edges)?;
         Some(Route {
             src: u as u32,
             dst: v as u32,
             edges,
             weight,
-            guarantee: est.guarantee,
+            guarantee,
         })
+    }
+
+    /// The allocation-free form of [`PathOracle::path`]: appends the
+    /// route's edges to `out` (per-worker scratch on serving paths) and
+    /// returns its weight and guarantee. On `None` the buffer keeps its
+    /// original contents.
+    pub fn path_into(
+        &self,
+        u: usize,
+        v: usize,
+        out: &mut Vec<(u32, u32)>,
+    ) -> Option<(Dist, Guarantee)> {
+        let est = self.oracle.dist(u, v)?;
+        if u == v {
+            return Some((0, est.guarantee));
+        }
+        let origin = self.origins[DistStorage::packed_index(self.n(), u, v)];
+        let count = match self.providers.get(origin as usize)? {
+            PathProvider::Pairs(s) => s.emit_into(u, v, out)?,
+            PathProvider::Rows(r) => emit_row_pair_into(r, u, v, out)?,
+        };
+        Some((count as Dist, est.guarantee))
     }
 
     /// Answers a batch of route queries in order — exactly equivalent to
@@ -297,7 +321,41 @@ impl PathOracle {
     pub fn load<R: Read>(r: &mut R) -> Result<Self, SnapshotError> {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf)?;
-        let payload = checked_payload(&buf, b"CCRO", 1)?;
+        Self::from_snapshot_bytes(&buf)
+    }
+
+    /// [`PathOracle::load`] over an in-memory snapshot, dispatching on the
+    /// version field. v2 bytes are copied once into an aligned owner so the
+    /// hot tables can be viewed in place; use
+    /// [`PathOracle::load_v2_shared`] to serve an existing owner (a mapped
+    /// file) with no copy at all.
+    pub fn from_snapshot_bytes(buf: &[u8]) -> Result<Self, SnapshotError> {
+        let (magic, version) = crate::snapshot::sniff(buf)?;
+        if &magic != b"CCRO" {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        match version {
+            1 => Self::load_v1(buf),
+            2 => Self::load_v2_shared(owner_from_bytes(buf)),
+            v => Err(SnapshotError::UnsupportedVersion(v)),
+        }
+    }
+
+    /// Loads a v2 snapshot directly from a stable byte owner: the embedded
+    /// distance tables, origins and route-arena columns become zero-copy
+    /// views into the owner on little-endian targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] as [`PathOracle::load`] does; a v1 owner
+    /// reports [`SnapshotError::UnsupportedVersion`] (convert it first).
+    pub fn load_v2_shared(owner: Arc<dyn ByteOwner>) -> Result<Self, SnapshotError> {
+        let view = SnapshotView::parse(owner, b"CCRO")?;
+        Self::load_v2(&view)
+    }
+
+    fn load_v1(buf: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = checked_payload(buf, b"CCRO", 1)?;
         let mut c = Cursor::new(payload);
         let _ = c.take_n::<4>()?; // magic, validated above
         let _ = c.take_n::<2>()?; // version, validated above
@@ -429,6 +487,242 @@ impl PathOracle {
         }
         Ok(PathOracle {
             oracle,
+            origins: origins.into(),
+            providers,
+        })
+    }
+
+    // ── Snapshot format v2 ───────────────────────────────────────────────
+    //
+    // The v2 frame and directory are documented in `crate::snapshot::v2`
+    // (and DESIGN.md §9). CCRO sections:
+    //
+    //   1 META       n u64, origin_count u64, provider_count u64 (24 bytes)
+    //   2 DIST       a complete embedded CCDO v2 snapshot (64-aligned, so
+    //                its inner section offsets stay aligned absolutely)
+    //   3 ORIGINS    origin_count × u8                           (hot)
+    //
+    // then, for provider `p` (0-based), ids `16 + 8p + k`:
+    //
+    //   +0 PMETA     kind u8, pad[7], node_count u64, aux u64
+    //                (aux = witness count for pairs, source count for rows)
+    //   +1 A_TAGS    node_count × u8   arena node tags           (hot)
+    //   +2 A_OPA     node_count × u32  arena first operands      (hot)
+    //   +3 A_OPB     node_count × u32  arena second operands     (hot)
+    //   +4 A_LENS    node_count × u32  arena cached lengths      (hot)
+    //   +5 W_TAGS    W × u8   witness tags  (pairs: W = origin_count;
+    //                rows: W = source_count·n)
+    //   +6 W_PAYLOAD W × u32  witness payloads
+    //   +7 SOURCES   [rows only] source_count × u32
+
+    /// Serializes the oracle into snapshot format v2 — the aligned-section
+    /// layout [`PathOracle::load_v2_shared`] serves zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save_v2<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.to_v2_bytes())
+    }
+
+    /// [`PathOracle::save_v2`] to a filesystem path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_v2_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.save_v2(&mut f)
+    }
+
+    pub(crate) fn to_v2_bytes(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new(b"CCRO");
+        let mut meta = Vec::with_capacity(24);
+        meta.extend_from_slice(&(self.n() as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.origins.len() as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.providers.len() as u64).to_le_bytes());
+        w.section(RSEC_META, &meta);
+        w.section(RSEC_DIST, &self.oracle.to_v2_bytes());
+        w.section(RSEC_ORIGINS, &self.origins);
+        for (p, provider) in self.providers.iter().enumerate() {
+            let base = RSEC_PROVIDER_BASE + RSEC_PROVIDER_STRIDE * p as u16;
+            let arena = match provider {
+                PathProvider::Pairs(s) => s.arena(),
+                PathProvider::Rows(r) => r.arena(),
+            };
+            let (a_tags, a_opa, a_opb, a_lens) = arena.sections();
+            let mut pmeta = Vec::with_capacity(24);
+            let aux = match provider {
+                PathProvider::Pairs(s) => {
+                    pmeta.push(0);
+                    s.witnesses().len() as u64
+                }
+                PathProvider::Rows(r) => {
+                    pmeta.push(1);
+                    r.sources().len() as u64
+                }
+            };
+            pmeta.extend_from_slice(&[0u8; 7]);
+            pmeta.extend_from_slice(&(arena.len() as u64).to_le_bytes());
+            pmeta.extend_from_slice(&aux.to_le_bytes());
+            w.section(base, &pmeta);
+            w.section(base + 1, a_tags);
+            w.section_u32(base + 2, a_opa);
+            w.section_u32(base + 3, a_opb);
+            w.section_u32(base + 4, a_lens);
+            let (w_tags, w_payloads): (Vec<u8>, Vec<u32>) = match provider {
+                PathProvider::Pairs(s) => s
+                    .witnesses()
+                    .iter()
+                    .map(|&wit| match wit {
+                        PairWitness::None => (0u8, 0u32),
+                        PairWitness::Rec { rec, rev: false } => (1, rec.index()),
+                        PairWitness::Rec { rec, rev: true } => (2, rec.index()),
+                        PairWitness::Via(via) => (3, via),
+                    })
+                    .unzip(),
+                PathProvider::Rows(r) => r
+                    .recs()
+                    .iter()
+                    .map(|rec| match rec {
+                        None => (0u8, 0u32),
+                        Some(rec) => (1, rec.index()),
+                    })
+                    .unzip(),
+            };
+            w.section(base + 5, &w_tags);
+            w.section_u32(base + 6, &w_payloads);
+            if let PathProvider::Rows(r) = provider {
+                w.section_u32(base + 7, r.sources());
+            }
+        }
+        w.finish()
+    }
+
+    pub(crate) fn load_v2(view: &SnapshotView) -> Result<Self, SnapshotError> {
+        let meta = view.bytes_of(RSEC_META, "CCRO meta")?;
+        let mut c = Cursor::new(meta);
+        let n = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("n exceeds the address space"))?;
+        let origin_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("origin count exceeds the address space"))?;
+        let provider_count = usize::try_from(u64::from_le_bytes(c.take_n::<8>()?))
+            .map_err(|_| SnapshotError::corrupt("provider count exceeds the address space"))?;
+        if !c.at_end() {
+            return Err(SnapshotError::corrupt("CCRO meta section length mismatch"));
+        }
+        let expected_origins = n
+            .checked_add(1)
+            .and_then(|m| n.checked_mul(m))
+            .map(|x| x / 2);
+        if expected_origins != Some(origin_count) {
+            return Err(SnapshotError::corrupt("origin count does not match n"));
+        }
+        if provider_count == 0 || provider_count > 256 {
+            return Err(SnapshotError::corrupt("provider count out of range"));
+        }
+        let oracle = DistOracle::load_v2(&view.sub_view(RSEC_DIST, b"CCDO", "embedded CCDO")?)?;
+        if oracle.n() != n {
+            return Err(SnapshotError::corrupt("embedded oracle dimension mismatch"));
+        }
+        let origins = view.u8_data(RSEC_ORIGINS, origin_count, "origin")?;
+        if origins.iter().any(|&o| o as usize >= provider_count) {
+            return Err(SnapshotError::corrupt("origin beyond provider table"));
+        }
+        let mut providers = Vec::with_capacity(provider_count);
+        for p in 0..provider_count {
+            let base = RSEC_PROVIDER_BASE + RSEC_PROVIDER_STRIDE * p as u16;
+            let pmeta = view.bytes_of(base, "provider meta")?;
+            let mut pc = Cursor::new(pmeta);
+            let kind = pc.take_n::<1>()?[0];
+            let _ = pc.take(7)?; // padding
+            let node_count = usize::try_from(u64::from_le_bytes(pc.take_n::<8>()?))
+                .map_err(|_| SnapshotError::corrupt("node count exceeds the address space"))?;
+            let aux = usize::try_from(u64::from_le_bytes(pc.take_n::<8>()?))
+                .map_err(|_| SnapshotError::corrupt("provider aux exceeds the address space"))?;
+            if !pc.at_end() {
+                return Err(SnapshotError::corrupt("provider meta length mismatch"));
+            }
+            // Section length checks inside u8_data/u32_data bound every
+            // count by bytes actually present before anything is decoded.
+            let a_tags = view.u8_data(base + 1, node_count, "arena tag")?;
+            let a_opa = view.u32_data(base + 2, node_count, "arena operand")?;
+            let a_opb = view.u32_data(base + 3, node_count, "arena operand")?;
+            let a_lens = view.u32_data(base + 4, node_count, "arena length")?;
+            let arena = RouteArena::from_sections(a_tags, a_opa, a_opb, a_lens, n)
+                .ok_or_else(|| SnapshotError::corrupt("invalid witness arena node"))?;
+            match kind {
+                0 => {
+                    if aux != origin_count {
+                        return Err(SnapshotError::corrupt("pair witness count mismatch"));
+                    }
+                    let w_tags = view.u8_data(base + 5, aux, "pair witness tag")?;
+                    let w_payloads = view.u32_data(base + 6, aux, "pair witness payload")?;
+                    let mut entries = Vec::with_capacity(aux);
+                    for (&tag, &payload) in w_tags.iter().zip(w_payloads.iter()) {
+                        let entry = match tag {
+                            0 => PairWitness::None,
+                            1 | 2 => {
+                                if payload as usize >= arena.len() {
+                                    return Err(SnapshotError::corrupt(
+                                        "witness record out of range",
+                                    ));
+                                }
+                                PairWitness::Rec {
+                                    rec: RecId::from_index(payload),
+                                    rev: tag == 2,
+                                }
+                            }
+                            3 => {
+                                if payload as usize >= n {
+                                    return Err(SnapshotError::corrupt("via witness out of range"));
+                                }
+                                PairWitness::Via(payload)
+                            }
+                            _ => return Err(SnapshotError::corrupt("unknown witness tag")),
+                        };
+                        entries.push(entry);
+                    }
+                    providers.push(PathProvider::Pairs(Arc::new(PathStore::from_parts(
+                        n, arena, entries,
+                    ))));
+                }
+                1 => {
+                    let sources = view.u32_data(base + 7, aux, "source")?;
+                    if sources.iter().any(|&s| s as usize >= n) {
+                        return Err(SnapshotError::corrupt("source out of range"));
+                    }
+                    let cell_count = aux
+                        .checked_mul(n)
+                        .ok_or_else(|| SnapshotError::corrupt("row store too large"))?;
+                    let w_tags = view.u8_data(base + 5, cell_count, "row witness tag")?;
+                    let w_payloads = view.u32_data(base + 6, cell_count, "row witness payload")?;
+                    let mut recs = Vec::with_capacity(cell_count);
+                    for (&tag, &payload) in w_tags.iter().zip(w_payloads.iter()) {
+                        let rec = match tag {
+                            0 => None,
+                            1 => {
+                                if payload as usize >= arena.len() {
+                                    return Err(SnapshotError::corrupt("row record out of range"));
+                                }
+                                Some(RecId::from_index(payload))
+                            }
+                            _ => return Err(SnapshotError::corrupt("unknown row witness tag")),
+                        };
+                        recs.push(rec);
+                    }
+                    providers.push(PathProvider::Rows(Arc::new(RowStore::from_parts(
+                        n,
+                        sources.to_vec(),
+                        arena,
+                        recs,
+                    ))));
+                }
+                _ => return Err(SnapshotError::corrupt("unknown provider kind")),
+            }
+        }
+        Ok(PathOracle {
+            oracle,
             origins,
             providers,
         })
@@ -485,7 +779,12 @@ impl PartialEq for PathOracle {
 /// byte-for-byte equivalent to the ones that were saved, and the winner is
 /// never heavier than the frozen estimate (some covering row realized it,
 /// and that row's walk is at most its value).
-fn emit_row_pair(r: &RowStore, u: usize, v: usize) -> Option<Vec<(u32, u32)>> {
+fn emit_row_pair_into(
+    r: &RowStore,
+    u: usize,
+    v: usize,
+    out: &mut Vec<(u32, u32)>,
+) -> Option<usize> {
     let n = r.n();
     let mut best: Option<(u32, usize, bool)> = None; // (walk len, row, reversed)
     for (i, &s) in r.sources().iter().enumerate() {
@@ -502,14 +801,15 @@ fn emit_row_pair(r: &RowStore, u: usize, v: usize) -> Option<Vec<(u32, u32)>> {
         }
     }
     let (_, i, reversed) = best?;
-    let mut edges = r.emit(i, if reversed { u } else { v })?;
+    let start = out.len();
+    let count = r.emit_into(i, if reversed { u } else { v }, out)?;
     if reversed {
-        edges.reverse();
-        for e in &mut edges {
+        out[start..].reverse();
+        for e in &mut out[start..] {
             *e = (e.1, e.0);
         }
     }
-    Some(edges)
+    Some(count)
 }
 
 #[cfg(test)]
@@ -602,5 +902,130 @@ mod tests {
         flipped[mid] ^= 0xFF;
         assert!(PathOracle::load(&mut &flipped[..]).is_err());
         assert!(PathOracle::load(&mut &buf[..buf.len() - 3]).is_err());
+    }
+
+    /// Both provider kinds: a pair store plus a row store over sources
+    /// {0, 2}, with every pair touching vertex 0 routed to the rows.
+    fn two_provider_oracle() -> PathOracle {
+        let g = path_graph(4);
+        let mut pairs = PathStore::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                let verts: Vec<u32> = (u..=v).collect();
+                pairs.offer_walk(&g, (v - u) as Dist, &verts);
+            }
+        }
+        let mut rows = RowStore::new(4, &[0, 2]);
+        for (i, s) in [0u32, 2].into_iter().enumerate() {
+            for v in 0..4u32 {
+                if v == s {
+                    continue;
+                }
+                let verts: Vec<u32> = if s < v {
+                    (s..=v).collect()
+                } else {
+                    (v..=s).rev().collect()
+                };
+                rows.offer_walk(&g, i, s.abs_diff(v) as Dist, &verts);
+            }
+        }
+        let mut m = crate::estimates::DistanceMatrix::new(4);
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    m.improve(u, v, u.abs_diff(v) as Dist);
+                }
+            }
+        }
+        let oracle = DistOracle::from_matrix(
+            &m,
+            Guarantee::mult2(0.5),
+            cc_graphs::StorageKind::SymmetricPacked,
+        );
+        let mut origins = vec![0u8; 10];
+        for v in 0..4 {
+            origins[DistStorage::packed_index(4, 0, v)] = 1;
+        }
+        origins[DistStorage::packed_index(4, 2, 3)] = 1;
+        PathOracle::new(
+            oracle,
+            origins,
+            vec![
+                PathProvider::Pairs(Arc::new(pairs)),
+                PathProvider::Rows(Arc::new(rows)),
+            ],
+        )
+    }
+
+    #[test]
+    fn snapshot_v2_round_trips_both_provider_kinds() {
+        let o = two_provider_oracle();
+        let mut buf = Vec::new();
+        o.save_v2(&mut buf).unwrap();
+        let back = PathOracle::load(&mut &buf[..]).unwrap();
+        assert_eq!(back, o);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(back.path(u, v), o.path(u, v), "route ({u},{v})");
+            }
+        }
+        // The reloaded oracle serves its hot tables from the snapshot
+        // bytes (little-endian hosts; elsewhere it degrades to a copy).
+        if cfg!(target_endian = "little") {
+            assert!(back.dist_oracle().storage().is_shared());
+        }
+        let mut again = Vec::new();
+        back.save_v2(&mut again).unwrap();
+        assert_eq!(buf, again, "v2 re-save must be byte-identical");
+    }
+
+    #[test]
+    fn snapshot_v1_to_v2_upgrade_preserves_routes() {
+        let o = two_provider_oracle();
+        let mut v1 = Vec::new();
+        o.save(&mut v1).unwrap();
+        let loaded = PathOracle::load(&mut &v1[..]).unwrap();
+        let mut v2 = Vec::new();
+        loaded.save_v2(&mut v2).unwrap();
+        let upgraded = PathOracle::load(&mut &v2[..]).unwrap();
+        assert_eq!(upgraded, o);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(upgraded.path(u, v), o.path(u, v));
+                assert_eq!(upgraded.dist(u, v), o.dist(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_v2_rejects_corruption_with_typed_errors() {
+        let o = two_provider_oracle();
+        let mut buf = Vec::new();
+        o.save_v2(&mut buf).unwrap();
+
+        // Any single bit flip in the frame trips the checksum (or a
+        // structural check) — never a panic, never a bogus oracle.
+        for &pos in &[6, 40, buf.len() / 2, buf.len() - 9] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                PathOracle::load(&mut &bad[..]).is_err(),
+                "flip at {pos} must be rejected"
+            );
+        }
+        // Truncations at section boundaries and mid-directory.
+        for cut in [10, 64, 200, buf.len() - 1] {
+            let err = PathOracle::load(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+        let mut wrong_magic = buf.clone();
+        wrong_magic[..4].copy_from_slice(b"CCDO");
+        assert!(matches!(
+            PathOracle::load(&mut &wrong_magic[..]),
+            Err(SnapshotError::BadMagic(_))
+        ));
     }
 }

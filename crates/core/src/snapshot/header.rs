@@ -1,0 +1,156 @@
+//! The snapshot frame: magic, version, trailing checksum, typed errors.
+//!
+//! Every snapshot this workspace writes — `CCDO` v1/v2, `CCRO` v1/v2 —
+//! shares one frame shape:
+//!
+//! ```text
+//!   magic     4 bytes   (b"CCDO" or b"CCRO")
+//!   version   u16 LE
+//!   …body…
+//!   checksum  u64 LE    FNV-1a over every preceding byte
+//! ```
+//!
+//! `checked_frame` validates that frame in the only safe order: magic
+//! first, then version, then the checksum. A snapshot written by a future
+//! format version (whose trailing bytes this build cannot even locate)
+//! reports [`SnapshotError::UnsupportedVersion`], never a misleading
+//! checksum mismatch. The CCDO and CCRO readers — and both format
+//! versions — go through this one implementation.
+
+/// Validates a snapshot frame — magic, then version against the supported
+/// set, then the trailing FNV-1a checksum — and returns the accepted
+/// version plus the checksummed payload (everything before the 8-byte
+/// tail).
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`], or
+/// [`SnapshotError::Corrupt`] on truncation / checksum mismatch.
+pub(crate) fn checked_frame<'a>(
+    buf: &'a [u8],
+    magic: &[u8; 4],
+    supported: &[u16],
+) -> Result<(u16, &'a [u8]), SnapshotError> {
+    // Magic and version live in the first 6 bytes and are validated before
+    // the checksum, so future-version snapshots fail with the actionable
+    // error even though this build cannot verify their integrity.
+    if buf.len() < 6 {
+        return Err(SnapshotError::corrupt("shorter than magic + version"));
+    }
+    let got: [u8; 4] = buf[..4].try_into().expect("4-byte magic");
+    if &got != magic {
+        return Err(SnapshotError::BadMagic(got));
+    }
+    let got_version = u16::from_le_bytes(buf[4..6].try_into().expect("2-byte version"));
+    if !supported.contains(&got_version) {
+        return Err(SnapshotError::UnsupportedVersion(got_version));
+    }
+    if buf.len() < 14 {
+        return Err(SnapshotError::corrupt("shorter than header + checksum"));
+    }
+    let (payload, tail) = buf.split_at(buf.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if fnv1a(payload) != stored {
+        return Err(SnapshotError::corrupt("checksum mismatch"));
+    }
+    Ok((got_version, payload))
+}
+
+/// [`checked_frame`] for a single supported version.
+pub(crate) fn checked_payload<'a>(
+    buf: &'a [u8],
+    magic: &[u8; 4],
+    version: u16,
+) -> Result<&'a [u8], SnapshotError> {
+    checked_frame(buf, magic, &[version]).map(|(_, payload)| payload)
+}
+
+/// FNV-1a over a byte slice (the snapshot checksum).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Bounds-checked reader over a snapshot payload.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SnapshotError::corrupt("truncated payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn take_n<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        Ok(self.take(N)?.try_into().expect("length checked"))
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Errors reading or writing oracle snapshots.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the expected magic.
+    BadMagic([u8; 4]),
+    /// A version this build does not understand.
+    UnsupportedVersion(u16),
+    /// Structurally invalid or truncated payload (detail in the message).
+    Corrupt(String),
+}
+
+impl SnapshotError {
+    pub(crate) fn corrupt(msg: &str) -> Self {
+        SnapshotError::Corrupt(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic(m) => write!(f, "not an oracle snapshot (magic {m:02x?})"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}

@@ -1,0 +1,46 @@
+//! Snapshot persistence shared by the `CCDO` ([`crate::DistOracle`]) and
+//! `CCRO` ([`crate::PathOracle`]) formats.
+//!
+//! Two format versions coexist:
+//!
+//! * **v1** — the original streaming format: a packed little-endian byte
+//!   sequence, decoded field by field into freshly allocated tables.
+//!   Compact and portable; every load pays a full deserialization pass.
+//! * **v2** — the serving format: the same logical content laid out as
+//!   **64-byte-aligned POD sections** behind a section directory, with the
+//!   same `magic / version u16 / … / trailing FNV-1a u64` frame as v1. The
+//!   hot tables (distance entries, provenance tags, route-arena columns,
+//!   origins, sources) are directly addressable from a mapped file: loading
+//!   builds [`cc_graphs::SharedSlice`] views into the snapshot bytes
+//!   instead of copying them (little-endian targets; elsewhere the loader
+//!   transparently decode-copies).
+//!
+//! [`header`] holds the frame plumbing both versions and both formats
+//! share — magic/version inspection, the trailing checksum, the
+//! bounds-checked cursor, [`SnapshotError`]. The `v2` module holds the
+//! section writer and the validated section view. The per-format
+//! field layouts live with their types (`oracle.rs`, `path_oracle.rs`);
+//! `DESIGN.md` §9 documents the v2 layout and alignment rules.
+
+pub mod header;
+pub(crate) mod v2;
+
+pub use header::SnapshotError;
+pub use v2::SnapshotView;
+
+/// Identifies a snapshot byte stream without parsing it: `(magic, version)`
+/// from the 6-byte prefix shared by every CCDO/CCRO version. The caller
+/// decides whether the pair is one it understands; this only fails on
+/// streams too short to carry a header.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Corrupt`] when fewer than 6 bytes are present.
+pub fn sniff(bytes: &[u8]) -> Result<([u8; 4], u16), SnapshotError> {
+    if bytes.len() < 6 {
+        return Err(SnapshotError::corrupt("shorter than magic + version"));
+    }
+    let magic: [u8; 4] = bytes[..4].try_into().expect("4-byte magic");
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte version"));
+    Ok((magic, version))
+}

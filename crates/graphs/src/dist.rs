@@ -1,6 +1,8 @@
 //! The distance scalar used throughout the workspace, plus the physical
 //! storage layouts distance tables are frozen into for serving.
 
+use crate::pod::PodData;
+
 /// Distance value. Unweighted distances are at most `n`; emulator and hopset
 /// weights are sums of at most `n` unit lengths, so `u32` suffices for every
 /// graph this workspace handles.
@@ -84,20 +86,21 @@ pub struct DistStorage {
 #[derive(Clone, PartialEq, Eq, Debug)]
 enum Repr {
     /// Row-major square table: `n * n` entries.
-    Full { n: usize, data: Vec<Dist> },
+    Full { n: usize, data: PodData<Dist> },
     /// Packed upper triangle of a symmetric table: `n(n+1)/2` entries.
-    SymmetricPacked { n: usize, data: Vec<Dist> },
+    SymmetricPacked { n: usize, data: PodData<Dist> },
     /// Rows of selected sources only: `sources.len() * n` entries,
     /// `data[i * n + v] = δ(sources[i], v)`.
     RowSparse {
         n: usize,
         /// Source vertices, in input order (duplicates allowed; the first
         /// occurrence wins on lookup).
-        sources: Vec<u32>,
+        sources: PodData<u32>,
         /// First-occurrence row of each vertex (`NO_ROW` for non-sources):
-        /// the O(1) index point lookups go through.
+        /// the O(1) index point lookups go through. Always owned — derived
+        /// at construction, never part of a snapshot.
         row_of: Vec<u32>,
-        data: Vec<Dist>,
+        data: PodData<Dist>,
     },
 }
 
@@ -105,12 +108,14 @@ enum Repr {
 const NO_ROW: u32 = u32::MAX;
 
 impl DistStorage {
-    /// Wraps a row-major square table.
+    /// Wraps a row-major square table (an owned `Vec` or a shared snapshot
+    /// section — anything convertible to [`PodData`]).
     ///
     /// # Panics
     ///
     /// Panics if `data.len() != n * n`.
-    pub fn full(n: usize, data: Vec<Dist>) -> Self {
+    pub fn full(n: usize, data: impl Into<PodData<Dist>>) -> Self {
+        let data = data.into();
         assert_eq!(data.len(), n * n, "full storage needs n^2 entries");
         DistStorage {
             repr: Repr::Full { n, data },
@@ -122,7 +127,8 @@ impl DistStorage {
     /// # Panics
     ///
     /// Panics if `data.len() != n(n+1)/2`.
-    pub fn symmetric_packed(n: usize, data: Vec<Dist>) -> Self {
+    pub fn symmetric_packed(n: usize, data: impl Into<PodData<Dist>>) -> Self {
+        let data = data.into();
         assert_eq!(
             data.len(),
             n * (n + 1) / 2,
@@ -139,7 +145,12 @@ impl DistStorage {
     /// # Panics
     ///
     /// Panics if `data.len() != sources.len() * n` or a source is `≥ n`.
-    pub fn row_sparse(n: usize, sources: Vec<u32>, data: Vec<Dist>) -> Self {
+    pub fn row_sparse(
+        n: usize,
+        sources: impl Into<PodData<u32>>,
+        data: impl Into<PodData<Dist>>,
+    ) -> Self {
+        let (sources, data) = (sources.into(), data.into());
         assert_eq!(
             data.len(),
             sources.len() * n,
@@ -162,6 +173,16 @@ impl DistStorage {
                 row_of,
                 data,
             },
+        }
+    }
+
+    /// `true` when the entry table is a zero-copy view into a shared byte
+    /// buffer (a mapped snapshot) rather than an owned allocation.
+    pub fn is_shared(&self) -> bool {
+        match &self.repr {
+            Repr::Full { data, .. }
+            | Repr::SymmetricPacked { data, .. }
+            | Repr::RowSparse { data, .. } => data.is_shared(),
         }
     }
 
@@ -311,8 +332,15 @@ impl DistStorage {
         match &self.repr {
             Repr::Full { data, .. } => out.copy_from_slice(&data[u * n..(u + 1) * n]),
             Repr::SymmetricPacked { data, .. } => {
+                // One pass with an incremental index walk instead of a
+                // packed_index multiply per cell: column u of row v and
+                // column u of row v+1 are exactly n-v-1 entries apart in
+                // the packed triangle, so the whole column above the
+                // diagonal is a strided scan starting at packed(0,u) = u.
+                let mut idx = u;
                 for v in 0..u {
-                    out[v] = data[Self::packed_index(n, v, u)];
+                    out[v] = data[idx];
+                    idx += n - v - 1;
                 }
                 let start = Self::packed_index(n, u, u);
                 out[u..n].copy_from_slice(&data[start..start + (n - u)]);

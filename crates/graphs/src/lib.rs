@@ -25,7 +25,10 @@
 //! assert_eq!(d[7], 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied (not forbidden) so the one sanctioned exception — the
+// `pod` module's byte-reinterpretation primitives behind validated
+// constructors — can opt back in locally. Everything else stays safe.
+#![deny(unsafe_code)]
 // Index-based loops are the clearest idiom for the dense adjacency/matrix
 // code in this workspace.
 #![allow(clippy::needless_range_loop)]
@@ -37,7 +40,9 @@ pub mod dist;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod pod;
 pub mod stretch;
 
 pub use dist::{dadd, Dist, DistStorage, StorageKind, INF};
 pub use graph::{Graph, WeightedGraph};
+pub use pod::{AlignedBytes, ByteOwner, Pod, PodData, SharedSlice};

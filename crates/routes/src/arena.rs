@@ -1,5 +1,7 @@
 //! The append-only arena of path records.
 
+use cc_graphs::PodData;
+
 /// Handle of a record in a [`RouteArena`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RecId(pub(crate) u32);
@@ -33,18 +35,36 @@ pub(crate) enum Node {
     Rev(u32),
 }
 
+/// Node tag: a single `G` edge.
+pub const TAG_EDGE: u8 = 0;
+/// Node tag: concatenation of two earlier records.
+pub const TAG_CAT: u8 = 1;
+/// Node tag: reversal of an earlier record.
+pub const TAG_REV: u8 = 2;
+
 /// Append-only arena of path records with structural sharing.
 ///
 /// A long path that extends another path by one edge costs one `Cat` node,
 /// so the parent chains of BFS/Dijkstra trees intern in `O(1)` amortized per
 /// vertex, and the full expansion is only materialized on
 /// [`RouteArena::emit_into`].
+///
+/// Storage is struct-of-arrays — one `u8` tag plus two `u32` operands plus a
+/// cached `u32` length per record — exactly the section layout of snapshot
+/// format v2, so a mapped snapshot serves its arena as zero-copy
+/// [`PodData`] views and the first mutation (if any) transparently converts
+/// to owned storage.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct RouteArena {
-    nodes: Vec<Node>,
+    /// `TAG_EDGE` / `TAG_CAT` / `TAG_REV` per record.
+    tags: PodData<u8>,
+    /// First operand: edge source, first cat child, or rev child.
+    ops_a: PodData<u32>,
+    /// Second operand: edge target or second cat child (0 for `Rev`).
+    ops_b: PodData<u32>,
     /// Number of `G`-edges of each record (the walk's weight on unweighted
     /// inputs), kept incrementally so weights are O(1) without emitting.
-    lens: Vec<u32>,
+    lens: PodData<u32>,
 }
 
 impl RouteArena {
@@ -55,17 +75,99 @@ impl RouteArena {
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.tags.len()
     }
 
     /// `true` when no record has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.tags.is_empty()
+    }
+
+    /// `true` when the record tables are zero-copy views into a shared byte
+    /// buffer (a mapped snapshot) rather than owned allocations.
+    pub fn is_shared(&self) -> bool {
+        self.tags.is_shared()
+    }
+
+    /// The raw SoA sections `(tags, ops_a, ops_b, lens)` — the exact order
+    /// and element types of the v2 snapshot sections.
+    pub fn sections(&self) -> (&[u8], &[u32], &[u32], &[u32]) {
+        (&self.tags, &self.ops_a, &self.ops_b, &self.lens)
+    }
+
+    /// Rebuilds an arena directly from its four SoA sections (typically
+    /// zero-copy views into a mapped v2 snapshot), validating every record
+    /// against the DAG invariant — children strictly smaller than their
+    /// node, edge endpoints below `n`, no self-loop edges, known tags, and
+    /// cached lengths consistent with the children — before accepting.
+    /// Returns `None` on any violation or on mismatched section lengths.
+    /// O(records) reads, no allocation.
+    pub fn from_sections(
+        tags: impl Into<PodData<u8>>,
+        ops_a: impl Into<PodData<u32>>,
+        ops_b: impl Into<PodData<u32>>,
+        lens: impl Into<PodData<u32>>,
+        n: usize,
+    ) -> Option<RouteArena> {
+        let (tags, ops_a, ops_b, lens) = (tags.into(), ops_a.into(), ops_b.into(), lens.into());
+        let count = tags.len();
+        if ops_a.len() != count || ops_b.len() != count || lens.len() != count {
+            return None;
+        }
+        u32::try_from(count).ok()?;
+        for i in 0..count {
+            let (a, b) = (ops_a[i], ops_b[i]);
+            let want = match tags[i] {
+                TAG_EDGE => {
+                    if a == b || a as usize >= n || b as usize >= n {
+                        return None;
+                    }
+                    1
+                }
+                TAG_CAT => {
+                    if a as usize >= i || b as usize >= i {
+                        return None;
+                    }
+                    lens[a as usize].checked_add(lens[b as usize])?
+                }
+                TAG_REV => {
+                    if a as usize >= i || b != 0 {
+                        return None;
+                    }
+                    lens[a as usize]
+                }
+                _ => return None,
+            };
+            if lens[i] != want {
+                return None;
+            }
+        }
+        Some(RouteArena {
+            tags,
+            ops_a,
+            ops_b,
+            lens,
+        })
+    }
+
+    fn node(&self, i: usize) -> Node {
+        match self.tags[i] {
+            TAG_EDGE => Node::Edge(self.ops_a[i], self.ops_b[i]),
+            TAG_CAT => Node::Cat(self.ops_a[i], self.ops_b[i]),
+            _ => Node::Rev(self.ops_a[i]),
+        }
     }
 
     fn push(&mut self, node: Node, len: u32) -> RecId {
-        let id = u32::try_from(self.nodes.len()).expect("arena exceeds u32 records");
-        self.nodes.push(node);
+        let id = u32::try_from(self.len()).expect("arena exceeds u32 records");
+        let (tag, a, b) = match node {
+            Node::Edge(u, v) => (TAG_EDGE, u, v),
+            Node::Cat(x, y) => (TAG_CAT, x, y),
+            Node::Rev(x) => (TAG_REV, x, 0),
+        };
+        self.tags.push(tag);
+        self.ops_a.push(a);
+        self.ops_b.push(b);
         self.lens.push(len);
         RecId(id)
     }
@@ -86,7 +188,7 @@ impl RouteArena {
     ///
     /// Panics if either child is out of range.
     pub fn cat(&mut self, a: RecId, b: RecId) -> RecId {
-        let n = self.nodes.len() as u32;
+        let n = self.len() as u32;
         assert!(a.0 < n && b.0 < n, "cat children must already be interned");
         let len = self.lens[a.0 as usize] + self.lens[b.0 as usize];
         self.push(Node::Cat(a.0, b.0), len)
@@ -99,9 +201,9 @@ impl RouteArena {
     ///
     /// Panics if `a` is out of range.
     pub fn rev(&mut self, a: RecId) -> RecId {
-        assert!((a.0 as usize) < self.nodes.len(), "rev child out of range");
-        if let Node::Rev(inner) = self.nodes[a.0 as usize] {
-            return RecId(inner);
+        assert!((a.0 as usize) < self.len(), "rev child out of range");
+        if self.tags[a.0 as usize] == TAG_REV {
+            return RecId(self.ops_a[a.0 as usize]);
         }
         self.push(Node::Rev(a.0), self.lens[a.0 as usize])
     }
@@ -119,7 +221,7 @@ impl RouteArena {
     pub fn emit_into(&self, id: RecId, reversed: bool, out: &mut Vec<(u32, u32)>) {
         let mut stack: Vec<(u32, bool)> = vec![(id.0, reversed)];
         while let Some((id, rev)) = stack.pop() {
-            match self.nodes[id as usize] {
+            match self.node(id as usize) {
                 Node::Edge(u, v) => out.push(if rev { (v, u) } else { (u, v) }),
                 Node::Cat(a, b) => {
                     // Forward: a then b — push b first so a pops first.
@@ -148,12 +250,14 @@ impl RouteArena {
     /// a record `r` of `other` becomes `RecId(r.index() + offset)` here.
     /// O(|other|); id order (and therefore the DAG invariant) is preserved.
     pub fn absorb(&mut self, other: &RouteArena) -> u32 {
-        let offset = u32::try_from(self.nodes.len()).expect("arena exceeds u32 records");
-        self.nodes.extend(other.nodes.iter().map(|&n| match n {
-            Node::Edge(u, v) => Node::Edge(u, v),
-            Node::Cat(a, b) => Node::Cat(a + offset, b + offset),
-            Node::Rev(a) => Node::Rev(a + offset),
-        }));
+        let offset = u32::try_from(self.len()).expect("arena exceeds u32 records");
+        self.tags.extend_from_slice(&other.tags);
+        for i in 0..other.len() {
+            let shift = if other.tags[i] == TAG_EDGE { 0 } else { offset };
+            self.ops_a.push(other.ops_a[i] + shift);
+            let b_shift = if other.tags[i] == TAG_CAT { offset } else { 0 };
+            self.ops_b.push(other.ops_b[i] + b_shift);
+        }
         self.lens.extend_from_slice(&other.lens);
         offset
     }
@@ -161,32 +265,28 @@ impl RouteArena {
     /// Wire form of node `i` for snapshots: `(tag, a, b)` with tag 0 = Edge,
     /// 1 = Cat, 2 = Rev (`b` unused for Rev).
     pub fn wire_node(&self, i: usize) -> (u8, u32, u32) {
-        match self.nodes[i] {
-            Node::Edge(u, v) => (0, u, v),
-            Node::Cat(a, b) => (1, a, b),
-            Node::Rev(a) => (2, a, 0),
-        }
+        (self.tags[i], self.ops_a[i], self.ops_b[i])
     }
 
     /// Rebuilds a node from its wire form, validating the DAG invariant
     /// (children strictly smaller than the new id, edge endpoints below `n`,
     /// no self-loop edges). Returns `None` on any violation.
     pub fn push_wire_node(&mut self, tag: u8, a: u32, b: u32, n: usize) -> Option<RecId> {
-        let id = self.nodes.len() as u32;
+        let id = self.len() as u32;
         match tag {
-            0 => {
+            TAG_EDGE => {
                 if a == b || a as usize >= n || b as usize >= n {
                     return None;
                 }
                 Some(self.edge(a, b))
             }
-            1 => {
+            TAG_CAT => {
                 if a >= id || b >= id {
                     return None;
                 }
                 Some(self.cat(RecId(a), RecId(b)))
             }
-            2 => {
+            TAG_REV => {
                 if a >= id {
                     return None;
                 }
@@ -254,6 +354,20 @@ mod tests {
     }
 
     #[test]
+    fn absorb_shifts_rev_nodes_too() {
+        let mut b = RouteArena::new();
+        let e = b.edge(0, 1);
+        let r = b.rev(e);
+        let c = b.cat(r, e);
+        let mut a = RouteArena::new();
+        let _pad = a.edge(5, 6);
+        let _pad2 = a.edge(6, 7);
+        let offset = a.absorb(&b);
+        let c2 = RecId(c.index() + offset);
+        assert_eq!(a.emit(c2, false), vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
     fn wire_round_trip_validates() {
         let mut a = RouteArena::new();
         let e = a.edge(0, 1);
@@ -272,6 +386,47 @@ mod tests {
         assert!(bad.push_wire_node(0, 2, 2, 4).is_none(), "self-loop");
         assert!(bad.push_wire_node(0, 0, 9, 4).is_none(), "out of range");
         assert!(bad.push_wire_node(9, 0, 1, 4).is_none(), "unknown tag");
+    }
+
+    #[test]
+    fn from_sections_round_trips_and_rejects_corruption() {
+        let mut a = RouteArena::new();
+        let e = a.edge(0, 1);
+        let f = a.edge(1, 2);
+        let c = a.cat(e, f);
+        let _r = a.rev(c);
+        let (tags, ops_a, ops_b, lens) = a.sections();
+        let (tags, ops_a, ops_b, lens) =
+            (tags.to_vec(), ops_a.to_vec(), ops_b.to_vec(), lens.to_vec());
+        let b =
+            RouteArena::from_sections(tags.clone(), ops_a.clone(), ops_b.clone(), lens.clone(), 3)
+                .expect("valid sections");
+        assert_eq!(a, b);
+        // Forward cat reference.
+        let mut bad_a = ops_a.clone();
+        bad_a[2] = 3;
+        assert!(
+            RouteArena::from_sections(tags.clone(), bad_a, ops_b.clone(), lens.clone(), 3)
+                .is_none()
+        );
+        // Inconsistent cached length.
+        let mut bad_lens = lens.clone();
+        bad_lens[2] = 7;
+        assert!(
+            RouteArena::from_sections(tags.clone(), ops_a.clone(), ops_b.clone(), bad_lens, 3)
+                .is_none()
+        );
+        // Unknown tag.
+        let mut bad_tags = tags.clone();
+        bad_tags[0] = 9;
+        assert!(
+            RouteArena::from_sections(bad_tags, ops_a.clone(), ops_b.clone(), lens.clone(), 3)
+                .is_none()
+        );
+        // Rev with nonzero second operand.
+        let mut bad_b = ops_b.clone();
+        bad_b[3] = 1;
+        assert!(RouteArena::from_sections(tags, ops_a, bad_b, lens, 3).is_none());
     }
 
     #[test]

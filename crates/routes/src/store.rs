@@ -64,17 +64,17 @@ impl PathStore {
         }
     }
 
-    /// Rebuilds a store from frozen parts (snapshot loading). Mirrored
-    /// values are not part of snapshots; the rebuilt store only serves
-    /// [`PathStore::emit`].
+    /// Rebuilds a store from frozen parts (snapshot loading). The arena is
+    /// taken as-is — no copy, so zero-copy (shared-section) arenas stay
+    /// zero-copy. Mirrored values are not part of snapshots; the rebuilt
+    /// store only serves [`PathStore::emit`].
     ///
     /// # Panics
     ///
     /// Panics if `entries.len() != n(n+1)/2`.
     pub fn from_parts(n: usize, arena: RouteArena, entries: Vec<PairWitness>) -> Self {
         assert_eq!(entries.len(), n * (n + 1) / 2, "one witness per pair");
-        let mut routes = Unroller::new();
-        routes.arena_mut().absorb(&arena);
+        let routes = Unroller::from_arena(arena);
         let mut best = vec![INF; entries.len()];
         for u in 0..n {
             best[DistStorage::packed_index(n, u, u)] = 0;
@@ -198,28 +198,46 @@ impl PathStore {
     /// the pair has no witness, an endpoint is out of range, or — on
     /// corrupted (snapshot-loaded) stores — expansion exceeds its budget.
     pub fn emit(&self, u: usize, v: usize) -> Option<Vec<(u32, u32)>> {
+        let mut out = Vec::new();
+        self.emit_into(u, v, &mut out)?;
+        Some(out)
+    }
+
+    /// Like [`PathStore::emit`], but appends into a caller-provided buffer
+    /// (per-worker scratch on serving paths) and returns the number of edges
+    /// appended. On failure the buffer is truncated back to its original
+    /// length.
+    pub fn emit_into(&self, u: usize, v: usize, out: &mut Vec<(u32, u32)>) -> Option<usize> {
         if u >= self.n || v >= self.n {
             return None;
         }
+        let start = out.len();
         if u == v {
-            return Some(Vec::new());
+            return Some(0);
         }
-        let mut out = Vec::new();
         let mut stack: Vec<(u32, u32)> = vec![(u as u32, v as u32)];
         // Well-formed stores strictly descend in value on every Via, so the
         // walk has at most `value(u,v)` edges; the budget only trips on
         // corrupt snapshots (where it turns a cycle into a clean None).
         let mut budget: u64 = 64 * (self.n as u64) * (self.n as u64) + 1024;
         while let Some((x, y)) = stack.pop() {
-            budget = budget.checked_sub(1)?;
+            let Some(rest) = budget.checked_sub(1) else {
+                out.truncate(start);
+                return None;
+            };
+            budget = rest;
             let idx = DistStorage::packed_index(self.n, x as usize, y as usize);
             match self.entries[idx] {
-                PairWitness::None => return None,
+                PairWitness::None => {
+                    out.truncate(start);
+                    return None;
+                }
                 PairWitness::Rec { rec, rev } => {
-                    self.routes.arena().emit_into(rec, rev ^ (x > y), &mut out);
+                    self.routes.arena().emit_into(rec, rev ^ (x > y), out);
                 }
                 PairWitness::Via(w) => {
                     if w == x || w == y || w as usize >= self.n {
+                        out.truncate(start);
                         return None; // corrupt snapshot
                     }
                     stack.push((w, y));
@@ -227,7 +245,7 @@ impl PathStore {
                 }
             }
         }
-        Some(out)
+        Some(out.len() - start)
     }
 }
 
@@ -274,8 +292,7 @@ impl RowStore {
         recs: Vec<Option<RecId>>,
     ) -> Self {
         assert_eq!(recs.len(), sources.len() * n, "one record per cell");
-        let mut routes = Unroller::new();
-        routes.arena_mut().absorb(&arena);
+        let routes = Unroller::from_arena(arena);
         let mut best = vec![INF; recs.len()];
         for (i, &s) in sources.iter().enumerate() {
             best[i * n + s as usize] = 0;
@@ -367,14 +384,24 @@ impl RowStore {
     /// running `sources[i] → v` (`Some(vec![])` when `v` is the source
     /// itself).
     pub fn emit(&self, i: usize, v: usize) -> Option<Vec<(u32, u32)>> {
+        let mut out = Vec::new();
+        self.emit_into(i, v, &mut out)?;
+        Some(out)
+    }
+
+    /// Like [`RowStore::emit`], but appends into a caller-provided buffer
+    /// and returns the number of edges appended.
+    pub fn emit_into(&self, i: usize, v: usize, out: &mut Vec<(u32, u32)>) -> Option<usize> {
         if v >= self.n {
             return None;
         }
         if v == self.sources[i] as usize {
-            return Some(Vec::new());
+            return Some(0);
         }
+        let start = out.len();
         let rec = self.recs[i * self.n + v]?;
-        Some(self.routes.arena().emit(rec, false))
+        self.routes.arena().emit_into(rec, false, out);
+        Some(out.len() - start)
     }
 }
 

@@ -30,6 +30,17 @@ impl Unroller {
         Unroller::default()
     }
 
+    /// Wraps an already-built arena (typically reconstructed from a snapshot
+    /// — zero-copy when the arena's sections are shared views) without
+    /// copying its records. The pair registry starts empty; stores that keep
+    /// their own witness tables never consult it.
+    pub fn from_arena(arena: RouteArena) -> Self {
+        Unroller {
+            arena,
+            by_pair: HashMap::new(),
+        }
+    }
+
     /// The record arena.
     pub fn arena(&self) -> &RouteArena {
         &self.arena

@@ -1,0 +1,153 @@
+//! `ccd` — the oracle serving daemon.
+//!
+//! ```text
+//! ccd serve --snapshot FILE [--addr 127.0.0.1:7411] [--threads N]
+//!           [--queue-cap N] [--batch-max N] [--deadline-ms N]
+//!           [--max-secs S]
+//! ccd snapshot upgrade IN OUT      # rewrite any snapshot as format v2
+//! ccd snapshot info FILE           # frame, sections, dimensions
+//! ```
+//!
+//! `serve` loads the snapshot (v2 files are memory-mapped and served
+//! zero-copy), binds, prints one status line, and runs until killed — or
+//! for `--max-secs`, then drains gracefully.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cc_serve::{server, snapshot, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ccd serve --snapshot FILE [--addr A] [--threads N] [--queue-cap N]\n            [--batch-max N] [--deadline-ms N] [--max-secs S]\n  ccd snapshot upgrade IN OUT\n  ccd snapshot info FILE"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("snapshot") => match args.get(1).map(String::as_str) {
+            Some("upgrade") => cmd_upgrade(&args[2..]),
+            Some("info") => cmd_info(&args[2..]),
+            _ => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map(Some)
+        .map_err(|_| format!("bad value for {flag}: {value}"))
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<_, String> {
+        let snapshot_path: String = parse_flag(args, "--snapshot")?
+            .ok_or_else(|| "--snapshot FILE is required".to_string())?;
+        let addr: String =
+            parse_flag(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7411".to_string());
+        let mut config = ServerConfig::default();
+        if let Some(t) = parse_flag(args, "--threads")? {
+            config.threads = t;
+        }
+        if let Some(c) = parse_flag(args, "--queue-cap")? {
+            config.queue_capacity = c;
+        }
+        if let Some(b) = parse_flag(args, "--batch-max")? {
+            config.batch_max = b;
+        }
+        if let Some(d) = parse_flag(args, "--deadline-ms")? {
+            config.default_deadline_ms = d;
+        }
+        let max_secs: Option<u64> = parse_flag(args, "--max-secs")?;
+        Ok((snapshot_path, addr, config, max_secs))
+    })();
+    let (snapshot_path, addr, config, max_secs) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ccd: {e}");
+            return usage();
+        }
+    };
+
+    let opened = match snapshot::open(&snapshot_path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ccd: cannot open {snapshot_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = opened.oracles.n();
+    let routes = opened.oracles.paths().is_some();
+    let (version, mapped) = (opened.version, opened.mapped);
+    let handle = match server::serve(opened.oracles, &addr, config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ccd: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ccd: serving {snapshot_path} (v{version}, n={n}, routes={routes}, mapped={mapped}) on {} with {} workers",
+        handle.addr(),
+        config.threads
+    );
+    match max_secs {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let stats = handle.stats();
+    handle.shutdown();
+    println!(
+        "ccd: drained; served={} shed={} deadline_missed={} malformed={}",
+        stats.served, stats.shed, stats.deadline_missed, stats.malformed
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_upgrade(args: &[String]) -> ExitCode {
+    let [input, output] = args else {
+        return usage();
+    };
+    match snapshot::upgrade(input, output) {
+        Ok(report) => {
+            println!(
+                "ccd: upgraded {input} (v{}, {} bytes) -> {output} (v2, {} bytes)",
+                report.from_version, report.input_bytes, report.output_bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ccd: upgrade failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    match snapshot::describe(path) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ccd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! A blocking client for the `ccd` protocol — one request in flight per
+//! connection. The integration tests and the `t17_serve` bench drive the
+//! server through this.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cc_core::PointEstimate;
+
+use crate::protocol::{
+    read_frame, write_frame, Op, Payload, Request, Response, StatsSnapshot, Status,
+};
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+/// A client-side failure: transport trouble or a protocol violation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode, or answered the wrong request.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY` — the protocol is request/response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sets the receive timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut &self.stream, &req.encode())?;
+        let body = read_frame(&mut &self.stream)?
+            .ok_or(ClientError::Protocol("connection closed mid-request"))?;
+        let resp = Response::decode(&body).ok_or(ClientError::Protocol("undecodable response"))?;
+        if resp.req_id != req.req_id {
+            return Err(ClientError::Protocol("response id mismatch"));
+        }
+        Ok(resp)
+    }
+
+    fn next_request(&mut self, op: Op, deadline_ms: u32, pairs: Vec<(u32, u32)>) -> Request {
+        let req_id = self.next_id;
+        self.next_id += 1;
+        Request {
+            req_id,
+            op,
+            deadline_ms,
+            pairs,
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let req = self.next_request(Op::Ping, 0, Vec::new());
+        let resp = self.roundtrip(&req)?;
+        if resp.status == Status::Ok {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol("ping refused"))
+        }
+    }
+
+    /// Batched point distances. On [`Status::Ok`] the answers align with
+    /// `pairs`; any other status returns the raw response for the caller
+    /// to interpret (back-off on `Overloaded`, …).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn dist_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        deadline_ms: u32,
+    ) -> Result<Result<Vec<Option<PointEstimate>>, Status>, ClientError> {
+        let req = self.next_request(Op::Dist, deadline_ms, pairs.to_vec());
+        let resp = self.roundtrip(&req)?;
+        match (resp.status, resp.payload) {
+            (Status::Ok, Payload::Dists(items)) => {
+                if items.len() != pairs.len() {
+                    return Err(ClientError::Protocol("answer count mismatch"));
+                }
+                Ok(Ok(items))
+            }
+            (Status::Ok, _) => Err(ClientError::Protocol("wrong payload kind")),
+            (status, _) => Ok(Err(status)),
+        }
+    }
+
+    /// Batched routes; items are `(weight, guarantee, edges)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn path_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        deadline_ms: u32,
+    ) -> Result<Result<Vec<Option<crate::protocol::PathItem>>, Status>, ClientError> {
+        let req = self.next_request(Op::Path, deadline_ms, pairs.to_vec());
+        let resp = self.roundtrip(&req)?;
+        match (resp.status, resp.payload) {
+            (Status::Ok, Payload::Paths(items)) => {
+                if items.len() != pairs.len() {
+                    return Err(ClientError::Protocol("answer count mismatch"));
+                }
+                Ok(Ok(items))
+            }
+            (Status::Ok, _) => Err(ClientError::Protocol("wrong payload kind")),
+            (status, _) => Ok(Err(status)),
+        }
+    }
+
+    /// Server counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let req = self.next_request(Op::Stats, 0, Vec::new());
+        let resp = self.roundtrip(&req)?;
+        match (resp.status, resp.payload) {
+            (Status::Ok, Payload::Stats(s)) => Ok(s),
+            _ => Err(ClientError::Protocol("stats refused")),
+        }
+    }
+}

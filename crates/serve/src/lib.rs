@@ -1,0 +1,45 @@
+//! Oracle serving: a TCP daemon over frozen [`cc_core`] oracles.
+//!
+//! The research pipeline ends with a frozen [`cc_core::DistOracle`] /
+//! [`cc_core::PathOracle`] snapshot on disk. This crate turns one of those
+//! files into a network service, `ccd`:
+//!
+//! * [`snapshot`] opens files — format v2 is served **zero-copy**: the
+//!   file is `mmap`'d ([`mmap`]) and the oracle's hot tables (distance
+//!   entries, guarantee tags, route arenas) are typed views straight into
+//!   the mapping, no deserialization. v1 files still load (decoded), and
+//!   [`snapshot::upgrade`] rewrites them as v2.
+//! * [`server`] is the daemon: per-connection reader threads feed a
+//!   bounded queue; worker threads drain it in batches, coalescing
+//!   co-arriving queries into single oracle batch calls over per-worker
+//!   scratch. Admission control is explicit — a full queue answers
+//!   `Overloaded`, deadlines expire to `DeadlineExceeded`, shutdown drains
+//!   admitted work and answers `ShuttingDown` to the rest.
+//! * [`protocol`] is the length-prefixed little-endian wire format, and
+//!   [`client`] a blocking client for tests and benches.
+//!
+//! ```no_run
+//! use cc_serve::{server, snapshot};
+//!
+//! let opened = snapshot::open("oracle.ccro")?;
+//! let handle = server::serve(opened.oracles, "127.0.0.1:0", Default::default())?;
+//! println!("serving on {}", handle.addr());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// `unsafe` is confined to the mmap module (raw mmap/munmap and the
+// mapping-backed slice view); everything else is checked Rust.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod mmap;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Op, PathItem, Payload, Request, Response, StatsSnapshot, Status};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use snapshot::{open, upgrade, OpenedSnapshot, Oracles};

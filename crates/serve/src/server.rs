@@ -1,0 +1,492 @@
+//! The serving daemon: threaded TCP front-end, batching scheduler,
+//! admission control.
+//!
+//! Per connection, a reader thread decodes frames and classifies them:
+//! `ping`/`stats` are answered inline; `dist`/`path` become jobs on the
+//! bounded [`BoundedQueue`]. A full queue answers
+//! [`Status::Overloaded`] immediately — the load-shedding contract is
+//! *explicit refusal*, never a silent drop or an unbounded backlog.
+//!
+//! Worker threads drain the queue in batches ([`ServerConfig::batch_max`]
+//! jobs per lock hold), so queries that arrive together — from any mix of
+//! connections — coalesce into single [`cc_core::DistOracle::dist_batch_into`] /
+//! [`cc_core::PathOracle::path_into`] sweeps over per-worker scratch buffers. No
+//! allocation scales with the query rate; response frames reuse a
+//! per-worker byte buffer.
+//!
+//! Deadlines are checked at dequeue: a job that waited past its budget
+//! answers [`Status::DeadlineExceeded`] without touching the oracle, so a
+//! backlog burns off at queue speed instead of compute speed.
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is drain-first: intake closes
+//! (new requests answer [`Status::ShuttingDown`]), workers finish every
+//! admitted job, then readers, workers, and the acceptor join.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cc_core::PointEstimate;
+
+use crate::protocol::{
+    guarantee_kind_wire, write_frame, Op, Request, Response, StatsSnapshot, Status, MAX_FRAME,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::snapshot::Oracles;
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker (scheduler) threads.
+    pub threads: usize,
+    /// Bounded queue capacity, in requests; beyond it, requests shed.
+    pub queue_capacity: usize,
+    /// Max jobs one worker drains per batch.
+    pub batch_max: usize,
+    /// Default per-request deadline when the client sends `0`; `0` here
+    /// means "no deadline".
+    pub default_deadline_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 2,
+            queue_capacity: 1024,
+            batch_max: 64,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// Monotonic counters, shared by readers and workers.
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    deadline_missed: AtomicU64,
+    malformed: AtomicU64,
+}
+
+/// One accepted connection: readers pull frames, workers push responses.
+/// Writes interleave whole frames under the lock.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    write_lock: Mutex<()>,
+}
+
+impl Conn {
+    fn send(&self, resp: &Response) {
+        let body = resp.encode();
+        let _guard = self.write_lock.lock().expect("write lock");
+        // A dead peer is not a server error; the reader notices on its
+        // side and tears the connection down.
+        let _ = write_frame(&mut &self.stream, &body);
+    }
+
+    fn send_raw(&self, body: &[u8]) -> bool {
+        let _guard = self.write_lock.lock().expect("write lock");
+        write_frame(&mut &self.stream, body).is_ok()
+    }
+}
+
+/// A queued query batch (one request).
+struct Job {
+    conn: Arc<Conn>,
+    req_id: u64,
+    op: Op,
+    deadline: Option<Instant>,
+    pairs: Vec<(u32, u32)>,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<Job>>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A racy snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            served: self.counters.served.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            deadline_missed: self.counters.deadline_missed.load(Ordering::Relaxed),
+            malformed: self.counters.malformed.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+        }
+    }
+
+    /// Graceful shutdown: close intake, drain admitted work, join every
+    /// thread. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Binds `addr` and starts accepting. Returns once the listener is live.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(oracles: Oracles, addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let oracles = Arc::new(oracles);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let counters = Arc::new(Counters::default());
+    let readers = Arc::new(Mutex::new(Vec::new()));
+
+    let workers = (0..config.threads.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let oracles = Arc::clone(&oracles);
+            let counters = Arc::clone(&counters);
+            let batch_max = config.batch_max.max(1);
+            std::thread::spawn(move || worker_loop(&queue, &oracles, &counters, batch_max))
+        })
+        .collect();
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let queue = Arc::clone(&queue);
+        let counters = Arc::clone(&counters);
+        let readers = Arc::clone(&readers);
+        let default_deadline_ms = config.default_deadline_ms;
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+                        let conn = Arc::new(Conn {
+                            stream,
+                            write_lock: Mutex::new(()),
+                        });
+                        let shutdown = Arc::clone(&shutdown);
+                        let queue = Arc::clone(&queue);
+                        let counters = Arc::clone(&counters);
+                        let handle = std::thread::spawn(move || {
+                            reader_loop(&conn, &shutdown, &queue, &counters, default_deadline_ms);
+                        });
+                        readers.lock().expect("reader registry").push(handle);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        queue,
+        counters,
+        acceptor: Some(acceptor),
+        workers,
+        readers,
+    })
+}
+
+/// Reads `buf.len()` bytes, polling the shutdown flag across read
+/// timeouts. `Ok(false)`: clean stop (EOF at a frame boundary, or
+/// shutdown). Mid-frame EOF is an error.
+fn read_full(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    at_boundary: bool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match (&*stream).read(&mut buf[filled..]) {
+            Ok(0) => {
+                if at_boundary && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn reader_loop(
+    conn: &Arc<Conn>,
+    shutdown: &AtomicBool,
+    queue: &BoundedQueue<Job>,
+    counters: &Counters,
+    default_deadline_ms: u32,
+) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        match read_full(&conn.stream, &mut len_buf, shutdown, true) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            counters.malformed.fetch_add(1, Ordering::Relaxed);
+            // Frame boundary is lost; the connection cannot continue.
+            return;
+        }
+        let mut body = vec![0u8; len];
+        match read_full(&conn.stream, &mut body, shutdown, false) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let Some(req) = Request::decode(&body) else {
+            counters.malformed.fetch_add(1, Ordering::Relaxed);
+            // Best effort: the id prefix may still be intact.
+            let req_id = body
+                .get(..8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .unwrap_or(0);
+            conn.send(&Response::error(req_id, Op::Ping, Status::Malformed));
+            continue;
+        };
+        match req.op {
+            Op::Ping => {
+                conn.send(&Response {
+                    req_id: req.req_id,
+                    status: Status::Ok,
+                    op: Op::Ping,
+                    payload: crate::protocol::Payload::Empty,
+                });
+            }
+            Op::Stats => {
+                conn.send(&Response {
+                    req_id: req.req_id,
+                    status: Status::Ok,
+                    op: Op::Stats,
+                    payload: crate::protocol::Payload::Stats(StatsSnapshot {
+                        served: counters.served.load(Ordering::Relaxed),
+                        shed: counters.shed.load(Ordering::Relaxed),
+                        deadline_missed: counters.deadline_missed.load(Ordering::Relaxed),
+                        malformed: counters.malformed.load(Ordering::Relaxed),
+                        queue_depth: queue.depth() as u64,
+                    }),
+                });
+            }
+            Op::Dist | Op::Path => {
+                let effective_ms = if req.deadline_ms != 0 {
+                    req.deadline_ms
+                } else {
+                    default_deadline_ms
+                };
+                let deadline = (effective_ms != 0)
+                    .then(|| Instant::now() + Duration::from_millis(u64::from(effective_ms)));
+                let job = Job {
+                    conn: Arc::clone(conn),
+                    req_id: req.req_id,
+                    op: req.op,
+                    deadline,
+                    pairs: req.pairs,
+                };
+                match queue.try_push(job) {
+                    Ok(()) => {}
+                    Err((job, PushError::Full)) => {
+                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        job.conn
+                            .send(&Response::error(job.req_id, job.op, Status::Overloaded));
+                    }
+                    Err((job, PushError::Closed)) => {
+                        job.conn
+                            .send(&Response::error(job.req_id, job.op, Status::ShuttingDown));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker reusable buffers — the no-allocation-per-request budget.
+struct Scratch {
+    jobs: Vec<Job>,
+    /// Concatenated pairs of every dist job in the batch.
+    dist_pairs: Vec<(usize, usize)>,
+    /// `(job index in batch, start in dist_pairs, len)`.
+    dist_slots: Vec<(usize, usize, usize)>,
+    dist_out: Vec<Option<PointEstimate>>,
+    edges: Vec<(u32, u32)>,
+    body: Vec<u8>,
+}
+
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    oracles: &Oracles,
+    counters: &Counters,
+    batch_max: usize,
+) {
+    let mut s = Scratch {
+        jobs: Vec::new(),
+        dist_pairs: Vec::new(),
+        dist_slots: Vec::new(),
+        dist_out: Vec::new(),
+        edges: Vec::new(),
+        body: Vec::new(),
+    };
+    loop {
+        queue.pop_batch(batch_max, &mut s.jobs);
+        if s.jobs.is_empty() {
+            return; // closed and drained
+        }
+        let now = Instant::now();
+        // Coalesce every live dist job in this batch into one oracle call.
+        s.dist_pairs.clear();
+        s.dist_slots.clear();
+        for (i, job) in s.jobs.iter().enumerate() {
+            if job.op != Op::Dist || job.deadline.is_some_and(|d| d < now) {
+                continue;
+            }
+            let start = s.dist_pairs.len();
+            s.dist_pairs
+                .extend(job.pairs.iter().map(|&(u, v)| (u as usize, v as usize)));
+            s.dist_slots.push((i, start, job.pairs.len()));
+        }
+        if !s.dist_pairs.is_empty() {
+            oracles
+                .dist()
+                .dist_batch_into(&s.dist_pairs, &mut s.dist_out);
+        }
+        let mut slot = 0;
+        for (i, job) in s.jobs.iter().enumerate() {
+            if job.deadline.is_some_and(|d| d < now) {
+                counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                job.conn.send(&Response::error(
+                    job.req_id,
+                    job.op,
+                    Status::DeadlineExceeded,
+                ));
+                continue;
+            }
+            let ok = match job.op {
+                Op::Dist => {
+                    let (_, start, len) = s.dist_slots[slot];
+                    debug_assert_eq!(s.dist_slots[slot].0, i);
+                    slot += 1;
+                    encode_dist_body(&mut s.body, job, &s.dist_out[start..start + len]);
+                    job.conn.send_raw(&s.body)
+                }
+                Op::Path => {
+                    encode_path_body(&mut s.body, job, oracles, &mut s.edges);
+                    job.conn.send_raw(&s.body)
+                }
+                Op::Ping | Op::Stats => unreachable!("answered inline by the reader"),
+            };
+            if ok {
+                counters.served.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        s.jobs.clear();
+    }
+}
+
+/// Byte-identical to `Response { status: Ok, payload: Dists(..) }.encode()`,
+/// without building the intermediate structures.
+fn encode_dist_body(body: &mut Vec<u8>, job: &Job, answers: &[Option<PointEstimate>]) {
+    body.clear();
+    body.extend_from_slice(&job.req_id.to_le_bytes());
+    body.push(0); // Status::Ok
+    body.push(1); // Op::Dist
+    body.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+    for a in answers {
+        match a {
+            None => body.push(0),
+            Some(est) => {
+                body.push(1);
+                body.extend_from_slice(&est.dist.to_le_bytes());
+                body.push(guarantee_kind_wire(est.guarantee.kind));
+                body.extend_from_slice(&est.guarantee.eps.to_bits().to_le_bytes());
+                body.extend_from_slice(&est.guarantee.additive.to_bits().to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Byte-identical to `Response { status: Ok, payload: Paths(..) }.encode()`.
+/// A snapshot without routes answers every pair `absent` — same shape a
+/// disconnected pair has, so clients need no special case.
+fn encode_path_body(body: &mut Vec<u8>, job: &Job, oracles: &Oracles, edges: &mut Vec<(u32, u32)>) {
+    body.clear();
+    body.extend_from_slice(&job.req_id.to_le_bytes());
+    body.push(0); // Status::Ok
+    body.push(2); // Op::Path
+    body.extend_from_slice(&(job.pairs.len() as u32).to_le_bytes());
+    let paths = oracles.paths();
+    for &(u, v) in &job.pairs {
+        let answer = paths.and_then(|p| {
+            edges.clear();
+            p.path_into(u as usize, v as usize, edges)
+        });
+        match answer {
+            None => body.push(0),
+            Some((weight, g)) => {
+                body.push(1);
+                body.extend_from_slice(&weight.to_le_bytes());
+                body.push(guarantee_kind_wire(g.kind));
+                body.extend_from_slice(&g.eps.to_bits().to_le_bytes());
+                body.extend_from_slice(&g.additive.to_bits().to_le_bytes());
+                body.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                for &(x, y) in edges.iter() {
+                    body.extend_from_slice(&x.to_le_bytes());
+                    body.extend_from_slice(&y.to_le_bytes());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Opening, upgrading, and inspecting oracle snapshot files.
+//!
+//! [`open`] is the server's loading path: it maps the file ([`crate::mmap`])
+//! and, for format v2, hands the mapping straight to the zero-copy loaders
+//! — the oracle's hot tables alias the page cache and no per-entry decode
+//! happens at all. Format v1 files still load (decoded into owned memory);
+//! [`upgrade`] rewrites them as v2 so the next open is zero-copy.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use cc_core::snapshot::{sniff, SnapshotError, SnapshotView};
+use cc_core::{DistOracle, PathOracle};
+
+use crate::mmap::open_owner;
+
+/// The oracle(s) a snapshot file provides. A `CCRO` file carries routes
+/// (and embeds its distance oracle); a `CCDO` file answers distances only.
+#[derive(Debug)]
+pub enum Oracles {
+    /// A bare distance oracle (`CCDO`).
+    DistOnly(Arc<DistOracle>),
+    /// A route oracle (`CCRO`) — distance queries go to its embedded
+    /// [`DistOracle`], path queries to the witness stores.
+    WithRoutes(Arc<PathOracle>),
+}
+
+impl Oracles {
+    /// The distance oracle every snapshot provides.
+    pub fn dist(&self) -> &DistOracle {
+        match self {
+            Oracles::DistOnly(o) => o,
+            Oracles::WithRoutes(p) => p.dist_oracle(),
+        }
+    }
+
+    /// The route oracle, when the snapshot carries witnesses.
+    pub fn paths(&self) -> Option<&Arc<PathOracle>> {
+        match self {
+            Oracles::DistOnly(_) => None,
+            Oracles::WithRoutes(p) => Some(p),
+        }
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.dist().n()
+    }
+}
+
+/// An opened snapshot: the oracles plus how they are backed.
+#[derive(Debug)]
+pub struct OpenedSnapshot {
+    /// The loaded oracle(s).
+    pub oracles: Oracles,
+    /// The file's 4-byte magic.
+    pub magic: [u8; 4],
+    /// The snapshot format version found in the file.
+    pub version: u16,
+    /// Whether the backing bytes are a real memory map (v2 fast path).
+    pub mapped: bool,
+    /// File size in bytes.
+    pub file_bytes: usize,
+}
+
+/// Opens a snapshot file for serving.
+///
+/// v2 files are served zero-copy from the mapping; v1 files are decoded
+/// into owned memory (consider [`upgrade`]).
+///
+/// # Errors
+///
+/// I/O failures and any [`SnapshotError`] from validation.
+pub fn open<P: AsRef<Path>>(path: P) -> Result<OpenedSnapshot, SnapshotError> {
+    let (owner, mapped) = open_owner(path.as_ref())?;
+    let bytes = owner.bytes();
+    let file_bytes = bytes.len();
+    let (magic, version) = sniff(bytes)?;
+    let oracles = match (&magic, version) {
+        (b"CCDO", 2) => Oracles::DistOnly(Arc::new(DistOracle::load_v2_shared(owner.clone())?)),
+        (b"CCRO", 2) => Oracles::WithRoutes(Arc::new(PathOracle::load_v2_shared(owner.clone())?)),
+        (b"CCDO", _) => Oracles::DistOnly(Arc::new(DistOracle::from_snapshot_bytes(bytes)?)),
+        (b"CCRO", _) => Oracles::WithRoutes(Arc::new(PathOracle::from_snapshot_bytes(bytes)?)),
+        _ => return Err(SnapshotError::BadMagic(magic)),
+    };
+    Ok(OpenedSnapshot {
+        oracles,
+        magic,
+        version,
+        mapped,
+        file_bytes,
+    })
+}
+
+/// What [`upgrade`] did.
+#[derive(Debug)]
+pub struct UpgradeReport {
+    /// The input's format version.
+    pub from_version: u16,
+    /// Input file size in bytes.
+    pub input_bytes: usize,
+    /// Output (v2) file size in bytes.
+    pub output_bytes: u64,
+}
+
+/// Rewrites a snapshot (either magic, either version) as format v2 at
+/// `output`. Values, guarantee tags, and routes are preserved exactly —
+/// the upgraded file answers every query identically.
+///
+/// # Errors
+///
+/// I/O failures and any [`SnapshotError`] from reading the input.
+pub fn upgrade<P: AsRef<Path>, Q: AsRef<Path>>(
+    input: P,
+    output: Q,
+) -> Result<UpgradeReport, SnapshotError> {
+    let opened = open(input)?;
+    match &opened.oracles {
+        Oracles::DistOnly(o) => o.save_v2_to_path(output.as_ref())?,
+        Oracles::WithRoutes(p) => p.save_v2_to_path(output.as_ref())?,
+    }
+    let output_bytes = std::fs::metadata(output.as_ref())?.len();
+    Ok(UpgradeReport {
+        from_version: opened.version,
+        input_bytes: opened.file_bytes,
+        output_bytes,
+    })
+}
+
+/// A human-readable description of a snapshot file, one line per fact —
+/// `ccd snapshot info`'s output.
+///
+/// # Errors
+///
+/// I/O failures and any [`SnapshotError`] from validation.
+pub fn describe<P: AsRef<Path>>(path: P) -> Result<String, SnapshotError> {
+    let (owner, mapped) = open_owner(path.as_ref())?;
+    let (magic, version) = sniff(owner.bytes())?;
+    let mut out = String::new();
+    let magic_str = String::from_utf8_lossy(&magic).into_owned();
+    out.push_str(&format!("magic    {magic_str}\n"));
+    out.push_str(&format!("version  {version}\n"));
+    out.push_str(&format!("bytes    {}\n", owner.bytes().len()));
+    out.push_str(&format!("mapped   {mapped}\n"));
+    if version == 2 {
+        let view = SnapshotView::parse(owner.clone(), &magic)?;
+        out.push_str("sections\n");
+        for (id, off, len) in view.directory() {
+            let name = section_name(&magic, id);
+            out.push_str(&format!(
+                "  {id:>5}  off {off:>10}  len {len:>10}  {name}\n"
+            ));
+        }
+    }
+    // Full load for the semantic facts (also proves the file is sound).
+    let opened = open(path)?;
+    let d = opened.oracles.dist();
+    out.push_str(&format!("n        {}\n", d.n()));
+    out.push_str(&format!("kind     {:?}\n", d.storage_kind()));
+    out.push_str(&format!("routes   {}\n", opened.oracles.paths().is_some()));
+    Ok(out)
+}
+
+fn section_name(magic: &[u8; 4], id: u16) -> &'static str {
+    match (magic, id) {
+        (b"CCDO", 1) => "meta",
+        (b"CCDO", 2) => "guarantees",
+        (b"CCDO", 3) => "sources",
+        (b"CCDO", 4) => "entries",
+        (b"CCDO", 5) => "tags",
+        (b"CCRO", 1) => "meta",
+        (b"CCRO", 2) => "dist (embedded CCDO)",
+        (b"CCRO", 3) => "origins",
+        (b"CCRO", id) if id >= 16 => match (id - 16) % 8 {
+            0 => "provider meta",
+            1 => "arena tags",
+            2 => "arena ops a",
+            3 => "arena ops b",
+            4 => "arena lens",
+            5 => "witness tags",
+            6 => "witness payloads",
+            _ => "provider sources",
+        },
+        _ => "?",
+    }
+}

@@ -201,6 +201,12 @@ fn golden_path(label: &str) -> PathBuf {
         .join(format!("oracle_{label}_v1.snap"))
 }
 
+fn golden_v2_path(label: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("oracle_{label}_v2.snap"))
+}
+
 #[test]
 fn golden_snapshots_round_trip_bit_identically() {
     for (label, reference) in reference_oracles() {
@@ -226,6 +232,39 @@ fn golden_snapshots_round_trip_bit_identically() {
     }
 }
 
+/// The v2 goldens gate the aligned-section format the same way: bit-exact
+/// load, byte-exact re-save. The same references back both versions, so
+/// these files also pin the v1 → v2 upgrade result.
+#[test]
+fn golden_v2_snapshots_round_trip_bit_identically() {
+    for (label, reference) in reference_oracles() {
+        let path = golden_v2_path(label);
+        let bytes = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); regenerate with `cargo test --test integration_oracle -- --ignored`"));
+        let loaded = DistOracle::load(&mut &bytes[..])
+            .unwrap_or_else(|e| panic!("{label}: v2 golden no longer parses: {e}"));
+        assert_eq!(loaded, reference, "{label}: loaded oracle differs");
+        let mut resaved = Vec::new();
+        reference.save_v2(&mut resaved).expect("save to memory");
+        assert_eq!(
+            resaved, bytes,
+            "{label}: save_v2() output changed — snapshot format v2 is \
+             frozen; bump the version instead"
+        );
+        for u in 0..reference.n() {
+            for v in 0..reference.n() {
+                assert_eq!(loaded.dist(u, v), reference.dist(u, v));
+            }
+        }
+        // Upgrading the v1 golden must land byte-exactly on the v2 golden.
+        let v1_bytes = std::fs::read(golden_path(label)).expect("v1 golden present");
+        let upgraded = DistOracle::load(&mut &v1_bytes[..]).expect("v1 parses");
+        let mut as_v2 = Vec::new();
+        upgraded.save_v2(&mut as_v2).expect("save to memory");
+        assert_eq!(as_v2, bytes, "{label}: v1 -> v2 upgrade drifted");
+    }
+}
+
 /// Regenerates the golden files. Only run deliberately (after a format
 /// version bump): `cargo test --test integration_oracle -- --ignored`.
 #[test]
@@ -237,6 +276,9 @@ fn regenerate_golden_snapshots() {
         reference
             .save_to_path(golden_path(label))
             .expect("write golden");
+        reference
+            .save_v2_to_path(golden_v2_path(label))
+            .expect("write v2 golden");
     }
 }
 

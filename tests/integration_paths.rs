@@ -324,6 +324,40 @@ fn crafted_v255_bytes() -> Vec<u8> {
     bytes
 }
 
+/// The CCRO v2 golden: bit-exact load, byte-exact re-save, and a pinned
+/// v1 → v2 upgrade result (the same reference backs both versions).
+#[test]
+fn golden_ccro_v2_snapshot_round_trips_bit_identically() {
+    let reference = reference_path_oracle();
+    let path = golden_dir().join("paths_v2.snap");
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path:?} ({e}); regenerate with \
+             `cargo test --test integration_paths -- --ignored`"
+        )
+    });
+    let loaded = PathOracle::load(&mut &bytes[..]).expect("v2 golden parses");
+    assert_eq!(loaded, reference, "loaded oracle differs from reference");
+    let mut resaved = Vec::new();
+    reference.save_v2(&mut resaved).expect("save to memory");
+    assert_eq!(
+        resaved, bytes,
+        "save_v2() output changed — snapshot format CCRO v2 is frozen; \
+         bump the version instead"
+    );
+    for u in 0..reference.n() {
+        for v in 0..reference.n() {
+            assert_eq!(loaded.path(u, v), reference.path(u, v), "({u},{v})");
+        }
+    }
+    // Upgrading the v1 golden must land byte-exactly on the v2 golden.
+    let v1_bytes = std::fs::read(golden_dir().join("paths_v1.snap")).expect("v1 golden");
+    let upgraded = PathOracle::load(&mut &v1_bytes[..]).expect("v1 parses");
+    let mut as_v2 = Vec::new();
+    upgraded.save_v2(&mut as_v2).expect("save to memory");
+    assert_eq!(as_v2, bytes, "v1 -> v2 upgrade drifted");
+}
+
 /// Regenerates the golden files. Only run deliberately (after a format
 /// version bump): `cargo test --test integration_paths -- --ignored`.
 #[test]
@@ -331,9 +365,13 @@ fn crafted_v255_bytes() -> Vec<u8> {
 fn regenerate_golden_paths_snapshots() {
     let dir = golden_dir();
     std::fs::create_dir_all(&dir).expect("create tests/golden");
-    reference_path_oracle()
+    let reference = reference_path_oracle();
+    reference
         .save_to_path(dir.join("paths_v1.snap"))
         .expect("write golden");
+    reference
+        .save_v2_to_path(dir.join("paths_v2.snap"))
+        .expect("write v2 golden");
     std::fs::write(dir.join("oracle_v255.snap"), crafted_v255_bytes()).expect("write golden");
 }
 
