@@ -1,0 +1,8 @@
+//! Fixture: declares the attribute but still smuggles an un-justified
+//! `unsafe` into a module outside the audited allowlist.
+
+#![forbid(unsafe_code)]
+
+pub fn sneaky(p: *const u8) -> u8 {
+    unsafe { *p } // seeded: unsafe-module + safety-comment
+}

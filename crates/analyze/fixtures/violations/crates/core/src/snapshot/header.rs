@@ -1,0 +1,28 @@
+//! Fixture: panic-prone parsing idioms seeded in a no-panic module, plus
+//! one counted escape hatch.
+
+pub fn first(v: &[u8]) -> u8 {
+    v[0] // seeded: indexing
+}
+
+pub fn count(v: &[u8]) -> u16 {
+    v.len() as u16 // seeded: narrowing-cast
+}
+
+pub fn must(o: Option<u8>) -> u8 {
+    o.unwrap() // seeded: unwrap-expect
+}
+
+pub fn hatch(o: Option<u8>) -> u8 {
+    // cc-analyze: allow(unwrap-expect) — fixture: the counted hatch.
+    o.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1u8];
+        assert_eq!(v[0], Some(1u8).unwrap());
+    }
+}

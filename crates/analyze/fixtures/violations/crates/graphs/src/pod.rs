@@ -1,0 +1,16 @@
+//! Fixture: one registered POD type with its layout check, one rogue
+//! `#[repr(C)]` type missing from the manifest.
+
+pub trait Section {}
+
+#[repr(C)]
+pub struct DirEntry {
+    pub id: u16,
+}
+
+impl Section for DirEntry {}
+
+#[repr(C)]
+pub struct Rogue {
+    pub x: u32, // seeded: pod-manifest (unregistered type)
+}

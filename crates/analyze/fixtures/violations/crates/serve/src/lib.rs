@@ -1,0 +1,4 @@
+//! Fixture: a crate root that forgot to pin `unsafe_code`.
+//! seeded: unsafe-attr
+
+pub mod mmap;

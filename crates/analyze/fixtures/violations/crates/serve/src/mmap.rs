@@ -1,0 +1,8 @@
+//! Fixture: an allowlisted unsafe module whose block lost its SAFETY
+//! justification.
+
+#![allow(unsafe_code)]
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p } // seeded: safety-comment (allowlisted, so no unsafe-module)
+}

@@ -1,0 +1,479 @@
+//! A deterministic snapshot fuzzer over the golden corpus.
+//!
+//! The contract under test is the loaders' safety net: **any** byte
+//! mutation of a valid CCDO/CCRO snapshot must come back as a typed
+//! [`SnapshotError`] — never a panic, never a hang, never an allocation
+//! proportional to a length field instead of the actual input.
+//!
+//! Mutations are seeded xorshift64\* over a golden corpus, so every run is
+//! reproducible from `(seed, iteration)`. Structure-aware strategies
+//! (header abuse, directory abuse) re-seal the trailing FNV-1a checksum so
+//! the mutation penetrates *past* frame verification into the section
+//! parsers — a fuzzer that only ever trips the checksum tests nothing.
+//!
+//! [`emit_corpus`] freezes one named, deterministic case per abuse class
+//! into `tests/fuzz_corpus/` together with the exact error each case must
+//! produce; the repo's `fuzz_replay` integration test pins them forever.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::panic;
+use std::path::Path;
+
+use cc_core::{DistOracle, PathOracle, SnapshotError};
+
+/// Baseline allocation headroom a single load may use, on top of the
+/// input-proportional term. Generous: a clean load of a corpus snapshot
+/// peaks well under a megabyte.
+const ALLOC_BASE: usize = 16 << 20;
+/// Per-input-byte allocation factor. A loader honoring "validate counts
+/// against remaining bytes before reserving" stays far below this.
+const ALLOC_FACTOR: usize = 64;
+
+/// xorshift64\* — tiny, seedable, good enough for byte fuzzing, and most
+/// importantly dependency-free.
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    pub fn new(seed: u64) -> Self {
+        // A zero state would be a fixed point; fold in a golden-ratio
+        // constant and force nonzero.
+        Xorshift {
+            state: (seed ^ 0x9e37_79b9_7f4a_7c15).max(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// Hooks into the binary's counting allocator; [`run`] works without one
+/// (in-process tests) but then cannot enforce the allocation bound.
+#[derive(Clone, Copy)]
+pub struct AllocProbe {
+    /// Resets the peak to the current live-byte count.
+    pub reset_peak: fn(),
+    /// Peak live bytes since the last reset.
+    pub peak_bytes: fn() -> usize,
+}
+
+/// Aggregate outcome of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzSummary {
+    pub iterations: u64,
+    /// Mutations the loader still accepted (e.g. a flip inside alignment
+    /// padding that the checksum re-seal blessed).
+    pub clean_loads: u64,
+    /// Typed rejections, histogrammed by error variant.
+    pub rejections: BTreeMap<&'static str, u64>,
+    /// Contract violations: panics and allocation-bound breaches. Each
+    /// entry reproduces from its recorded `(corpus, seed, iteration)`.
+    pub failures: Vec<String>,
+    /// Largest single-load allocation peak observed (0 without a probe).
+    pub peak_alloc: usize,
+}
+
+/// Loads every file in `dir` as a corpus entry, sorted by name for
+/// determinism.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        if entry.file_type()?.is_file() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            out.push((name, fs::read(entry.path())?));
+        }
+    }
+    if out.is_empty() {
+        return Err(io::Error::other(format!(
+            "no corpus files in {}",
+            dir.display()
+        )));
+    }
+    Ok(out)
+}
+
+/// Runs `iters` seeded mutations over `corpus`, asserting the typed-error
+/// contract on every one.
+pub fn run(
+    corpus: &[(String, Vec<u8>)],
+    iters: u64,
+    seed: u64,
+    probe: Option<AllocProbe>,
+) -> FuzzSummary {
+    let mut rng = Xorshift::new(seed);
+    let mut summary = FuzzSummary {
+        iterations: iters,
+        ..FuzzSummary::default()
+    };
+
+    // Panicking loads are the bug being hunted; silence the default hook's
+    // backtrace spew for the duration so real failures stay readable.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    for it in 0..iters {
+        let (name, base) = &corpus[rng.below(corpus.len())];
+        let mut case = base.clone();
+        let strategy = mutate(&mut case, &mut rng);
+
+        if let Some(p) = probe {
+            (p.reset_peak)();
+        }
+        match panic::catch_unwind(|| load_any(&case)) {
+            Ok(Ok(_)) => summary.clean_loads += 1,
+            Ok(Err(e)) => *summary.rejections.entry(error_kind(&e)).or_insert(0) += 1,
+            Err(_) => summary.failures.push(format!(
+                "PANIC on load: corpus={name} seed={seed:#x} iter={it} strategy={strategy}"
+            )),
+        }
+        if let Some(p) = probe {
+            let peak = (p.peak_bytes)();
+            summary.peak_alloc = summary.peak_alloc.max(peak);
+            let bound = ALLOC_BASE + case.len().saturating_mul(ALLOC_FACTOR);
+            if peak > bound {
+                summary.failures.push(format!(
+                    "ALLOC {peak}B > bound {bound}B: corpus={name} seed={seed:#x} \
+                     iter={it} strategy={strategy}"
+                ));
+            }
+        }
+    }
+
+    panic::set_hook(prev_hook);
+    summary
+}
+
+/// Applies one random mutation strategy in place; returns its name.
+fn mutate(case: &mut Vec<u8>, rng: &mut Xorshift) -> &'static str {
+    if case.is_empty() {
+        case.extend((0..16).map(|_| rng.next_u64() as u8));
+        return "extend-empty";
+    }
+    match rng.below(8) {
+        0 => {
+            let pos = rng.below(case.len());
+            case[pos] ^= 1 << rng.below(8);
+            "bit-flip"
+        }
+        1 => {
+            let pos = rng.below(case.len());
+            case[pos] = rng.next_u64() as u8;
+            "byte-set"
+        }
+        2 => {
+            case.truncate(rng.below(case.len() + 1));
+            "truncate"
+        }
+        3 => {
+            let extra = rng.below(64) + 1;
+            case.extend((0..extra).map(|_| rng.next_u64() as u8));
+            "extend"
+        }
+        4 => {
+            let start = rng.below(case.len());
+            let len = rng.below(case.len() - start) + 1;
+            for b in &mut case[start..start + len] {
+                *b = rng.next_u64() as u8;
+            }
+            "splice"
+        }
+        5 => {
+            // Header abuse: a hostile version or directory offset, with
+            // the checksum re-sealed so it reaches the parser.
+            if case.len() >= 16 {
+                if rng.below(2) == 0 {
+                    let v = (rng.next_u64() as u16).to_le_bytes();
+                    case[4..6].copy_from_slice(&v);
+                } else {
+                    let off = rng.next_u64() % (case.len() as u64 * 2);
+                    case[8..16].copy_from_slice(&off.to_le_bytes());
+                }
+                reseal(case);
+            }
+            "header-abuse"
+        }
+        6 => {
+            // Directory abuse: corrupt the v2 section table in place.
+            dir_abuse(case, rng);
+            "dir-abuse"
+        }
+        7 => {
+            // Deep flip + re-seal: mutate the body, fix the checksum, so
+            // validation past the frame check is what gets exercised.
+            let pos = rng.below(case.len().saturating_sub(8).max(1));
+            case[pos] ^= 1 << rng.below(8);
+            reseal(case);
+            "flip-resealed"
+        }
+        _ => unreachable!("below(8)"),
+    }
+}
+
+/// Overwrites one field of the v2 directory with an abusive value and
+/// re-seals. No-op on non-v2 or too-short inputs.
+fn dir_abuse(case: &mut [u8], rng: &mut Xorshift) {
+    if case.len() < 24 || case.get(4..6) != Some(&[2, 0]) {
+        return;
+    }
+    let Some(dir_bytes) = case.get(8..16).and_then(|s| s.first_chunk::<8>()) else {
+        return;
+    };
+    let dir_off = u64::from_le_bytes(*dir_bytes) as usize;
+    let Some(count_bytes) = case
+        .get(dir_off..dir_off + 4)
+        .and_then(|s| s.first_chunk::<4>())
+    else {
+        return;
+    };
+    let count = u32::from_le_bytes(*count_bytes) as usize;
+    match rng.below(3) {
+        0 => {
+            let hostile = (rng.next_u64() as u32).to_le_bytes();
+            case[dir_off..dir_off + 4].copy_from_slice(&hostile);
+        }
+        _ if count > 0 => {
+            // Entries start after the 8-byte directory header (count +
+            // reserved). Corrupt one entry's byte_off (at +8) or byte_len
+            // (at +16) with a huge or misaligning value.
+            let entry = dir_off + 8 + rng.below(count) * 24;
+            let field = entry + 8 + rng.below(2) * 8;
+            if case.len() >= field + 8 {
+                let hostile = match rng.below(3) {
+                    0 => u64::MAX,
+                    1 => rng.next_u64(),
+                    _ => {
+                        u64::from_le_bytes(case[field..field + 8].try_into().unwrap_or([0; 8])) ^ 1
+                    } // misalign by one byte
+                };
+                case[field..field + 8].copy_from_slice(&hostile.to_le_bytes());
+            }
+        }
+        _ => {}
+    }
+    reseal(case);
+}
+
+/// Recomputes the trailing FNV-1a checksum over the mutated payload.
+fn reseal(case: &mut [u8]) {
+    if case.len() < 8 {
+        return;
+    }
+    let split = case.len() - 8;
+    let sum = fnv1a(&case[..split]);
+    case[split..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// FNV-1a 64, byte-for-byte the snapshot checksum in `cc_core`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Dispatches a load by magic: `CCRO` to the path oracle, everything else
+/// to the distance oracle (whose magic check reports the mismatch).
+pub fn load_any(bytes: &[u8]) -> Result<&'static str, SnapshotError> {
+    match bytes.get(..4) {
+        Some(b"CCRO") => PathOracle::from_snapshot_bytes(bytes).map(|_| "paths"),
+        _ => DistOracle::from_snapshot_bytes(bytes).map(|_| "dist"),
+    }
+}
+
+fn error_kind(e: &SnapshotError) -> &'static str {
+    match e {
+        SnapshotError::Io(_) => "io",
+        SnapshotError::BadMagic(_) => "bad-magic",
+        SnapshotError::UnsupportedVersion(_) => "unsupported-version",
+        SnapshotError::Corrupt(_) => "corrupt",
+        SnapshotError::TooLarge { .. } => "too-large",
+    }
+}
+
+/// Emits the frozen abuse corpus: one deterministic case per class and
+/// per golden snapshot, each written as `<case>.snap` next to a
+/// `MANIFEST.tsv` of `file<TAB>expected-error` lines.
+///
+/// Generation asserts the contract: a case that loads cleanly or panics
+/// is a generator bug and aborts the emit.
+pub fn emit_corpus(
+    corpus: &[(String, Vec<u8>)],
+    out_dir: &Path,
+) -> io::Result<Vec<(String, String)>> {
+    fs::create_dir_all(out_dir)?;
+    let mut manifest = Vec::new();
+    for (name, base) in corpus {
+        let stem = name.trim_end_matches(".snap");
+        for (case, bytes) in abuse_cases(stem, base) {
+            let err = match panic::catch_unwind(|| load_any(&bytes)) {
+                Ok(Ok(kind)) => {
+                    return Err(io::Error::other(format!(
+                        "generator bug: case {case} loaded cleanly as {kind}"
+                    )))
+                }
+                Ok(Err(e)) => e.to_string(),
+                Err(_) => {
+                    return Err(io::Error::other(format!(
+                        "loader bug: case {case} panicked"
+                    )))
+                }
+            };
+            fs::write(out_dir.join(format!("{case}.snap")), &bytes)?;
+            manifest.push((format!("{case}.snap"), err));
+        }
+    }
+    let tsv: String = manifest
+        .iter()
+        .map(|(f, e)| format!("{f}\t{e}\n"))
+        .collect();
+    fs::write(out_dir.join("MANIFEST.tsv"), tsv)?;
+    Ok(manifest)
+}
+
+/// The named deterministic abuse cases derived from one golden snapshot.
+fn abuse_cases(stem: &str, base: &[u8]) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut push = |suffix: &str, bytes: Vec<u8>| out.push((format!("{stem}__{suffix}"), bytes));
+
+    push("truncated_header", base.get(..10).unwrap_or(base).to_vec());
+    push(
+        "truncated_body",
+        base.get(..base.len() * 2 / 3).unwrap_or(base).to_vec(),
+    );
+
+    let mut bad_magic = base.to_vec();
+    if bad_magic.len() >= 4 {
+        bad_magic[..4].copy_from_slice(b"XXXX");
+        reseal(&mut bad_magic);
+    }
+    push("bad_magic", bad_magic);
+
+    let mut future = base.to_vec();
+    if future.len() >= 6 {
+        future[4..6].copy_from_slice(&0x7fffu16.to_le_bytes());
+        reseal(&mut future);
+    }
+    push("future_version", future);
+
+    let mut flipped = base.to_vec();
+    if flipped.len() > 20 {
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        // deliberately NOT re-sealed: the checksum must catch it
+    }
+    push("checksum_flip", flipped);
+
+    // v2-only structural abuse: the directory is only there for version 2.
+    if base.get(4..6) == Some(&[2, 0]) {
+        let mut oob = base.to_vec();
+        let hostile = (base.len() as u64) * 4;
+        oob[8..16].copy_from_slice(&hostile.to_le_bytes());
+        reseal(&mut oob);
+        push("dir_off_oob", oob);
+
+        if let Some(dir_off) = base
+            .get(8..16)
+            .and_then(|s| s.first_chunk::<8>())
+            .map(|b| u64::from_le_bytes(*b) as usize)
+        {
+            if base.len() > dir_off + 4 {
+                let mut huge = base.to_vec();
+                huge[dir_off..dir_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+                reseal(&mut huge);
+                push("dir_count_huge", huge);
+
+                // First entry sits after the 8-byte directory header; its
+                // byte_off field is 8 bytes into the 24-byte row.
+                let entry_off_field = dir_off + 8 + 8;
+                if base.len() >= entry_off_field + 8 {
+                    let mut skew = base.to_vec();
+                    if let Some(cur) = skew
+                        .get(entry_off_field..entry_off_field + 8)
+                        .and_then(|s| s.first_chunk::<8>())
+                        .map(|b| u64::from_le_bytes(*b))
+                    {
+                        skew[entry_off_field..entry_off_field + 8]
+                            .copy_from_slice(&(cur + 1).to_le_bytes());
+                        reseal(&mut skew);
+                        push("misaligned_section", skew);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_snapshot() -> Vec<u8> {
+        // A real v2 snapshot via the public API keeps this test honest.
+        let mut m = cc_core::DistanceMatrix::new(4);
+        for u in 0..4 {
+            for v in 0..4 {
+                m.improve(u, v, u.abs_diff(v) as cc_graphs::Dist);
+            }
+        }
+        let o = cc_core::DistOracle::from_matrix(
+            &m,
+            cc_core::Guarantee::mult3(0.25),
+            cc_graphs::StorageKind::Full,
+        );
+        let mut buf = Vec::new();
+        o.save_v2(&mut buf).expect("save_v2");
+        buf
+    }
+
+    #[test]
+    fn seeded_runs_are_deterministic() {
+        let corpus = vec![("tiny.snap".to_string(), tiny_snapshot())];
+        let a = run(&corpus, 200, 0xfeed, None);
+        let b = run(&corpus, 200, 0xfeed, None);
+        assert_eq!(a.clean_loads, b.clean_loads);
+        assert_eq!(a.rejections, b.rejections);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+    }
+
+    #[test]
+    fn smoke_run_never_panics_the_loader() {
+        let corpus = vec![("tiny.snap".to_string(), tiny_snapshot())];
+        let s = run(&corpus, 500, 0x5eed, None);
+        assert!(s.failures.is_empty(), "{:?}", s.failures);
+        // Mutations must actually be reaching the loader's rejection
+        // paths, not all bouncing off one check.
+        assert!(s.rejections.len() >= 2, "{:?}", s.rejections);
+    }
+
+    #[test]
+    fn abuse_cases_all_reject_with_typed_errors() {
+        let base = tiny_snapshot();
+        for (name, bytes) in abuse_cases("tiny", &base) {
+            let r = std::panic::catch_unwind(|| load_any(&bytes));
+            match r {
+                Ok(Err(_)) => {}
+                Ok(Ok(_)) => panic!("{name} loaded cleanly"),
+                Err(_) => panic!("{name} panicked the loader"),
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `cc-analyze`: workspace-specific static analysis and snapshot fuzzing.
+//!
+//! `rustc` and clippy enforce language-level rules; this crate enforces
+//! *repo*-level ones — where `unsafe` may live, that every `#[repr(C)]`
+//! type's wire layout is compile-time checked, that parser and hot-path
+//! modules stay panic-free and truncation-free — plus a deterministic
+//! fuzzer asserting the snapshot loaders' typed-error contract.
+//!
+//! The binary front-end (`cargo run -p cc-analyze -- check|selftest|fuzz`)
+//! lives in `main.rs`; everything here is an ordinary library so rules and
+//! fuzzing are unit-testable in-process. Deliberately dependency-free
+//! (workspace crates aside): a lint gate must never be the thing that
+//! fails to build.
+
+#![forbid(unsafe_code)]
+
+pub mod fuzz;
+pub mod rules;
+pub mod scan;

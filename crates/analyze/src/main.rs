@@ -1,0 +1,280 @@
+//! The `cc-analyze` CLI: `check`, `selftest`, and `fuzz`.
+//!
+//! * `check [--root DIR]` — run every rule over the workspace; nonzero
+//!   exit on any finding, `path:line: [rule] message` diagnostics.
+//! * `selftest` — run the engine over the committed fixture tree of
+//!   seeded violations and assert it finds exactly the expected set;
+//!   nonzero exit (with a diff) if the engine goes blind or noisy.
+//! * `fuzz --iters N [--seed S] [--corpus DIR] [--emit-corpus DIR]` —
+//!   seeded mutation fuzzing of the snapshot loaders, with the process
+//!   global allocator instrumented so unbounded-allocation regressions
+//!   fail the run, not the host.
+
+#![deny(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cc_analyze::{fuzz, rules};
+
+/// The fuzzer's allocation-bound probe needs a counting global allocator;
+/// this is the one `unsafe` in the crate (and it is in the analyzer's own
+/// allowlist, so `check` audits the file you are reading).
+#[allow(unsafe_code)]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: every call forwards verbatim to `System`, which satisfies
+    // the GlobalAlloc contract; the atomic bookkeeping around the calls
+    // never touches the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: unsafe-to-call per the trait; the caller passes a valid
+        // nonzero layout, which is forwarded untouched.
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: same layout the caller passed us; System upholds
+            // the allocation contract for it.
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+
+        // SAFETY: unsafe-to-call per the trait; `ptr`/`layout` are the
+        // pair the caller got from `alloc`, forwarded untouched.
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            // SAFETY: `ptr`/`layout` form the pair the caller obtained
+            // from `alloc` above, forwarded unchanged.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    /// Resets the peak to the current live-byte count.
+    pub fn reset_peak() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Peak live bytes since the last [`reset_peak`].
+    pub fn peak_bytes() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("selftest") => cmd_selftest(),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cc-analyze <check [--root DIR] | selftest | \
+                 fuzz [--iters N] [--seed S] [--corpus DIR] [--emit-corpus DIR]>\n\
+                 rules: {}",
+                rules::ALL_RULES.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let root = PathBuf::from(flag_value(args, "--root").unwrap_or("."));
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "cc-analyze: {} does not look like a workspace root (no Cargo.toml); \
+             run from the repo root or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = match rules::check_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cc-analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let hatches: Vec<String> = report
+        .allows
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect();
+    println!(
+        "cc-analyze: {} files scanned, {} findings, {} escape hatches [{}]",
+        report.files,
+        report.findings.len(),
+        report.allow_count(),
+        hatches.join(", ")
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The violations the committed fixture tree seeds, as (path, rule) pairs.
+/// `selftest` fails on any miss *or* any extra finding, so both engine
+/// blindness and engine noise break the gate.
+const EXPECTED_FIXTURE_FINDINGS: &[(&str, &str)] = &[
+    ("crates/core/src/lib.rs", rules::RULE_MODULE),
+    ("crates/core/src/lib.rs", rules::RULE_SAFETY),
+    ("crates/core/src/snapshot/header.rs", rules::RULE_PANIC),
+    ("crates/core/src/snapshot/header.rs", rules::RULE_INDEX),
+    ("crates/core/src/snapshot/header.rs", rules::RULE_CAST),
+    ("crates/graphs/src/pod.rs", rules::RULE_POD),
+    ("crates/serve/src/lib.rs", rules::RULE_ATTR),
+    ("crates/serve/src/mmap.rs", rules::RULE_SAFETY),
+];
+
+fn cmd_selftest() -> ExitCode {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/violations");
+    let report = match rules::check_root(&fixture) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cc-analyze selftest: cannot scan fixture tree: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let got: BTreeSet<(String, &'static str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.rule))
+        .collect();
+    let want: BTreeSet<(String, &'static str)> = EXPECTED_FIXTURE_FINDINGS
+        .iter()
+        .map(|(p, r)| ((*p).to_string(), *r))
+        .collect();
+
+    let mut failed = false;
+    for missing in want.difference(&got) {
+        eprintln!(
+            "selftest: engine MISSED a seeded violation: {}: [{}]",
+            missing.0, missing.1
+        );
+        failed = true;
+    }
+    for extra in got.difference(&want) {
+        eprintln!(
+            "selftest: engine reported an UNSEEDED finding: {}: [{}]",
+            extra.0, extra.1
+        );
+        failed = true;
+    }
+    if report.allow_count() == 0 {
+        eprintln!("selftest: the fixture's escape hatch was not counted");
+        failed = true;
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if failed {
+        eprintln!("cc-analyze selftest: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "cc-analyze selftest: ok — {} seeded findings detected, {} escape hatch(es) counted",
+            report.findings.len(),
+            report.allow_count()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let iters: u64 = match flag_value(args, "--iters").unwrap_or("1000").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("cc-analyze fuzz: --iters expects an integer");
+            return ExitCode::from(2);
+        }
+    };
+    let seed: u64 = match flag_value(args, "--seed").unwrap_or("23982").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("cc-analyze fuzz: --seed expects an integer");
+            return ExitCode::from(2);
+        }
+    };
+    let corpus_dir = PathBuf::from(flag_value(args, "--corpus").unwrap_or("tests/golden"));
+    let corpus = match fuzz::load_corpus(&corpus_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cc-analyze fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(out) = flag_value(args, "--emit-corpus") {
+        return match fuzz::emit_corpus(&corpus, Path::new(out)) {
+            Ok(manifest) => {
+                println!(
+                    "cc-analyze fuzz: froze {} abuse cases into {out}",
+                    manifest.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cc-analyze fuzz: emit failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let probe = fuzz::AllocProbe {
+        reset_peak: counting_alloc::reset_peak,
+        peak_bytes: counting_alloc::peak_bytes,
+    };
+    let summary = fuzz::run(&corpus, iters, seed, Some(probe));
+
+    println!(
+        "cc-analyze fuzz: {} iterations over {} golden snapshots (seed {seed:#x})",
+        summary.iterations,
+        corpus.len()
+    );
+    println!(
+        "  clean loads: {} (mutation survived validation)",
+        summary.clean_loads
+    );
+    for (kind, n) in &summary.rejections {
+        println!("  rejected as {kind}: {n}");
+    }
+    println!(
+        "  peak single-load allocation: {} bytes",
+        summary.peak_alloc
+    );
+    if summary.failures.is_empty() {
+        println!("  contract held: no panics, no allocation blow-ups");
+        ExitCode::SUCCESS
+    } else {
+        for f in &summary.failures {
+            eprintln!("  FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

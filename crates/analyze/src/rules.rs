@@ -1,0 +1,643 @@
+//! The rule engine: repo-specific invariants `rustc` cannot state.
+//!
+//! Each rule is lexical (over [`crate::scan`]'s code/raw line views) and
+//! scoped by a path manifest kept here, in one place, so the policy is
+//! reviewable as data:
+//!
+//! * `safety-comment` — every `unsafe` token carries a `// SAFETY:` (or
+//!   `# Safety` doc) justification on or immediately above its line.
+//! * `unsafe-attr` — every crate root (`lib.rs`, `main.rs`, `src/bin/*`)
+//!   declares `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`.
+//! * `unsafe-module` — `unsafe` (and `allow(unsafe_code)`) appears only in
+//!   the audited allowlist modules.
+//! * `unwrap-expect` / `indexing` / `narrowing-cast` — panic-prone calls,
+//!   bare slice indexing, and bare `as` narrowing are denied in the
+//!   designated hot-path and parser modules (test code exempt).
+//! * `pod-manifest` — every `#[repr(C)]` type is registered here and pairs
+//!   with an `impl Section for …` compile-time layout check in its file.
+//!
+//! Any finding can be waived in place with a counted escape hatch —
+//! `// cc-analyze: allow(<rule>)` on the flagged line or the comment block
+//! above it — so exceptions are visible in the report instead of silent.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scan::{self, Line};
+
+pub const RULE_SAFETY: &str = "safety-comment";
+pub const RULE_ATTR: &str = "unsafe-attr";
+pub const RULE_MODULE: &str = "unsafe-module";
+pub const RULE_PANIC: &str = "unwrap-expect";
+pub const RULE_INDEX: &str = "indexing";
+pub const RULE_CAST: &str = "narrowing-cast";
+pub const RULE_POD: &str = "pod-manifest";
+
+/// Every rule id, for `--help` text and escape-hatch validation.
+pub const ALL_RULES: &[&str] = &[
+    RULE_SAFETY,
+    RULE_ATTR,
+    RULE_MODULE,
+    RULE_PANIC,
+    RULE_INDEX,
+    RULE_CAST,
+    RULE_POD,
+];
+
+/// The only modules allowed to contain `unsafe`: POD reinterpretation,
+/// the mmap syscall wrapper, the v2 zero-copy reader, and this binary's
+/// counting allocator.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/analyze/src/main.rs",
+    "crates/core/src/snapshot/v2.rs",
+    "crates/graphs/src/pod.rs",
+    "crates/serve/src/mmap.rs",
+];
+
+/// Hot-path and parser modules where `.unwrap()` / `.expect(` are denied
+/// outside test code: a panic here takes down a serving worker or turns a
+/// corrupt snapshot into an abort instead of a typed error.
+const NO_PANIC: &[&str] = &[
+    "crates/core/src/oracle.rs",
+    "crates/core/src/path_oracle.rs",
+    "crates/core/src/snapshot/header.rs",
+    "crates/core/src/snapshot/mod.rs",
+    "crates/core/src/snapshot/v2.rs",
+    "crates/matrix/src/dense.rs",
+    "crates/matrix/src/sparse.rs",
+    "crates/serve/src/mmap.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/queue.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/snapshot.rs",
+];
+
+/// Parser/server modules where bare slice indexing is denied: every input
+/// there is attacker-controlled (a wire frame or an on-disk snapshot), so
+/// reads must be `get`-based and fail typed.
+const NO_INDEXING: &[&str] = &[
+    "crates/core/src/snapshot/header.rs",
+    "crates/core/src/snapshot/mod.rs",
+    "crates/core/src/snapshot/v2.rs",
+    "crates/serve/src/mmap.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/queue.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/snapshot.rs",
+];
+
+/// Modules where a bare narrowing `as` cast is denied: silent truncation
+/// in a writer or kernel produces a *valid-looking* snapshot or witness
+/// with wrong contents, the worst failure mode this workspace has.
+const NO_NARROWING: &[&str] = &[
+    "crates/core/src/oracle.rs",
+    "crates/core/src/path_oracle.rs",
+    "crates/core/src/snapshot/header.rs",
+    "crates/core/src/snapshot/mod.rs",
+    "crates/core/src/snapshot/v2.rs",
+    "crates/matrix/src/dense.rs",
+    "crates/matrix/src/sparse.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/snapshot.rs",
+];
+
+/// The POD registry: every `#[repr(C)]` type in the workspace, by file.
+/// A type here must also carry an `impl Section for …` in the same file,
+/// tying its declared wire layout to the compile-time assertions in
+/// `cc_graphs::pod`.
+const POD_MANIFEST: &[(&str, &str)] = &[("crates/graphs/src/pod.rs", "DirEntry")];
+
+/// Cast targets treated as narrowing when written with bare `as`.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// One diagnostic, formatted `path:line: [rule] message`.
+#[derive(Debug)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of a workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned (after the vendor/target/fixtures skips).
+    pub files: usize,
+    /// Rule violations, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Counted escape hatches, by rule.
+    pub allows: BTreeMap<&'static str, usize>,
+}
+
+impl Report {
+    /// Total escape hatches exercised.
+    pub fn allow_count(&self) -> usize {
+        self.allows.values().sum()
+    }
+}
+
+/// Runs every rule over the `.rs` files under `root` (skipping `vendor/`,
+/// `target/`, `fixtures/`, and `.git/`) and returns the combined report.
+pub fn check_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs(root, Path::new(""), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    let mut seen_pod: Vec<(String, String)> = Vec::new();
+    for rel in &files {
+        let text = fs::read_to_string(root.join(rel))?;
+        check_file(rel, &text, &mut report, &mut seen_pod);
+    }
+    report.files = files.len();
+
+    // The manifest must stay live: an entry whose type vanished is stale.
+    for (path, ty) in POD_MANIFEST {
+        let present = seen_pod.iter().any(|(p, t)| p == path && t == ty);
+        if files.iter().any(|f| f == path) && !present {
+            report.findings.push(Finding {
+                path: (*path).to_string(),
+                line: 1,
+                rule: RULE_POD,
+                message: format!(
+                    "stale manifest entry: `#[repr(C)] {ty}` no longer found in this file"
+                ),
+            });
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+/// Runs every per-file rule over one source text (exposed for tests and
+/// the self-test fixture pass).
+pub fn check_source(rel: &str, text: &str) -> Report {
+    let mut report = Report::default();
+    let mut seen_pod = Vec::new();
+    check_file(rel, text, &mut report, &mut seen_pod);
+    report.files = 1;
+    report
+}
+
+fn collect_rs(root: &Path, rel: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(root.join(rel))?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if entry.file_type()?.is_dir() {
+            if matches!(name.as_str(), "target" | "vendor" | "fixtures" | ".git") {
+                continue;
+            }
+            collect_rs(root, &rel.join(&name), out)?;
+        } else if name.ends_with(".rs") {
+            let p: PathBuf = rel.join(&name);
+            out.push(p.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || rel.contains("/src/bin/")
+}
+
+fn in_list(list: &[&str], rel: &str) -> bool {
+    list.contains(&rel)
+}
+
+fn check_file(rel: &str, text: &str, report: &mut Report, seen_pod: &mut Vec<(String, String)>) {
+    let lines = scan::scan_source(text);
+    let unsafe_ok = in_list(UNSAFE_ALLOWLIST, rel);
+
+    let emit = |report: &mut Report, lines: &[Line], idx: usize, rule, message: String| {
+        if escape_hatch(lines, idx, rule) {
+            *report.allows.entry(rule).or_insert(0) += 1;
+        } else {
+            report.findings.push(Finding {
+                path: rel.to_string(),
+                line: idx + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    if is_crate_root(rel) {
+        let has_attr = lines.iter().any(|l| {
+            l.code.contains("#![forbid(unsafe_code)]") || l.code.contains("#![deny(unsafe_code)]")
+        });
+        if !has_attr {
+            emit(
+                report,
+                &lines,
+                0,
+                RULE_ATTR,
+                "crate root lacks #![forbid(unsafe_code)] / #![deny(unsafe_code)]".to_string(),
+            );
+        }
+    }
+
+    for idx in 0..lines.len() {
+        let line = &lines[idx];
+        let code = line.code.as_str();
+
+        if has_word(code, "unsafe") {
+            if !unsafe_ok {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_MODULE,
+                    "`unsafe` outside the audited allowlist modules".to_string(),
+                );
+            }
+            if !has_safety_comment(&lines, idx) {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_SAFETY,
+                    "`unsafe` without a // SAFETY: justification".to_string(),
+                );
+            }
+        }
+        if !unsafe_ok && code.contains("allow(unsafe_code)") {
+            emit(
+                report,
+                &lines,
+                idx,
+                RULE_MODULE,
+                "`allow(unsafe_code)` outside the audited allowlist modules".to_string(),
+            );
+        }
+
+        if !line.in_test {
+            if in_list(NO_PANIC, rel) && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_PANIC,
+                    "`.unwrap()`/`.expect(` in a no-panic module".to_string(),
+                );
+            }
+            if in_list(NO_INDEXING, rel) && has_indexing(code) {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_INDEX,
+                    "bare slice indexing in a parser/server module (use `.get(..)`)".to_string(),
+                );
+            }
+            if in_list(NO_NARROWING, rel) {
+                if let Some(target) = narrowing_target(code) {
+                    emit(
+                        report,
+                        &lines,
+                        idx,
+                        RULE_CAST,
+                        format!("bare `as {target}` narrowing (use a checked conversion)"),
+                    );
+                }
+            }
+        }
+
+        if code.contains("#[repr(C") {
+            if let Some((ty_idx, ty)) = find_repr_type(&lines, idx) {
+                seen_pod.push((rel.to_string(), ty.clone()));
+                let registered = POD_MANIFEST.iter().any(|(p, t)| *p == rel && *t == ty);
+                if !registered {
+                    emit(
+                        report,
+                        &lines,
+                        ty_idx,
+                        RULE_POD,
+                        format!("unregistered #[repr(C)] type `{ty}` (add it to POD_MANIFEST)"),
+                    );
+                } else if !text.contains(&format!("impl Section for {ty}")) {
+                    emit(
+                        report,
+                        &lines,
+                        ty_idx,
+                        RULE_POD,
+                        format!("`{ty}` lacks an `impl Section for` compile-time layout check"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// True when `word` appears in `code` at identifier boundaries.
+fn has_word(code: &str, word: &str) -> bool {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find(word)) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre = start
+            .checked_sub(1)
+            .and_then(|p| b.get(p))
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        let post = b
+            .get(end)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        if !pre && !post {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// A SAFETY justification counts on the flagged line itself or in the
+/// contiguous comment/attribute block immediately above it.
+fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
+    let hit = |raw: &str| raw.contains("SAFETY:") || raw.contains("# Safety");
+    if hit(&lines[idx].raw) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let t = lines[k].raw.trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+            if hit(&lines[k].raw) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// The escape hatch: `// cc-analyze: allow(<rule>)` on the flagged line or
+/// in the comment/attribute block immediately above it.
+fn escape_hatch(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let needle = format!("cc-analyze: allow({rule})");
+    if lines[idx].raw.contains(&needle) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let t = lines[k].raw.trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+            if lines[k].raw.contains(&needle) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Detects `expr[...]` indexing: a `[` whose previous non-space character
+/// ends an expression (identifier, `)`, `]`, or `?`), excluding keywords
+/// (`mut`, `in`, `return`, …) that introduce array/slice literals.
+fn has_indexing(code: &str) -> bool {
+    const KEYWORDS: &[&str] = &[
+        "mut", "in", "return", "if", "else", "match", "loop", "while", "break", "ref", "move",
+        "as", "const", "static",
+    ];
+    let b = code.as_bytes();
+    for i in 0..b.len() {
+        if b[i] != b'[' {
+            continue;
+        }
+        let Some(p) = (0..i).rev().find(|&p| b[p] != b' ') else {
+            continue;
+        };
+        let c = b[p];
+        if c == b')' || c == b']' || c == b'?' {
+            return true;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = (0..=p)
+                .rev()
+                .find(|&q| !(b[q].is_ascii_alphanumeric() || b[q] == b'_'));
+            // `&'a [u8]` — a lifetime before `[` is a type position, not
+            // an indexing expression.
+            if start.is_some_and(|s| b[s] == b'\'') {
+                continue;
+            }
+            let word = match start {
+                Some(s) => code.get(s + 1..=p),
+                None => code.get(..=p),
+            };
+            // A non-boundary slice means a non-ASCII token — treat it as
+            // an expression and flag it rather than panic.
+            if !word.is_some_and(|w| KEYWORDS.contains(&w)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Returns the first narrowing `as <ty>` cast target on the line, if any.
+fn narrowing_target(code: &str) -> Option<&'static str> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find("as")) {
+        let start = from + pos;
+        let end = start + 2;
+        from = end;
+        let pre = start
+            .checked_sub(1)
+            .and_then(|p| b.get(p))
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        let post = b
+            .get(end)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        if pre || post {
+            continue;
+        }
+        let rest = code.get(end..).unwrap_or("").trim_start();
+        let ty: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(t) = NARROW_TARGETS.iter().find(|t| **t == ty) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Finds the type declaration a `#[repr(C…)]` attribute applies to,
+/// scanning past interleaved attributes/derives.
+fn find_repr_type(lines: &[Line], attr_idx: usize) -> Option<(usize, String)> {
+    for (j, line) in lines.iter().enumerate().skip(attr_idx).take(8) {
+        for kw in ["struct", "enum", "union"] {
+            if let Some(pos) = find_word(&line.code, kw) {
+                let after = line.code.get(pos + kw.len()..)?.trim_start();
+                let name: String = after
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    return Some((j, name));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find(word)) {
+        let start = from + pos;
+        let end = start + word.len();
+        let pre = start
+            .checked_sub(1)
+            .and_then(|p| b.get(p))
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        let post = b
+            .get(end)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_');
+        if !pre && !post {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(report: &Report) -> Vec<&'static str> {
+        report.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let r = check_source("crates/graphs/src/pod.rs", "fn f() { unsafe { g() } }\n");
+        assert_eq!(rules_of(&r), vec![RULE_SAFETY]);
+    }
+
+    #[test]
+    fn safety_comment_above_or_inline_satisfies() {
+        for src in [
+            "// SAFETY: g is idempotent.\nfn f() { unsafe { g() } }\n",
+            "fn f() { unsafe { g() } } // SAFETY: g is idempotent.\n",
+            "/// # Safety\n/// Caller pins the buffer.\npub unsafe trait T {}\n",
+        ] {
+            let r = check_source("crates/graphs/src/pod.rs", src);
+            assert!(r.findings.is_empty(), "{src:?} -> {:?}", r.findings);
+        }
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged() {
+        let r = check_source(
+            "crates/core/src/oracle.rs",
+            "// SAFETY: still not allowed here.\nfn f() { unsafe { g() } }\n",
+        );
+        assert_eq!(rules_of(&r), vec![RULE_MODULE]);
+    }
+
+    #[test]
+    fn crate_roots_must_pin_unsafe_code() {
+        let r = check_source("crates/core/src/lib.rs", "pub mod oracle;\n");
+        assert_eq!(rules_of(&r), vec![RULE_ATTR]);
+        let ok = check_source(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod oracle;\n",
+        );
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn panic_indexing_and_casts_fire_only_outside_tests() {
+        let src = concat!(
+            "fn f(v: &[u8]) -> u8 { v[0] }\n",
+            "fn g(n: usize) -> u16 { n as u16 }\n",
+            "fn h(o: Option<u8>) -> u8 { o.unwrap() }\n",
+            "#[cfg(test)]\n",
+            "mod tests { fn t(v: &[u8]) { v[0]; None::<u8>.unwrap(); } }\n",
+        );
+        let r = check_source("crates/core/src/snapshot/v2.rs", src);
+        let mut rules = rules_of(&r);
+        rules.sort();
+        assert_eq!(rules, vec![RULE_INDEX, RULE_CAST, RULE_PANIC]);
+    }
+
+    #[test]
+    fn string_and_comment_contents_do_not_fire() {
+        let src = "fn f() { log(\"call .unwrap() on v[0] as u16\"); } // v[0] as u8\n";
+        let r = check_source("crates/core/src/snapshot/v2.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn escape_hatch_suppresses_and_counts() {
+        let src = concat!(
+            "fn f(o: Option<u8>) -> u8 {\n",
+            "    // cc-analyze: allow(unwrap-expect) — checked by caller.\n",
+            "    o.unwrap()\n",
+            "}\n",
+        );
+        let r = check_source("crates/core/src/oracle.rs", src);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.allows.get(RULE_PANIC), Some(&1));
+    }
+
+    #[test]
+    fn unregistered_repr_c_is_flagged() {
+        let r = check_source(
+            "crates/serve/src/protocol.rs",
+            "#[repr(C)]\n#[derive(Clone, Copy)]\npub struct Rogue { a: u32 }\n",
+        );
+        assert_eq!(rules_of(&r), vec![RULE_POD]);
+        assert!(r.findings[0].message.contains("Rogue"));
+    }
+
+    #[test]
+    fn registered_pod_needs_section_impl() {
+        let src = "#[repr(C)]\npub struct DirEntry { a: u32 }\n";
+        let r = check_source("crates/graphs/src/pod.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_POD]);
+        let with_impl = format!("{src}impl Section for DirEntry {{}}\n");
+        let ok = check_source("crates/graphs/src/pod.rs", &with_impl);
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn widening_casts_are_not_narrowing() {
+        let r = check_source(
+            "crates/core/src/oracle.rs",
+            "fn f(x: u8) -> u64 { x as u64 }\nfn g(x: u32) -> usize { x as usize }\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

@@ -1,0 +1,305 @@
+//! A minimal Rust surface lexer for the rule engine.
+//!
+//! The analyzer does not parse Rust — it classifies *lines*. What it needs
+//! from a lexer is exactly three things, and nothing more:
+//!
+//! 1. a `code` view of every line with comment text and string/char
+//!    literal *contents* blanked out (so `".unwrap()"` inside a string or
+//!    a doc comment never trips a rule),
+//! 2. the untouched `raw` line (so `// SAFETY:` justifications and
+//!    `// cc-analyze: allow(...)` escape hatches — which live in comments —
+//!    stay visible), and
+//! 3. an `in_test` flag marking `#[cfg(test)]` items, where the panic
+//!    rules do not apply.
+//!
+//! Blanking preserves byte positions within a line and every newline, so
+//! `raw` and `code` stay in lockstep line-by-line. The state machine
+//! handles nested block comments, regular/byte strings with escapes, raw
+//! strings with arbitrary `#` fences, and the char-literal/lifetime
+//! ambiguity — the corners where a naive regex over Rust text lies.
+
+/// One source line in both views, plus its test-region flag.
+#[derive(Debug)]
+pub struct Line {
+    /// The original line, comments and all.
+    pub raw: String,
+    /// The line with comments and literal contents replaced by spaces.
+    pub code: String,
+    /// True inside a `#[cfg(test)]` item (attribute line included).
+    pub in_test: bool,
+}
+
+/// Lexes `text` into per-line raw/code views and marks test regions.
+pub fn scan_source(text: &str) -> Vec<Line> {
+    let blanked = blank_noncode(text);
+    let mut lines: Vec<Line> = text
+        .lines()
+        .zip(blanked.lines().chain(std::iter::repeat("")))
+        .map(|(raw, code)| Line {
+            raw: raw.to_string(),
+            code: code.to_string(),
+            in_test: false,
+        })
+        .collect();
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// Rewrites `text` with comment text and literal contents as spaces,
+/// keeping newlines (and therefore line numbers) intact.
+fn blank_noncode(text: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(text.len());
+    let mut st = St::Code;
+    let mut i = 0;
+
+    // Pushes a blanked stand-in that keeps newlines and line lengths.
+    let blank = |out: &mut String, c: char| out.push(if c == '\n' { '\n' } else { ' ' });
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => {
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Raw (r", r#", br") and byte (b") string openers start
+                    // at an identifier boundary.
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'r') {
+                        let mut k = j + 1;
+                        let mut hashes = 0usize;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') {
+                            for _ in i..=k {
+                                out.push(' ');
+                            }
+                            st = St::RawStr(hashes);
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                    if c == 'b' && next == Some('"') {
+                        out.push_str(" \"");
+                        st = St::Str;
+                        i += 2;
+                        continue;
+                    }
+                    out.push(c);
+                    i += 1;
+                } else if c == '"' {
+                    out.push('"');
+                    st = St::Str;
+                    i += 1;
+                } else if c == '\'' {
+                    // 'x' or '\x{...}' is a char literal; 'ident is a
+                    // lifetime and stays in the code view.
+                    let is_char = next == Some('\\')
+                        || (chars.get(i + 2) == Some(&'\'') && next != Some('\''));
+                    if is_char {
+                        out.push(' ');
+                        st = St::Char;
+                    } else {
+                        out.push(c);
+                    }
+                    i += 1;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    st = St::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if let Some(e) = next {
+                        blank(&mut out, e);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    st = St::Code;
+                    i += hashes + 1;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    if let Some(e) = next {
+                        blank(&mut out, e);
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    out.push(' ');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i.checked_sub(1)
+        .and_then(|p| chars.get(p))
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item by brace counting
+/// on the code view (string/comment braces are already blanked).
+fn mark_test_regions(lines: &mut [Line]) {
+    let n = lines.len();
+    let mut i = 0;
+    while i < n {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < n {
+            for ch in lines[j].code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            lines[j].in_test = true;
+            if opened && depth <= 0 {
+                break;
+            }
+            // A brace-less item (`#[cfg(test)] use …;`) ends at the first
+            // statement terminator instead of a closing brace.
+            if !opened && lines[j].code.contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let lines = scan_source(concat!(
+            "let a = \"x.unwrap() [0]\"; // .expect(boom)\n",
+            "let b = r#\"unsafe { }\"#;\n",
+            "/* multi\n   line .unwrap() */ let c = 1;\n",
+        ));
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].raw.contains(".expect(boom)"));
+        assert!(!lines[1].code.contains("unsafe"));
+        assert!(!lines[2].code.contains("multi"));
+        assert!(lines[3].code.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let lines = scan_source("fn f<'a>(x: &'a str) -> char { '[' }\n");
+        // The lifetime survives; the char literal's bracket is blanked.
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[0].code.contains('['));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = concat!(
+            "fn live() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn helper() { x.unwrap(); }\n",
+            "}\n",
+            "fn also_live() {}\n",
+        );
+        let lines = scan_source(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_items_do_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n";
+        let lines = scan_source(src);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+}

@@ -5,6 +5,8 @@
 //! (§5, "the standard hitting set based arguments lead to a logarithmic
 //! overhead in the size of the emulator").
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f3, Table};
 use cc_clique::RoundLedger;
 use cc_emulator::clique::CliqueEmulatorConfig;

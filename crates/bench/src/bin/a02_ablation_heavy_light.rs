@@ -10,6 +10,8 @@
 //!   depend on the top-level fallback; correctness still holds, edges may
 //!   inflate.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_emulator::clique::{self, CliqueEmulatorConfig};

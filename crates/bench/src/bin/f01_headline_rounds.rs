@@ -15,6 +15,8 @@
 //! inputs — the asymptotic ordering is the object of the experiment, not
 //! small-`n` constants.)
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, rng, Table};
 use cc_clique::RoundLedger;
 use cc_core::algorithm::TwoPlusEpsApsp;

@@ -6,6 +6,8 @@
 //! ratio of the (1+ε, β)-APSP by true distance and compare with the
 //! `(2+ε)`-line and with a Baswana–Sen 3-spanner baseline.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_core::apsp_additive::{self, AdditiveApspConfig};

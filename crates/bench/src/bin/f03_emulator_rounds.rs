@@ -2,6 +2,8 @@
 //! rounds grow as `poly(log log n)`, the CHKL19-style hopset pipeline as
 //! `poly(log n)`.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, rng, Table};
 use cc_clique::RoundLedger;
 use cc_emulator::clique::CliqueEmulatorConfig;

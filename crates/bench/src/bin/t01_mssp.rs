@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 //! T1 — Thm 3/33: (1+ε)-MSSP from O(√n) sources in Õ((log log n)²) rounds.
 

@@ -1,6 +1,8 @@
 //! T2 — Thm 4/34: (2+ε)-APSP in Õ((log log n)²) rounds, with the (3+ε)
 //! warm-up pipeline for comparison.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_core::apsp2::{self, Apsp2Config};

@@ -1,6 +1,8 @@
 //! T3 — Thm 5/32: (1+ε, β)-APSP — the first sub-polynomial near-additive
 //! APSP.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_core::apsp_additive::{self, AdditiveApspConfig};

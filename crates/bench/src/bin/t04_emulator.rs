@@ -1,6 +1,8 @@
 //! T4 — the emulator theorems (Thm 24 / 29 / 31): size `O(r·n^{1+1/2^r})`,
 //! stretch `(1+ε, β)`, rounds `O(log²β/ε)`.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_emulator::clique::CliqueEmulatorConfig;

@@ -1,6 +1,8 @@
 //! T5 — Thm 10: the (k,d)-nearest problem in
 //! `O((k/n^{2/3} + log d)·log d)` rounds.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{rng, Table};
 use cc_clique::RoundLedger;
 use cc_graphs::generators;

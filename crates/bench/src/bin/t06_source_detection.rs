@@ -2,6 +2,8 @@
 //! `O((m^{1/3}|S|^{2/3}/n + 1)·d)` rounds — linear in `d`, which is why the
 //! paper pairs it with hopsets.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{rng, Table};
 use cc_clique::RoundLedger;
 use cc_graphs::{generators, WeightedGraph};

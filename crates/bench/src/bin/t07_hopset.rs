@@ -1,6 +1,8 @@
 //! T7 — Thm 12: bounded (β, ε, t)-hopsets — `O(n^{3/2} log n)` edges,
 //! `β = O(log t/ε)`, `O(log²t/ε)` rounds, verified stretch ≤ 1+ε.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_graphs::generators;

@@ -2,6 +2,8 @@
 //! the **missing `log N` factor** in the selected-set size, versus plain
 //! hitting sets.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, rng, Table};
 use cc_clique::RoundLedger;
 use cc_derand::soft_hitting::{soft_hitting_set, SoftHittingInstance};

@@ -1,6 +1,8 @@
 //! T9 — Claims 14–16: the sampling hierarchy concentrates —
 //! `E[|Sᵢ|] = n^{1-(2^i-1)/2^r}` and `|S_r| = O(√n)` w.h.p.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, rng, Table};
 use cc_emulator::EmulatorParams;
 

@@ -1,6 +1,8 @@
 //! T10 — §3.1: the warm-up `(1+ε, Θ(1/ε))`-emulator with `Õ(n^{5/4})`
 //! edges.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f2, f3, rng, Table};
 use cc_emulator::warmup::{self, WarmupParams};
 use cc_graphs::generators;

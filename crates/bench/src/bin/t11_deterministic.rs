@@ -1,6 +1,8 @@
 //! T11 — Thms 50–53: deterministic variants match the randomized guarantees
 //! at an extra `O((log log n)³)`–`O((log log n)⁴)` round overhead.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::{f3, rng, Table};
 use cc_clique::RoundLedger;
 use cc_core::apsp2::{self, Apsp2Config};

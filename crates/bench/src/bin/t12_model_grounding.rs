@@ -5,6 +5,8 @@
 //! enforcement and compares its measured rounds with the cost-model formula
 //! the algorithm layer charges for the same primitive.
 
+#![forbid(unsafe_code)]
+
 use cc_bench::Table;
 use cc_clique::cost::model;
 use cc_clique::programs::{

@@ -16,6 +16,8 @@
 //!
 //! Run with: `cargo run --release --bin t13_engine_stress -- [--threads T] [--reps R] [--quick]`
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use cc_bench::rng;

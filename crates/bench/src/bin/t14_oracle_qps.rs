@@ -22,6 +22,8 @@
 //!
 //! Run with: `cargo run --release --bin t14_oracle_qps -- [--threads T] [--queries Q] [--quick]`
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

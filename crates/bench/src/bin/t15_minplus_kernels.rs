@@ -21,6 +21,8 @@
 //!
 //! Run with: `cargo run --release --bin t15_minplus_kernels -- [--threads T] [--reps R] [--quick]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use cc_bench::rng;

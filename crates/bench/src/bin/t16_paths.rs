@@ -19,6 +19,8 @@
 //!
 //! Run with: `cargo run --release --bin t16_paths -- [--threads T] [--reps R] [--quick]`
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

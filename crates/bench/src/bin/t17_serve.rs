@@ -23,6 +23,8 @@
 //!
 //! Run with: `cargo run --release --bin t17_serve -- [--threads T] [--clients C] [--requests R] [--quick]`
 
+#![forbid(unsafe_code)]
+
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;

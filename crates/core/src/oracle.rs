@@ -225,6 +225,15 @@ pub struct DistOracle {
     tags: Option<PodData<u8>>,
 }
 
+/// Vertex ids are `u32` on the wire and in row-sparse source tables. The
+/// oracles these conversions serve are built from n-by-n tables that exist
+/// in memory, so `n` is far below `u32::MAX`; debug builds assert it.
+fn vertex_id(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "vertex id exceeds u32");
+    // cc-analyze: allow(narrowing-cast) — bounded by the table fitting in memory.
+    i as u32
+}
+
 impl DistOracle {
     /// Freezes a storage under a single uniform guarantee.
     pub fn from_storage(storage: DistStorage, guarantee: Guarantee) -> Self {
@@ -245,7 +254,7 @@ impl DistOracle {
             StorageKind::Full => DistStorage::full(n, m.to_flat()),
             StorageKind::SymmetricPacked => DistStorage::symmetric_packed(n, m.to_packed()),
             StorageKind::RowSparse => {
-                DistStorage::row_sparse(n, (0..n as u32).collect::<Vec<_>>(), m.to_flat())
+                DistStorage::row_sparse(n, (0..vertex_id(n)).collect::<Vec<_>>(), m.to_flat())
             }
         };
         DistOracle::from_storage(storage, guarantee)
@@ -302,11 +311,13 @@ impl DistOracle {
 
     /// The strongest guarantee in the table (diagonal answers use it).
     fn strongest(&self) -> Guarantee {
-        *self
-            .guarantees
+        // Constructors and loaders both reject empty tables; the fallback
+        // (the weakest representable provenance) only keeps this total.
+        self.guarantees
             .iter()
-            .reduce(|a, b| if b.stronger_than(a) { b } else { a })
-            .expect("guarantee table is never empty")
+            .copied()
+            .reduce(|a, b| if b.stronger_than(&a) { b } else { a })
+            .unwrap_or(Guarantee::mult3(f64::INFINITY))
     }
 
     #[inline]
@@ -400,7 +411,7 @@ impl DistOracle {
             .iter()
             .enumerate()
             .filter(|&(v, &d)| v != u && d < INF)
-            .map(|(v, &d)| (v as u32, d))
+            .map(|(v, &d)| (vertex_id(v), d))
             .collect();
         if k < near.len() {
             near.select_nth_unstable_by_key(k, |&(v, d)| (d, v));
@@ -474,7 +485,7 @@ impl DistOracle {
             StorageKind::RowSparse => {
                 let sources: Vec<u32> = match self.storage.sources() {
                     Some(s) => s.to_vec(),
-                    None => (0..n as u32).collect(),
+                    None => (0..vertex_id(n)).collect(),
                 };
                 let mut data = Vec::with_capacity(sources.len() * n);
                 let mut tags = Vec::with_capacity(sources.len() * n);
@@ -516,13 +527,30 @@ impl DistOracle {
     //   [tags]  E × tag u8                                E
     //   checksum u64: FNV-1a over every preceding byte    8
 
+    /// The guarantee count as its wire type, or [`SnapshotError::TooLarge`]
+    /// when the table exceeds the format maximum both loaders enforce.
+    fn checked_guarantee_count(&self) -> Result<u16, SnapshotError> {
+        u16::try_from(self.guarantees.len())
+            .ok()
+            .filter(|&c| c as usize <= MAX_GUARANTEES)
+            .ok_or(SnapshotError::TooLarge {
+                what: "guarantee count",
+                count: self.guarantees.len(),
+                max: MAX_GUARANTEES,
+            })
+    }
+
     /// Serializes the oracle into the versioned binary snapshot format
     /// (documented in `DESIGN.md` §2.2) and writes it to `w`.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `w`.
+    /// Propagates I/O errors from `w`; a guarantee table larger than the
+    /// format's 256-row maximum surfaces as [`SnapshotError::TooLarge`]
+    /// (wrapped in `InvalidData`) instead of silently truncating the `u16`
+    /// count field.
     pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let g_count = self.checked_guarantee_count()?;
         let mut buf: Vec<u8> = Vec::with_capacity(32 + self.storage.entries() * 5);
         buf.extend_from_slice(b"CCDO");
         buf.extend_from_slice(&1u16.to_le_bytes());
@@ -533,7 +561,7 @@ impl DistOracle {
             StorageKind::RowSparse => 2,
         });
         buf.extend_from_slice(&(self.n() as u64).to_le_bytes());
-        buf.extend_from_slice(&(self.guarantees.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&g_count.to_le_bytes());
         for g in &self.guarantees {
             buf.push(g.kind.wire());
             buf.extend_from_slice(&g.eps.to_bits().to_le_bytes());
@@ -697,10 +725,15 @@ impl DistOracle {
         if !c.at_end() {
             return Err(SnapshotError::corrupt("trailing bytes after payload"));
         }
-        let storage = match kind {
-            0 => DistStorage::full(n, data),
-            1 => DistStorage::symmetric_packed(n, data),
-            _ => DistStorage::row_sparse(n, sources.expect("parsed above"), data),
+        let storage = match (kind, sources) {
+            (0, _) => DistStorage::full(n, data),
+            (1, _) => DistStorage::symmetric_packed(n, data),
+            (_, Some(sources)) => DistStorage::row_sparse(n, sources, data),
+            (_, None) => {
+                return Err(SnapshotError::corrupt(
+                    "row-sparse snapshot with no sources",
+                ))
+            }
         };
         Ok(DistOracle {
             storage,
@@ -726,9 +759,11 @@ impl DistOracle {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `w`.
+    /// Propagates I/O errors from `w`; an unrepresentable table (see
+    /// [`DistOracle::save`]) surfaces as `InvalidData`.
     pub fn save_v2<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(&self.to_v2_bytes())
+        let bytes = self.to_v2_bytes()?;
+        w.write_all(&bytes)
     }
 
     /// [`DistOracle::save_v2`] to a filesystem path.
@@ -741,7 +776,8 @@ impl DistOracle {
         self.save_v2(&mut f)
     }
 
-    pub(crate) fn to_v2_bytes(&self) -> Vec<u8> {
+    pub(crate) fn to_v2_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        let _ = self.checked_guarantee_count()?;
         let mut w = SectionWriter::new(b"CCDO");
         let sources = self.storage.sources();
         let mut meta = Vec::with_capacity(40);
@@ -774,6 +810,7 @@ impl DistOracle {
         w.finish()
     }
 
+    /// Loads a v2 snapshot from a validated [`SnapshotView`].
     pub(crate) fn load_v2(view: &SnapshotView) -> Result<Self, SnapshotError> {
         let meta = view.bytes_of(SEC_META, "CCDO meta")?;
         let mut c = Cursor::new(meta);
@@ -861,10 +898,15 @@ impl DistOracle {
         } else {
             None
         };
-        let storage = match kind {
-            0 => DistStorage::full(n, data),
-            1 => DistStorage::symmetric_packed(n, data),
-            _ => DistStorage::row_sparse(n, sources.expect("parsed above"), data),
+        let storage = match (kind, sources) {
+            (0, _) => DistStorage::full(n, data),
+            (1, _) => DistStorage::symmetric_packed(n, data),
+            (_, Some(sources)) => DistStorage::row_sparse(n, sources, data),
+            (_, None) => {
+                return Err(SnapshotError::corrupt(
+                    "row-sparse snapshot with no sources",
+                ))
+            }
         };
         Ok(DistOracle {
             storage,
@@ -893,6 +935,11 @@ impl DistOracle {
         Self::load(&mut f)
     }
 }
+
+// Format maximum for the guarantee table, enforced symmetrically by the
+// writers (as `SnapshotError::TooLarge`) and both loaders (as `Corrupt`):
+// tags index the table through a u8, so 256 rows is all v1/v2 can address.
+const MAX_GUARANTEES: usize = 256;
 
 // CCDO v2 section ids (see the layout comment on `to_v2_bytes`).
 const SEC_META: u16 = 1;
@@ -950,6 +997,35 @@ mod tests {
             assert_eq!(batch[i], o.dist(u, v));
         }
         assert_eq!(o.dist(9, 0), None, "out of range");
+    }
+
+    #[test]
+    fn oversized_guarantee_table_fails_to_save_cleanly() {
+        // 300 guarantees exceed the u8-indexed tag table; both writers must
+        // surface TooLarge instead of truncating the u16 count (a 300-row
+        // table written as `300 as u16` would round-trip as the wrong
+        // provenance for every tagged answer).
+        let n = 3;
+        let entries = n * (n + 1) / 2;
+        let guarantees: Vec<Guarantee> = (0..300).map(|i| Guarantee::mult2(i as f64)).collect();
+        let o = DistOracle::from_tagged_packed(n, vec![1; entries], vec![0; entries], guarantees);
+        let err = o.save(&mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("guarantee count"), "{err}");
+        let err = o.save_v2(&mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+        let err = o.to_v2_bytes().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::TooLarge {
+                    what: "guarantee count",
+                    count: 300,
+                    max: 256
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

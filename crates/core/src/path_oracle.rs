@@ -112,6 +112,20 @@ const RSEC_ORIGINS: u16 = 3;
 const RSEC_PROVIDER_BASE: u16 = 16;
 const RSEC_PROVIDER_STRIDE: u16 = 8;
 
+// Format maximum for the provider table, enforced symmetrically by the
+// writers (as `SnapshotError::TooLarge`) and both loaders (as `Corrupt`):
+// origins index providers through a u8, so 256 rows is all v1/v2 address.
+const MAX_PROVIDERS: usize = 256;
+
+/// First section id of provider `p`'s group, checked instead of narrowing
+/// `p` with `as` (any in-range `p < MAX_PROVIDERS` fits comfortably).
+fn provider_section_base(p: usize) -> Option<u16> {
+    u16::try_from(p)
+        .ok()
+        .and_then(|p| RSEC_PROVIDER_STRIDE.checked_mul(p))
+        .and_then(|off| RSEC_PROVIDER_BASE.checked_add(off))
+}
+
 impl PathOracle {
     /// Assembles an oracle from a frozen distance oracle, a per-pair origin
     /// table (index into `providers` of the store serving each pair) and the
@@ -176,9 +190,11 @@ impl PathOracle {
     pub fn path(&self, u: usize, v: usize) -> Option<Route> {
         let mut edges = Vec::new();
         let (weight, guarantee) = self.path_into(u, v, &mut edges)?;
+        // In range after path_into (u, v < n ≤ the u32-indexed table size).
+        let (src, dst) = (u32::try_from(u).ok()?, u32::try_from(v).ok()?);
         Some(Route {
-            src: u as u32,
-            dst: v as u32,
+            src,
+            dst,
             edges,
             weight,
             guarantee,
@@ -233,13 +249,32 @@ impl PathOracle {
     //            S·n × { tag u8, payload u32 }            5Sn
     //   checksum u64: FNV-1a over every preceding byte    8
 
+    /// The provider count as its wire type, or [`SnapshotError::TooLarge`]
+    /// when the table exceeds the format maximum both loaders enforce
+    /// (origins index providers through a u8, so 256 is all the formats can
+    /// address — a larger table would silently truncate the u16 count).
+    fn checked_provider_count(&self) -> Result<u16, SnapshotError> {
+        u16::try_from(self.providers.len())
+            .ok()
+            .filter(|&c| c as usize <= MAX_PROVIDERS)
+            .ok_or(SnapshotError::TooLarge {
+                what: "provider count",
+                count: self.providers.len(),
+                max: MAX_PROVIDERS,
+            })
+    }
+
     /// Serializes the oracle into the versioned `CCRO` snapshot and writes
     /// it to `w`.
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `w`.
+    /// Propagates I/O errors from `w`; a provider table larger than the
+    /// format's 256-row maximum surfaces as [`SnapshotError::TooLarge`]
+    /// (wrapped in `InvalidData`) instead of silently truncating the `u16`
+    /// count field.
     pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let p_count = self.checked_provider_count()?;
         let mut inner = Vec::new();
         self.oracle.save(&mut inner)?;
         let mut buf: Vec<u8> = Vec::with_capacity(inner.len() + self.origins.len() + 64);
@@ -249,7 +284,7 @@ impl PathOracle {
         buf.extend_from_slice(&inner);
         buf.extend_from_slice(&(self.origins.len() as u64).to_le_bytes());
         buf.extend_from_slice(&self.origins);
-        buf.extend_from_slice(&(self.providers.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&p_count.to_le_bytes());
         for provider in &self.providers {
             let arena = match provider {
                 PathProvider::Pairs(s) => {
@@ -520,9 +555,11 @@ impl PathOracle {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from `w`.
+    /// Propagates I/O errors from `w`; an unrepresentable table (see
+    /// [`PathOracle::save`]) surfaces as `InvalidData`.
     pub fn save_v2<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        w.write_all(&self.to_v2_bytes())
+        let bytes = self.to_v2_bytes()?;
+        w.write_all(&bytes)
     }
 
     /// [`PathOracle::save_v2`] to a filesystem path.
@@ -535,17 +572,20 @@ impl PathOracle {
         self.save_v2(&mut f)
     }
 
-    pub(crate) fn to_v2_bytes(&self) -> Vec<u8> {
+    pub(crate) fn to_v2_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        let _ = self.checked_provider_count()?;
         let mut w = SectionWriter::new(b"CCRO");
         let mut meta = Vec::with_capacity(24);
         meta.extend_from_slice(&(self.n() as u64).to_le_bytes());
         meta.extend_from_slice(&(self.origins.len() as u64).to_le_bytes());
         meta.extend_from_slice(&(self.providers.len() as u64).to_le_bytes());
         w.section(RSEC_META, &meta);
-        w.section(RSEC_DIST, &self.oracle.to_v2_bytes());
+        let inner = self.oracle.to_v2_bytes()?;
+        w.section(RSEC_DIST, &inner);
         w.section(RSEC_ORIGINS, &self.origins);
         for (p, provider) in self.providers.iter().enumerate() {
-            let base = RSEC_PROVIDER_BASE + RSEC_PROVIDER_STRIDE * p as u16;
+            let base = provider_section_base(p)
+                .ok_or_else(|| SnapshotError::corrupt("provider section id overflow"))?;
             let arena = match provider {
                 PathProvider::Pairs(s) => s.arena(),
                 PathProvider::Rows(r) => r.arena(),
@@ -599,6 +639,7 @@ impl PathOracle {
         w.finish()
     }
 
+    /// Loads a v2 snapshot from a validated [`SnapshotView`].
     pub(crate) fn load_v2(view: &SnapshotView) -> Result<Self, SnapshotError> {
         let meta = view.bytes_of(RSEC_META, "CCRO meta")?;
         let mut c = Cursor::new(meta);
@@ -631,7 +672,8 @@ impl PathOracle {
         }
         let mut providers = Vec::with_capacity(provider_count);
         for p in 0..provider_count {
-            let base = RSEC_PROVIDER_BASE + RSEC_PROVIDER_STRIDE * p as u16;
+            let base = provider_section_base(p)
+                .ok_or_else(|| SnapshotError::corrupt("provider section id overflow"))?;
             let pmeta = view.bytes_of(base, "provider meta")?;
             let mut pc = Cursor::new(pmeta);
             let kind = pc.take_n::<1>()?[0];
@@ -902,6 +944,36 @@ mod tests {
         flipped[mid] ^= 0xFF;
         assert!(PathOracle::load(&mut &flipped[..]).is_err());
         assert!(PathOracle::load(&mut &buf[..buf.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn oversized_provider_table_fails_to_save_cleanly() {
+        // 300 providers exceed the u8-indexed origin table; both writers
+        // must surface TooLarge instead of truncating the u16 count.
+        let tiny = tiny_oracle();
+        let provider = tiny.providers[0].clone();
+        let o = PathOracle::new(
+            tiny.oracle.clone(),
+            tiny.origins.clone(),
+            vec![provider; 300],
+        );
+        let err = o.save(&mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("provider count"), "{err}");
+        let err = o.save_v2(&mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+        let err = o.to_v2_bytes().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::TooLarge {
+                    what: "provider count",
+                    count: 300,
+                    max: 256
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     /// Both provider kinds: a pair store plus a row store over sources

@@ -34,22 +34,26 @@ pub(crate) fn checked_frame<'a>(
     // Magic and version live in the first 6 bytes and are validated before
     // the checksum, so future-version snapshots fail with the actionable
     // error even though this build cannot verify their integrity.
-    if buf.len() < 6 {
+    let Some((got, after_magic)) = buf.split_first_chunk::<4>() else {
         return Err(SnapshotError::corrupt("shorter than magic + version"));
+    };
+    if got != magic {
+        return Err(SnapshotError::BadMagic(*got));
     }
-    let got: [u8; 4] = buf[..4].try_into().expect("4-byte magic");
-    if &got != magic {
-        return Err(SnapshotError::BadMagic(got));
-    }
-    let got_version = u16::from_le_bytes(buf[4..6].try_into().expect("2-byte version"));
+    let Some((version_bytes, _)) = after_magic.split_first_chunk::<2>() else {
+        return Err(SnapshotError::corrupt("shorter than magic + version"));
+    };
+    let got_version = u16::from_le_bytes(*version_bytes);
     if !supported.contains(&got_version) {
         return Err(SnapshotError::UnsupportedVersion(got_version));
     }
     if buf.len() < 14 {
         return Err(SnapshotError::corrupt("shorter than header + checksum"));
     }
-    let (payload, tail) = buf.split_at(buf.len() - 8);
-    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    let Some((payload, tail)) = buf.split_last_chunk::<8>() else {
+        return Err(SnapshotError::corrupt("shorter than header + checksum"));
+    };
+    let stored = u64::from_le_bytes(*tail);
     if fnv1a(payload) != stored {
         return Err(SnapshotError::corrupt("checksum mismatch"));
     }
@@ -92,17 +96,23 @@ impl<'a> Cursor<'a> {
             .checked_add(len)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| SnapshotError::corrupt("truncated payload"))?;
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| SnapshotError::corrupt("truncated payload"))?;
         self.pos = end;
         Ok(slice)
     }
 
     pub(crate) fn take_n<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
-        Ok(self.take(N)?.try_into().expect("length checked"))
+        self.take(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or_else(|| SnapshotError::corrupt("truncated payload"))
     }
 
     pub(crate) fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
     }
 
     pub(crate) fn at_end(&self) -> bool {
@@ -121,11 +131,32 @@ pub enum SnapshotError {
     UnsupportedVersion(u16),
     /// Structurally invalid or truncated payload (detail in the message).
     Corrupt(String),
+    /// A table being **written** exceeds what the format can represent —
+    /// the writer-side twin of [`SnapshotError::Corrupt`]. Surfacing this
+    /// instead of narrowing with `as` keeps an oversized table from being
+    /// silently truncated into a snapshot that loads as the wrong oracle.
+    TooLarge {
+        /// Which table or field overflowed.
+        what: &'static str,
+        /// The value the caller tried to write.
+        count: usize,
+        /// The format's inclusive maximum for that field.
+        max: usize,
+    },
 }
 
 impl SnapshotError {
     pub(crate) fn corrupt(msg: &str) -> Self {
         SnapshotError::Corrupt(msg.to_string())
+    }
+
+    /// Checks a writer-side count against the format's maximum for `what`.
+    pub(crate) fn check_count(what: &'static str, count: usize, max: usize) -> Result<(), Self> {
+        if count > max {
+            Err(SnapshotError::TooLarge { what, count, max })
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -136,6 +167,12 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic(m) => write!(f, "not an oracle snapshot (magic {m:02x?})"),
             SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
             SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::TooLarge { what, count, max } => {
+                write!(
+                    f,
+                    "snapshot {what} too large: {count} exceeds the format maximum {max}"
+                )
+            }
         }
     }
 }
@@ -152,5 +189,14 @@ impl std::error::Error for SnapshotError {
 impl From<std::io::Error> for SnapshotError {
     fn from(e: std::io::Error) -> Self {
         SnapshotError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for std::io::Error {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
     }
 }

@@ -37,10 +37,11 @@ pub use v2::SnapshotView;
 ///
 /// Returns [`SnapshotError::Corrupt`] when fewer than 6 bytes are present.
 pub fn sniff(bytes: &[u8]) -> Result<([u8; 4], u16), SnapshotError> {
-    if bytes.len() < 6 {
+    let Some((magic, rest)) = bytes.split_first_chunk::<4>() else {
         return Err(SnapshotError::corrupt("shorter than magic + version"));
-    }
-    let magic: [u8; 4] = bytes[..4].try_into().expect("4-byte magic");
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte version"));
-    Ok((magic, version))
+    };
+    let Some((version_bytes, _)) = rest.split_first_chunk::<2>() else {
+        return Err(SnapshotError::corrupt("shorter than magic + version"));
+    };
+    Ok((*magic, u16::from_le_bytes(*version_bytes)))
 }

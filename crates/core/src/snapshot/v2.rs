@@ -25,18 +25,30 @@
 
 use std::sync::Arc;
 
-use cc_graphs::{AlignedBytes, ByteOwner, PodData, SharedSlice};
+use cc_graphs::{AlignedBytes, ByteOwner, DirEntry, PodData, Section, SharedSlice};
 
 use super::header::{checked_frame, fnv1a, SnapshotError};
 
 /// Section alignment: every section starts at a multiple of this, relative
-/// to the snapshot's first byte.
-pub(crate) const ALIGN: usize = 64;
+/// to the snapshot's first byte. Re-exported from `cc_graphs::pod`, where
+/// the [`Section`] layout assertions check against it.
+pub(crate) const ALIGN: usize = cc_graphs::SECTION_ALIGN;
 
 /// Cap on the section count a directory may declare, far above what any
 /// real snapshot uses (a 256-provider CCRO needs ~1.8k): bounds the one
-/// allocation made while parsing a directory.
-const MAX_SECTIONS: usize = 4096;
+/// allocation made while parsing a directory. The writer enforces the same
+/// cap, so everything a writer produces parses back.
+pub(crate) const MAX_SECTIONS: usize = 4096;
+
+/// `N` little-endian bytes at `off` within `buf`, as a typed error instead
+/// of a panic when the range is unrepresentable or out of bounds.
+fn le_chunk<const N: usize>(buf: &[u8], off: usize, what: &str) -> Result<[u8; N], SnapshotError> {
+    off.checked_add(N)
+        .and_then(|end| buf.get(off..end))
+        .and_then(|s| s.first_chunk::<N>())
+        .copied()
+        .ok_or_else(|| SnapshotError::Corrupt(format!("{what} out of bounds")))
+}
 
 /// Builds a v2 snapshot: appends sections at 64-aligned offsets, then
 /// writes the directory and the trailing checksum.
@@ -76,13 +88,24 @@ impl SectionWriter {
     }
 
     /// Writes the directory and checksum; returns the finished snapshot.
-    pub(crate) fn finish(mut self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TooLarge`] when more than [`MAX_SECTIONS`] sections
+    /// were appended — the checked twin of the `as u32` narrowing this
+    /// count used to go through.
+    pub(crate) fn finish(mut self) -> Result<Vec<u8>, SnapshotError> {
+        SnapshotError::check_count("section count", self.dir.len(), MAX_SECTIONS)?;
+        let count = u32::try_from(self.dir.len())
+            .map_err(|_| SnapshotError::corrupt("section count exceeds u32"))?;
         let aligned = self.buf.len().next_multiple_of(8);
         self.buf.resize(aligned, 0);
         let dir_off = self.buf.len() as u64;
-        self.buf[8..16].copy_from_slice(&dir_off.to_le_bytes());
         self.buf
-            .extend_from_slice(&(self.dir.len() as u32).to_le_bytes());
+            .get_mut(8..16)
+            .ok_or_else(|| SnapshotError::corrupt("writer lost its header"))?
+            .copy_from_slice(&dir_off.to_le_bytes());
+        self.buf.extend_from_slice(&count.to_le_bytes());
         self.buf.extend_from_slice(&0u32.to_le_bytes());
         for &(id, off, len) in &self.dir {
             self.buf.extend_from_slice(&id.to_le_bytes());
@@ -93,7 +116,7 @@ impl SectionWriter {
         }
         let checksum = fnv1a(&self.buf);
         self.buf.extend_from_slice(&checksum.to_le_bytes());
-        self.buf
+        Ok(self.buf)
     }
 }
 
@@ -140,42 +163,72 @@ impl SnapshotView {
             .checked_add(len)
             .filter(|&e| e <= all.len())
             .ok_or_else(|| SnapshotError::corrupt("snapshot window out of bounds"))?;
-        let bytes = &all[base..end];
+        let bytes = all
+            .get(base..end)
+            .ok_or_else(|| SnapshotError::corrupt("snapshot window out of bounds"))?;
         let (_, payload) = checked_frame(bytes, magic, &[2])?;
         if payload.len() < 16 {
             return Err(SnapshotError::corrupt("v2 header truncated"));
         }
-        let dir_off = usize::try_from(u64::from_le_bytes(
-            payload[8..16].try_into().expect("8-byte dir_off"),
-        ))
-        .map_err(|_| SnapshotError::corrupt("directory offset exceeds the address space"))?;
+        let dir_off = usize::try_from(u64::from_le_bytes(le_chunk::<8>(payload, 8, "dir_off")?))
+            .map_err(|_| SnapshotError::corrupt("directory offset exceeds the address space"))?;
         if dir_off % 8 != 0
             || dir_off < 16
             || dir_off.checked_add(8).is_none_or(|e| e > payload.len())
         {
             return Err(SnapshotError::corrupt("directory offset out of bounds"));
         }
-        let count = u32::from_le_bytes(
-            payload[dir_off..dir_off + 4]
-                .try_into()
-                .expect("4-byte count"),
-        ) as usize;
+        let count = u32::from_le_bytes(le_chunk::<4>(payload, dir_off, "section count")?) as usize;
         if count > MAX_SECTIONS {
             return Err(SnapshotError::corrupt("section count out of range"));
         }
-        let dir_body = dir_off + 8;
-        let dir_len = count
-            .checked_mul(24)
-            .filter(|&l| dir_body + l == payload.len())
-            .ok_or_else(|| SnapshotError::corrupt("directory does not span the payload tail"))?;
-        let _ = dir_len;
+        let dir_body = dir_off
+            .checked_add(8)
+            .ok_or_else(|| SnapshotError::corrupt("directory offset out of bounds"))?;
+        if count
+            .checked_mul(DirEntry::WIRE_SIZE)
+            .and_then(|l| dir_body.checked_add(l))
+            != Some(payload.len())
+        {
+            return Err(SnapshotError::corrupt(
+                "directory does not span the payload tail",
+            ));
+        }
+
+        // Directory entries, raw: the mapped-file fast path reinterprets
+        // the (8-aligned) entry table as `DirEntry` rows in place; any
+        // misalignment or a big-endian target falls back to a field-wise
+        // decode of the same bytes.
+        let mut raw_entries: Vec<(u16, u64, u64)> = Vec::with_capacity(count);
+        let typed = if cfg!(target_endian = "little") {
+            SharedSlice::<DirEntry>::new(Arc::clone(&owner), base + dir_body, count)
+        } else {
+            None
+        };
+        match typed {
+            Some(view) => {
+                for e in view.as_slice() {
+                    raw_entries.push((e.id, e.byte_off, e.byte_len));
+                }
+            }
+            None => {
+                for i in 0..count {
+                    let eoff = dir_body + DirEntry::WIRE_SIZE * i;
+                    let id = u16::from_le_bytes(le_chunk::<2>(payload, eoff, "section id")?);
+                    let off =
+                        u64::from_le_bytes(le_chunk::<8>(payload, eoff + 8, "section offset")?);
+                    let slen =
+                        u64::from_le_bytes(le_chunk::<8>(payload, eoff + 16, "section length")?);
+                    raw_entries.push((id, off, slen));
+                }
+            }
+        }
+
         let mut sections = Vec::with_capacity(count);
-        for i in 0..count {
-            let e = &payload[dir_body + 24 * i..dir_body + 24 * (i + 1)];
-            let id = u16::from_le_bytes(e[..2].try_into().expect("2-byte id"));
-            let off = usize::try_from(u64::from_le_bytes(e[8..16].try_into().expect("off")))
+        for (id, off64, len64) in raw_entries {
+            let off = usize::try_from(off64)
                 .map_err(|_| SnapshotError::corrupt("section offset exceeds the address space"))?;
-            let slen = usize::try_from(u64::from_le_bytes(e[16..24].try_into().expect("len")))
+            let slen = usize::try_from(len64)
                 .map_err(|_| SnapshotError::corrupt("section length exceeds the address space"))?;
             if off % ALIGN != 0 {
                 return Err(SnapshotError::corrupt("section offset not 64-aligned"));
@@ -198,7 +251,22 @@ impl SnapshotView {
 
     /// The snapshot's own bytes (frame and checksum included).
     pub(crate) fn raw(&self) -> &[u8] {
-        &self.owner.bytes()[self.base..self.base + self.len]
+        // The window was validated against the owner in `parse_at`, and the
+        // ByteOwner contract (stable pointer and length) keeps it valid;
+        // an empty slice would only surface a broken owner, loudly, as
+        // section-out-of-bounds errors downstream.
+        self.owner
+            .bytes()
+            .get(self.base..self.base + self.len)
+            .unwrap_or(&[])
+    }
+
+    /// `len` section bytes starting `off` into the snapshot, re-validated
+    /// against the raw window (parse-time checks make failure unreachable).
+    fn slice_at(&self, off: usize, len: usize) -> Result<&[u8], SnapshotError> {
+        off.checked_add(len)
+            .and_then(|end| self.raw().get(off..end))
+            .ok_or_else(|| SnapshotError::corrupt("section window out of bounds"))
     }
 
     /// `(relative offset, byte length)` of section `id`, if present.
@@ -226,7 +294,7 @@ impl SnapshotView {
         let (off, len) = self
             .find(id)
             .ok_or_else(|| SnapshotError::Corrupt(format!("missing {what} section")))?;
-        Ok(&self.raw()[off..off + len])
+        self.slice_at(off, len)
     }
 
     /// A `u8` section of exactly `count` elements, served zero-copy.
@@ -246,7 +314,7 @@ impl SnapshotView {
         }
         match SharedSlice::<u8>::new(Arc::clone(&self.owner), self.base + off, count) {
             Some(s) => Ok(s.into()),
-            None => Ok(self.raw()[off..off + len].to_vec().into()),
+            None => Ok(self.slice_at(off, len)?.to_vec().into()),
         }
     }
 
@@ -274,10 +342,11 @@ impl SnapshotView {
                 return Ok(s.into());
             }
         }
-        let bytes = &self.raw()[off..off + len];
+        let bytes = self.slice_at(off, len)?;
+        let (chunks, _) = bytes.as_chunks::<4>();
         let mut out = Vec::with_capacity(count);
-        for chunk in bytes.chunks_exact(4) {
-            out.push(u32::from_le_bytes(chunk.try_into().expect("4-byte chunk")));
+        for chunk in chunks {
+            out.push(u32::from_le_bytes(*chunk));
         }
         Ok(out.into())
     }
@@ -312,7 +381,7 @@ mod tests {
         w.section(1, &[1, 2, 3]);
         w.section_u32(4, &[10, 20, 30]);
         w.section(5, &[]);
-        let bytes = w.finish();
+        let bytes = w.finish().expect("finish");
         let view = SnapshotView::parse(owner_from_bytes(&bytes), b"CCDO").expect("valid");
         assert_eq!(view.bytes_of(1, "meta").unwrap(), &[1, 2, 3]);
         assert_eq!(&view.u32_data(4, 3, "entries").unwrap()[..], &[10, 20, 30]);
@@ -329,7 +398,7 @@ mod tests {
     fn view_rejects_frame_and_directory_corruption() {
         let mut w = SectionWriter::new(b"CCDO");
         w.section_u32(4, &[1, 2]);
-        let bytes = w.finish();
+        let bytes = w.finish().expect("finish");
 
         let wrong = SnapshotView::parse(owner_from_bytes(&bytes), b"CCRO");
         assert!(matches!(wrong, Err(SnapshotError::BadMagic(_))));
@@ -362,7 +431,7 @@ mod tests {
     fn section_length_mismatches_are_typed_errors() {
         let mut w = SectionWriter::new(b"CCDO");
         w.section_u32(4, &[1, 2, 3]);
-        let bytes = w.finish();
+        let bytes = w.finish().expect("finish");
         let view = SnapshotView::parse(owner_from_bytes(&bytes), b"CCDO").unwrap();
         assert!(view.u32_data(4, 2, "entries").is_err(), "count mismatch");
         assert!(view.u8_data(4, 3, "entries").is_err(), "u8 over 12 bytes");

@@ -45,4 +45,6 @@ pub mod stretch;
 
 pub use dist::{dadd, Dist, DistStorage, StorageKind, INF};
 pub use graph::{Graph, WeightedGraph};
-pub use pod::{AlignedBytes, ByteOwner, Pod, PodData, SharedSlice};
+pub use pod::{
+    AlignedBytes, ByteOwner, DirEntry, Pod, PodData, Section, SharedSlice, SECTION_ALIGN,
+};

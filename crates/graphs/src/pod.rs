@@ -60,7 +60,7 @@ impl AlignedBytes {
     pub fn copy_from(bytes: &[u8]) -> Self {
         let words = bytes.len().div_ceil(8);
         let mut buf: Vec<u64> = vec![0; words];
-        // Safety: the Vec<u64> allocation is at least `bytes.len()` bytes
+        // SAFETY: the Vec<u64> allocation is at least `bytes.len()` bytes
         // and u64 has no padding or validity requirements on raw bytes.
         unsafe {
             std::ptr::copy_nonoverlapping(
@@ -82,11 +82,11 @@ impl fmt::Debug for AlignedBytes {
     }
 }
 
-// Safety: the Vec is never touched after construction, so the pointer and
+// SAFETY: the Vec is never touched after construction, so the pointer and
 // length are stable for the owner's lifetime.
 unsafe impl ByteOwner for AlignedBytes {
     fn bytes(&self) -> &[u8] {
-        // Safety: the allocation holds at least `len` initialized bytes
+        // SAFETY: the allocation holds at least `len` initialized bytes
         // (zero-filled words, then overwritten by the copy).
         unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
     }
@@ -97,6 +97,7 @@ mod sealed {
     impl Sealed for u8 {}
     impl Sealed for u32 {}
     impl Sealed for u64 {}
+    impl Sealed for super::DirEntry {}
 }
 
 /// Plain-old-data element types a byte buffer may be reinterpreted as:
@@ -105,6 +106,99 @@ pub trait Pod: Copy + Send + Sync + PartialEq + fmt::Debug + sealed::Sealed + 's
 impl Pod for u8 {}
 impl Pod for u32 {}
 impl Pod for u64 {}
+impl Pod for DirEntry {}
+
+/// Section alignment of snapshot format v2: every section starts at a
+/// multiple of this, relative to the snapshot's own first byte.
+pub const SECTION_ALIGN: usize = 64;
+
+/// Compile-time layout contract for every row type a v2 snapshot section is
+/// reinterpreted as.
+///
+/// Each implementation states the intended wire layout (`WIRE_SIZE`, the
+/// sum of its field sizes) and the `LAYOUT_CHECKED` constant proves, at
+/// compile time, that the in-memory layout matches it:
+///
+/// * `size_of::<Self>() == WIRE_SIZE` — no size drift;
+/// * `FIELD_SIZE_SUM == WIRE_SIZE` — no interior or trailing padding, so
+///   every byte of a row is a declared field and reinterpretation never
+///   reads uninitialized padding;
+/// * `SECTION_ALIGN % align_of::<Self>() == 0` — any 64-aligned section
+///   offset (over an at-least-8-aligned owner base) satisfies the type's
+///   alignment.
+///
+/// A layout drift — a reordered field, a changed `repr`, a platform where
+/// the compiler would insert padding — breaks the build here instead of
+/// corrupting a snapshot. The trait is sealed: new section row types must
+/// be added in this module, which the `cc-analyze` POD manifest
+/// cross-checks.
+pub trait Section: Pod {
+    /// Size in bytes of one row on the wire (and, checked, in memory).
+    const WIRE_SIZE: usize;
+    /// Sum of the declared field sizes; equal to [`Section::WIRE_SIZE`]
+    /// exactly when the layout is padding-free.
+    const FIELD_SIZE_SUM: usize;
+    /// Forces the layout assertions; evaluated via the `const _` items
+    /// below, so an impl with a drifted layout fails to compile.
+    const LAYOUT_CHECKED: () = {
+        assert!(
+            std::mem::size_of::<Self>() == Self::WIRE_SIZE,
+            "section row size drifted from its wire layout"
+        );
+        assert!(
+            Self::FIELD_SIZE_SUM == Self::WIRE_SIZE,
+            "section row has padding (field sizes do not sum to its size)"
+        );
+        assert!(
+            SECTION_ALIGN.is_multiple_of(std::mem::align_of::<Self>()),
+            "section row alignment does not divide the section alignment"
+        );
+    };
+}
+
+impl Section for u8 {
+    const WIRE_SIZE: usize = 1;
+    const FIELD_SIZE_SUM: usize = 1;
+}
+impl Section for u32 {
+    const WIRE_SIZE: usize = 4;
+    const FIELD_SIZE_SUM: usize = 4;
+}
+impl Section for u64 {
+    const WIRE_SIZE: usize = 8;
+    const FIELD_SIZE_SUM: usize = 8;
+}
+impl Section for DirEntry {
+    const WIRE_SIZE: usize = 24;
+    // id u16 + reserved u16 + reserved2 u32 + byte_off u64 + byte_len u64.
+    const FIELD_SIZE_SUM: usize = 2 + 2 + 4 + 8 + 8;
+}
+
+const _: () = <u8 as Section>::LAYOUT_CHECKED;
+const _: () = <u32 as Section>::LAYOUT_CHECKED;
+const _: () = <u64 as Section>::LAYOUT_CHECKED;
+const _: () = <DirEntry as Section>::LAYOUT_CHECKED;
+
+/// One v2 section-directory entry, as laid out on the wire (24 bytes,
+/// little-endian fields): the row type a mapped snapshot's directory is
+/// reinterpreted as on little-endian targets.
+///
+/// Registered in the `cc-analyze` POD manifest; layout pinned by its
+/// [`Section`] impl.
+#[repr(C)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DirEntry {
+    /// Section id (format-specific namespace).
+    pub id: u16,
+    /// Reserved, written as zero.
+    pub reserved: u16,
+    /// Reserved, written as zero.
+    pub reserved2: u32,
+    /// Section offset in bytes, relative to the snapshot's first byte.
+    pub byte_off: u64,
+    /// Section length in bytes.
+    pub byte_len: u64,
+}
 
 /// A typed window `&[T]` into a [`ByteOwner`], keeping the owner alive.
 ///
@@ -143,7 +237,7 @@ impl<T: Pod> SharedSlice<T> {
 
     /// The typed view. Native byte order — see the module docs.
     pub fn as_slice(&self) -> &[T] {
-        // Safety: bounds and alignment were validated in `new` against the
+        // SAFETY: bounds and alignment were validated in `new` against the
         // owner's allocation, which the ByteOwner contract keeps stable;
         // T is Pod, so any bit pattern is a valid value.
         unsafe {
@@ -271,6 +365,42 @@ impl<T: Pod + Eq> Eq for PodData<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn section_layouts_match_their_wire_contracts() {
+        // The real checks are the `const _` items above (compile-time);
+        // this pins the same facts at run time for the test report.
+        assert_eq!(std::mem::size_of::<DirEntry>(), DirEntry::WIRE_SIZE);
+        assert_eq!(DirEntry::FIELD_SIZE_SUM, DirEntry::WIRE_SIZE);
+        assert_eq!(SECTION_ALIGN % std::mem::align_of::<DirEntry>(), 0);
+        assert_eq!(std::mem::size_of::<u64>(), <u64 as Section>::WIRE_SIZE);
+    }
+
+    #[test]
+    fn dir_entries_reinterpret_from_le_bytes() {
+        let mut bytes = Vec::new();
+        for (id, off, len) in [(1u16, 64u64, 3u64), (4, 128, 12)] {
+            bytes.extend_from_slice(&id.to_le_bytes());
+            bytes.extend_from_slice(&0u16.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&off.to_le_bytes());
+            bytes.extend_from_slice(&len.to_le_bytes());
+        }
+        let owner: Arc<dyn ByteOwner> = Arc::new(AlignedBytes::copy_from(&bytes));
+        let s = SharedSlice::<DirEntry>::new(owner, 0, 2).expect("aligned");
+        if cfg!(target_endian = "little") {
+            assert_eq!(
+                s.as_slice()[1],
+                DirEntry {
+                    id: 4,
+                    reserved: 0,
+                    reserved2: 0,
+                    byte_off: 128,
+                    byte_len: 12,
+                }
+            );
+        }
+    }
 
     #[test]
     fn aligned_bytes_round_trip() {

@@ -13,6 +13,17 @@ use cc_graphs::{Dist, Graph, INF};
 
 use crate::workspace::MinplusWorkspace;
 
+/// Kernel entries store column/witness ids as `u32`. Every index this
+/// narrows is bounded by a matrix dimension whose dense backing already
+/// fits in memory, so the conversion is total in practice; debug builds
+/// assert it instead of paying a branch on the hot path.
+#[inline]
+fn small_u32(x: usize) -> u32 {
+    debug_assert!(u32::try_from(x).is_ok(), "index exceeds u32 wire width");
+    // cc-analyze: allow(narrowing-cast) — debug-asserted, bounded by the matrix dimension.
+    x as u32
+}
+
 /// A dense `n × n` matrix over the min-plus semiring.
 ///
 /// # Example
@@ -297,16 +308,16 @@ fn product_rows_blocked_witness(
                     // Sums of finite values stay below u32::MAX (≤ 2·INF),
                     // so these comparisons cannot wrap into false matches.
                     if adiag < INF && adiag + browi[j] == o {
-                        wrow[j] = i as u32;
+                        wrow[j] = small_u32(i);
                         return false;
                     }
                     if arow[j] < INF && arow[j] + bdiag[j] == o {
-                        wrow[j] = j as u32;
+                        wrow[j] = small_u32(j);
                         return false;
                     }
                     true
                 })
-                .map(|(j, &o)| (j as u32, o)),
+                .map(|(j, &o)| (small_u32(j), o)),
         );
         for (k, &av) in arow.iter().enumerate() {
             if cells.is_empty() {
@@ -315,7 +326,7 @@ fn product_rows_blocked_witness(
             if av >= INF {
                 continue;
             }
-            let kw = k as u32;
+            let kw = small_u32(k);
             let brow = &b.data[k * n..(k + 1) * n];
             // Branch-free compaction: matches at unpredictable positions
             // would mispredict a `retain`, so keep/assign are conditional

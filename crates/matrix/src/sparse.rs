@@ -8,6 +8,26 @@ use cc_graphs::{Dist, Graph, INF};
 
 use crate::workspace::{MinplusWorkspace, Scratch};
 
+/// Kernel entries store column/witness ids as `u32`. Every index this
+/// narrows is bounded by a matrix dimension whose dense backing already
+/// fits in memory, so the conversion is total in practice; debug builds
+/// assert it instead of paying a branch on the hot path.
+/// Extracts the witness id from a packed `(dist << 32) | witness`
+/// accumulator word — a deliberate low-32-bit extraction, not an index
+/// narrowing.
+#[inline]
+fn packed_witness(packed: u64) -> u32 {
+    // cc-analyze: allow(narrowing-cast) — low-32 field extraction by construction.
+    packed as u32
+}
+
+#[inline]
+fn small_u32(x: usize) -> u32 {
+    debug_assert!(u32::try_from(x).is_ok(), "index exceeds u32 wire width");
+    // cc-analyze: allow(narrowing-cast) — debug-asserted, bounded by the matrix dimension.
+    x as u32
+}
+
 /// A row-sparse `n × n` min-plus matrix in CSR form: one contiguous
 /// `(column, value)` arena plus row offsets. Each row stores its finite
 /// entries sorted by column; missing entries are ∞.
@@ -79,7 +99,7 @@ impl RowBuilder {
         if v >= INF {
             return;
         }
-        self.triples.push((i as u32, j as u32, v));
+        self.triples.push((small_u32(i), small_u32(j), v));
     }
 
     /// Materializes the matrix: counting-sort by row, per-row column sort,
@@ -142,7 +162,7 @@ impl SparseMatrix {
         SparseMatrix {
             n,
             offsets: (0..=n).collect(),
-            entries: (0..n).map(|i| (i as u32, 0)).collect(),
+            entries: (0..n).map(|i| (small_u32(i), 0)).collect(),
         }
     }
 
@@ -193,7 +213,7 @@ impl SparseMatrix {
     /// Entry `(i, j)` (∞ if absent).
     pub fn get(&self, i: usize, j: usize) -> Dist {
         let row = self.row(i);
-        match row.binary_search_by_key(&(j as u32), |&(c, _)| c) {
+        match row.binary_search_by_key(&small_u32(j), |&(c, _)| c) {
             Ok(pos) => row[pos].1,
             Err(_) => INF,
         }
@@ -286,6 +306,7 @@ impl SparseMatrix {
                 .collect();
             handles
                 .into_iter()
+                // cc-analyze: allow(unwrap-expect) — a panicked worker must propagate, not vanish.
                 .map(|h| h.join().expect("min-plus worker panicked"))
                 .collect()
         });
@@ -367,6 +388,7 @@ impl SparseMatrix {
                 .collect();
             handles
                 .into_iter()
+                // cc-analyze: allow(unwrap-expect) — a panicked worker must propagate, not vanish.
                 .map(|h| h.join().expect("min-plus witness worker panicked"))
                 .collect()
         });
@@ -390,7 +412,7 @@ impl SparseMatrix {
         for i in 0..n {
             for &(j, v) in self.row(i) {
                 let c = &mut cursor[j as usize];
-                entries[*c] = (i as u32, v);
+                entries[*c] = (small_u32(i), v);
                 *c += 1;
             }
         }
@@ -500,7 +522,7 @@ fn product_rows(
             for (j, cell) in acc.iter_mut().enumerate() {
                 let v = *cell;
                 *cell = INF;
-                out[w] = (j as u32, v);
+                out[w] = (small_u32(j), v);
                 w += usize::from(v < INF);
             }
         } else {
@@ -579,8 +601,8 @@ fn product_rows_witness(
                 let packed = pacc[j];
                 pacc[j] = PACKED_EMPTY;
                 let v = (packed >> 32) as Dist;
-                out[w] = (j as u32, v);
-                wit[w] = packed as u32;
+                out[w] = (small_u32(j), v);
+                wit[w] = packed_witness(packed);
                 w += usize::from(v < INF);
             }
         } else {
@@ -602,7 +624,7 @@ fn product_rows_witness(
                 let packed = pacc[j as usize];
                 pacc[j as usize] = PACKED_EMPTY;
                 out[w] = (j, (packed >> 32) as Dist);
-                wit[w] = packed as u32;
+                wit[w] = packed_witness(packed);
                 w += 1;
             }
             touched.clear();
@@ -755,7 +777,7 @@ mod tests {
         for &(k, av) in a.row(i) {
             if let Ok(pos) = b
                 .row(k as usize)
-                .binary_search_by_key(&(j as u32), |&(c, _)| c)
+                .binary_search_by_key(&small_u32(j), |&(c, _)| c)
             {
                 if av + b.row(k as usize)[pos].1 == out {
                     return k;

@@ -12,6 +12,8 @@
 //! zero-copy), binds, prints one status line, and runs until killed — or
 //! for `--max-secs`, then drains gracefully.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Duration;
 

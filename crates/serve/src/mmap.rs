@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use cc_graphs::{AlignedBytes, ByteOwner};
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 mod sys {
     use std::os::raw::{c_int, c_void};
 
@@ -52,14 +52,14 @@ mod sys {
 
 /// A read-only, whole-file memory map. The mapping lives as long as this
 /// value; [`ByteOwner`] hands out views into it.
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 #[derive(Debug)]
 pub struct MappedFile {
     ptr: *mut std::os::raw::c_void,
     len: usize,
 }
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 impl MappedFile {
     /// Maps `file` read-only. Fails on empty files (zero-length maps are
     /// an `EINVAL`) and whenever the kernel refuses the map.
@@ -103,14 +103,16 @@ impl MappedFile {
     }
 }
 
-// SAFETY: the mapping is read-only and file-backed; concurrent reads from
-// any thread are safe, and the pointer is never handed out mutably.
-#[cfg(unix)]
+// SAFETY: the mapping is read-only and file-backed; moving ownership to
+// another thread moves nothing but the pointer/len pair.
+#[cfg(all(unix, not(miri)))]
 unsafe impl Send for MappedFile {}
-#[cfg(unix)]
+// SAFETY: concurrent reads of a PROT_READ mapping are safe from any
+// thread, and the pointer is never handed out mutably.
+#[cfg(all(unix, not(miri)))]
 unsafe impl Sync for MappedFile {}
 
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 impl Drop for MappedFile {
     fn drop(&mut self) {
         // SAFETY: `ptr`/`len` are exactly what mmap returned, unmapped
@@ -125,7 +127,7 @@ impl Drop for MappedFile {
 // SAFETY: the backing store is an owned mapping that is unmapped only in
 // Drop; the bytes it hands out are stable for the owner's whole lifetime,
 // which is the ByteOwner contract.
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 unsafe impl ByteOwner for MappedFile {
     fn bytes(&self) -> &[u8] {
         // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
@@ -139,7 +141,9 @@ unsafe impl ByteOwner for MappedFile {
 /// and whether it is a real map.
 pub fn open_owner<P: AsRef<Path>>(path: P) -> std::io::Result<(Arc<dyn ByteOwner>, bool)> {
     let file = File::open(path.as_ref())?;
-    #[cfg(unix)]
+    // Under Miri there is no mmap; the AlignedBytes fallback keeps the
+    // whole load path exercisable by `cargo miri test`.
+    #[cfg(all(unix, not(miri)))]
     {
         if let Ok(mapped) = MappedFile::map(&file) {
             return Ok((Arc::new(mapped), true));
@@ -173,7 +177,7 @@ mod tests {
 
         let (owner, mapped) = open_owner(&path).unwrap();
         assert_eq!(owner.bytes(), &payload[..]);
-        assert!(mapped || !cfg!(unix));
+        assert!(mapped || !cfg!(unix) || cfg!(miri));
         // Page alignment covers the section alignment requirement.
         if mapped {
             assert_eq!(owner.bytes().as_ptr() as usize % 64, 0);

@@ -119,6 +119,14 @@ pub struct Request {
     pub pairs: Vec<(u32, u32)>,
 }
 
+/// Encodes a collection count for the wire. Counts are `u32`; any
+/// saturated (impossibly large) count produces a body that
+/// [`write_frame`]'s `MAX_FRAME` bound rejects, so a lying frame is never
+/// emitted.
+pub(crate) fn wire_count(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 impl Request {
     /// Encodes the request body (no length prefix).
     pub fn encode(&self) -> Vec<u8> {
@@ -127,7 +135,7 @@ impl Request {
         b.push(self.op.wire());
         b.push(0); // flags, reserved
         b.extend_from_slice(&self.deadline_ms.to_le_bytes());
-        b.extend_from_slice(&(self.pairs.len() as u32).to_le_bytes());
+        b.extend_from_slice(&wire_count(self.pairs.len()).to_le_bytes());
         for &(u, v) in &self.pairs {
             b.extend_from_slice(&u.to_le_bytes());
             b.extend_from_slice(&v.to_le_bytes());
@@ -262,7 +270,7 @@ impl Response {
         match &self.payload {
             Payload::Empty => b.extend_from_slice(&0u32.to_le_bytes()),
             Payload::Dists(items) => {
-                b.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                b.extend_from_slice(&wire_count(items.len()).to_le_bytes());
                 for item in items {
                     match item {
                         None => b.push(0),
@@ -275,7 +283,7 @@ impl Response {
                 }
             }
             Payload::Paths(items) => {
-                b.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                b.extend_from_slice(&wire_count(items.len()).to_le_bytes());
                 for item in items {
                     match item {
                         None => b.push(0),
@@ -283,7 +291,7 @@ impl Response {
                             b.push(1);
                             b.extend_from_slice(&weight.to_le_bytes());
                             encode_guarantee(&mut b, *g);
-                            b.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                            b.extend_from_slice(&wire_count(edges.len()).to_le_bytes());
                             for &(x, y) in edges {
                                 b.extend_from_slice(&x.to_le_bytes());
                                 b.extend_from_slice(&y.to_le_bytes());
@@ -404,7 +412,9 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
     if body.len() > MAX_FRAME {
         return Err(std::io::Error::other("frame exceeds MAX_FRAME"));
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    let len =
+        u32::try_from(body.len()).map_err(|_| std::io::Error::other("frame length exceeds u32"))?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(body)
 }
 
@@ -443,16 +453,13 @@ impl<'a> Dec<'a> {
 
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
-        if end > self.buf.len() {
-            return None;
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(s)
     }
 
     fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
+        self.take(1)?.first().copied()
     }
 
     fn u32(&mut self) -> Option<u32> {

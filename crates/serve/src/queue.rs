@@ -14,7 +14,15 @@
 //! graceful-shutdown contract.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard from a poisoned mutex instead of
+/// panicking: queue state is a `VecDeque` plus a flag, both valid after any
+/// interrupted operation, so a worker that panicked mid-hold must not take
+/// the whole intake path down with it.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Why a push was refused.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,7 +65,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`]; the item comes back with the error.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recovering(&self.inner);
         if inner.closed {
             return Err((item, PushError::Closed));
         }
@@ -75,7 +83,7 @@ impl<T> BoundedQueue<T> {
     /// *and* fully drained — the worker's exit signal.
     pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) {
         out.clear();
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recovering(&self.inner);
         loop {
             if !inner.items.is_empty() {
                 let take = inner.items.len().min(max.max(1));
@@ -91,19 +99,22 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Closes intake. Pending items remain poppable; blocked workers wake.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        lock_recovering(&self.inner).closed = true;
         self.ready.notify_all();
     }
 
     /// Current depth (racy snapshot — for stats).
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        lock_recovering(&self.inner).items.len()
     }
 }
 

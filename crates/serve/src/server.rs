@@ -32,7 +32,8 @@ use std::time::{Duration, Instant};
 use cc_core::PointEstimate;
 
 use crate::protocol::{
-    guarantee_kind_wire, write_frame, Op, Request, Response, StatsSnapshot, Status, MAX_FRAME,
+    guarantee_kind_wire, wire_count, write_frame, Op, Request, Response, StatsSnapshot, Status,
+    MAX_FRAME,
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::snapshot::Oracles;
@@ -82,14 +83,22 @@ struct Conn {
 impl Conn {
     fn send(&self, resp: &Response) {
         let body = resp.encode();
-        let _guard = self.write_lock.lock().expect("write lock");
+        // The lock guards nothing but frame interleaving, so a panicked
+        // holder leaves no broken state to fear: recover, don't poison.
+        let _guard = self
+            .write_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // A dead peer is not a server error; the reader notices on its
         // side and tears the connection down.
         let _ = write_frame(&mut &self.stream, &body);
     }
 
     fn send_raw(&self, body: &[u8]) -> bool {
-        let _guard = self.write_lock.lock().expect("write lock");
+        let _guard = self
+            .write_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         write_frame(&mut &self.stream, body).is_ok()
     }
 }
@@ -146,7 +155,12 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
+        let readers = std::mem::take(
+            &mut *self
+                .readers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for h in readers {
             let _ = h.join();
         }
@@ -208,7 +222,10 @@ pub fn serve(oracles: Oracles, addr: &str, config: ServerConfig) -> std::io::Res
                         let handle = std::thread::spawn(move || {
                             reader_loop(&conn, &shutdown, &queue, &counters, default_deadline_ms);
                         });
-                        readers.lock().expect("reader registry").push(handle);
+                        readers
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(handle);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -244,7 +261,8 @@ fn read_full(
         if shutdown.load(Ordering::Relaxed) {
             return Ok(false);
         }
-        match (&*stream).read(&mut buf[filled..]) {
+        let window = buf.get_mut(filled..).unwrap_or_default();
+        match (&*stream).read(window) {
             Ok(0) => {
                 if at_boundary && filled == 0 {
                     return Ok(false);
@@ -293,8 +311,8 @@ fn reader_loop(
             counters.malformed.fetch_add(1, Ordering::Relaxed);
             // Best effort: the id prefix may still be intact.
             let req_id = body
-                .get(..8)
-                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .first_chunk::<8>()
+                .map(|b| u64::from_le_bytes(*b))
                 .unwrap_or(0);
             conn.send(&Response::error(req_id, Op::Ping, Status::Malformed));
             continue;
@@ -416,17 +434,36 @@ fn worker_loop(
             }
             let ok = match job.op {
                 Op::Dist => {
-                    let (_, start, len) = s.dist_slots[slot];
-                    debug_assert_eq!(s.dist_slots[slot].0, i);
+                    // Slots were built from this batch two loops up, so the
+                    // lookups cannot miss; a miss (a bug) sheds the one
+                    // request as Malformed instead of killing the worker.
+                    let entry = s.dist_slots.get(slot).copied();
                     slot += 1;
-                    encode_dist_body(&mut s.body, job, &s.dist_out[start..start + len]);
-                    job.conn.send_raw(&s.body)
+                    let answers = entry.and_then(|(j, start, len)| {
+                        debug_assert_eq!(j, i);
+                        start
+                            .checked_add(len)
+                            .and_then(|end| s.dist_out.get(start..end))
+                    });
+                    match answers {
+                        Some(answers) => {
+                            encode_dist_body(&mut s.body, job, answers);
+                            job.conn.send_raw(&s.body)
+                        }
+                        None => {
+                            job.conn
+                                .send(&Response::error(job.req_id, job.op, Status::Malformed));
+                            false
+                        }
+                    }
                 }
                 Op::Path => {
                     encode_path_body(&mut s.body, job, oracles, &mut s.edges);
                     job.conn.send_raw(&s.body)
                 }
-                Op::Ping | Op::Stats => unreachable!("answered inline by the reader"),
+                // The reader answers these inline and never enqueues them;
+                // nothing is owed here.
+                Op::Ping | Op::Stats => false,
             };
             if ok {
                 counters.served.fetch_add(1, Ordering::Relaxed);
@@ -443,7 +480,7 @@ fn encode_dist_body(body: &mut Vec<u8>, job: &Job, answers: &[Option<PointEstima
     body.extend_from_slice(&job.req_id.to_le_bytes());
     body.push(0); // Status::Ok
     body.push(1); // Op::Dist
-    body.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+    body.extend_from_slice(&wire_count(answers.len()).to_le_bytes());
     for a in answers {
         match a {
             None => body.push(0),
@@ -466,7 +503,7 @@ fn encode_path_body(body: &mut Vec<u8>, job: &Job, oracles: &Oracles, edges: &mu
     body.extend_from_slice(&job.req_id.to_le_bytes());
     body.push(0); // Status::Ok
     body.push(2); // Op::Path
-    body.extend_from_slice(&(job.pairs.len() as u32).to_le_bytes());
+    body.extend_from_slice(&wire_count(job.pairs.len()).to_le_bytes());
     let paths = oracles.paths();
     for &(u, v) in &job.pairs {
         let answer = paths.and_then(|p| {
@@ -481,7 +518,7 @@ fn encode_path_body(body: &mut Vec<u8>, job: &Job, oracles: &Oracles, edges: &mu
                 body.push(guarantee_kind_wire(g.kind));
                 body.extend_from_slice(&g.eps.to_bits().to_le_bytes());
                 body.extend_from_slice(&g.additive.to_bits().to_le_bytes());
-                body.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                body.extend_from_slice(&wire_count(edges.len()).to_le_bytes());
                 for &(x, y) in edges.iter() {
                     body.extend_from_slice(&x.to_le_bytes());
                     body.extend_from_slice(&y.to_le_bytes());

@@ -1,0 +1,74 @@
+//! Replays the frozen fuzz corpus in `tests/fuzz_corpus/`.
+//!
+//! Each case is a deterministic abuse of a golden snapshot (truncation,
+//! magic/version/checksum tampering, v2 directory corruption — see
+//! `cc_analyze::fuzz::emit_corpus`), and `MANIFEST.tsv` pins the *exact*
+//! typed error it must produce. A drift in any loader's rejection behavior
+//! — a new panic, a weaker error, or a case that suddenly loads — fails
+//! here with the case name. Regenerate intentionally with:
+//! `cargo run -p cc-analyze -- fuzz --emit-corpus tests/fuzz_corpus`.
+
+use std::path::Path;
+
+use cc_core::{DistOracle, PathOracle, SnapshotError};
+
+fn load_any(bytes: &[u8]) -> Result<(), SnapshotError> {
+    match bytes.get(..4) {
+        Some(b"CCRO") => PathOracle::from_snapshot_bytes(bytes).map(|_| ()),
+        _ => DistOracle::from_snapshot_bytes(bytes).map(|_| ()),
+    }
+}
+
+#[test]
+fn every_frozen_case_reproduces_its_pinned_error() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_corpus");
+    let manifest =
+        std::fs::read_to_string(dir.join("MANIFEST.tsv")).expect("tests/fuzz_corpus/MANIFEST.tsv");
+
+    let mut cases = 0;
+    for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
+        let (file, expected) = line
+            .split_once('\t')
+            .unwrap_or_else(|| panic!("malformed manifest line: {line:?}"));
+        let bytes = std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+
+        let got = std::panic::catch_unwind(|| load_any(&bytes));
+        match got {
+            Ok(Err(e)) => assert_eq!(
+                e.to_string(),
+                expected,
+                "{file}: error drifted from the pinned manifest entry"
+            ),
+            Ok(Ok(())) => panic!("{file}: corrupt snapshot loaded cleanly"),
+            Err(_) => panic!("{file}: loader panicked instead of returning a typed error"),
+        }
+        cases += 1;
+    }
+    assert!(
+        cases >= 50,
+        "corpus went missing: only {cases} cases replayed"
+    );
+}
+
+#[test]
+fn golden_snapshots_still_load_cleanly() {
+    // The inverse guard: the corpus generator's bases must stay valid, or
+    // the abuse cases above are testing mutations of garbage.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut loaded = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/golden") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "snap") {
+            let bytes = std::fs::read(&path).expect("read golden");
+            // v255 is the deliberate future-version fixture; it must be
+            // rejected, not loaded.
+            if path.to_string_lossy().contains("v255") {
+                assert!(load_any(&bytes).is_err());
+            } else {
+                load_any(&bytes).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                loaded += 1;
+            }
+        }
+    }
+    assert!(loaded >= 8, "golden corpus went missing: {loaded} loaded");
+}
