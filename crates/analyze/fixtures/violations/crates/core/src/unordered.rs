@@ -1,0 +1,18 @@
+//! Fixture: unordered containers seeded in a result-affecting crate, plus
+//! one counted `unordered-iter` escape hatch.
+
+use std::collections::HashMap; // seeded: unordered-iter
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, u32)> {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // seeded: unordered-iter
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    // Iteration order reaches the result — exactly the hazard.
+    m.into_iter().collect()
+}
+
+// cc-analyze: allow(unordered-iter) — fixture: lookup-only hatch.
+pub fn lookup_only(m: &std::collections::HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,7 @@
+//! Fixture: float arithmetic seeded in a distance/weight path where every
+//! distance is an exact `u32`.
+
+pub fn scaled(d: u32) -> u32 {
+    let w = d as f64 * 0.99; // seeded: float-ban
+    w as u32
+}

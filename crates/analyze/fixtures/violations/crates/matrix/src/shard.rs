@@ -1,0 +1,12 @@
+//! Fixture: a `scope.spawn` closure mutating captured state instead of a
+//! per-worker disjoint shard.
+
+pub fn race(totals: &mut [u64], parts: &[u64]) {
+    std::thread::scope(|scope| {
+        for part in parts {
+            scope.spawn(move || {
+                accumulate(&mut *totals, part); // seeded: shard-capture
+            });
+        }
+    });
+}

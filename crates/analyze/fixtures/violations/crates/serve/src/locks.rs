@@ -1,0 +1,7 @@
+//! Fixture: a lock acquisition against the declared order (`inner` before
+//! `readers` before `write_lock`), seeded in the serve scope.
+
+pub fn backwards(&self) {
+    let _guard = self.write_lock.lock();
+    let _inner = self.inner.lock(); // seeded: lock-order
+}

@@ -1,0 +1,652 @@
+//! Determinism-oriented concurrency analyses: lock acquisition order and
+//! `thread::scope` capture discipline.
+//!
+//! Both analyses are lexical, over [`crate::scan`]'s blanked code views, and
+//! deliberately simple: they encode the two concurrency disciplines the
+//! workspace already follows (`DESIGN.md` §11) rather than attempting general
+//! alias analysis.
+//!
+//! * **Lock order** (`cc_serve` only): every `Mutex` in the serving daemon is
+//!   named in [`LOCK_ORDER`], a total order. A function may hold at most the
+//!   locks of an ascending chain; acquiring a lock while holding one of equal
+//!   or higher rank — or locking anything not in the manifest — is a finding.
+//!   The per-function acquisition edges are also returned so the caller can
+//!   aggregate them workspace-wide and reject cycles.
+//! * **Shard capture**: inside a `thread::scope(...)` region, each
+//!   `.spawn(...)` closure may only touch its per-worker slots — captured
+//!   `&mut`, interior-mutable cells, or ad-hoc locking inside a worker
+//!   closure is how cross-shard nondeterminism (or a deadlock under the
+//!   schedule fuzzer) sneaks in. Workers receive disjoint shards by
+//!   construction (`chunks_mut` *outside* the closure), so the closure body
+//!   itself has no business forming one.
+
+use crate::scan::Line;
+
+/// The declared Mutex acquisition order for `cc_serve`, ascending: a thread
+/// holding `LOCK_ORDER[i]` may only acquire locks strictly later in the
+/// list. Mirrored in `DESIGN.md` §11.2 — change both together.
+pub const LOCK_ORDER: &[&str] = &["inner", "readers", "write_lock"];
+
+/// Functions that acquire a lock *for* their caller through a parameter
+/// (poison-recovery shims). Their bodies lock a generic parameter, not a
+/// named field, so they are audited by review instead of by this pass.
+pub const LOCK_HELPERS: &[&str] = &["lock_recovering"];
+
+/// Declared `Condvar` → guarded-`Mutex` pairs: `.wait()` on the condvar must
+/// take (and atomically re-acquire) the paired mutex's guard.
+pub const CONDVAR_PAIRS: &[(&str, &str)] = &[("ready", "inner")];
+
+/// Tokens that, captured inside a `scope.spawn` closure, defeat the
+/// disjoint-shard discipline (shared mutation or worker-side locking).
+const CAPTURE_BANS: &[&str] = &[
+    "&mut",
+    ".lock()",
+    ".write()",
+    "Cell<",
+    "Mutex",
+    "RefCell",
+    "RwLock",
+    "UnsafeCell",
+    "static mut",
+];
+
+/// One analysis diagnostic: zero-based line index plus message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Diag {
+    pub line: usize,
+    pub message: String,
+}
+
+/// A directed acquisition edge `held → acquired` observed at `line`
+/// (zero-based), for workspace-wide cycle detection.
+#[derive(Debug, PartialEq, Eq)]
+pub struct LockEdge {
+    pub held: &'static str,
+    pub acquired: &'static str,
+    pub line: usize,
+}
+
+fn rank(name: &str) -> Option<usize> {
+    LOCK_ORDER.iter().position(|l| *l == name)
+}
+
+/// The identifier immediately before byte offset `end` in `code`, if any.
+fn ident_before(code: &str, end: usize) -> Option<&str> {
+    let b = code.as_bytes();
+    let mut start = end;
+    while start > 0
+        && b.get(start - 1)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+    {
+        start -= 1;
+    }
+    (start < end).then(|| code.get(start..end)).flatten()
+}
+
+/// The last identifier on the nearest non-blank code line above `idx`
+/// (ignoring trailing non-ident characters) — the receiver of a method
+/// chain whose `.lock()` / `.wait(` sits on a continuation line.
+fn trailing_ident_above(lines: &[Line], idx: usize) -> Option<String> {
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let code = lines[k].code.trim_end();
+        if code.trim_start().is_empty() {
+            continue;
+        }
+        let b = code.as_bytes();
+        let end = (0..b.len())
+            .rev()
+            .find(|&i| b[i].is_ascii_alphanumeric() || b[i] == b'_')
+            .map(|i| i + 1)?;
+        return ident_before(code, end).map(str::to_string);
+    }
+    None
+}
+
+/// Resolves the receiver of a `.method(` found at byte `at` of line `idx`:
+/// the identifier just before it, or — when the call sits at the start of a
+/// continuation line — the trailing identifier of the line above.
+fn receiver(lines: &[Line], idx: usize, at: usize) -> Option<String> {
+    let code = lines[idx].code.as_str();
+    if let Some(name) = ident_before(code, at) {
+        return Some(name.to_string());
+    }
+    code.get(..at)
+        .is_some_and(|pre| pre.trim().is_empty())
+        .then(|| trailing_ident_above(lines, idx))
+        .flatten()
+}
+
+/// The first line of the statement containing line `idx`: walks up over
+/// method-chain continuation lines (those starting with `.`).
+fn statement_start(lines: &[Line], idx: usize) -> usize {
+    let mut k = idx;
+    while k > 0 && lines[k].code.trim_start().starts_with('.') {
+        k -= 1;
+        while k > 0 && lines[k].code.trim().is_empty() {
+            k -= 1;
+        }
+    }
+    k
+}
+
+/// The lock names acquired on a code line: the receiver of each `.lock()`
+/// and the field of each `lock_recovering(&self.X)`-style helper call.
+fn acquisitions(lines: &[Line], idx: usize) -> Vec<(usize, String)> {
+    let code = lines[idx].code.as_str();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find(".lock()")) {
+        let at = from + pos;
+        if let Some(name) = receiver(lines, idx, at) {
+            out.push((at, name));
+        }
+        from = at + ".lock()".len();
+    }
+    for helper in LOCK_HELPERS {
+        let needle = format!("{helper}(");
+        let mut from = 0;
+        while let Some(pos) = code.get(from..).and_then(|s| s.find(needle.as_str())) {
+            let at = from + pos;
+            // Word boundary on the left so `my_lock_recovering(` is not a hit.
+            if ident_before(code, at).is_none() {
+                let args = code.get(at + needle.len()..).unwrap_or("");
+                let arg_end = args.find(')').unwrap_or(args.len());
+                let arg = args.get(..arg_end).unwrap_or("");
+                let name: String = arg
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !name.is_empty() {
+                    out.push((at, name));
+                }
+            }
+            from = at + needle.len();
+        }
+    }
+    out.sort_by_key(|(at, _)| *at);
+    out
+}
+
+/// The identifier a `let` binding on this line introduces, when the line
+/// binds one (`let [mut] name = …`). `_` and destructuring patterns count
+/// as unbound: the guard dies at the end of the statement.
+fn let_binding(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && name != "_").then_some(name)
+}
+
+fn fn_decl(code: &str) -> Option<String> {
+    let pos = crate::rules::find_word(code, "fn")?;
+    let rest = code.get(pos + 2..)?.trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// A guard that is live at some point in a function body.
+struct LiveGuard {
+    lock: &'static str,
+    /// The binding that keeps it alive (`None` = temporary, dies at `;`).
+    var: Option<String>,
+    /// Brace depth at acquisition; the guard dies when depth drops below it.
+    depth: i32,
+}
+
+/// Lock-order pass over one file. Returns diagnostics plus the observed
+/// acquisition edges (for cross-file cycle aggregation).
+pub fn lock_order(lines: &[Line]) -> (Vec<Diag>, Vec<LockEdge>) {
+    let mut diags = Vec::new();
+    let mut edges = Vec::new();
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut in_helper = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+
+        if let Some(name) = fn_decl(code) {
+            // A new item boundary: guards cannot flow across functions.
+            live.clear();
+            in_helper = LOCK_HELPERS.contains(&name.as_str());
+        }
+
+        if !in_helper && !line.in_test {
+            for (_, name) in acquisitions(lines, idx) {
+                let Some(r) = rank(&name) else {
+                    diags.push(Diag {
+                        line: idx,
+                        message: format!(
+                            "lock `{name}` is not in the declared ordering manifest \
+                             (LOCK_ORDER in cc-analyze; DESIGN.md §11.2)"
+                        ),
+                    });
+                    continue;
+                };
+                let lock = LOCK_ORDER[r];
+                for held in &live {
+                    edges.push(LockEdge {
+                        held: held.lock,
+                        acquired: lock,
+                        line: idx,
+                    });
+                    let held_rank = rank(held.lock).unwrap_or(usize::MAX);
+                    if r <= held_rank {
+                        diags.push(Diag {
+                            line: idx,
+                            message: format!(
+                                "acquired `{lock}` while holding `{}` — violates the \
+                                 declared order {:?}",
+                                held.lock, LOCK_ORDER
+                            ),
+                        });
+                    }
+                }
+                // The binding that owns the guard may sit at the head of a
+                // multi-line method chain, not on the `.lock()` line itself.
+                live.push(LiveGuard {
+                    lock,
+                    var: let_binding(&lines[statement_start(lines, idx)].code),
+                    depth,
+                });
+            }
+
+            // `.wait(guard)` must name a manifest condvar; the paired mutex
+            // stays held across the wait, so liveness is unchanged.
+            let mut from = 0;
+            while let Some(pos) = code.get(from..).and_then(|s| s.find(".wait(")) {
+                let at = from + pos;
+                if let Some(cv) = receiver(lines, idx, at) {
+                    if !CONDVAR_PAIRS.iter().any(|(c, _)| *c == cv) {
+                        diags.push(Diag {
+                            line: idx,
+                            message: format!(
+                                "condvar `{cv}` is not in the declared pairing manifest \
+                                 (CONDVAR_PAIRS in cc-analyze)"
+                            ),
+                        });
+                    }
+                }
+                from = at + ".wait(".len();
+            }
+
+            // Explicit `drop(x)` releases a bound guard early.
+            let mut from = 0;
+            while let Some(pos) = code.get(from..).and_then(|s| s.find("drop(")) {
+                let at = from + pos;
+                if ident_before(code, at).is_none() {
+                    let args = code.get(at + "drop(".len()..).unwrap_or("");
+                    let name: String = args
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    live.retain(|g| g.var.as_deref() != Some(name.as_str()));
+                }
+                from = at + "drop(".len();
+            }
+        }
+
+        // End-of-statement kills temporaries; brace close kills bindings.
+        if code.contains(';') {
+            live.retain(|g| g.var.is_some());
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    live.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    (diags, edges)
+}
+
+/// Byte offset ranges (over the concatenated code text) of every
+/// `.spawn(…)` argument list inside a `thread::scope(…)` region.
+fn spawn_extents(text: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text.get(from..).and_then(|s| s.find("thread::scope(")) {
+        let open = from + pos + "thread::scope".len();
+        let close = match_paren(text, open);
+        let region = text.get(open..close).unwrap_or("");
+        let mut sfrom = 0;
+        while let Some(spos) = region.get(sfrom..).and_then(|s| s.find(".spawn(")) {
+            let sopen = open + spos + sfrom + ".spawn".len();
+            let sclose = match_paren(text, sopen);
+            out.push((sopen, sclose));
+            sfrom = spos + sfrom + ".spawn(".len();
+        }
+        from = close.max(from + 1);
+    }
+    out
+}
+
+/// The offset one past the `)` matching the `(` at `open` (or `text.len()`
+/// if unbalanced — strings are already blanked, so this is rare and safe).
+fn match_paren(text: &str, open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, c) in text.get(open..).unwrap_or("").char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return open + i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    text.len()
+}
+
+/// Identifiers `let`-bound anywhere inside a closure body text.
+fn local_bindings(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = body.get(from..).and_then(|s| s.find("let ")) {
+        let at = from + pos;
+        from = at + "let ".len();
+        if ident_before(body, at).is_some() {
+            continue; // `…let ` inside an identifier tail — not a binding
+        }
+        let rest = body.get(from..).unwrap_or("");
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// The identifier a `&mut` at byte `after` applies to, skipping reborrow
+/// sigils (`*`, `&`, `(`) — `&mut *s`, `&mut &stream` both yield the base.
+fn mut_target(body: &str, after: usize) -> Option<String> {
+    let rest = body.get(after..)?;
+    let rest = rest.trim_start_matches([' ', '*', '&', '(']);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Shard-capture pass: banned tokens inside `scope.spawn` closures. At most
+/// one diagnostic per line (a line that captures two cells is one fix).
+pub fn shard_capture(lines: &[Line]) -> Vec<Diag> {
+    let mut text = String::new();
+    let mut starts = Vec::with_capacity(lines.len());
+    for line in lines {
+        starts.push(text.len());
+        text.push_str(&line.code);
+        text.push('\n');
+    }
+    let line_of = |off: usize| match starts.binary_search(&off) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    };
+
+    let mut diags: Vec<Diag> = Vec::new();
+    for (lo, hi) in spawn_extents(&text) {
+        let body = text.get(lo..hi).unwrap_or("");
+        let locals = local_bindings(body);
+        for ban in CAPTURE_BANS {
+            let mut from = 0;
+            while let Some(pos) = body.get(from..).and_then(|s| s.find(ban)) {
+                let at = lo + from + pos;
+                let idx = line_of(at);
+                // `&mut x` where `x` is let-bound inside the closure is
+                // worker-local state (e.g. a per-worker socket), not a
+                // capture — only captured mutation defeats sharding.
+                let local = *ban == "&mut"
+                    && mut_target(body, from + pos + ban.len())
+                        .is_some_and(|t| locals.contains(&t));
+                if !local && !diags.iter().any(|d| d.line == idx) {
+                    diags.push(Diag {
+                        line: idx,
+                        message: format!(
+                            "`{ban}` captured inside a scope.spawn closure — workers \
+                             may only write their own disjoint shard (DESIGN.md §11.3)"
+                        ),
+                    });
+                }
+                from = from + pos + ban.len();
+            }
+        }
+    }
+    diags.sort_by_key(|d| d.line);
+    diags
+}
+
+/// True when the line contains a floating-point literal (`1.0`, `0.5e3`)
+/// outside identifiers — the arithmetic half of the `float-ban` rule; the
+/// `f32`/`f64` tokens are matched separately at word boundaries.
+pub fn has_float_literal(code: &str) -> bool {
+    let b = code.as_bytes();
+    for i in 0..b.len() {
+        if b[i] != b'.' {
+            continue;
+        }
+        // digits on both sides of the dot …
+        if !(i > 0 && b[i - 1].is_ascii_digit()) {
+            continue;
+        }
+        if !b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            continue;
+        }
+        // … and the digit run is not the tail of an identifier (`x1.0` is
+        // impossible in Rust, but `v2.0` appears in blanked doc paths) nor
+        // preceded by another dot (`0..1` ranges never match — the left of
+        // the first dot is a digit but the right is `.`).
+        let mut s = i;
+        while s > 0 && b[s - 1].is_ascii_digit() {
+            s -= 1;
+        }
+        let pre = s.checked_sub(1).and_then(|p| b.get(p));
+        let ident_tail = pre.is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_' || *c == b'.');
+        if !ident_tail {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn lock_diags(src: &str) -> Vec<Diag> {
+        lock_order(&scan_source(src)).0
+    }
+
+    #[test]
+    fn ascending_acquisition_is_clean() {
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    let mut inner = lock_recovering(&self.inner);\n",
+            "    drop(inner);\n",
+            "    let _g = self.write_lock.lock();\n",
+            "}\n",
+        );
+        assert!(lock_diags(src).is_empty(), "{:?}", lock_diags(src));
+    }
+
+    #[test]
+    fn descending_acquisition_is_flagged() {
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    let _g = self.write_lock.lock();\n",
+            "    let inner = lock_recovering(&self.inner);\n",
+            "}\n",
+        );
+        let d = lock_diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("while holding `write_lock`"));
+    }
+
+    #[test]
+    fn unmanifested_lock_is_flagged() {
+        let d = lock_diags("fn f(&self) { let _g = self.rogue.lock(); }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`rogue`"));
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end() {
+        // Two temporary acquisitions in consecutive statements never overlap.
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    self.readers.lock().push(1);\n",
+            "    let _i = lock_recovering(&self.inner);\n",
+            "}\n",
+        );
+        assert!(lock_diags(src).is_empty(), "{:?}", lock_diags(src));
+    }
+
+    #[test]
+    fn guards_die_with_their_block() {
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    {\n",
+            "        let _g = self.write_lock.lock();\n",
+            "    }\n",
+            "    let _i = lock_recovering(&self.inner);\n",
+            "}\n",
+        );
+        assert!(lock_diags(src).is_empty(), "{:?}", lock_diags(src));
+    }
+
+    #[test]
+    fn helper_bodies_are_exempt_but_callers_are_not() {
+        let src = concat!(
+            "fn lock_recovering(m: &Mutex<T>) -> MutexGuard<T> {\n",
+            "    m.lock().unwrap_or_else(|p| p.into_inner())\n",
+            "}\n",
+            "fn f(&self) { let _g = self.rogue.lock(); }\n",
+        );
+        let d = lock_diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`rogue`"));
+    }
+
+    #[test]
+    fn unmanifested_condvar_wait_is_flagged() {
+        let d = lock_diags("fn f(&self) { let g = self.other_cv.wait(g); }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("other_cv"));
+    }
+
+    #[test]
+    fn edges_record_held_to_acquired() {
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    let mut inner = lock_recovering(&self.inner);\n",
+            "    let _g = self.write_lock.lock();\n",
+            "}\n",
+        );
+        let (d, e) = lock_order(&scan_source(src));
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(e.len(), 1);
+        assert_eq!((e[0].held, e[0].acquired), ("inner", "write_lock"));
+    }
+
+    #[test]
+    fn shard_capture_flags_mut_in_spawn_closures_only() {
+        let src = concat!(
+            "fn f(totals: &mut [u64]) {\n", // outside any scope: fine
+            "    std::thread::scope(|scope| {\n",
+            "        let shards = totals.chunks_mut(4);\n", // setup: fine
+            "        for s in shards {\n",
+            "            scope.spawn(move || add(&mut *s));\n", // captured: flag
+            "        }\n",
+            "    });\n",
+            "}\n",
+        );
+        let d = shard_capture(&scan_source(src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        assert!(d[0].message.contains("&mut"));
+    }
+
+    #[test]
+    fn shard_capture_spans_multiline_closures() {
+        let src = concat!(
+            "fn f(cell: &RefCell<u64>) {\n",
+            "    std::thread::scope(|scope| {\n",
+            "        scope.spawn(|| {\n",
+            "            let v = cell.borrow_mut();\n",
+            "            observe(&v);\n",
+            "            shared.lock().push(1);\n",
+            "        });\n",
+            "    });\n",
+            "}\n",
+        );
+        let d = shard_capture(&scan_source(src));
+        assert_eq!(d.len(), 1, "one diag per line: {d:?}");
+        assert!(d[0].message.contains(".lock()"));
+    }
+
+    #[test]
+    fn worker_local_mut_is_not_a_capture() {
+        let src = concat!(
+            "fn f() {\n",
+            "    std::thread::scope(|scope| {\n",
+            "        scope.spawn(move || {\n",
+            "            let stream = connect(addr);\n",
+            "            write_frame(&mut &stream, &body);\n",
+            "        });\n",
+            "    });\n",
+            "}\n",
+        );
+        assert!(shard_capture(&scan_source(src)).is_empty());
+    }
+
+    #[test]
+    fn disjoint_shard_spawns_are_clean() {
+        let src = concat!(
+            "fn f() {\n",
+            "    std::thread::scope(|scope| {\n",
+            "        let lanes = ws.lanes.iter_mut();\n",
+            "        for (range, lane) in shards.zip(lanes) {\n",
+            "            scope.spawn(move || product_rows(a, b, range, lane));\n",
+            "        }\n",
+            "    });\n",
+            "}\n",
+        );
+        assert!(shard_capture(&scan_source(src)).is_empty());
+    }
+
+    #[test]
+    fn float_literals_are_detected_and_ranges_are_not() {
+        assert!(has_float_literal("let x = 1.0;"));
+        assert!(has_float_literal("w * 0.5"));
+        assert!(!has_float_literal("for i in 0..10 {"));
+        assert!(!has_float_literal("let t = pair.0;"));
+        assert!(!has_float_literal("a[i][j]"));
+        // `v2.0`-style blanked doc remnants don't fire (ident tail).
+        assert!(!has_float_literal("snapshot_v2.0"));
+    }
+}

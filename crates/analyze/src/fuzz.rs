@@ -11,6 +11,11 @@
 //! the mutation penetrates *past* frame verification into the section
 //! parsers — a fuzzer that only ever trips the checksum tests nothing.
 //!
+//! The same machinery covers the `ccd` wire protocol: [`check_frames`]
+//! validates a burst of length-prefixed request frames the way the
+//! server's reader loop does, and the fuzzer feeds it framing attacks —
+//! length-prefix lies, truncated batches, request-id collisions.
+//!
 //! [`emit_corpus`] freezes one named, deterministic case per abuse class
 //! into `tests/fuzz_corpus/` together with the exact error each case must
 //! produce; the repo's `fuzz_replay` integration test pins them forever.
@@ -22,6 +27,7 @@ use std::panic;
 use std::path::Path;
 
 use cc_core::{DistOracle, PathOracle, SnapshotError};
+use cc_serve::protocol::{Op, Request, MAX_FRAME};
 
 /// Baseline allocation headroom a single load may use, on top of the
 /// input-proportional term. Generous: a clean load of a corpus snapshot
@@ -128,6 +134,22 @@ pub fn run(
     panic::set_hook(Box::new(|_| {}));
 
     for it in 0..iters {
+        // Every fourth iteration attacks the ccd framing validator
+        // instead of the snapshot loaders: same no-panic contract,
+        // different parser.
+        if it % 4 == 3 {
+            let mut burst = proto_base_burst();
+            let strategy = proto_mutate(&mut burst, &mut rng);
+            match panic::catch_unwind(|| check_frames(&burst)) {
+                Ok(Ok(_)) => summary.clean_loads += 1,
+                Ok(Err(e)) => *summary.rejections.entry(proto_error_kind(&e)).or_insert(0) += 1,
+                Err(_) => summary.failures.push(format!(
+                    "PANIC in check_frames: seed={seed:#x} iter={it} strategy={strategy}"
+                )),
+            }
+            continue;
+        }
+
         let (name, base) = &corpus[rng.below(corpus.len())];
         let mut case = base.clone();
         let strategy = mutate(&mut case, &mut rng);
@@ -289,6 +311,165 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Validates a burst of length-prefixed `ccd` request frames exactly the
+/// way the server's reader loop does: 4-byte LE length prefix (bounded by
+/// [`MAX_FRAME`]), then a [`Request`] body, with `req_id`s unique within
+/// the burst (the server answers by id; a collision makes two answers
+/// indistinguishable). Returns the frame count, or the pinned diagnostic
+/// the replay corpus asserts on.
+///
+/// # Errors
+///
+/// One of the five pinned diagnostic strings; `MANIFEST.tsv` freezes them.
+pub fn check_frames(bytes: &[u8]) -> Result<usize, String> {
+    let mut at = 0usize;
+    let mut seen_ids = Vec::new();
+    let mut frames = 0usize;
+    while at < bytes.len() {
+        let Some(prefix) = bytes.get(at..at + 4).and_then(|s| s.first_chunk::<4>()) else {
+            return Err("truncated length prefix".to_string());
+        };
+        let len = u32::from_le_bytes(*prefix) as usize;
+        if len > MAX_FRAME {
+            return Err("oversized frame (length-prefix lie)".to_string());
+        }
+        at += 4;
+        let Some(body) = bytes.get(at..at + len) else {
+            return Err("length prefix overruns the burst (truncated frame)".to_string());
+        };
+        let Some(req) = Request::decode(body) else {
+            return Err("malformed request body".to_string());
+        };
+        if seen_ids.contains(&req.req_id) {
+            return Err("duplicate req_id within burst".to_string());
+        }
+        seen_ids.push(req.req_id);
+        at += len;
+        frames += 1;
+    }
+    Ok(frames)
+}
+
+/// A deterministic, valid three-request burst — the base the protocol
+/// mutation strategies corrupt.
+pub fn proto_base_burst() -> Vec<u8> {
+    let mut burst = Vec::new();
+    for (req_id, op, pairs) in [
+        (1u64, Op::Ping, vec![]),
+        (2, Op::Dist, vec![(0u32, 3u32), (1, 2)]),
+        (3, Op::Path, vec![(4, 7)]),
+    ] {
+        let body = Request {
+            req_id,
+            op,
+            deadline_ms: 0,
+            pairs,
+        }
+        .encode();
+        burst.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        burst.extend_from_slice(&body);
+    }
+    burst
+}
+
+/// Applies one protocol-frame mutation strategy in place; returns its name.
+/// The classic framing attacks: lying length prefixes, truncated batches,
+/// and request-id collisions, plus plain byte noise.
+fn proto_mutate(burst: &mut Vec<u8>, rng: &mut Xorshift) -> &'static str {
+    match rng.below(6) {
+        0 => {
+            // Length-prefix lie: claim more than MAX_FRAME.
+            let lie = (MAX_FRAME as u32) + 1 + rng.next_u64() as u32 % 1024;
+            burst[..4].copy_from_slice(&lie.to_le_bytes());
+            "len-lie-oversized"
+        }
+        1 => {
+            // Length-prefix lie: overrun the remaining bytes.
+            let lie = (burst.len() as u32).saturating_add(1 + rng.next_u64() as u32 % 64);
+            let lie = lie.min(MAX_FRAME as u32);
+            burst[..4].copy_from_slice(&lie.to_le_bytes());
+            "len-lie-overrun"
+        }
+        2 => {
+            // Truncated batch: cut mid-frame (or mid-prefix).
+            burst.truncate(rng.below(burst.len()));
+            "truncate-burst"
+        }
+        3 => {
+            // Id collision: copy frame 1's req_id over frame 2's. Bodies
+            // start at +4 (prefix) and each request leads with its id.
+            let first_len = u32::from_le_bytes(burst[..4].try_into().unwrap_or([0; 4])) as usize;
+            let second_id_at = 4 + first_len + 4;
+            if burst.len() >= second_id_at + 8 {
+                let id: [u8; 8] = burst[4..12].try_into().unwrap_or([0; 8]);
+                burst[second_id_at..second_id_at + 8].copy_from_slice(&id);
+            }
+            "id-collision"
+        }
+        4 => {
+            // Body corruption after the prefix: op/flags/count bytes.
+            let pos = 4 + rng.below(burst.len().saturating_sub(4).max(1));
+            if pos < burst.len() {
+                burst[pos] = rng.next_u64() as u8;
+            }
+            "body-set"
+        }
+        5 => {
+            let pos = rng.below(burst.len());
+            burst[pos] ^= 1 << rng.below(8);
+            "bit-flip"
+        }
+        _ => unreachable!("below(6)"),
+    }
+}
+
+/// The named deterministic protocol abuse cases, each paired with the
+/// framing diagnostic it must produce.
+fn proto_abuse_cases() -> Vec<(String, Vec<u8>)> {
+    let base = proto_base_burst();
+    let mut out = Vec::new();
+    let mut push = |suffix: &str, bytes: Vec<u8>| out.push((format!("proto__{suffix}"), bytes));
+
+    let mut oversized = base.clone();
+    oversized[..4].copy_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+    push("len_lie_oversized", oversized);
+
+    let mut overrun = base.clone();
+    overrun[..4].copy_from_slice(&((base.len() as u32) * 2).to_le_bytes());
+    push("len_lie_overrun", overrun);
+
+    push("truncated_mid_frame", base[..base.len() - 3].to_vec());
+
+    let mut cut_prefix = base.clone();
+    cut_prefix.extend_from_slice(&[9, 0]); // two dangling prefix bytes
+    push("truncated_prefix", cut_prefix);
+
+    let first_len = u32::from_le_bytes(base[..4].try_into().unwrap_or([0; 4])) as usize;
+    let mut dup = base.clone();
+    let second_id_at = 4 + first_len + 4;
+    let id: [u8; 8] = dup[4..12].try_into().unwrap_or([0; 8]);
+    dup[second_id_at..second_id_at + 8].copy_from_slice(&id);
+    push("duplicate_req_id", dup);
+
+    let mut bad_op = base.clone();
+    bad_op[4 + 8] = 0xee; // frame 1's op byte: no such operation
+    push("malformed_body", bad_op);
+
+    out
+}
+
+/// Buckets a [`check_frames`] diagnostic for the rejection histogram.
+fn proto_error_kind(e: &str) -> &'static str {
+    match e {
+        "oversized frame (length-prefix lie)" => "proto-oversized",
+        "length prefix overruns the burst (truncated frame)" => "proto-overrun",
+        "truncated length prefix" => "proto-truncated-prefix",
+        "malformed request body" => "proto-malformed",
+        "duplicate req_id within burst" => "proto-dup-id",
+        _ => "proto-other",
+    }
+}
+
 /// Dispatches a load by magic: `CCRO` to the path oracle, everything else
 /// to the distance oracle (whose magic check reports the mismatch).
 pub fn load_any(bytes: &[u8]) -> Result<&'static str, SnapshotError> {
@@ -339,6 +520,26 @@ pub fn emit_corpus(
             fs::write(out_dir.join(format!("{case}.snap")), &bytes)?;
             manifest.push((format!("{case}.snap"), err));
         }
+    }
+    // The ccd framing abuse cases ride in the same manifest, written as
+    // `.bin` (wire bursts, not snapshots) and replayed through
+    // `check_frames` instead of the loaders.
+    for (case, bytes) in proto_abuse_cases() {
+        let err = match panic::catch_unwind(|| check_frames(&bytes)) {
+            Ok(Ok(n)) => {
+                return Err(io::Error::other(format!(
+                    "generator bug: case {case} parsed cleanly ({n} frames)"
+                )))
+            }
+            Ok(Err(e)) => e,
+            Err(_) => {
+                return Err(io::Error::other(format!(
+                    "framing bug: case {case} panicked"
+                )))
+            }
+        };
+        fs::write(out_dir.join(format!("{case}.bin")), &bytes)?;
+        manifest.push((format!("{case}.bin"), err));
     }
     let tsv: String = manifest
         .iter()
@@ -462,6 +663,41 @@ mod tests {
         // Mutations must actually be reaching the loader's rejection
         // paths, not all bouncing off one check.
         assert!(s.rejections.len() >= 2, "{:?}", s.rejections);
+    }
+
+    #[test]
+    fn a_valid_burst_parses_to_its_frame_count() {
+        assert_eq!(check_frames(&proto_base_burst()), Ok(3));
+        assert_eq!(check_frames(&[]), Ok(0));
+    }
+
+    #[test]
+    fn proto_abuse_cases_all_reject_with_pinned_diagnostics() {
+        let cases = proto_abuse_cases();
+        assert_eq!(cases.len(), 6);
+        for (name, bytes) in cases {
+            let r = std::panic::catch_unwind(|| check_frames(&bytes));
+            match r {
+                Ok(Err(e)) => assert_ne!(
+                    proto_error_kind(&e),
+                    "proto-other",
+                    "{name}: unpinned diagnostic {e:?}"
+                ),
+                Ok(Ok(n)) => panic!("{name} parsed cleanly ({n} frames)"),
+                Err(_) => panic!("{name} panicked the framing validator"),
+            }
+        }
+    }
+
+    #[test]
+    fn proto_mutations_never_panic_the_framing_validator() {
+        let mut rng = Xorshift::new(0xccd);
+        for _ in 0..2000 {
+            let mut burst = proto_base_burst();
+            let strategy = proto_mutate(&mut burst, &mut rng);
+            let r = std::panic::catch_unwind(|| check_frames(&burst));
+            assert!(r.is_ok(), "strategy {strategy} panicked check_frames");
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod concurrency;
 pub mod fuzz;
 pub mod rules;
 pub mod scan;
+pub mod schedule;

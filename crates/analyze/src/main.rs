@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cc_analyze::{fuzz, rules};
+use cc_analyze::{fuzz, rules, schedule};
 
 /// The fuzzer's allocation-bound probe needs a counting global allocator;
 /// this is the one `unsafe` in the crate (and it is in the analyzer's own
@@ -78,10 +78,12 @@ fn main() -> ExitCode {
         Some("check") => cmd_check(&args[1..]),
         Some("selftest") => cmd_selftest(),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("schedule") => cmd_schedule(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cc-analyze <check [--root DIR] | selftest | \
-                 fuzz [--iters N] [--seed S] [--corpus DIR] [--emit-corpus DIR]>\n\
+                 fuzz [--iters N] [--seed S] [--corpus DIR] [--emit-corpus DIR] | \
+                 schedule [--iters N] [--seed S] [--threads T]>\n\
                  rules: {}",
                 rules::ALL_RULES.join(", ")
             );
@@ -145,8 +147,12 @@ const EXPECTED_FIXTURE_FINDINGS: &[(&str, &str)] = &[
     ("crates/core/src/snapshot/header.rs", rules::RULE_PANIC),
     ("crates/core/src/snapshot/header.rs", rules::RULE_INDEX),
     ("crates/core/src/snapshot/header.rs", rules::RULE_CAST),
+    ("crates/core/src/unordered.rs", rules::RULE_UNORDERED),
     ("crates/graphs/src/pod.rs", rules::RULE_POD),
+    ("crates/matrix/src/floaty.rs", rules::RULE_FLOAT),
+    ("crates/matrix/src/shard.rs", rules::RULE_SHARD),
     ("crates/serve/src/lib.rs", rules::RULE_ATTR),
+    ("crates/serve/src/locks.rs", rules::RULE_LOCK),
     ("crates/serve/src/mmap.rs", rules::RULE_SAFETY),
 ];
 
@@ -203,6 +209,54 @@ fn cmd_selftest() -> ExitCode {
             report.allow_count()
         );
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_schedule(args: &[String]) -> ExitCode {
+    let defaults = schedule::ScheduleConfig::default();
+    let parse = |flag: &str, default: u64| -> Result<u64, ExitCode> {
+        match flag_value(args, flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                eprintln!("cc-analyze schedule: {flag} expects an integer");
+                ExitCode::from(2)
+            }),
+        }
+    };
+    let cfg = schedule::ScheduleConfig {
+        iters: match parse("--iters", defaults.iters) {
+            Ok(v) => v,
+            Err(c) => return c,
+        },
+        seed: match parse("--seed", defaults.seed) {
+            Ok(v) => v,
+            Err(c) => return c,
+        },
+        max_threads: match parse("--threads", defaults.max_threads as u64) {
+            Ok(v) => v as usize,
+            Err(c) => return c,
+        },
+    };
+
+    let summary = schedule::run(&cfg);
+    println!(
+        "cc-analyze schedule: {} perturbed iterations (seed {:#x}, ≤{} threads)",
+        summary.iterations, cfg.seed, cfg.max_threads
+    );
+    println!(
+        "  kernel/engine comparisons: {} — all bit-identical to serial: {}",
+        summary.comparisons,
+        summary.failures.is_empty()
+    );
+    println!("  loopback ccd bursts: {}", summary.serve_bursts);
+    if summary.failures.is_empty() {
+        println!("  determinism held under every perturbed schedule");
+        ExitCode::SUCCESS
+    } else {
+        for f in &summary.failures {
+            eprintln!("  FAILURE: {f}");
+        }
+        ExitCode::FAILURE
     }
 }
 

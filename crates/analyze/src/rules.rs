@@ -15,6 +15,14 @@
 //!   designated hot-path and parser modules (test code exempt).
 //! * `pod-manifest` — every `#[repr(C)]` type is registered here and pairs
 //!   with an `impl Section for …` compile-time layout check in its file.
+//! * `unordered-iter` — `HashMap`/`HashSet` are banned in result-affecting
+//!   crates; address-dependent iteration order must never reach an output.
+//! * `lock-order` — `cc_serve` lock acquisitions must follow the declared
+//!   total order in [`crate::concurrency::LOCK_ORDER`], cycle-free.
+//! * `shard-capture` — `scope.spawn` closures may only write their own
+//!   disjoint shard: no captured `&mut`, cells, or worker-side locking.
+//! * `float-ban` — no `f32`/`f64` arithmetic in distance/weight paths;
+//!   distances are exact `u32` end to end.
 //!
 //! Any finding can be waived in place with a counted escape hatch —
 //! `// cc-analyze: allow(<rule>)` on the flagged line or the comment block
@@ -26,6 +34,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::concurrency;
 use crate::scan::{self, Line};
 
 pub const RULE_SAFETY: &str = "safety-comment";
@@ -35,6 +44,10 @@ pub const RULE_PANIC: &str = "unwrap-expect";
 pub const RULE_INDEX: &str = "indexing";
 pub const RULE_CAST: &str = "narrowing-cast";
 pub const RULE_POD: &str = "pod-manifest";
+pub const RULE_UNORDERED: &str = "unordered-iter";
+pub const RULE_LOCK: &str = "lock-order";
+pub const RULE_SHARD: &str = "shard-capture";
+pub const RULE_FLOAT: &str = "float-ban";
 
 /// Every rule id, for `--help` text and escape-hatch validation.
 pub const ALL_RULES: &[&str] = &[
@@ -45,6 +58,10 @@ pub const ALL_RULES: &[&str] = &[
     RULE_INDEX,
     RULE_CAST,
     RULE_POD,
+    RULE_UNORDERED,
+    RULE_LOCK,
+    RULE_SHARD,
+    RULE_FLOAT,
 ];
 
 /// The only modules allowed to contain `unsafe`: POD reinterpretation,
@@ -114,6 +131,41 @@ const POD_MANIFEST: &[(&str, &str)] = &[("crates/graphs/src/pod.rs", "DirEntry")
 /// Cast targets treated as narrowing when written with bare `as`.
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
 
+/// Result-affecting crates where `HashMap`/`HashSet` are banned outright
+/// (entries ending in `/` are directory prefixes): address-dependent
+/// iteration order anywhere in these crates can leak into outputs the
+/// parallel-equals-serial contract pins bit-for-bit. Use `BTreeMap`/
+/// `BTreeSet` or sort after collecting; a counted
+/// `cc-analyze: allow(unordered-iter)` hatch waives a lookup-only use.
+const UNORDERED_SCOPES: &[&str] = &[
+    "crates/core/src/",
+    "crates/derand/src/",
+    "crates/emulator/src/",
+    "crates/matrix/src/",
+    "crates/routes/src/",
+    "crates/toolkit/src/",
+];
+
+/// Distance/weight-path modules where `f32`/`f64` arithmetic is banned:
+/// every distance in this workspace is an exact `u32` (`cc_graphs::Dist`),
+/// and a float sneaking into a kernel or comparator turns bit-identical
+/// parallel replay into a rounding lottery. Parameter-space math (ε, β,
+/// sampling probabilities) lives outside these modules by design.
+const FLOAT_BAN: &[&str] = &[
+    "crates/clique/src/engine.rs",
+    "crates/clique/src/message.rs",
+    "crates/graphs/src/bfs.rs",
+    "crates/graphs/src/dijkstra.rs",
+    "crates/graphs/src/dist.rs",
+    "crates/graphs/src/graph.rs",
+    "crates/matrix/src/",
+    "crates/routes/src/",
+];
+
+/// Modules subject to the `lock-order` analysis: the serving daemon, the
+/// one place in the workspace where multiple locks coexist.
+const LOCK_SCOPE: &[&str] = &["crates/serve/src/"];
+
 /// One diagnostic, formatted `path:line: [rule] message`.
 #[derive(Debug)]
 pub struct Finding {
@@ -160,11 +212,13 @@ pub fn check_root(root: &Path) -> io::Result<Report> {
 
     let mut report = Report::default();
     let mut seen_pod: Vec<(String, String)> = Vec::new();
+    let mut lock_edges: Vec<LockEdgeAt> = Vec::new();
     for rel in &files {
         let text = fs::read_to_string(root.join(rel))?;
-        check_file(rel, &text, &mut report, &mut seen_pod);
+        check_file(rel, &text, &mut report, &mut seen_pod, &mut lock_edges);
     }
     report.files = files.len();
+    lock_cycle_findings(&lock_edges, &mut report);
 
     // The manifest must stay live: an entry whose type vanished is stale.
     for (path, ty) in POD_MANIFEST {
@@ -192,7 +246,9 @@ pub fn check_root(root: &Path) -> io::Result<Report> {
 pub fn check_source(rel: &str, text: &str) -> Report {
     let mut report = Report::default();
     let mut seen_pod = Vec::new();
-    check_file(rel, text, &mut report, &mut seen_pod);
+    let mut lock_edges = Vec::new();
+    check_file(rel, text, &mut report, &mut seen_pod, &mut lock_edges);
+    lock_cycle_findings(&lock_edges, &mut report);
     report.files = 1;
     report
 }
@@ -227,7 +283,24 @@ fn in_list(list: &[&str], rel: &str) -> bool {
     list.contains(&rel)
 }
 
-fn check_file(rel: &str, text: &str, report: &mut Report, seen_pod: &mut Vec<(String, String)>) {
+/// Scope test that also understands directory prefixes: an entry ending in
+/// `/` matches every file under that directory.
+fn in_scope(list: &[&str], rel: &str) -> bool {
+    list.iter()
+        .any(|e| *e == rel || (e.ends_with('/') && rel.starts_with(e)))
+}
+
+/// One lock acquisition edge observed in a file, for workspace-wide cycle
+/// detection: `(path, held, acquired, 1-based line)`.
+type LockEdgeAt = (String, &'static str, &'static str, usize);
+
+fn check_file(
+    rel: &str,
+    text: &str,
+    report: &mut Report,
+    seen_pod: &mut Vec<(String, String)>,
+    lock_edges: &mut Vec<LockEdgeAt>,
+) {
     let lines = scan::scan_source(text);
     let unsafe_ok = in_list(UNSAFE_ALLOWLIST, rel);
 
@@ -323,6 +396,33 @@ fn check_file(rel: &str, text: &str, report: &mut Report, seen_pod: &mut Vec<(St
                     );
                 }
             }
+            if in_scope(UNORDERED_SCOPES, rel)
+                && (has_word(code, "HashMap") || has_word(code, "HashSet"))
+            {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_UNORDERED,
+                    "HashMap/HashSet in a result-affecting crate (use BTreeMap/BTreeSet \
+                     or sort after collecting)"
+                        .to_string(),
+                );
+            }
+            if in_scope(FLOAT_BAN, rel)
+                && (has_word(code, "f32")
+                    || has_word(code, "f64")
+                    || concurrency::has_float_literal(code))
+            {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_FLOAT,
+                    "float arithmetic in a distance/weight path (distances are exact u32)"
+                        .to_string(),
+                );
+            }
         }
 
         if code.contains("#[repr(C") {
@@ -347,6 +447,67 @@ fn check_file(rel: &str, text: &str, report: &mut Report, seen_pod: &mut Vec<(St
                     );
                 }
             }
+        }
+    }
+
+    // Whole-file concurrency passes (the per-line loop above cannot see
+    // guard liveness or closure extents).
+    for diag in concurrency::shard_capture(&lines) {
+        emit(report, &lines, diag.line, RULE_SHARD, diag.message);
+    }
+    if in_scope(LOCK_SCOPE, rel) {
+        let (diags, edges) = concurrency::lock_order(&lines);
+        for diag in diags {
+            emit(report, &lines, diag.line, RULE_LOCK, diag.message);
+        }
+        for e in edges {
+            lock_edges.push((rel.to_string(), e.held, e.acquired, e.line + 1));
+        }
+    }
+}
+
+/// Workspace-wide cycle check over the aggregated lock acquisition graph.
+/// The per-site rank check already rejects every descending edge, but the
+/// aggregate pass also catches a cycle assembled from edges that are each
+/// waived by an escape hatch in its own file.
+fn lock_cycle_findings(edges: &[LockEdgeAt], report: &mut Report) {
+    let n = concurrency::LOCK_ORDER.len();
+    let idx = |name: &str| concurrency::LOCK_ORDER.iter().position(|l| *l == name);
+    let mut adj = vec![vec![false; n]; n];
+    for (_, held, acquired, _) in edges {
+        if let (Some(h), Some(a)) = (idx(held), idx(acquired)) {
+            adj[h][a] = true;
+        }
+    }
+    // Floyd–Warshall reachability; a cycle is a node reaching itself.
+    let mut reach = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                reach[i][j] = reach[i][j]
+                    || (reach.get(i).is_some_and(|r| r[k]) && reach.get(k).is_some_and(|r| r[j]));
+            }
+        }
+    }
+    for (start, row) in reach.iter().enumerate() {
+        if !row.get(start).copied().unwrap_or(false) {
+            continue;
+        }
+        // Blame the first recorded edge that leaves this node inside the
+        // cycle, so the diagnostic lands on a real acquisition site.
+        if let Some((path, held, acquired, line)) = edges.iter().find(|(_, h, a, _)| {
+            idx(h) == Some(start) && idx(a).is_some_and(|a| reach[a][start] || a == start)
+        }) {
+            report.findings.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: RULE_LOCK,
+                message: format!(
+                    "lock acquisition cycle through `{held}` → `{acquired}` \
+                     (declared order {:?})",
+                    concurrency::LOCK_ORDER
+                ),
+            });
         }
     }
 }
@@ -510,7 +671,7 @@ fn find_repr_type(lines: &[Line], attr_idx: usize) -> Option<(usize, String)> {
     None
 }
 
-fn find_word(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn find_word(code: &str, word: &str) -> Option<usize> {
     let b = code.as_bytes();
     let mut from = 0;
     while let Some(pos) = code.get(from..).and_then(|s| s.find(word)) {
@@ -630,6 +791,82 @@ mod tests {
         let with_impl = format!("{src}impl Section for DirEntry {{}}\n");
         let ok = check_source("crates/graphs/src/pod.rs", &with_impl);
         assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn hash_containers_are_banned_in_result_affecting_crates() {
+        let src = "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { todo!() }\n";
+        let r = check_source("crates/core/src/pipeline.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_UNORDERED, RULE_UNORDERED]);
+        // Out of scope: the analyzer itself may use what it likes.
+        let ok = check_source("crates/analyze/src/rules.rs", src);
+        assert!(ok.findings.is_empty());
+        // BTree replacements are the sanctioned fix.
+        let ok = check_source(
+            "crates/core/src/pipeline.rs",
+            "use std::collections::BTreeMap;\n",
+        );
+        assert!(ok.findings.is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_hatch_counts() {
+        let src = concat!(
+            "// cc-analyze: allow(unordered-iter) — lookup only, never iterated.\n",
+            "use std::collections::HashMap;\n",
+        );
+        let r = check_source("crates/matrix/src/dense.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allows.get(RULE_UNORDERED), Some(&1));
+    }
+
+    #[test]
+    fn floats_are_banned_in_distance_paths() {
+        for src in [
+            "fn f(d: u32) -> f64 { d as f64 }\n",
+            "fn g(w: u32) -> u32 { (w * 3) / 2 + (0.5 as u32) }\n",
+        ] {
+            let r = check_source("crates/matrix/src/sparse.rs", src);
+            assert!(
+                rules_of(&r).contains(&RULE_FLOAT),
+                "{src:?} -> {:?}",
+                r.findings
+            );
+        }
+        // Integer ranges and tuple fields do not fire.
+        let ok = check_source(
+            "crates/matrix/src/sparse.rs",
+            "fn h(v: &[(u32, u32)]) -> u32 { (0..4).map(|i| v[i].0).sum() }\n",
+        );
+        assert!(!rules_of(&ok).contains(&RULE_FLOAT), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn lock_order_violation_is_reported_with_the_lock_rule() {
+        let src = concat!(
+            "fn f(&self) {\n",
+            "    let _g = self.write_lock.lock();\n",
+            "    let _i = self.inner.lock();\n",
+            "}\n",
+        );
+        let r = check_source("crates/serve/src/server.rs", src);
+        assert!(rules_of(&r).contains(&RULE_LOCK), "{:?}", r.findings);
+        // The same text outside the serve scope is not analyzed.
+        let ok = check_source("crates/clique/src/engine.rs", src);
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+    }
+
+    #[test]
+    fn shard_capture_violation_is_reported() {
+        let src = concat!(
+            "fn f(totals: &mut [u64]) {\n",
+            "    std::thread::scope(|scope| {\n",
+            "        scope.spawn(|| { totals[0] += 1; push(&mut totals); });\n",
+            "    });\n",
+            "}\n",
+        );
+        let r = check_source("crates/matrix/src/dense.rs", src);
+        assert!(rules_of(&r).contains(&RULE_SHARD), "{:?}", r.findings);
     }
 
     #[test]

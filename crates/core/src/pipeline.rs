@@ -3,7 +3,7 @@
 //! substrate cache, emulator collection, and the short/long distance
 //! threshold.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cc_clique::RoundLedger;
 use cc_derand::hitting;
@@ -105,11 +105,15 @@ fn sets_fingerprint(sets: &[Vec<usize>]) -> u64 {
 /// across queries: a cache hit returns the stored object and charges **zero**
 /// rounds, modelling that every node of the clique already holds the
 /// substrate locally from the earlier query.
+/// Keys are fully ordered and the maps are `BTreeMap`s, not `HashMap`s:
+/// nothing here may iterate in an address-dependent order (the
+/// `unordered-iter` rule in `cc-analyze` bans unordered containers in
+/// result-affecting crates wholesale — see `DESIGN.md` §11.1).
 #[derive(Debug, Default)]
 pub(crate) struct Substrates {
     emulator: Option<(EmulatorKey, Emulator)>,
-    hopsets: HashMap<HopsetKey, BoundedHopset>,
-    hitting_sets: HashMap<HittingKey, Vec<usize>>,
+    hopsets: BTreeMap<HopsetKey, BoundedHopset>,
+    hitting_sets: BTreeMap<HittingKey, Vec<usize>>,
 }
 
 impl Substrates {
@@ -436,6 +440,36 @@ mod tests {
             ledger.total_rounds() > after_first,
             "different threshold is a different substrate"
         );
+    }
+
+    /// Two independent sessions over the same inputs must produce
+    /// bit-identical substrates — the cache's key/value plumbing may not
+    /// introduce any iteration-order dependence (this pinned BTreeMap
+    /// conversion is what the `unordered-iter` rule enforces statically).
+    #[test]
+    fn substrate_results_are_stable_across_runs() {
+        let g = generators::cycle(40);
+        let sets: Vec<Vec<usize>> = (0..6).map(|i| vec![i, i + 7, i + 19]).collect();
+        let run = || {
+            let mut subs = Substrates::new();
+            let mut ledger = RoundLedger::new(g.n());
+            let mut det = Mode::Det;
+            let hopset = subs.hopset_for("g", &g, 8, 0.5, true, 1, false, &mut det, &mut ledger);
+            // A second, different-threshold entry so the map holds several
+            // keys before the first one is re-read.
+            subs.hopset_for("g", &g, 16, 0.5, true, 1, false, &mut det, &mut ledger);
+            let again = subs.hopset_for("g", &g, 8, 0.5, true, 1, false, &mut det, &mut ledger);
+            let hit = subs
+                .hitting_set_for("t", g.n(), 2, &sets, &mut det, &mut ledger)
+                .unwrap();
+            (hopset.edges, again.edges, hit)
+        };
+        let (a1, a2, ah) = run();
+        let (b1, b2, bh) = run();
+        assert_eq!(a1, a2, "cache hit must return the identical hopset");
+        assert_eq!(a1, b1, "hopsets must be bit-identical across runs");
+        assert_eq!(a2, b2);
+        assert_eq!(ah, bh, "hitting sets must be bit-identical across runs");
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! `Bernoulli(p)` bits — the quantity the conditional-expectation
 //! derandomization in [`crate::soft_hitting`] manipulates in closed form.
 
-use std::collections::HashSet;
+// BTreeSet, not HashSet: cc_derand is a result-affecting crate, where the
+// `unordered-iter` rule bans unordered containers outright (membership-only
+// uses included — the cheap blanket ban is what keeps the hazard class out;
+// `DESIGN.md` §11.1).
+use std::collections::BTreeSet;
 
 /// A DNF formula: a disjunction of conjunctive clauses over boolean
 /// variables identified by index.
@@ -38,7 +42,7 @@ impl Dnf {
     /// `true` if no variable occurs in more than one position (the
     /// *read-once* property required by the Gopalan et al. PRG).
     pub fn is_read_once(&self) -> bool {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for clause in &self.clauses {
             for &v in clause {
                 if !seen.insert(v) {
@@ -144,6 +148,22 @@ mod tests {
         let f = Dnf::hitting_formula(&[3, 5], 2);
         assert_eq!(f.clauses(), &[vec![6, 7], vec![10, 11]]);
         assert!(f.is_read_once());
+    }
+
+    /// The read-once check and everything derived from it must be
+    /// bit-identical across independent runs (regression for the BTreeSet
+    /// conversion — no container iteration order may reach a result).
+    #[test]
+    fn read_once_results_are_stable_across_runs() {
+        let run = || {
+            let mut out = Vec::new();
+            for shift in 0..8usize {
+                let f = Dnf::hitting_formula(&[shift, shift + 3, shift + 9], 3);
+                out.push((f.is_read_once(), f.sat_probability(0.3).to_bits()));
+            }
+            out
+        };
+        assert_eq!(run(), run(), "must be bit-identical across runs");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Shortcut-edge provenance: unrolling hopset/emulator edges into `G` edges.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cc_graphs::Graph;
 
@@ -20,8 +20,11 @@ use crate::arena::{RecId, RouteArena};
 pub struct Unroller {
     arena: RouteArena,
     /// Canonical pair `{min, max}` → (edge count of the record, record as a
-    /// path `min → max`).
-    by_pair: HashMap<(u32, u32), (u32, RecId)>,
+    /// path `min → max`). Ordered deliberately: [`Unroller::absorb`]
+    /// iterates this map to merge pair tables, and an address-dependent
+    /// iteration order is exactly the hazard the `unordered-iter` rule
+    /// bans in result-affecting crates (`DESIGN.md` §11.1).
+    by_pair: BTreeMap<(u32, u32), (u32, RecId)>,
 }
 
 impl Unroller {
@@ -37,7 +40,7 @@ impl Unroller {
     pub fn from_arena(arena: RouteArena) -> Self {
         Unroller {
             arena,
-            by_pair: HashMap::new(),
+            by_pair: BTreeMap::new(),
         }
     }
 
@@ -206,6 +209,40 @@ mod tests {
         assert_eq!(a.unroll(0, 3).unwrap().len(), 3, "shorter record wins");
         assert_eq!(a.unroll(3, 1).unwrap(), vec![(3, 2), (2, 1)]);
         assert_eq!(a.pairs(), 2);
+    }
+
+    /// Two independent absorb-merges of the same unrollers must agree on
+    /// every unrolled walk — the pair table's iteration order may not leak
+    /// into results (regression for the BTreeMap conversion; the
+    /// `unordered-iter` rule pins this statically).
+    #[test]
+    fn absorb_results_are_stable_across_runs() {
+        let g = path_graph(8);
+        let run = || {
+            let mut a = Unroller::new();
+            for s in 0..5usize {
+                let walk: Vec<u32> = (s as u32..=s as u32 + 2).collect();
+                let rec = a.intern_walk(&g, &walk).unwrap();
+                a.register(s, s + 2, rec);
+            }
+            let mut b = Unroller::new();
+            for s in 0..4usize {
+                let walk: Vec<u32> = (s as u32..=s as u32 + 3).collect();
+                let rec = b.intern_walk(&g, &walk).unwrap();
+                b.register(s, s + 3, rec);
+            }
+            a.absorb(&b);
+            let mut out = Vec::new();
+            for u in 0..8 {
+                for v in 0..8 {
+                    if let Some(edges) = a.unroll(u, v) {
+                        out.push((u, v, edges));
+                    }
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run(), "absorb must be bit-identical across runs");
     }
 
     #[test]

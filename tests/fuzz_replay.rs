@@ -5,7 +5,10 @@
 //! `cc_analyze::fuzz::emit_corpus`), and `MANIFEST.tsv` pins the *exact*
 //! typed error it must produce. A drift in any loader's rejection behavior
 //! — a new panic, a weaker error, or a case that suddenly loads — fails
-//! here with the case name. Regenerate intentionally with:
+//! here with the case name. `proto__*.bin` cases are corrupt `ccd` wire
+//! bursts (length-prefix lies, truncated batches, req_id collisions)
+//! replayed through the framing validator instead of the snapshot
+//! loaders. Regenerate intentionally with:
 //! `cargo run -p cc-analyze -- fuzz --emit-corpus tests/fuzz_corpus`.
 
 use std::path::Path;
@@ -26,11 +29,26 @@ fn every_frozen_case_reproduces_its_pinned_error() {
         std::fs::read_to_string(dir.join("MANIFEST.tsv")).expect("tests/fuzz_corpus/MANIFEST.tsv");
 
     let mut cases = 0;
+    let mut proto_cases = 0;
     for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
         let (file, expected) = line
             .split_once('\t')
             .unwrap_or_else(|| panic!("malformed manifest line: {line:?}"));
         let bytes = std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+
+        if file.starts_with("proto__") {
+            match std::panic::catch_unwind(|| cc_analyze::fuzz::check_frames(&bytes)) {
+                Ok(Err(e)) => assert_eq!(
+                    e, expected,
+                    "{file}: diagnostic drifted from the pinned manifest entry"
+                ),
+                Ok(Ok(n)) => panic!("{file}: corrupt burst parsed cleanly ({n} frames)"),
+                Err(_) => panic!("{file}: framing validator panicked"),
+            }
+            cases += 1;
+            proto_cases += 1;
+            continue;
+        }
 
         let got = std::panic::catch_unwind(|| load_any(&bytes));
         match got {
@@ -47,6 +65,10 @@ fn every_frozen_case_reproduces_its_pinned_error() {
     assert!(
         cases >= 50,
         "corpus went missing: only {cases} cases replayed"
+    );
+    assert!(
+        proto_cases >= 6,
+        "protocol corpus went missing: only {proto_cases} proto cases replayed"
     );
 }
 
