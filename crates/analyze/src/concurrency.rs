@@ -25,7 +25,14 @@ use crate::scan::Line;
 /// The declared Mutex acquisition order for `cc_serve`, ascending: a thread
 /// holding `LOCK_ORDER[i]` may only acquire locks strictly later in the
 /// list. Mirrored in `DESIGN.md` §11.2 — change both together.
-pub const LOCK_ORDER: &[&str] = &["inner", "readers", "write_lock"];
+pub const LOCK_ORDER: &[&str] = &[
+    "inner",
+    "conn_threads",
+    "reload",
+    "slot",
+    "outbox",
+    "write_lock",
+];
 
 /// Functions that acquire a lock *for* their caller through a parameter
 /// (poison-recovery shims). Their bodies lock a generic parameter, not a
@@ -34,7 +41,7 @@ pub const LOCK_HELPERS: &[&str] = &["lock_recovering"];
 
 /// Declared `Condvar` → guarded-`Mutex` pairs: `.wait()` on the condvar must
 /// take (and atomically re-acquire) the paired mutex's guard.
-pub const CONDVAR_PAIRS: &[(&str, &str)] = &[("ready", "inner")];
+pub const CONDVAR_PAIRS: &[(&str, &str)] = &[("ready", "inner"), ("outbox_ready", "outbox")];
 
 /// Tokens that, captured inside a `scope.spawn` closure, defeat the
 /// disjoint-shard discipline (shared mutation or worker-side locking).
@@ -519,7 +526,7 @@ mod tests {
         // Two temporary acquisitions in consecutive statements never overlap.
         let src = concat!(
             "fn f(&self) {\n",
-            "    self.readers.lock().push(1);\n",
+            "    self.conn_threads.lock().push(1);\n",
             "    let _i = lock_recovering(&self.inner);\n",
             "}\n",
         );

@@ -80,15 +80,19 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 const NO_PANIC: &[&str] = &[
     "crates/core/src/oracle.rs",
     "crates/core/src/path_oracle.rs",
+    "crates/core/src/snapshot/atomic.rs",
     "crates/core/src/snapshot/header.rs",
     "crates/core/src/snapshot/mod.rs",
     "crates/core/src/snapshot/v2.rs",
     "crates/matrix/src/dense.rs",
     "crates/matrix/src/sparse.rs",
+    "crates/serve/src/client.rs",
+    "crates/serve/src/fault.rs",
     "crates/serve/src/mmap.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/queue.rs",
     "crates/serve/src/server.rs",
+    "crates/serve/src/slot.rs",
     "crates/serve/src/snapshot.rs",
 ];
 
@@ -96,13 +100,16 @@ const NO_PANIC: &[&str] = &[
 /// there is attacker-controlled (a wire frame or an on-disk snapshot), so
 /// reads must be `get`-based and fail typed.
 const NO_INDEXING: &[&str] = &[
+    "crates/core/src/snapshot/atomic.rs",
     "crates/core/src/snapshot/header.rs",
     "crates/core/src/snapshot/mod.rs",
     "crates/core/src/snapshot/v2.rs",
+    "crates/serve/src/fault.rs",
     "crates/serve/src/mmap.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/queue.rs",
     "crates/serve/src/server.rs",
+    "crates/serve/src/slot.rs",
     "crates/serve/src/snapshot.rs",
 ];
 
@@ -117,8 +124,10 @@ const NO_NARROWING: &[&str] = &[
     "crates/core/src/snapshot/v2.rs",
     "crates/matrix/src/dense.rs",
     "crates/matrix/src/sparse.rs",
+    "crates/serve/src/fault.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/server.rs",
+    "crates/serve/src/slot.rs",
     "crates/serve/src/snapshot.rs",
 ];
 

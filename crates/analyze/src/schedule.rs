@@ -239,6 +239,7 @@ fn serve_burst(base: &Baseline, rng: &mut Xorshift) -> Result<(), String> {
         queue_capacity: 4096, // never shed: shedding is *load* behavior, not schedule
         batch_max: 1 + rng.below(64),
         default_deadline_ms: 0,
+        ..ServerConfig::default()
     };
     let handle = serve(
         Oracles::DistOnly(Arc::clone(&base.oracle)),

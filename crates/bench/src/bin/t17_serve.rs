@@ -218,6 +218,7 @@ fn main() {
             queue_capacity: 4096,
             batch_max: 64,
             default_deadline_ms: 0,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -276,6 +277,7 @@ fn main() {
             queue_capacity: 4,
             batch_max: 1,
             default_deadline_ms: 0,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");

@@ -766,14 +766,17 @@ impl DistOracle {
         w.write_all(&bytes)
     }
 
-    /// [`DistOracle::save_v2`] to a filesystem path.
+    /// [`DistOracle::save_v2`] to a filesystem path, crash-safely
+    /// ([`crate::snapshot::write_atomic`]): a crash mid-save leaves the
+    /// previous snapshot untouched, never a torn file.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save_v2_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        self.save_v2(&mut f)
+        let mut bytes = Vec::new();
+        self.save_v2(&mut bytes)?;
+        crate::snapshot::write_atomic(path.as_ref(), &bytes)
     }
 
     pub(crate) fn to_v2_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
@@ -915,14 +918,17 @@ impl DistOracle {
         })
     }
 
-    /// [`DistOracle::save`] to a filesystem path.
+    /// [`DistOracle::save`] to a filesystem path, crash-safely
+    /// ([`crate::snapshot::write_atomic`]): a crash mid-save leaves the
+    /// previous snapshot untouched, never a torn file.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        self.save(&mut f)
+        let mut bytes = Vec::new();
+        self.save(&mut bytes)?;
+        crate::snapshot::write_atomic(path.as_ref(), &bytes)
     }
 
     /// [`DistOracle::load`] from a filesystem path.

@@ -22,9 +22,11 @@
 //! field layouts live with their types (`oracle.rs`, `path_oracle.rs`);
 //! `DESIGN.md` §9 documents the v2 layout and alignment rules.
 
+pub mod atomic;
 pub mod header;
 pub(crate) mod v2;
 
+pub use atomic::write_atomic;
 pub use header::SnapshotError;
 pub use v2::SnapshotView;
 

@@ -3,6 +3,8 @@
 //! ```text
 //! ccd serve --snapshot FILE [--addr 127.0.0.1:7411] [--threads N]
 //!           [--queue-cap N] [--batch-max N] [--deadline-ms N]
+//!           [--write-timeout-ms N] [--outbox-cap-bytes N]
+//!           [--reload-on sighup|admin|both] [--allow-resize]
 //!           [--max-secs S]
 //! ccd snapshot upgrade IN OUT      # rewrite any snapshot as format v2
 //! ccd snapshot info FILE           # frame, sections, dimensions
@@ -11,17 +13,25 @@
 //! `serve` loads the snapshot (v2 files are memory-mapped and served
 //! zero-copy), binds, prints one status line, and runs until killed — or
 //! for `--max-secs`, then drains gracefully.
+//!
+//! With `--reload-on`, the daemon hot-reloads the snapshot *file path* it
+//! was started with: publish a new file at that path (atomically — the
+//! save helpers already write temp-then-rename), then send `SIGHUP`
+//! (`--reload-on sighup|both`) or the wire `reload` op (`admin|both`).
+//! In-flight batches finish on the old snapshot; a file that fails
+//! validation is renamed aside to `<path>.quarantined` and the old
+//! generation keeps serving.
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use cc_serve::{server, snapshot, ServerConfig};
+use cc_serve::{server, snapshot, ReloadConfig, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ccd serve --snapshot FILE [--addr A] [--threads N] [--queue-cap N]\n            [--batch-max N] [--deadline-ms N] [--max-secs S]\n  ccd snapshot upgrade IN OUT\n  ccd snapshot info FILE"
+        "usage:\n  ccd serve --snapshot FILE [--addr A] [--threads N] [--queue-cap N]\n            [--batch-max N] [--deadline-ms N] [--write-timeout-ms N]\n            [--outbox-cap-bytes N] [--reload-on sighup|admin|both]\n            [--allow-resize] [--max-secs S]\n  ccd snapshot upgrade IN OUT\n  ccd snapshot info FILE"
     );
     ExitCode::from(2)
 }
@@ -71,6 +81,24 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         if let Some(d) = parse_flag(args, "--deadline-ms")? {
             config.default_deadline_ms = d;
         }
+        if let Some(w) = parse_flag(args, "--write-timeout-ms")? {
+            config.write_timeout_ms = w;
+        }
+        if let Some(o) = parse_flag(args, "--outbox-cap-bytes")? {
+            config.outbox_cap_bytes = o;
+        }
+        if let Some(mode) = parse_flag::<String>(args, "--reload-on")? {
+            let on_sighup = match mode.as_str() {
+                "sighup" | "both" => true,
+                "admin" => false,
+                other => return Err(format!("bad value for --reload-on: {other}")),
+            };
+            config.reload = Some(ReloadConfig {
+                path: snapshot_path.clone().into(),
+                allow_resize: args.iter().any(|a| a == "--allow-resize"),
+                on_sighup,
+            });
+        }
         let max_secs: Option<u64> = parse_flag(args, "--max-secs")?;
         Ok((snapshot_path, addr, config, max_secs))
     })();
@@ -113,8 +141,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let stats = handle.stats();
     handle.shutdown();
     println!(
-        "ccd: drained; served={} shed={} deadline_missed={} malformed={}",
-        stats.served, stats.shed, stats.deadline_missed, stats.malformed
+        "ccd: drained; served={} shed={} deadline_missed={} malformed={} generation={} reloads_ok={} reloads_rejected={} worker_panics={} slow_disconnects={}",
+        stats.served,
+        stats.shed,
+        stats.deadline_missed,
+        stats.malformed,
+        stats.generation,
+        stats.reloads_ok,
+        stats.reloads_rejected,
+        stats.worker_panics,
+        stats.slow_disconnects
     );
     ExitCode::SUCCESS
 }

@@ -15,8 +15,16 @@
 //!   scratch. Admission control is explicit — a full queue answers
 //!   `Overloaded`, deadlines expire to `DeadlineExceeded`, shutdown drains
 //!   admitted work and answers `ShuttingDown` to the rest.
+//! * [`slot`] is the hot-reload swap point: workers pin a snapshot
+//!   generation per batch, so `SIGHUP` / `Op::Reload` swaps in a new
+//!   (validated — [`snapshot::open_quarantining`]) file while in-flight
+//!   batches finish on the old one.
+//! * [`fault`] is a seeded, replayable fault-injection plan threaded
+//!   through test-only seams — worker panics, connection resets, torn
+//!   frames — for the chaos suite.
 //! * [`protocol`] is the length-prefixed little-endian wire format, and
-//!   [`client`] a blocking client for tests and benches.
+//!   [`client`] a blocking client (with bounded reconnect-retry for
+//!   idempotent ops) for tests and benches.
 //!
 //! ```no_run
 //! use cc_serve::{server, snapshot};
@@ -33,13 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod mmap;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod slot;
 pub mod snapshot;
 
-pub use client::{Client, ClientError};
-pub use protocol::{Op, PathItem, Payload, Request, Response, StatsSnapshot, Status};
-pub use server::{serve, ServerConfig, ServerHandle};
-pub use snapshot::{open, upgrade, OpenedSnapshot, Oracles};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use fault::{FaultPlan, FaultSite};
+pub use protocol::{Op, PathItem, Payload, Request, Response, StatsSnapshot, Status, VersionInfo};
+pub use server::{serve, ReloadConfig, ReloadError, ServerConfig, ServerHandle};
+pub use snapshot::{open, open_quarantining, upgrade, OpenError, OpenedSnapshot, Oracles};

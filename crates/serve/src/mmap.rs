@@ -159,6 +159,53 @@ pub fn read_owner(mut file: File) -> std::io::Result<(Arc<dyn ByteOwner>, bool)>
     Ok((Arc::new(AlignedBytes::copy_from(&buf)), false))
 }
 
+/// The flag a `SIGHUP` sets. First call installs the handler (Unix,
+/// non-Miri); the server's acceptor polls and clears the flag, running a
+/// hot reload when it finds it set. Elsewhere the flag simply never
+/// fires.
+///
+/// This lives here — not in `server.rs` — because registering a signal
+/// handler is the crate's only other unavoidable `unsafe`, and the audit
+/// confines `unsafe` to this module.
+#[cfg(all(unix, not(miri)))]
+pub fn sighup_flag() -> &'static std::sync::atomic::AtomicBool {
+    use std::os::raw::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+    const SIGHUP: c_int = 1;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    extern "C" fn on_sighup(_signum: c_int) {
+        // A relaxed store to a static AtomicBool is async-signal-safe:
+        // no allocation, no locking, no reentrancy.
+        FLAG.store(true, Ordering::Relaxed);
+    }
+
+    INSTALL.call_once(|| {
+        // SAFETY: `signal(2)` with a handler that only stores to an
+        // atomic; registered once, for the process lifetime, so the
+        // handler pointer never dangles. `std` already links libc.
+        unsafe {
+            signal(SIGHUP, on_sighup);
+        }
+    });
+    &FLAG
+}
+
+/// Non-Unix / Miri stand-in: a flag nothing ever sets, so the acceptor's
+/// poll compiles everywhere and `--reload-on sighup` degrades to admin
+/// reloads only.
+#[cfg(not(all(unix, not(miri))))]
+pub fn sighup_flag() -> &'static std::sync::atomic::AtomicBool {
+    static FLAG: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    &FLAG
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,8 @@
 //! response  req_id u64 | status u8 | op u8 | count u32 | payload
 //! ```
 //!
-//! Ops: `0` ping, `1` dist, `2` path, `3` stats. Response payloads:
+//! Ops: `0` ping, `1` dist, `2` path, `3` stats, `4` reload (admin),
+//! `5` version. Response payloads:
 //!
 //! * **dist** — per pair: `present u8`, then (when present) `dist u32`,
 //!   `kind u8`, `eps f64`, `additive f64`. The guarantee travels bit-exact
@@ -19,7 +20,13 @@
 //! * **path** — per pair: `present u8`, then `dist u32`, `kind u8`,
 //!   `eps f64`, `additive f64`, `edge_count u32`, `edge_count × (u32, u32)`.
 //! * **stats** — `served u64 | shed u64 | deadline_missed u64 |
-//!   malformed u64 | queue_depth u64`.
+//!   malformed u64 | queue_depth u64 | generation u64 | reloads_ok u64 |
+//!   reloads_rejected u64 | worker_panics u64 | slow_disconnects u64`.
+//! * **version / reload** — `generation u64 | n u64`: the snapshot
+//!   generation now serving (after the swap, for a successful reload) and
+//!   its vertex count. A refused reload answers
+//!   [`Status::ReloadRejected`] with an empty payload; the previous
+//!   generation keeps serving.
 //!
 //! `deadline_ms` is the client's patience budget: `0` means the server
 //! default. A request the scheduler dequeues after the deadline answers
@@ -43,6 +50,12 @@ pub enum Op {
     Path,
     /// Server counters.
     Stats,
+    /// Admin: reload the serving snapshot from its configured path. The
+    /// server answers with the post-swap [`VersionInfo`] on success, or
+    /// [`Status::ReloadRejected`] (old snapshot keeps serving) on refusal.
+    Reload,
+    /// The serving snapshot's generation and vertex count.
+    Version,
 }
 
 impl Op {
@@ -52,6 +65,8 @@ impl Op {
             Op::Dist => 1,
             Op::Path => 2,
             Op::Stats => 3,
+            Op::Reload => 4,
+            Op::Version => 5,
         }
     }
 
@@ -61,6 +76,8 @@ impl Op {
             1 => Op::Dist,
             2 => Op::Path,
             3 => Op::Stats,
+            4 => Op::Reload,
+            5 => Op::Version,
             _ => return None,
         })
     }
@@ -81,6 +98,13 @@ pub enum Status {
     Malformed,
     /// The server is draining; no new work is admitted.
     ShuttingDown,
+    /// A worker panicked while computing this batch. The request was not
+    /// served, but the connection and the server survive; the panic is
+    /// counted in `stats` and the worker respawns.
+    Internal,
+    /// A reload was refused (corrupt file, dimension mismatch, or reload
+    /// not configured); the previous snapshot generation keeps serving.
+    ReloadRejected,
 }
 
 impl Status {
@@ -91,6 +115,8 @@ impl Status {
             Status::DeadlineExceeded => 2,
             Status::Malformed => 3,
             Status::ShuttingDown => 4,
+            Status::Internal => 5,
+            Status::ReloadRejected => 6,
         }
     }
 
@@ -101,6 +127,8 @@ impl Status {
             2 => Status::DeadlineExceeded,
             3 => Status::Malformed,
             4 => Status::ShuttingDown,
+            5 => Status::Internal,
+            6 => Status::ReloadRejected,
             _ => return None,
         })
     }
@@ -184,6 +212,20 @@ pub enum Payload {
     Paths(Vec<Option<PathItem>>),
     /// Server counters.
     Stats(StatsSnapshot),
+    /// Snapshot generation facts ([`Op::Version`], successful
+    /// [`Op::Reload`]).
+    Version(VersionInfo),
+}
+
+/// What [`Op::Version`] (and a successful [`Op::Reload`]) reports about
+/// the serving snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct VersionInfo {
+    /// Monotonic snapshot generation: `1` at boot, `+1` per successful
+    /// hot reload. A rejected reload does not advance it.
+    pub generation: u64,
+    /// Vertex count of the serving snapshot.
+    pub n: u64,
 }
 
 /// The counters a `stats` request returns.
@@ -199,6 +241,19 @@ pub struct StatsSnapshot {
     pub malformed: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: u64,
+    /// Serving snapshot generation (`1` at boot; `+1` per hot reload).
+    pub generation: u64,
+    /// Hot reloads that validated and swapped in.
+    pub reloads_ok: u64,
+    /// Hot reloads refused (corrupt file, dimension mismatch); the
+    /// previous generation kept serving.
+    pub reloads_rejected: u64,
+    /// Worker panics contained by `catch_unwind` (each answered its batch
+    /// with [`Status::Internal`] and the worker respawned).
+    pub worker_panics: u64,
+    /// Connections dropped for reading too slowly (outbox overflow or
+    /// write timeout) instead of blocking workers.
+    pub slow_disconnects: u64,
 }
 
 /// A decoded response.
@@ -301,16 +356,26 @@ impl Response {
                 }
             }
             Payload::Stats(s) => {
-                b.extend_from_slice(&5u32.to_le_bytes());
+                b.extend_from_slice(&10u32.to_le_bytes());
                 for v in [
                     s.served,
                     s.shed,
                     s.deadline_missed,
                     s.malformed,
                     s.queue_depth,
+                    s.generation,
+                    s.reloads_ok,
+                    s.reloads_rejected,
+                    s.worker_panics,
+                    s.slow_disconnects,
                 ] {
                     b.extend_from_slice(&v.to_le_bytes());
                 }
+            }
+            Payload::Version(v) => {
+                b.extend_from_slice(&2u32.to_le_bytes());
+                b.extend_from_slice(&v.generation.to_le_bytes());
+                b.extend_from_slice(&v.n.to_le_bytes());
             }
         }
         b
@@ -366,7 +431,7 @@ impl Response {
                     Payload::Paths(items)
                 }
                 Op::Stats => {
-                    if count != 5 {
+                    if count != 10 {
                         return None;
                     }
                     Payload::Stats(StatsSnapshot {
@@ -375,6 +440,20 @@ impl Response {
                         deadline_missed: c.u64()?,
                         malformed: c.u64()?,
                         queue_depth: c.u64()?,
+                        generation: c.u64()?,
+                        reloads_ok: c.u64()?,
+                        reloads_rejected: c.u64()?,
+                        worker_panics: c.u64()?,
+                        slow_disconnects: c.u64()?,
+                    })
+                }
+                Op::Reload | Op::Version => {
+                    if count != 2 {
+                        return None;
+                    }
+                    Payload::Version(VersionInfo {
+                        generation: c.u64()?,
+                        n: c.u64()?,
                     })
                 }
             }
@@ -545,9 +624,50 @@ mod tests {
                 deadline_missed: 3,
                 malformed: 4,
                 queue_depth: 5,
+                generation: 6,
+                reloads_ok: 7,
+                reloads_rejected: 8,
+                worker_panics: 9,
+                slow_disconnects: 10,
             }),
         };
         assert_eq!(Response::decode(&stats.encode()), Some(stats));
+    }
+
+    #[test]
+    fn admin_ops_and_fault_statuses_round_trip() {
+        for op in [Op::Reload, Op::Version] {
+            let resp = Response {
+                req_id: 11,
+                status: Status::Ok,
+                op,
+                payload: Payload::Version(VersionInfo {
+                    generation: 3,
+                    n: 96,
+                }),
+            };
+            assert_eq!(Response::decode(&resp.encode()), Some(resp.clone()));
+            let req = Request {
+                req_id: 12,
+                op,
+                deadline_ms: 0,
+                pairs: vec![],
+            };
+            assert_eq!(Request::decode(&req.encode()), Some(req));
+        }
+        for status in [Status::Internal, Status::ReloadRejected] {
+            let resp = Response::error(13, Op::Reload, status);
+            assert_eq!(Response::decode(&resp.encode()), Some(resp));
+        }
+        // A truncated version payload is rejected, not misread.
+        let good = Response {
+            req_id: 14,
+            status: Status::Ok,
+            op: Op::Version,
+            payload: Payload::Version(VersionInfo::default()),
+        }
+        .encode();
+        assert_eq!(Response::decode(&good[..good.len() - 1]), None);
     }
 
     #[test]

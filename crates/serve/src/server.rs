@@ -1,18 +1,37 @@
 //! The serving daemon: threaded TCP front-end, batching scheduler,
-//! admission control.
+//! admission control, hot snapshot reload, and fault containment.
 //!
 //! Per connection, a reader thread decodes frames and classifies them:
-//! `ping`/`stats` are answered inline; `dist`/`path` become jobs on the
-//! bounded [`BoundedQueue`]. A full queue answers
+//! `ping`/`stats`/`version`/`reload` are answered inline; `dist`/`path`
+//! become jobs on the bounded [`BoundedQueue`]. A full queue answers
 //! [`Status::Overloaded`] immediately — the load-shedding contract is
 //! *explicit refusal*, never a silent drop or an unbounded backlog.
 //!
 //! Worker threads drain the queue in batches ([`ServerConfig::batch_max`]
 //! jobs per lock hold), so queries that arrive together — from any mix of
 //! connections — coalesce into single [`cc_core::DistOracle::dist_batch_into`] /
-//! [`cc_core::PathOracle::path_into`] sweeps over per-worker scratch buffers. No
-//! allocation scales with the query rate; response frames reuse a
-//! per-worker byte buffer.
+//! [`cc_core::PathOracle::path_into`] sweeps over per-worker scratch buffers.
+//!
+//! **Hot reload** ([`crate::slot::SnapshotSlot`]): each batch pins the
+//! current snapshot generation once and answers entirely against it, so
+//! an `Op::Reload` (or `SIGHUP`, when configured) that swaps in
+//! generation *k+1* is invisible to in-flight batches — they finish on
+//! *k*, whose mapping stays alive until the last pin drops. The reload
+//! path validates the new file first ([`crate::snapshot::open_quarantining`]:
+//! checksum via the loaders, dimension check here) under a dedicated
+//! reload lock; a refused reload answers [`Status::ReloadRejected`] and
+//! the old generation keeps serving.
+//!
+//! **Containment**: workers run each batch under `catch_unwind` — a
+//! panic answers the batch's unanswered requests with
+//! [`Status::Internal`], the panic is counted, and the worker continues
+//! with fresh scratch (a respawn without the thread churn). Responses
+//! are not written by workers at all: each connection has a bounded
+//! byte-capped outbox drained by a dedicated writer thread with a write
+//! timeout, so a slow-reading client overflows its outbox (or times out)
+//! and is disconnected — counted in `stats` — instead of wedging a
+//! worker. Reader threads treat a torn frame as that connection's
+//! problem only.
 //!
 //! Deadlines are checked at dequeue: a job that waited past its budget
 //! answers [`Status::DeadlineExceeded`] without touching the oracle, so a
@@ -20,23 +39,28 @@
 //!
 //! Shutdown ([`ServerHandle::shutdown`]) is drain-first: intake closes
 //! (new requests answer [`Status::ShuttingDown`]), workers finish every
-//! admitted job, then readers, workers, and the acceptor join.
+//! admitted job, writers flush every queued response, then all threads
+//! join.
 
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cc_core::PointEstimate;
 
+use crate::fault::{FaultPlan, FaultSite};
 use crate::protocol::{
-    guarantee_kind_wire, wire_count, write_frame, Op, Request, Response, StatsSnapshot, Status,
-    MAX_FRAME,
+    guarantee_kind_wire, wire_count, Op, Payload, Request, Response, StatsSnapshot, Status,
+    VersionInfo, MAX_FRAME,
 };
 use crate::queue::{BoundedQueue, PushError};
-use crate::snapshot::Oracles;
+use crate::slot::SnapshotSlot;
+use crate::snapshot::{open_quarantining, OpenError, Oracles};
 
 /// Tuning knobs for [`serve`].
 #[derive(Clone, Debug)]
@@ -50,6 +74,18 @@ pub struct ServerConfig {
     /// Default per-request deadline when the client sends `0`; `0` here
     /// means "no deadline".
     pub default_deadline_ms: u32,
+    /// Per-connection socket write timeout in milliseconds; a response
+    /// write that stalls past it disconnects the slow client. `0`
+    /// disables the timeout.
+    pub write_timeout_ms: u32,
+    /// Per-connection outbox byte cap: queued-but-unwritten response
+    /// bytes beyond it disconnect the slow client instead of buffering
+    /// without bound or blocking a worker.
+    pub outbox_cap_bytes: usize,
+    /// Hot-reload configuration; `None` rejects `Op::Reload`.
+    pub reload: Option<ReloadConfig>,
+    /// Deterministic fault injection (tests only); `None` in production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -59,47 +95,267 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             batch_max: 64,
             default_deadline_ms: 0,
+            write_timeout_ms: 2_000,
+            outbox_cap_bytes: 8 << 20,
+            reload: None,
+            fault: None,
         }
     }
 }
 
-/// Monotonic counters, shared by readers and workers.
+/// Where and how hot reloads happen.
+#[derive(Clone, Debug)]
+pub struct ReloadConfig {
+    /// The snapshot path reloads re-open. Publishing a new snapshot means
+    /// atomically replacing this file ([`cc_core::snapshot::write_atomic`])
+    /// and then triggering a reload.
+    pub path: PathBuf,
+    /// Accept a snapshot whose vertex count differs from the serving one.
+    /// Off by default: a dimension change is usually a deploy mistake.
+    pub allow_resize: bool,
+    /// Also reload on `SIGHUP` (Unix; polled by the acceptor).
+    pub on_sighup: bool,
+}
+
+impl ReloadConfig {
+    /// Reload-on-admin-op config for `path` with the safe defaults.
+    pub fn at<P: Into<PathBuf>>(path: P) -> Self {
+        ReloadConfig {
+            path: path.into(),
+            allow_resize: false,
+            on_sighup: false,
+        }
+    }
+}
+
+/// Why a reload was refused. The previous generation keeps serving in
+/// every case.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The server was started without a [`ReloadConfig`].
+    NotConfigured,
+    /// The new file failed to open or validate (validation failures are
+    /// quarantined — see [`OpenError`]).
+    Open(OpenError),
+    /// The new snapshot's vertex count differs and
+    /// [`ReloadConfig::allow_resize`] is off.
+    Resize {
+        /// Serving snapshot's vertex count.
+        current: usize,
+        /// Refused snapshot's vertex count.
+        new: usize,
+    },
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::NotConfigured => write!(f, "reload is not configured"),
+            ReloadError::Open(e) => write!(f, "reload refused: {e}"),
+            ReloadError::Resize { current, new } => write!(
+                f,
+                "reload refused: snapshot is n={new} but serving n={current} \
+                 (pass --allow-resize to accept)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// Locks recovering from poison: every mutex in this module guards state
+/// that is valid after any interrupted operation (queues of owned frames,
+/// an `Arc` slot, a config struct), so a panicked holder must not take
+/// the serving path down with it.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Monotonic counters, shared by readers, writers, and workers.
 #[derive(Debug, Default)]
 struct Counters {
     served: AtomicU64,
     shed: AtomicU64,
     deadline_missed: AtomicU64,
     malformed: AtomicU64,
+    reloads_ok: AtomicU64,
+    reloads_rejected: AtomicU64,
+    worker_panics: AtomicU64,
+    slow_disconnects: AtomicU64,
 }
 
-/// One accepted connection: readers pull frames, workers push responses.
-/// Writes interleave whole frames under the lock.
+/// Everything the server's threads share.
+struct Shared {
+    slot: SnapshotSlot,
+    queue: BoundedQueue<Job>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    reload_ctl: Option<ReloadCtl>,
+    fault: Option<Arc<FaultPlan>>,
+    default_deadline_ms: u32,
+    write_timeout: Option<Duration>,
+    outbox_cap: usize,
+}
+
+/// Serializes reloads: the open/validate/swap sequence runs under this
+/// lock (file I/O included — never under the slot lock, which stays
+/// narrow).
+struct ReloadCtl {
+    reload: Mutex<ReloadConfig>,
+}
+
+impl Shared {
+    fn fault_fires(&self, site: FaultSite) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.fire(site))
+    }
+
+    fn fault_coordinates(&self) -> String {
+        self.fault
+            .as_ref()
+            .map_or_else(String::new, |f| f.coordinates())
+    }
+}
+
+/// The validated hot-reload path: open the configured file (quarantining
+/// a corrupt one), check dimensions against the serving snapshot, swap.
+/// Serialized by the reload lock; concurrent callers queue up and each
+/// gets a definite outcome.
+fn try_reload(shared: &Shared) -> Result<VersionInfo, ReloadError> {
+    let outcome = (|| {
+        let Some(ctl) = &shared.reload_ctl else {
+            return Err(ReloadError::NotConfigured);
+        };
+        let reload = lock_recovering(&ctl.reload);
+        let opened = open_quarantining(&reload.path).map_err(ReloadError::Open)?;
+        let new_n = opened.oracles.n();
+        let current_n = shared.slot.pin().oracles.n();
+        if new_n != current_n && !reload.allow_resize {
+            return Err(ReloadError::Resize {
+                current: current_n,
+                new: new_n,
+            });
+        }
+        let generation = shared.slot.swap(opened.oracles);
+        drop(reload);
+        Ok(VersionInfo {
+            generation,
+            n: new_n as u64,
+        })
+    })();
+    match &outcome {
+        Ok(_) => shared.counters.reloads_ok.fetch_add(1, Ordering::Relaxed),
+        Err(_) => shared
+            .counters
+            .reloads_rejected
+            .fetch_add(1, Ordering::Relaxed),
+    };
+    outcome
+}
+
+fn stats_snapshot(shared: &Shared) -> StatsSnapshot {
+    let c = &shared.counters;
+    StatsSnapshot {
+        served: c.served.load(Ordering::Relaxed),
+        shed: c.shed.load(Ordering::Relaxed),
+        deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
+        malformed: c.malformed.load(Ordering::Relaxed),
+        queue_depth: shared.queue.depth() as u64,
+        generation: shared.slot.generation(),
+        reloads_ok: c.reloads_ok.load(Ordering::Relaxed),
+        reloads_rejected: c.reloads_rejected.load(Ordering::Relaxed),
+        worker_panics: c.worker_panics.load(Ordering::Relaxed),
+        slow_disconnects: c.slow_disconnects.load(Ordering::Relaxed),
+    }
+}
+
+/// Queued-but-unwritten response frames for one connection.
+#[derive(Debug, Default)]
+struct OutboxState {
+    frames: VecDeque<Vec<u8>>,
+    bytes: usize,
+}
+
+/// One accepted connection. The reader thread pulls frames; workers and
+/// the reader enqueue whole encoded response frames into the bounded
+/// outbox; a dedicated writer thread drains it to the socket. Nothing but
+/// the writer ever blocks on this socket's send side.
 #[derive(Debug)]
 struct Conn {
     stream: TcpStream,
-    write_lock: Mutex<()>,
+    outbox: Mutex<OutboxState>,
+    outbox_ready: Condvar,
+    /// Torn down (peer dead, slow-client kill, injected reset): writes
+    /// and enqueues become no-ops.
+    dead: AtomicBool,
+    /// The reader has exited; once in-flight jobs drain to zero the
+    /// writer flushes and exits too.
+    reader_done: AtomicBool,
+    /// Jobs admitted for this connection and not yet answered.
+    inflight: AtomicU64,
 }
 
 impl Conn {
-    fn send(&self, resp: &Response) {
-        let body = resp.encode();
-        // The lock guards nothing but frame interleaving, so a panicked
-        // holder leaves no broken state to fear: recover, don't poison.
-        let _guard = self
-            .write_lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        // A dead peer is not a server error; the reader notices on its
-        // side and tears the connection down.
-        let _ = write_frame(&mut &self.stream, &body);
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            outbox: Mutex::new(OutboxState::default()),
+            outbox_ready: Condvar::new(),
+            dead: AtomicBool::new(false),
+            reader_done: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+        }
     }
 
-    fn send_raw(&self, body: &[u8]) -> bool {
-        let _guard = self
-            .write_lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        write_frame(&mut &self.stream, body).is_ok()
+    /// Queues one encoded response frame for the writer. `false` when the
+    /// connection is dead or the frame would overflow the outbox cap — in
+    /// which case the client is disconnected (slow-reader containment),
+    /// never blocked on.
+    fn enqueue_frame(&self, body: &[u8], cap: usize, counters: &Counters) -> bool {
+        if self.dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut outbox = lock_recovering(&self.outbox);
+        if outbox.bytes.saturating_add(body.len()) > cap {
+            drop(outbox);
+            counters.slow_disconnects.fetch_add(1, Ordering::Relaxed);
+            self.kill();
+            return false;
+        }
+        outbox.bytes = outbox.bytes.saturating_add(body.len());
+        outbox.frames.push_back(body.to_vec());
+        drop(outbox);
+        self.outbox_ready.notify_one();
+        true
+    }
+
+    fn enqueue_response(&self, resp: &Response, cap: usize, counters: &Counters) -> bool {
+        self.enqueue_frame(&resp.encode(), cap, counters)
+    }
+
+    /// Tears the connection down: both socket halves shut (unblocking the
+    /// reader), the writer woken to exit. Idempotent.
+    fn kill(&self) {
+        self.dead.store(true, Ordering::Relaxed);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        // Take-and-drop the outbox lock so a writer mid-condition-check
+        // cannot miss the wakeup (classic lost-notify fence).
+        drop(lock_recovering(&self.outbox));
+        self.outbox_ready.notify_all();
+    }
+
+    /// One admitted job finished (answered or refused); the writer
+    /// re-evaluates its exit condition.
+    fn job_done(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        drop(lock_recovering(&self.outbox));
+        self.outbox_ready.notify_all();
+    }
+
+    /// The reader exited; the writer drains what remains and then exits.
+    fn reader_finished(&self) {
+        self.reader_done.store(true, Ordering::Relaxed);
+        drop(lock_recovering(&self.outbox));
+        self.outbox_ready.notify_all();
     }
 }
 
@@ -115,12 +371,10 @@ struct Job {
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    queue: Arc<BoundedQueue<Job>>,
-    counters: Arc<Counters>,
+    shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -131,37 +385,45 @@ impl ServerHandle {
 
     /// A racy snapshot of the server counters.
     pub fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            served: self.counters.served.load(Ordering::Relaxed),
-            shed: self.counters.shed.load(Ordering::Relaxed),
-            deadline_missed: self.counters.deadline_missed.load(Ordering::Relaxed),
-            malformed: self.counters.malformed.load(Ordering::Relaxed),
-            queue_depth: self.queue.depth() as u64,
-        }
+        stats_snapshot(&self.shared)
     }
 
-    /// Graceful shutdown: close intake, drain admitted work, join every
-    /// thread. Idempotent via [`Drop`].
+    /// The serving snapshot generation (`1` at boot, `+1` per reload).
+    pub fn generation(&self) -> u64 {
+        self.shared.slot.generation()
+    }
+
+    /// Runs the hot-reload path in the caller's thread — what `SIGHUP`
+    /// and `Op::Reload` trigger, callable directly (tests, embedding).
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError`] when the reload is refused; the previous snapshot
+    /// generation keeps serving.
+    pub fn trigger_reload(&self) -> Result<VersionInfo, ReloadError> {
+        try_reload(&self.shared)
+    }
+
+    /// Graceful shutdown: close intake, drain admitted work, flush
+    /// outboxes, join every thread. Idempotent via [`Drop`].
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.queue.close();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
+        // Workers first: every admitted job gets its answer enqueued.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        let readers = std::mem::take(
-            &mut *self
-                .readers
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-        for h in readers {
+        // Readers exit on the shutdown flag; writers exit once their
+        // reader is done, in-flight hits zero, and the outbox is drained.
+        let conn_threads = std::mem::take(&mut *lock_recovering(&self.conn_threads));
+        for h in conn_threads {
             let _ = h.join();
         }
     }
@@ -183,49 +445,70 @@ pub fn serve(oracles: Oracles, addr: &str, config: ServerConfig) -> std::io::Res
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let oracles = Arc::new(oracles);
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-    let counters = Arc::new(Counters::default());
-    let readers = Arc::new(Mutex::new(Vec::new()));
+    let write_timeout = (config.write_timeout_ms != 0)
+        .then(|| Duration::from_millis(u64::from(config.write_timeout_ms)));
+    let sighup = config
+        .reload
+        .as_ref()
+        .is_some_and(|r| r.on_sighup)
+        .then(crate::mmap::sighup_flag);
+    let shared = Arc::new(Shared {
+        slot: SnapshotSlot::new(oracles),
+        queue: BoundedQueue::new(config.queue_capacity),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        reload_ctl: config.reload.map(|r| ReloadCtl {
+            reload: Mutex::new(r),
+        }),
+        fault: config.fault,
+        default_deadline_ms: config.default_deadline_ms,
+        write_timeout,
+        outbox_cap: config.outbox_cap_bytes.max(1024),
+    });
+    let conn_threads = Arc::new(Mutex::new(Vec::new()));
 
     let workers = (0..config.threads.max(1))
         .map(|_| {
-            let queue = Arc::clone(&queue);
-            let oracles = Arc::clone(&oracles);
-            let counters = Arc::clone(&counters);
+            let shared = Arc::clone(&shared);
             let batch_max = config.batch_max.max(1);
-            std::thread::spawn(move || worker_loop(&queue, &oracles, &counters, batch_max))
+            std::thread::spawn(move || worker_loop(&shared, batch_max))
         })
         .collect();
 
     let acceptor = {
-        let shutdown = Arc::clone(&shutdown);
-        let queue = Arc::clone(&queue);
-        let counters = Arc::clone(&counters);
-        let readers = Arc::clone(&readers);
-        let default_deadline_ms = config.default_deadline_ms;
+        let shared = Arc::clone(&shared);
+        let conn_threads = Arc::clone(&conn_threads);
         std::thread::spawn(move || {
-            while !shutdown.load(Ordering::Relaxed) {
+            while !shared.shutdown.load(Ordering::Relaxed) {
+                if let Some(flag) = sighup {
+                    if flag.swap(false, Ordering::AcqRel) {
+                        // Outcome lands in the counters; stats/version
+                        // report it. A refusal keeps the old generation.
+                        let _ = try_reload(&shared);
+                    }
+                }
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let _ = stream.set_nodelay(true);
                         let _ = stream.set_nonblocking(false);
                         let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-                        let conn = Arc::new(Conn {
-                            stream,
-                            write_lock: Mutex::new(()),
-                        });
-                        let shutdown = Arc::clone(&shutdown);
-                        let queue = Arc::clone(&queue);
-                        let counters = Arc::clone(&counters);
-                        let handle = std::thread::spawn(move || {
-                            reader_loop(&conn, &shutdown, &queue, &counters, default_deadline_ms);
-                        });
-                        readers
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .push(handle);
+                        let _ = stream.set_write_timeout(shared.write_timeout);
+                        let conn = Arc::new(Conn::new(stream));
+                        let reader = {
+                            let conn = Arc::clone(&conn);
+                            let shared = Arc::clone(&shared);
+                            std::thread::spawn(move || {
+                                reader_loop(&conn, &shared);
+                                conn.reader_finished();
+                            })
+                        };
+                        let writer = {
+                            let shared = Arc::clone(&shared);
+                            std::thread::spawn(move || writer_loop(&conn, &shared))
+                        };
+                        let mut conn_threads = lock_recovering(&conn_threads);
+                        conn_threads.push(reader);
+                        conn_threads.push(writer);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -238,12 +521,10 @@ pub fn serve(oracles: Oracles, addr: &str, config: ServerConfig) -> std::io::Res
 
     Ok(ServerHandle {
         addr,
-        shutdown,
-        queue,
-        counters,
+        shared,
         acceptor: Some(acceptor),
         workers,
-        readers,
+        conn_threads,
     })
 }
 
@@ -283,28 +564,32 @@ fn read_full(
     Ok(true)
 }
 
-fn reader_loop(
-    conn: &Arc<Conn>,
-    shutdown: &AtomicBool,
-    queue: &BoundedQueue<Job>,
-    counters: &Counters,
-    default_deadline_ms: u32,
-) {
+fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    let cap = shared.outbox_cap;
+    let counters = &shared.counters;
     loop {
+        // Injected reset: the mid-stream disconnect clients must survive.
+        if shared.fault_fires(FaultSite::ConnReset) {
+            conn.kill();
+            return;
+        }
         let mut len_buf = [0u8; 4];
-        match read_full(&conn.stream, &mut len_buf, shutdown, true) {
+        match read_full(&conn.stream, &mut len_buf, &shared.shutdown, true) {
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > MAX_FRAME {
             counters.malformed.fetch_add(1, Ordering::Relaxed);
-            // Frame boundary is lost; the connection cannot continue.
+            // Frame boundary is lost; the connection cannot continue
+            // reading — but queued responses still flush.
             return;
         }
         let mut body = vec![0u8; len];
-        match read_full(&conn.stream, &mut body, shutdown, false) {
+        match read_full(&conn.stream, &mut body, &shared.shutdown, false) {
             Ok(true) => {}
+            // A torn frame mid-stream ends this connection's intake and
+            // nothing else: the writer drains, the server keeps serving.
             Ok(false) | Err(_) => return,
         }
         let Some(req) = Request::decode(&body) else {
@@ -314,37 +599,71 @@ fn reader_loop(
                 .first_chunk::<8>()
                 .map(|b| u64::from_le_bytes(*b))
                 .unwrap_or(0);
-            conn.send(&Response::error(req_id, Op::Ping, Status::Malformed));
+            conn.enqueue_response(
+                &Response::error(req_id, Op::Ping, Status::Malformed),
+                cap,
+                counters,
+            );
             continue;
         };
         match req.op {
             Op::Ping => {
-                conn.send(&Response {
-                    req_id: req.req_id,
-                    status: Status::Ok,
-                    op: Op::Ping,
-                    payload: crate::protocol::Payload::Empty,
-                });
+                conn.enqueue_response(
+                    &Response {
+                        req_id: req.req_id,
+                        status: Status::Ok,
+                        op: Op::Ping,
+                        payload: Payload::Empty,
+                    },
+                    cap,
+                    counters,
+                );
             }
             Op::Stats => {
-                conn.send(&Response {
-                    req_id: req.req_id,
-                    status: Status::Ok,
-                    op: Op::Stats,
-                    payload: crate::protocol::Payload::Stats(StatsSnapshot {
-                        served: counters.served.load(Ordering::Relaxed),
-                        shed: counters.shed.load(Ordering::Relaxed),
-                        deadline_missed: counters.deadline_missed.load(Ordering::Relaxed),
-                        malformed: counters.malformed.load(Ordering::Relaxed),
-                        queue_depth: queue.depth() as u64,
-                    }),
-                });
+                conn.enqueue_response(
+                    &Response {
+                        req_id: req.req_id,
+                        status: Status::Ok,
+                        op: Op::Stats,
+                        payload: Payload::Stats(stats_snapshot(shared)),
+                    },
+                    cap,
+                    counters,
+                );
+            }
+            Op::Version => {
+                let pinned = shared.slot.pin();
+                conn.enqueue_response(
+                    &Response {
+                        req_id: req.req_id,
+                        status: Status::Ok,
+                        op: Op::Version,
+                        payload: Payload::Version(VersionInfo {
+                            generation: pinned.generation,
+                            n: pinned.oracles.n() as u64,
+                        }),
+                    },
+                    cap,
+                    counters,
+                );
+            }
+            Op::Reload => {
+                let resp = match try_reload(shared) {
+                    Ok(info) => Response {
+                        req_id: req.req_id,
+                        status: Status::Ok,
+                        op: Op::Reload,
+                        payload: Payload::Version(info),
+                    },
+                    Err(_) => Response::error(req.req_id, Op::Reload, Status::ReloadRejected),
+                };
+                conn.enqueue_response(&resp, cap, counters);
             }
             Op::Dist | Op::Path => {
                 let effective_ms = if req.deadline_ms != 0 {
                     req.deadline_ms
                 } else {
-                    default_deadline_ms
+                    shared.default_deadline_ms
                 };
                 let deadline = (effective_ms != 0)
                     .then(|| Instant::now() + Duration::from_millis(u64::from(effective_ms)));
@@ -355,16 +674,25 @@ fn reader_loop(
                     deadline,
                     pairs: req.pairs,
                 };
-                match queue.try_push(job) {
+                conn.inflight.fetch_add(1, Ordering::Relaxed);
+                match shared.queue.try_push(job) {
                     Ok(()) => {}
                     Err((job, PushError::Full)) => {
                         counters.shed.fetch_add(1, Ordering::Relaxed);
-                        job.conn
-                            .send(&Response::error(job.req_id, job.op, Status::Overloaded));
+                        job.conn.enqueue_response(
+                            &Response::error(job.req_id, job.op, Status::Overloaded),
+                            cap,
+                            counters,
+                        );
+                        job.conn.job_done();
                     }
                     Err((job, PushError::Closed)) => {
-                        job.conn
-                            .send(&Response::error(job.req_id, job.op, Status::ShuttingDown));
+                        job.conn.enqueue_response(
+                            &Response::error(job.req_id, job.op, Status::ShuttingDown),
+                            cap,
+                            counters,
+                        );
+                        job.conn.job_done();
                     }
                 }
             }
@@ -372,9 +700,75 @@ fn reader_loop(
     }
 }
 
-/// Per-worker reusable buffers — the no-allocation-per-request budget.
+/// Drains one connection's outbox to its socket. Exits when the
+/// connection dies, or when the reader is done *and* no admitted job is
+/// still in flight *and* the outbox is empty — the drain-first shutdown
+/// contract: every enqueued response is flushed before the thread leaves.
+fn writer_loop(conn: &Arc<Conn>, shared: &Shared) {
+    let mut pending: Vec<Vec<u8>> = Vec::new();
+    loop {
+        {
+            let mut outbox = lock_recovering(&conn.outbox);
+            loop {
+                if !outbox.frames.is_empty() {
+                    pending.extend(outbox.frames.drain(..));
+                    outbox.bytes = 0;
+                    break;
+                }
+                if conn.dead.load(Ordering::Relaxed) {
+                    return;
+                }
+                if conn.reader_done.load(Ordering::Relaxed)
+                    && conn.inflight.load(Ordering::Relaxed) == 0
+                {
+                    return;
+                }
+                outbox = conn
+                    .outbox_ready
+                    .wait(outbox)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        for body in pending.drain(..) {
+            if conn.dead.load(Ordering::Relaxed) {
+                return;
+            }
+            if shared.fault_fires(FaultSite::PartialWrite) {
+                // Write a deliberately torn frame, then kill: the client
+                // must treat the torn tail as fatal for this request.
+                let mut frame = Vec::with_capacity(4 + body.len());
+                frame.extend_from_slice(&wire_count(body.len()).to_le_bytes());
+                frame.extend_from_slice(&body);
+                let torn = frame.len() / 2;
+                let _ = (&conn.stream).write_all(frame.get(..torn).unwrap_or_default());
+                conn.kill();
+                return;
+            }
+            if let Err(e) = crate::protocol::write_frame(&mut (&conn.stream), &body) {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    // The peer stopped reading: slow-client containment.
+                    shared
+                        .counters
+                        .slow_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                conn.kill();
+                return;
+            }
+        }
+    }
+}
+
+/// Per-worker reusable buffers — scratch survives across batches and is
+/// reset wholesale after a contained panic (the "respawn").
 struct Scratch {
     jobs: Vec<Job>,
+    /// Which jobs in the batch have been answered (any status); a panic
+    /// answers the rest `Internal`.
+    answered: Vec<bool>,
     /// Concatenated pairs of every dist job in the batch.
     dist_pairs: Vec<(usize, usize)>,
     /// `(job index in batch, start in dist_pairs, len)`.
@@ -384,92 +778,162 @@ struct Scratch {
     body: Vec<u8>,
 }
 
-fn worker_loop(
-    queue: &BoundedQueue<Job>,
-    oracles: &Oracles,
-    counters: &Counters,
-    batch_max: usize,
-) {
-    let mut s = Scratch {
-        jobs: Vec::new(),
-        dist_pairs: Vec::new(),
-        dist_slots: Vec::new(),
-        dist_out: Vec::new(),
-        edges: Vec::new(),
-        body: Vec::new(),
-    };
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch {
+            jobs: Vec::new(),
+            answered: Vec::new(),
+            dist_pairs: Vec::new(),
+            dist_slots: Vec::new(),
+            dist_out: Vec::new(),
+            edges: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Post-panic reset: every buffer except `jobs`/`answered` (which the
+    /// recovery path still needs) may be mid-operation garbage.
+    fn reset_buffers(&mut self) {
+        self.dist_pairs.clear();
+        self.dist_slots.clear();
+        self.dist_out.clear();
+        self.edges.clear();
+        self.body.clear();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, batch_max: usize) {
+    let mut s = Scratch::new();
     loop {
-        queue.pop_batch(batch_max, &mut s.jobs);
+        shared.queue.pop_batch(batch_max, &mut s.jobs);
         if s.jobs.is_empty() {
             return; // closed and drained
         }
-        let now = Instant::now();
-        // Coalesce every live dist job in this batch into one oracle call.
-        s.dist_pairs.clear();
-        s.dist_slots.clear();
-        for (i, job) in s.jobs.iter().enumerate() {
-            if job.op != Op::Dist || job.deadline.is_some_and(|d| d < now) {
-                continue;
-            }
-            let start = s.dist_pairs.len();
-            s.dist_pairs
-                .extend(job.pairs.iter().map(|&(u, v)| (u as usize, v as usize)));
-            s.dist_slots.push((i, start, job.pairs.len()));
-        }
-        if !s.dist_pairs.is_empty() {
-            oracles
-                .dist()
-                .dist_batch_into(&s.dist_pairs, &mut s.dist_out);
-        }
-        let mut slot = 0;
-        for (i, job) in s.jobs.iter().enumerate() {
-            if job.deadline.is_some_and(|d| d < now) {
-                counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
-                job.conn.send(&Response::error(
-                    job.req_id,
-                    job.op,
-                    Status::DeadlineExceeded,
-                ));
-                continue;
-            }
-            let ok = match job.op {
-                Op::Dist => {
-                    // Slots were built from this batch two loops up, so the
-                    // lookups cannot miss; a miss (a bug) sheds the one
-                    // request as Malformed instead of killing the worker.
-                    let entry = s.dist_slots.get(slot).copied();
-                    slot += 1;
-                    let answers = entry.and_then(|(j, start, len)| {
-                        debug_assert_eq!(j, i);
-                        start
-                            .checked_add(len)
-                            .and_then(|end| s.dist_out.get(start..end))
-                    });
-                    match answers {
-                        Some(answers) => {
-                            encode_dist_body(&mut s.body, job, answers);
-                            job.conn.send_raw(&s.body)
-                        }
-                        None => {
-                            job.conn
-                                .send(&Response::error(job.req_id, job.op, Status::Malformed));
-                            false
-                        }
-                    }
+        s.answered.clear();
+        s.answered.resize(s.jobs.len(), false);
+        // Containment: a panic anywhere in the batch — oracle bug,
+        // injected fault — answers the unanswered jobs `Internal` and the
+        // worker continues with fresh scratch. Unwind safety: the scratch
+        // is reset below and the shared structures are poison-recovering,
+        // so observing interrupted state is by design.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_batch(shared, &mut s);
+        }));
+        if outcome.is_err() {
+            shared
+                .counters
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+            for (i, job) in s.jobs.iter().enumerate() {
+                if s.answered.get(i).copied().unwrap_or(true) {
+                    continue;
                 }
-                Op::Path => {
-                    encode_path_body(&mut s.body, job, oracles, &mut s.edges);
-                    job.conn.send_raw(&s.body)
-                }
-                // The reader answers these inline and never enqueues them;
-                // nothing is owed here.
-                Op::Ping | Op::Stats => false,
-            };
-            if ok {
-                counters.served.fetch_add(1, Ordering::Relaxed);
+                job.conn.enqueue_response(
+                    &Response::error(job.req_id, job.op, Status::Internal),
+                    shared.outbox_cap,
+                    &shared.counters,
+                );
             }
+            s.reset_buffers();
+        }
+        // Exactly one in-flight decrement per admitted job, on every
+        // path — success, error answer, or contained panic.
+        for job in &s.jobs {
+            job.conn.job_done();
         }
         s.jobs.clear();
+    }
+}
+
+fn process_batch(shared: &Shared, s: &mut Scratch) {
+    if shared.fault_fires(FaultSite::WorkerPanic) {
+        panic!(
+            "injected worker panic (replay: {})",
+            shared.fault_coordinates()
+        );
+    }
+    // Pin one generation for the whole batch: a concurrent reload swaps
+    // the slot but this batch keeps answering against its pinned tables.
+    let pinned = shared.slot.pin();
+    let oracles = &pinned.oracles;
+    let counters = &shared.counters;
+    let cap = shared.outbox_cap;
+    let now = Instant::now();
+    // Coalesce every live dist job in this batch into one oracle call.
+    s.dist_pairs.clear();
+    s.dist_slots.clear();
+    for (i, job) in s.jobs.iter().enumerate() {
+        if job.op != Op::Dist || job.deadline.is_some_and(|d| d < now) {
+            continue;
+        }
+        let start = s.dist_pairs.len();
+        s.dist_pairs
+            .extend(job.pairs.iter().map(|&(u, v)| (u as usize, v as usize)));
+        s.dist_slots.push((i, start, job.pairs.len()));
+    }
+    if !s.dist_pairs.is_empty() {
+        oracles
+            .dist()
+            .dist_batch_into(&s.dist_pairs, &mut s.dist_out);
+    }
+    let mut slot = 0;
+    for (i, job) in s.jobs.iter().enumerate() {
+        if job.deadline.is_some_and(|d| d < now) {
+            counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            job.conn.enqueue_response(
+                &Response::error(job.req_id, job.op, Status::DeadlineExceeded),
+                cap,
+                counters,
+            );
+            if let Some(a) = s.answered.get_mut(i) {
+                *a = true;
+            }
+            continue;
+        }
+        // `served` counts *before* the enqueue: once the frame is in the
+        // outbox the writer may deliver it and the client may act on it
+        // ahead of any code after this point, and a stats probe racing
+        // that window must already see the request counted.
+        match job.op {
+            Op::Dist => {
+                // Slots were built from this batch two loops up, so the
+                // lookups cannot miss; a miss (a bug) sheds the one
+                // request as Malformed instead of killing the worker.
+                let entry = s.dist_slots.get(slot).copied();
+                slot += 1;
+                let answers = entry.and_then(|(j, start, len)| {
+                    debug_assert_eq!(j, i);
+                    start
+                        .checked_add(len)
+                        .and_then(|end| s.dist_out.get(start..end))
+                });
+                match answers {
+                    Some(answers) => {
+                        encode_dist_body(&mut s.body, job, answers);
+                        counters.served.fetch_add(1, Ordering::Relaxed);
+                        job.conn.enqueue_frame(&s.body, cap, counters);
+                    }
+                    None => {
+                        job.conn.enqueue_response(
+                            &Response::error(job.req_id, job.op, Status::Malformed),
+                            cap,
+                            counters,
+                        );
+                    }
+                }
+            }
+            Op::Path => {
+                encode_path_body(&mut s.body, job, oracles, &mut s.edges);
+                counters.served.fetch_add(1, Ordering::Relaxed);
+                job.conn.enqueue_frame(&s.body, cap, counters);
+            }
+            // The reader answers these inline and never enqueues them;
+            // nothing is owed here.
+            Op::Ping | Op::Stats | Op::Reload | Op::Version => {}
+        }
+        if let Some(a) = s.answered.get_mut(i) {
+            *a = true;
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! happens at all. Format v1 files still load (decoded into owned memory);
 //! [`upgrade`] rewrites them as v2 so the next open is zero-copy.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use cc_core::snapshot::{sniff, SnapshotError, SnapshotView};
@@ -90,6 +90,98 @@ pub fn open<P: AsRef<Path>>(path: P) -> Result<OpenedSnapshot, SnapshotError> {
         mapped,
         file_bytes,
     })
+}
+
+/// Why [`open_quarantining`] refused a file — typed, so the daemon's
+/// reload path can report the refusal and keep serving the previous
+/// generation instead of aborting.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The file could not be read at all (missing, permissions). Nothing
+    /// was quarantined — there may be nothing to quarantine, and a
+    /// transient I/O error must not destroy a good file's name.
+    Io(std::io::Error),
+    /// Validation failed (bad magic, bad checksum, unsupported version…);
+    /// the file was renamed aside to `quarantined_to` so the next save to
+    /// the serving path starts clean and the evidence survives.
+    Quarantined {
+        /// What validation rejected.
+        reason: SnapshotError,
+        /// Where the bad file went.
+        quarantined_to: PathBuf,
+    },
+    /// Validation failed *and* the quarantine rename itself failed; the
+    /// bad file is still in place.
+    QuarantineFailed {
+        /// What validation rejected.
+        reason: SnapshotError,
+        /// Why the rename-aside failed.
+        rename_error: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::Io(e) => write!(f, "cannot read snapshot: {e}"),
+            OpenError::Quarantined {
+                reason,
+                quarantined_to,
+            } => write!(
+                f,
+                "snapshot failed validation ({reason}); quarantined to {}",
+                quarantined_to.display()
+            ),
+            OpenError::QuarantineFailed {
+                reason,
+                rename_error,
+            } => write!(
+                f,
+                "snapshot failed validation ({reason}) and quarantine rename failed: {rename_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// The sibling path a failed snapshot is renamed to.
+fn quarantine_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("snapshot"), ToOwned::to_owned);
+    name.push(".quarantined");
+    path.with_file_name(name)
+}
+
+/// [`open`], with the daemon's containment contract: a file that fails
+/// *validation* (checksum, magic, version, structure) is renamed aside to
+/// `<path>.quarantined` and reported as [`OpenError::Quarantined`] — the
+/// caller keeps serving whatever it was serving. Plain I/O failures pass
+/// through untouched ([`OpenError::Io`]).
+///
+/// # Errors
+///
+/// [`OpenError`] as described above.
+pub fn open_quarantining<P: AsRef<Path>>(path: P) -> Result<OpenedSnapshot, OpenError> {
+    let path = path.as_ref();
+    match open(path) {
+        Ok(opened) => Ok(opened),
+        Err(SnapshotError::Io(e)) => Err(OpenError::Io(e)),
+        Err(reason) => {
+            let aside = quarantine_sibling(path);
+            match std::fs::rename(path, &aside) {
+                Ok(()) => Err(OpenError::Quarantined {
+                    reason,
+                    quarantined_to: aside,
+                }),
+                Err(rename_error) => Err(OpenError::QuarantineFailed {
+                    reason,
+                    rename_error,
+                }),
+            }
+        }
+    }
 }
 
 /// What [`upgrade`] did.

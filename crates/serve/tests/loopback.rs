@@ -131,7 +131,11 @@ fn eight_concurrent_clients_match_serial_replay_bit_for_bit() {
     let stats = handle.stats();
     assert_eq!(stats.shed, 0);
     assert_eq!(stats.malformed, 0);
-    assert!(stats.served >= 8 * 6 * 2);
+    assert!(
+        stats.served >= 8 * 6 * 2,
+        "served={} stats={stats:?}",
+        stats.served
+    );
     handle.shutdown();
 }
 
@@ -147,6 +151,7 @@ fn oversubscription_sheds_with_explicit_overloaded() {
             queue_capacity: 4,
             batch_max: 1,
             default_deadline_ms: 0,
+            ..ServerConfig::default()
         },
     );
     let total = 64usize;
@@ -217,6 +222,7 @@ fn stale_requests_answer_deadline_exceeded() {
             queue_capacity: 256,
             batch_max: 1,
             default_deadline_ms: 0,
+            ..ServerConfig::default()
         },
     );
     let stream = TcpStream::connect(handle.addr()).unwrap();
@@ -266,6 +272,7 @@ fn graceful_shutdown_drains_admitted_work() {
             queue_capacity: 64,
             batch_max: 2,
             default_deadline_ms: 0,
+            ..ServerConfig::default()
         },
     );
     let addr = handle.addr();
