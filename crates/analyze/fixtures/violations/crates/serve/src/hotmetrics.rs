@@ -1,0 +1,10 @@
+//! Seeded `obs-hot-path` violation: a per-request metric resolved through
+//! a `format!`-built name. Registry resolution takes the registry-wide
+//! lock and allocates, so this turns a lock-free atomic increment into
+//! contention (and unbounded metric cardinality) on every request. The
+//! sanctioned idiom resolves the handle once at startup (`metrics.rs`)
+//! and clones the `Arc` into the hot path.
+
+pub fn record_shard(registry: &Registry, shard: usize) {
+    registry.counter(&format!("ccd_shard_{shard}_total")).inc();
+}

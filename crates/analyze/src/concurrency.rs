@@ -32,6 +32,7 @@ pub const LOCK_ORDER: &[&str] = &[
     "slot",
     "outbox",
     "write_lock",
+    "trace",
 ];
 
 /// Functions that acquire a lock *for* their caller through a parameter

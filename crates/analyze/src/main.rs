@@ -151,6 +151,7 @@ const EXPECTED_FIXTURE_FINDINGS: &[(&str, &str)] = &[
     ("crates/graphs/src/pod.rs", rules::RULE_POD),
     ("crates/matrix/src/floaty.rs", rules::RULE_FLOAT),
     ("crates/matrix/src/shard.rs", rules::RULE_SHARD),
+    ("crates/serve/src/hotmetrics.rs", rules::RULE_OBS),
     ("crates/serve/src/lib.rs", rules::RULE_ATTR),
     ("crates/serve/src/locks.rs", rules::RULE_LOCK),
     ("crates/serve/src/mmap.rs", rules::RULE_SAFETY),

@@ -23,6 +23,9 @@
 //!   disjoint shard: no captured `&mut`, cells, or worker-side locking.
 //! * `float-ban` — no `f32`/`f64` arithmetic in distance/weight paths;
 //!   distances are exact `u32` end to end.
+//! * `obs-hot-path` — metric handles in hot paths must be resolved once at
+//!   startup; resolving through a `format!`-built name per request turns a
+//!   lock-free atomic increment into registry-lock contention.
 //!
 //! Any finding can be waived in place with a counted escape hatch —
 //! `// cc-analyze: allow(<rule>)` on the flagged line or the comment block
@@ -48,6 +51,7 @@ pub const RULE_UNORDERED: &str = "unordered-iter";
 pub const RULE_LOCK: &str = "lock-order";
 pub const RULE_SHARD: &str = "shard-capture";
 pub const RULE_FLOAT: &str = "float-ban";
+pub const RULE_OBS: &str = "obs-hot-path";
 
 /// Every rule id, for `--help` text and escape-hatch validation.
 pub const ALL_RULES: &[&str] = &[
@@ -62,6 +66,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_LOCK,
     RULE_SHARD,
     RULE_FLOAT,
+    RULE_OBS,
 ];
 
 /// The only modules allowed to contain `unsafe`: POD reinterpretation,
@@ -86,8 +91,14 @@ const NO_PANIC: &[&str] = &[
     "crates/core/src/snapshot/v2.rs",
     "crates/matrix/src/dense.rs",
     "crates/matrix/src/sparse.rs",
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/stage.rs",
+    "crates/obs/src/text.rs",
+    "crates/obs/src/trace.rs",
     "crates/serve/src/client.rs",
     "crates/serve/src/fault.rs",
+    "crates/serve/src/metrics.rs",
     "crates/serve/src/mmap.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/queue.rs",
@@ -168,12 +179,21 @@ const FLOAT_BAN: &[&str] = &[
     "crates/graphs/src/dist.rs",
     "crates/graphs/src/graph.rs",
     "crates/matrix/src/",
+    "crates/obs/src/",
     "crates/routes/src/",
 ];
 
 /// Modules subject to the `lock-order` analysis: the serving daemon, the
 /// one place in the workspace where multiple locks coexist.
 const LOCK_SCOPE: &[&str] = &["crates/serve/src/"];
+
+/// Hot-path scopes where resolving a metric through a `format!`-built name
+/// is denied: `Registry` resolution takes the registry-wide lock and
+/// allocates, so per-request name construction turns a lock-free atomic
+/// increment into contention (and unbounded metric cardinality). Resolve
+/// handles once at startup (`crates/serve/src/metrics.rs`) and clone the
+/// `Arc`s into the hot path.
+const OBS_SCOPES: &[&str] = &["crates/core/src/", "crates/serve/src/"];
 
 /// One diagnostic, formatted `path:line: [rule] message`.
 #[derive(Debug)]
@@ -429,6 +449,22 @@ fn check_file(
                     idx,
                     RULE_FLOAT,
                     "float arithmetic in a distance/weight path (distances are exact u32)"
+                        .to_string(),
+                );
+            }
+            if in_scope(OBS_SCOPES, rel)
+                && code.contains("format!")
+                && (code.contains(".counter(")
+                    || code.contains(".gauge(")
+                    || code.contains(".histogram("))
+            {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    RULE_OBS,
+                    "metric resolved through a format!-built name in a hot path \
+                     (resolve the handle once at startup and reuse it)"
                         .to_string(),
                 );
             }
@@ -876,6 +912,23 @@ mod tests {
         );
         let r = check_source("crates/matrix/src/dense.rs", src);
         assert!(rules_of(&r).contains(&RULE_SHARD), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn formatted_metric_names_are_banned_in_hot_paths() {
+        let src = "fn f(reg: &Registry, shard: usize) {\n    \
+                   reg.counter(&format!(\"ccd_shard_{shard}_total\")).inc();\n}\n";
+        let r = check_source("crates/serve/src/hot.rs", src);
+        assert_eq!(rules_of(&r), vec![RULE_OBS]);
+        // A literal name resolved once (the metrics.rs idiom) is fine.
+        let ok = check_source(
+            "crates/serve/src/hot.rs",
+            "fn g(reg: &Registry) -> Counter { reg.counter(\"ccd_served_total\") }\n",
+        );
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        // Outside the hot-path scopes (benches, tools) the pattern is allowed.
+        let ok = check_source("crates/bench/src/load.rs", src);
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
     }
 
     #[test]

@@ -277,6 +277,28 @@ fn serve_burst(base: &Baseline, rng: &mut Xorshift) -> Result<(), String> {
                             ));
                         }
                     }
+                    // The trace ring is bounded and contention-dropping,
+                    // yet a synchronous client (one outstanding request)
+                    // must see a deterministic drain: exactly one span per
+                    // request, in issue order, every one Ok — under every
+                    // perturbed schedule.
+                    let trace = client.trace().map_err(|e| format!("trace: {e}"))?;
+                    let spans: Vec<&str> = trace.lines().collect();
+                    if spans.len() != requests {
+                        return Err(format!(
+                            "trace ring drained {} spans for {requests} requests",
+                            spans.len()
+                        ));
+                    }
+                    for (i, span) in spans.iter().enumerate() {
+                        let prefix = format!("span req_id={} op=1 status=0 batch=", i + 1);
+                        if !span.starts_with(&prefix) {
+                            return Err(format!(
+                                "span {i} diverges under this schedule: {span:?} \
+                                 (want prefix {prefix:?})"
+                            ));
+                        }
+                    }
                     Ok(())
                 })
             })

@@ -21,7 +21,7 @@
 //!
 //! One JSON document on stdout; human-readable notes on stderr.
 //!
-//! Run with: `cargo run --release --bin t17_serve -- [--threads T] [--clients C] [--requests R] [--quick]`
+//! Run with: `cargo run --release --bin t17_serve -- [--threads T] [--clients C] [--requests R] [--quick] [--metrics-out FILE]`
 
 #![forbid(unsafe_code)]
 
@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use cc_core::{Execution, PathOracle, SolverBuilder};
 use cc_graphs::generators;
+use cc_obs::{parse_exposition, HistSummary};
 use cc_serve::protocol::{read_frame, write_frame, Op, Payload, Request, Response, Status};
 use cc_serve::{server, snapshot, Client, ServerConfig};
 
@@ -125,14 +126,27 @@ fn client_run(
     (dist_lat, path_lat, queries)
 }
 
+/// Renders a histogram summary as an all-integer JSON object (quantiles are
+/// exact power-of-two bucket uppers, capped at the observed max).
+fn hist_json(h: &HistSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count, h.p50, h.p90, h.p99, h.max
+    )
+}
+
 fn main() {
     let mut server_threads = 4usize;
     let mut clients = 0usize; // 0 = derive from server_threads
     let mut requests = 0usize; // 0 = derive from --quick
     let mut quick = false;
+    let mut metrics_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out FILE"));
+            }
             "--threads" => {
                 server_threads = args
                     .next()
@@ -251,6 +265,34 @@ fn main() {
     let stats = handle.stats();
     assert_eq!(stats.shed, 0, "sustained phase must not shed");
     assert_eq!(stats.malformed, 0);
+
+    // Drain the daemon's own request-lifecycle accounting over the wire
+    // (`Op::Metrics`): integer text exposition, histogram quantiles as
+    // exact bucket ranks — no floats anywhere in this path.
+    let metrics_text = Client::connect(addr)
+        .expect("metrics connect")
+        .metrics()
+        .expect("metrics op");
+    let samples = parse_exposition(&metrics_text);
+    let queue_wait =
+        cc_obs::text::histogram_summary(&samples, "ccd_queue_wait_ns").expect("histogram exposed");
+    let oracle_batch = cc_obs::text::histogram_summary(&samples, "ccd_oracle_batch_ns")
+        .expect("histogram exposed");
+    let outbox_write = cc_obs::text::histogram_summary(&samples, "ccd_outbox_write_ns")
+        .expect("histogram exposed");
+    assert!(
+        queue_wait.count > 0 && oracle_batch.count > 0,
+        "the sustained phase must populate the lifecycle histograms"
+    );
+    assert_eq!(
+        samples.get("ccd_served_total").copied(),
+        Some(stats.served),
+        "metrics and Op::Stats disagree on served count"
+    );
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, &metrics_text).expect("write --metrics-out");
+        eprintln!("metrics dump: {path}");
+    }
     handle.shutdown();
 
     let mut dist_lat: Vec<f64> = Vec::new();
@@ -377,9 +419,11 @@ fn main() {
         "overload: {flood_clients} clients flooding -> ok={flood_ok} shed={flood_shed} (explicit Overloaded)"
     );
 
+    let available_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"t17_serve\",\n");
     json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!("  \"available_cores\": {available_cores},\n"));
     json.push_str(&format!("  \"server_threads\": {server_threads},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
     json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
@@ -403,6 +447,18 @@ fn main() {
         percentile(&path_lat, 0.50),
         percentile(&path_lat, 0.95),
         percentile(&path_lat, 0.99)
+    ));
+    json.push_str(&format!(
+        "  \"queue_wait_ns\": {},\n",
+        hist_json(&queue_wait)
+    ));
+    json.push_str(&format!(
+        "  \"oracle_batch_ns\": {},\n",
+        hist_json(&oracle_batch)
+    ));
+    json.push_str(&format!(
+        "  \"outbox_write_ns\": {},\n",
+        hist_json(&outbox_write)
     ));
     json.push_str(&format!(
         "  \"served_ok\": {},\n",

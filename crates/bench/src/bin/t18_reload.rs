@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 
 use cc_core::{DistOracle, DistanceMatrix, Guarantee, PointEstimate};
 use cc_graphs::StorageKind;
+use cc_obs::{parse_exposition, HistSummary};
 use cc_serve::{
     server, snapshot, Client, ClientError, FaultPlan, FaultSite, ReloadConfig, RetryPolicy,
     ServerConfig, Status,
@@ -61,6 +62,15 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     }
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Renders a histogram summary as an all-integer JSON object (quantiles are
+/// exact power-of-two bucket uppers, capped at the observed max).
+fn hist_json(h: &HistSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        h.count, h.p50, h.p90, h.p99, h.max
+    )
 }
 
 /// `dist(u, v) = |u − v| * scale`: generations are bit-distinguishable.
@@ -379,6 +389,19 @@ fn main() {
         plan.fires(FaultSite::WorkerPanic)
     );
     chaos_handle.shutdown();
+
+    // Lifecycle histograms from the storm server (`Op::Metrics`): integer
+    // exposition, exact bucket-rank quantiles.
+    let metrics_text = probe.metrics().expect("metrics op");
+    let samples = parse_exposition(&metrics_text);
+    let queue_wait =
+        cc_obs::text::histogram_summary(&samples, "ccd_queue_wait_ns").expect("histogram exposed");
+    let oracle_batch = cc_obs::text::histogram_summary(&samples, "ccd_oracle_batch_ns")
+        .expect("histogram exposed");
+    assert!(
+        queue_wait.count > 0 && oracle_batch.count > 0,
+        "baseline + storm traffic must populate the lifecycle histograms"
+    );
     handle.shutdown();
     std::fs::remove_file(&snap_path).ok();
 
@@ -395,9 +418,11 @@ fn main() {
         plan.fires(FaultSite::ConnReset)
     );
 
+    let available_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"t18_reload\",\n");
     json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!("  \"available_cores\": {available_cores},\n"));
     json.push_str(&format!("  \"server_threads\": {server_threads},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
     json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
@@ -419,6 +444,14 @@ fn main() {
         percentile(&storm_lat, 0.99)
     ));
     json.push_str(&format!("  \"p50_ratio\": {p50_ratio:.3},\n"));
+    json.push_str(&format!(
+        "  \"queue_wait_ns\": {},\n",
+        hist_json(&queue_wait)
+    ));
+    json.push_str(&format!(
+        "  \"oracle_batch_ns\": {},\n",
+        hist_json(&oracle_batch)
+    ));
     json.push_str("  \"dropped_requests\": 0,\n");
     json.push_str(&format!(
         "  \"chaos\": {{\"seed\": {seed}, \"ok\": {chaos_ok}, \"contained\": {chaos_contained}, \"unknown\": {chaos_unknown}, \"worker_panics\": {}, \"conn_resets\": {}, \"torn_writes\": {}}},\n",

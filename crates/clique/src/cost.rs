@@ -453,6 +453,24 @@ impl RoundLedger {
         self.messages += other.messages;
     }
 
+    /// Renders the ledger in the integer metrics-text style shared with the
+    /// observability layer: one `{prefix}_rounds_total` / `_messages_total`
+    /// line plus a `{prefix}_phase_rounds{phase="…"}` line per top-level
+    /// phase (deterministic order — same [`RoundLedger::by_phase`]
+    /// aggregation the report prints). Everything is `u64`; no floats.
+    pub fn exposition(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{prefix}_rounds_total {}\n", self.total_rounds()));
+        out.push_str(&format!("{prefix}_messages_total {}\n", self.messages));
+        for (phase, rounds) in self.by_phase() {
+            let name = if phase.is_empty() { "root" } else { &phase };
+            out.push_str(&format!(
+                "{prefix}_phase_rounds{{phase=\"{name}\"}} {rounds}\n"
+            ));
+        }
+        out
+    }
+
     /// Renders a human-readable per-phase report.
     pub fn report(&self) -> String {
         let mut out = String::new();
@@ -572,6 +590,21 @@ mod tests {
         drop(g);
         assert!(l.report().contains("emulator"));
         assert!(l.to_string().contains("rounds total"));
+    }
+
+    #[test]
+    fn exposition_renders_totals_and_phases() {
+        let mut l = RoundLedger::new(16);
+        let mut g = l.enter("emulator");
+        g.charge("sample", 3);
+        drop(g);
+        l.charge("loose", 4);
+        l.note_messages(9);
+        let text = l.exposition("cc_solver");
+        assert!(text.contains("cc_solver_rounds_total 7\n"));
+        assert!(text.contains("cc_solver_messages_total 9\n"));
+        assert!(text.contains("cc_solver_phase_rounds{phase=\"emulator\"} 3\n"));
+        assert!(text.contains("cc_solver_phase_rounds{phase=\"root\"} 4\n"));
     }
 
     #[test]

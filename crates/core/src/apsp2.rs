@@ -430,6 +430,7 @@ pub(crate) fn run_mode(
     // (Case 3b): W₁ = nearest-lists, W₂ = edges leaving low-G'-degree
     // vertices, W₃ = W₁ᵀ.
     if gp.m() > 0 {
+        let minplus_started = substrates.stages.borrow().start();
         let mut w1 = RowBuilder::new(n);
         for u in 0..n {
             for &(v, d) in kn.list(u) {
@@ -488,6 +489,10 @@ pub(crate) fn run_mode(
                 }
             }
         }
+        substrates
+            .stages
+            .borrow_mut()
+            .stop("minplus_products", minplus_started);
     }
 
     Ok(Apsp2 {

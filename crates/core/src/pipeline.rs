@@ -3,6 +3,7 @@
 //! substrate cache, emulator collection, and the short/long distance
 //! threshold.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use cc_clique::RoundLedger;
@@ -10,6 +11,7 @@ use cc_derand::hitting;
 use cc_emulator::clique::CliqueEmulatorConfig;
 use cc_emulator::{deterministic, whp, Emulator};
 use cc_graphs::{dijkstra, Dist, Graph, INF};
+use cc_obs::StageTimes;
 use cc_routes::{PathStore, RecId, RowStore};
 use cc_toolkit::hopset::{self, BoundedHopset, HopsetParams};
 use rand::RngCore;
@@ -114,6 +116,12 @@ pub(crate) struct Substrates {
     emulator: Option<(EmulatorKey, Emulator)>,
     hopsets: BTreeMap<HopsetKey, BoundedHopset>,
     hitting_sets: BTreeMap<HittingKey, Vec<usize>>,
+    /// Gated wall-clock stage profiling. `RefCell` because the freeze path
+    /// records through `&Solver`; the solver session is single-threaded, so
+    /// the borrows are trivially disjoint. Disabled (the default), `start`
+    /// never reads the clock — the pipelines cost nothing and timing can
+    /// never feed back into results or charged rounds.
+    pub(crate) stages: RefCell<StageTimes>,
 }
 
 impl Substrates {
@@ -137,11 +145,13 @@ impl Substrates {
             None => true,
         };
         if stale {
+            let started = self.stages.borrow().start();
             let emu = match mode {
                 Mode::Rng(rng) => whp::build(g, cfg, rng, ledger).0,
                 Mode::Det => deterministic::build(g, cfg, ledger),
             };
             ledger.charge_learn_all("collect emulator at all vertices", emu.m() as u64);
+            self.stages.borrow_mut().stop("emulator_build", started);
             self.emulator = Some((key, emu));
         }
         &self.emulator.as_ref().expect("just inserted").1
@@ -180,22 +190,23 @@ impl Substrates {
             scaled,
             record_paths,
         );
-        self.hopsets
-            .entry(key)
-            .or_insert_with(|| {
-                let params = if scaled {
-                    HopsetParams::scaled(g.n(), t, eps)
-                } else {
-                    HopsetParams::paper(g.n(), t, eps)
-                }
-                .with_threads(threads)
-                .with_paths(record_paths);
-                match mode {
-                    Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
-                    Mode::Det => hopset::build_deterministic(g, params, ledger),
-                }
-            })
-            .clone()
+        if !self.hopsets.contains_key(&key) {
+            let started = self.stages.borrow().start();
+            let params = if scaled {
+                HopsetParams::scaled(g.n(), t, eps)
+            } else {
+                HopsetParams::paper(g.n(), t, eps)
+            }
+            .with_threads(threads)
+            .with_paths(record_paths);
+            let built = match mode {
+                Mode::Rng(rng) => hopset::build_randomized(g, params, rng, ledger),
+                Mode::Det => hopset::build_deterministic(g, params, ledger),
+            };
+            self.stages.borrow_mut().stop("hopset_build", started);
+            self.hopsets.insert(key, built);
+        }
+        self.hopsets.get(&key).expect("just inserted").clone()
     }
 
     /// A hitting set over `sets`, computed on first use per
@@ -222,10 +233,12 @@ impl Substrates {
         if let Some(cached) = self.hitting_sets.get(&key) {
             return Ok(cached.clone());
         }
+        let started = self.stages.borrow().start();
         let selected = match mode {
             Mode::Rng(rng) => hitting::random_hitting_set(universe, k, sets, 2.5, rng, ledger),
             Mode::Det => hitting::deterministic_hitting_set(universe, k, sets, ledger),
         }?;
+        self.stages.borrow_mut().stop("hitting_sets", started);
         self.hitting_sets.insert(key, selected.clone());
         Ok(selected)
     }

@@ -87,12 +87,14 @@ pub struct SolverBuilder {
     profile: ParamProfile,
     threads: usize,
     record_paths: bool,
+    profile_stages: bool,
 }
 
 impl SolverBuilder {
     /// Starts a builder over `graph` with the defaults `eps = 0.5`,
     /// [`Execution::Seeded(0)`](Execution::Seeded), [`ParamProfile::Scaled`],
-    /// serial execution (`threads = 1`) and no path recording.
+    /// serial execution (`threads = 1`), no path recording and no stage
+    /// profiling.
     pub fn new(graph: Graph) -> Self {
         SolverBuilder {
             graph,
@@ -101,6 +103,7 @@ impl SolverBuilder {
             profile: ParamProfile::Scaled,
             threads: 1,
             record_paths: false,
+            profile_stages: false,
         }
     }
 
@@ -128,6 +131,22 @@ impl SolverBuilder {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Turns on wall-clock profiling of the pipeline stages (emulator and
+    /// hopset construction, hitting sets, the `E''` min-plus products, the
+    /// freeze merge), readable afterwards via [`Solver::stage_times`] /
+    /// [`Solver::profile_exposition`].
+    ///
+    /// Purely observational: timing is recorded after each stage completes
+    /// and never feeds back, so estimates **and** charged rounds are
+    /// bit-identical with profiling on or off (pinned by tests, same
+    /// contract as [`SolverBuilder::record_paths`]). When off (the
+    /// default), the timers never read the clock.
+    #[must_use]
+    pub fn profile_stages(mut self, profile_stages: bool) -> Self {
+        self.profile_stages = profile_stages;
         self
     }
 
@@ -184,6 +203,11 @@ impl SolverBuilder {
         additive_cfg.emulator.record_paths = self.record_paths;
         mssp_cfg.emulator.record_paths = self.record_paths;
         let ledger = RoundLedger::new(n);
+        let substrates = Substrates::new();
+        substrates
+            .stages
+            .borrow_mut()
+            .set_enabled(self.profile_stages);
         Ok(Solver {
             graph: self.graph,
             eps: self.eps,
@@ -196,7 +220,7 @@ impl SolverBuilder {
             additive_cfg,
             mssp_cfg,
             ledger,
-            substrates: Substrates::new(),
+            substrates,
             apsp2_result: None,
             apsp3_result: None,
             additive_result: None,
@@ -303,6 +327,30 @@ impl Solver {
         self.record_paths
     }
 
+    /// `true` when the session records wall-clock stage timings
+    /// ([`SolverBuilder::profile_stages`]).
+    pub fn profiles_stages(&self) -> bool {
+        self.substrates.stages.borrow().enabled()
+    }
+
+    /// Snapshot of the accumulated per-stage wall-clock, name-sorted.
+    /// Empty unless the session was built with
+    /// [`SolverBuilder::profile_stages`]`(true)`.
+    pub fn stage_times(&self) -> Vec<(&'static str, cc_obs::StageStat)> {
+        self.substrates.stages.borrow().entries().collect()
+    }
+
+    /// Renders the stage timers plus the round ledger in the workspace's
+    /// integer metrics-text style (`cc_solver_stage_ns{stage="…"}`,
+    /// `cc_solver_rounds_total`, `cc_solver_phase_rounds{phase="…"}`, …).
+    /// The ledger lines are present whether or not profiling is on; the
+    /// stage lines require it.
+    pub fn profile_exposition(&self) -> String {
+        let mut out = self.substrates.stages.borrow().exposition("cc_solver");
+        out.push_str(&self.ledger.exposition("cc_solver"));
+        out
+    }
+
     /// The session's round ledger: every query's simulated communication,
     /// attributed by phase. Substrate reuse shows up here as construction
     /// entries appearing once rather than once per query.
@@ -326,6 +374,7 @@ impl Solver {
     /// fails validation.
     pub fn apsp_2eps(&mut self) -> Result<Apsp2, CcError> {
         if self.apsp2_result.is_none() {
+            let started = self.substrates.stages.borrow().start();
             let out = with_mode!(self.execution, |mode| apsp2::run_mode(
                 &self.graph,
                 &self.apsp2_cfg,
@@ -333,6 +382,7 @@ impl Solver {
                 &mut self.ledger,
                 &mut self.substrates,
             ))?;
+            self.substrates.stages.borrow_mut().stop("apsp2", started);
             self.apsp2_result = Some(out);
         }
         Ok(self.apsp2_result.clone().expect("memoized above"))
@@ -346,6 +396,7 @@ impl Solver {
     /// fails validation.
     pub fn apsp_3eps(&mut self) -> Result<Apsp3, CcError> {
         if self.apsp3_result.is_none() {
+            let started = self.substrates.stages.borrow().start();
             let out = with_mode!(self.execution, |mode| apsp3::run_mode(
                 &self.graph,
                 &self.apsp3_cfg,
@@ -353,6 +404,7 @@ impl Solver {
                 &mut self.ledger,
                 &mut self.substrates,
             ))?;
+            self.substrates.stages.borrow_mut().stop("apsp3", started);
             self.apsp3_result = Some(out);
         }
         Ok(self.apsp3_result.clone().expect("memoized above"))
@@ -366,6 +418,7 @@ impl Solver {
     /// `Result` for uniformity with the other queries.
     pub fn apsp_near_additive(&mut self) -> Result<AdditiveApsp, CcError> {
         if self.additive_result.is_none() {
+            let started = self.substrates.stages.borrow().start();
             let out = with_mode!(self.execution, |mode| apsp_additive::run_mode(
                 &self.graph,
                 &self.additive_cfg,
@@ -373,6 +426,10 @@ impl Solver {
                 &mut self.ledger,
                 &mut self.substrates,
             ));
+            self.substrates
+                .stages
+                .borrow_mut()
+                .stop("additive", started);
             self.additive_result = Some(out);
         }
         Ok(self.additive_result.clone().expect("memoized above"))
@@ -390,6 +447,7 @@ impl Solver {
         if let Some((_, out)) = self.mssp_results.iter().find(|(s, _)| s == sources) {
             return Ok(out.clone());
         }
+        let started = self.substrates.stages.borrow().start();
         let out = with_mode!(self.execution, |mode| mssp::run_mode(
             &self.graph,
             sources,
@@ -398,6 +456,7 @@ impl Solver {
             &mut self.ledger,
             &mut self.substrates,
         ))?;
+        self.substrates.stages.borrow_mut().stop("mssp", started);
         self.mssp_results.push((sources.to_vec(), out.clone()));
         Ok(out)
     }
@@ -517,13 +576,11 @@ impl Solver {
     /// yet (there is nothing to freeze).
     pub fn freeze(&self) -> Result<DistOracle, CcError> {
         let n = self.graph.n();
+        let started = self.substrates.stages.borrow().start();
         let merged = self.merged_tables()?;
-        Ok(DistOracle::from_tagged_packed(
-            n,
-            merged.data,
-            merged.tags,
-            merged.guarantees,
-        ))
+        let oracle = DistOracle::from_tagged_packed(n, merged.data, merged.tags, merged.guarantees);
+        self.substrates.stages.borrow_mut().stop("freeze", started);
+        Ok(oracle)
     }
 
     /// Freezes everything computed so far into an immutable,
@@ -556,6 +613,7 @@ impl Solver {
             });
         }
         let n = self.graph.n();
+        let started = self.substrates.stages.borrow().start();
         let merged = self.merged_tables()?;
         // Providers in the exact order `merged_tables` numbered them.
         let mut providers: Vec<PathProvider> = Vec::new();
@@ -580,7 +638,9 @@ impl Solver {
             ));
         }
         let oracle = DistOracle::from_tagged_packed(n, merged.data, merged.tags, merged.guarantees);
-        Ok(PathOracle::new(oracle, merged.origins, providers))
+        let frozen = PathOracle::new(oracle, merged.origins, providers);
+        self.substrates.stages.borrow_mut().stop("freeze", started);
+        Ok(frozen)
     }
 
     /// The shared freeze merge: pointwise-best packed values, provenance
@@ -975,6 +1035,85 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stage_profiling_changes_neither_estimates_nor_rounds() {
+        // Same contract as path recording: timing is observed, never fed
+        // back — per pipeline, estimates AND charged rounds are
+        // bit-identical with profiling on or off.
+        let g = generators::caveman(6, 6);
+        let run = |profile: bool| {
+            let mut solver = SolverBuilder::new(g.clone())
+                .eps(0.5)
+                .execution(Execution::Seeded(5))
+                .profile_stages(profile)
+                .build()
+                .unwrap();
+            let a2 = solver.apsp_2eps().unwrap();
+            let a3 = solver.apsp_3eps().unwrap();
+            let add = solver.apsp_near_additive().unwrap();
+            let ms = solver.mssp(&[0, 14, 28]).unwrap();
+            let oracle = solver.freeze().unwrap();
+            (
+                a2.estimates,
+                a3.estimates,
+                add.estimates,
+                ms.estimates,
+                oracle,
+                solver.total_rounds(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stage_profiling_records_only_when_enabled() {
+        let g = generators::caveman(6, 6);
+        let mut off = SolverBuilder::new(g.clone())
+            .execution(Execution::Seeded(5))
+            .build()
+            .unwrap();
+        assert!(!off.profiles_stages());
+        off.apsp_2eps().unwrap();
+        off.freeze().unwrap();
+        assert!(
+            off.stage_times().is_empty(),
+            "disabled recorder stays empty"
+        );
+        // The ledger lines render regardless; no stage lines when off.
+        let text = off.profile_exposition();
+        assert!(text.contains("cc_solver_rounds_total "));
+        assert!(!text.contains("cc_solver_stage_ns"));
+
+        let mut on = SolverBuilder::new(g)
+            .execution(Execution::Seeded(5))
+            .profile_stages(true)
+            .build()
+            .unwrap();
+        assert!(on.profiles_stages());
+        on.apsp_2eps().unwrap();
+        on.mssp(&[0, 14]).unwrap();
+        on.freeze().unwrap();
+        let names: Vec<&str> = on.stage_times().iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "apsp2",
+            "emulator_build",
+            "freeze",
+            "hitting_sets",
+            "hopset_build",
+            "minplus_products",
+            "mssp",
+        ] {
+            assert!(names.contains(&expected), "missing stage {expected}");
+        }
+        for (name, stat) in on.stage_times() {
+            assert!(stat.calls > 0, "stage {name} recorded no calls");
+        }
+        let text = on.profile_exposition();
+        assert!(text.contains("cc_solver_stage_ns{stage=\"hopset_build\"}"));
+        assert!(text.contains("cc_solver_stage_calls{stage=\"freeze\"} 1"));
+        assert!(text.contains("cc_solver_phase_rounds{phase="));
     }
 
     #[test]

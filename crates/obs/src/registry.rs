@@ -1,0 +1,313 @@
+//! Atomic metrics: counters, gauges, power-of-two histograms, and the
+//! registry that names them.
+//!
+//! All samples are `u64` (counts or nanoseconds). Histograms use fixed
+//! power-of-two bucket boundaries so recording is a `leading_zeros` plus
+//! one relaxed `fetch_add` — no floats, no allocation, no locks. The
+//! registry itself holds one `Mutex` around its name maps; it is taken
+//! only at registration and render time, never per sample.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of histogram buckets: index 0 holds values `<= 1`, index `k`
+/// holds `(2^(k-1), 2^k]`, and index 64 is the overflow bucket.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing atomic counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins atomic gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-boundary latency histogram over power-of-two buckets.
+///
+/// `record` costs a handful of relaxed atomic ops; quantiles are exact
+/// integer bucket-rank walks (the reported quantile is the upper bound of
+/// the bucket containing the target rank, capped at the exact observed
+/// maximum).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Bucket index for a sample: 0 for `v <= 1`, else `64 - clz(v - 1)`,
+/// so bucket `k` covers `(2^(k-1), 2^k]` and 64 catches the overflow.
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        if let Some(b) = inner.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact integer-rank quantile: the upper bound of the bucket holding
+    /// the `ceil(count * pct / 100)`-th smallest sample, capped at the
+    /// observed maximum. Returns 0 when empty. `pct` is clamped to 100.
+    pub fn quantile(&self, pct: u64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let pct = pct.min(100);
+        let target = (count.saturating_mul(pct)).div_ceil(100).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            cum = cum.saturating_add(b.load(Ordering::Relaxed));
+            if cum >= target {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Snapshot of all bucket counts (non-cumulative).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| {
+            self.0
+                .buckets
+                .get(i)
+                .map_or(0, |b| b.load(Ordering::Relaxed))
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A named registry of metrics.
+///
+/// Names are `&'static str` on purpose: callers register once at startup
+/// and keep the returned handle — per-request lookups (or formatted
+/// names) are a misuse that cc-analyze's `obs-hot-path` rule flags.
+/// Registration is idempotent: the same name always yields handles to the
+/// same underlying atomic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers (or fetches) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.locked().counters.entry(name).or_default().clone()
+    }
+
+    /// Registers (or fetches) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.locked().gauges.entry(name).or_default().clone()
+    }
+
+    /// Registers (or fetches) the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.locked().histograms.entry(name).or_default().clone()
+    }
+
+    /// Renders every metric as Prometheus-style text exposition with
+    /// integer sample values. Histogram buckets are cumulative and only
+    /// emitted up to the highest non-empty bucket (plus the `+Inf`
+    /// total), so the text stays bounded.
+    pub fn render(&self) -> String {
+        let inner = self.locked();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for (name, g) in &inner.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        for (name, h) in &inner.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let buckets = h.buckets();
+            let last = buckets.iter().rposition(|&b| b != 0).unwrap_or(0);
+            let mut cum = 0u64;
+            for (i, &b) in buckets.iter().enumerate().take(last + 1) {
+                cum = cum.saturating_add(b);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", bucket_upper(i));
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_max {}", h.max());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_index(hi), i, "upper bound of {i} maps back");
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("requests_total");
+        let b = r.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("requests_total").get(), 3);
+        let g = r.gauge("depth");
+        g.set(7);
+        assert_eq!(r.gauge("depth").get(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_exact_bucket_ranks() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000, 1000, 1000, 5000, 5000, 70000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 83106);
+        assert_eq!(h.max(), 70000);
+        // rank 5 of 10 → the 5th smallest (1000) lives in (512, 1024].
+        assert_eq!(h.quantile(50), 1024);
+        // rank 9 → 5000 lives in (4096, 8192].
+        assert_eq!(h.quantile(90), 8192);
+        // rank 10 → 70000 lives in (65536, 131072], capped at max.
+        assert_eq!(h.quantile(99), 70000);
+        assert_eq!(h.quantile(100), 70000);
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(50), 0);
+    }
+
+    #[test]
+    fn render_is_integer_text_with_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("served_total").add(5);
+        r.gauge("gen").set(3);
+        let h = r.histogram("wait_ns");
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let text = r.render();
+        assert!(text.contains("served_total 5\n"));
+        assert!(text.contains("gen 3\n"));
+        assert!(text.contains("wait_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("wait_ns_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("wait_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("wait_ns_sum 7\n"));
+        assert!(text.contains("wait_ns_count 3\n"));
+        assert!(text.contains("wait_ns_max 3\n"));
+        assert!(!text.contains('.'), "exposition must stay integer-only");
+    }
+}

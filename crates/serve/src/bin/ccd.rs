@@ -8,6 +8,8 @@
 //!           [--max-secs S]
 //! ccd snapshot upgrade IN OUT      # rewrite any snapshot as format v2
 //! ccd snapshot info FILE           # frame, sections, dimensions
+//! ccd metrics [--addr 127.0.0.1:7411]   # dump the daemon's metrics text
+//! ccd trace [--addr 127.0.0.1:7411]     # drain this connection's span ring
 //! ```
 //!
 //! `serve` loads the snapshot (v2 files are memory-mapped and served
@@ -31,7 +33,7 @@ use cc_serve::{server, snapshot, ReloadConfig, ServerConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ccd serve --snapshot FILE [--addr A] [--threads N] [--queue-cap N]\n            [--batch-max N] [--deadline-ms N] [--write-timeout-ms N]\n            [--outbox-cap-bytes N] [--reload-on sighup|admin|both]\n            [--allow-resize] [--max-secs S]\n  ccd snapshot upgrade IN OUT\n  ccd snapshot info FILE"
+        "usage:\n  ccd serve --snapshot FILE [--addr A] [--threads N] [--queue-cap N]\n            [--batch-max N] [--deadline-ms N] [--write-timeout-ms N]\n            [--outbox-cap-bytes N] [--reload-on sighup|admin|both]\n            [--allow-resize] [--max-secs S]\n  ccd snapshot upgrade IN OUT\n  ccd snapshot info FILE\n  ccd metrics [--addr A]\n  ccd trace [--addr A]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +47,8 @@ fn main() -> ExitCode {
             Some("info") => cmd_info(&args[2..]),
             _ => usage(),
         },
+        Some("metrics") => cmd_text_op(&args[1..], TextOp::Metrics),
+        Some("trace") => cmd_text_op(&args[1..], TextOp::Trace),
         _ => usage(),
     }
 }
@@ -153,6 +157,42 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         stats.slow_disconnects
     );
     ExitCode::SUCCESS
+}
+
+enum TextOp {
+    Metrics,
+    Trace,
+}
+
+fn cmd_text_op(args: &[String], which: TextOp) -> ExitCode {
+    let addr = match parse_flag::<String>(args, "--addr") {
+        Ok(a) => a.unwrap_or_else(|| "127.0.0.1:7411".to_string()),
+        Err(e) => {
+            eprintln!("ccd: {e}");
+            return usage();
+        }
+    };
+    let mut client = match cc_serve::Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ccd: cannot connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match which {
+        TextOp::Metrics => client.metrics(),
+        TextOp::Trace => client.trace(),
+    };
+    match text {
+        Ok(t) => {
+            print!("{t}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ccd: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_upgrade(args: &[String]) -> ExitCode {

@@ -393,6 +393,36 @@ impl Client {
         }
     }
 
+    /// The full metrics text exposition (counters, gauges, request
+    /// lifecycle histograms) — parseable with `cc_obs::parse_exposition`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let req = self.next_request(Op::Metrics, 0, Vec::new());
+        let resp = self.roundtrip(&req)?;
+        match (resp.status, resp.payload) {
+            (Status::Ok, Payload::Text(t)) => Ok(t),
+            _ => Err(ClientError::Protocol("metrics refused")),
+        }
+    }
+
+    /// Drains this connection's trace ring: one `span …` line per
+    /// recorded request, oldest first. Draining consumes the events.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn trace(&mut self) -> Result<String, ClientError> {
+        let req = self.next_request(Op::Trace, 0, Vec::new());
+        let resp = self.roundtrip(&req)?;
+        match (resp.status, resp.payload) {
+            (Status::Ok, Payload::Text(t)) => Ok(t),
+            _ => Err(ClientError::Protocol("trace refused")),
+        }
+    }
+
     /// The serving snapshot generation and vertex count.
     ///
     /// # Errors

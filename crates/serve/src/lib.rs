@@ -25,6 +25,10 @@
 //! * [`protocol`] is the length-prefixed little-endian wire format, and
 //!   [`client`] a blocking client (with bounded reconnect-retry for
 //!   idempotent ops) for tests and benches.
+//! * `metrics` (internal) backs every served counter and the request-lifecycle
+//!   histograms (queue wait, batch size, oracle sweep, outbox write) with
+//!   one `cc_obs` registry. `Op::Metrics` renders it as integer text
+//!   exposition; `Op::Trace` drains the connection's span-event ring.
 //!
 //! ```no_run
 //! use cc_serve::{server, snapshot};
@@ -42,6 +46,7 @@
 
 pub mod client;
 pub mod fault;
+pub(crate) mod metrics;
 pub mod mmap;
 pub mod protocol;
 pub mod queue;

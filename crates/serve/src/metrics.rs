@@ -1,0 +1,78 @@
+//! The daemon's metric set: every counter the old hand-rolled `Stats`
+//! struct carried, re-backed by the `cc_obs` registry, plus the
+//! request-lifecycle histograms.
+//!
+//! One accounting substrate: `Op::Stats` snapshots read the *same*
+//! atomics the `Op::Metrics` exposition renders, so the two can never
+//! disagree (the chaos suite asserts exact reconciliation). Handles are
+//! registered once at server construction — nothing on the serving hot
+//! path ever touches the registry's name map.
+
+use cc_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Capacity of each connection's trace ring (span events kept for
+/// `Op::Trace`).
+pub(crate) const TRACE_RING_CAPACITY: usize = 64;
+
+/// Registry-backed server metrics, shared by readers, writers, workers.
+#[derive(Debug)]
+pub(crate) struct ServeMetrics {
+    /// The registry that owns every handle below; renders the exposition.
+    pub registry: Registry,
+    /// Requests answered `Ok`.
+    pub served: Counter,
+    /// Requests answered `Overloaded` (queue full).
+    pub shed: Counter,
+    /// Requests answered `DeadlineExceeded`.
+    pub deadline_missed: Counter,
+    /// Requests answered `Malformed`.
+    pub malformed: Counter,
+    /// Hot reloads that validated and swapped in.
+    pub reloads_ok: Counter,
+    /// Hot reloads refused.
+    pub reloads_rejected: Counter,
+    /// Worker panics contained by `catch_unwind`.
+    pub worker_panics: Counter,
+    /// Connections dropped for reading too slowly.
+    pub slow_disconnects: Counter,
+    /// Queue depth at exposition time.
+    pub queue_depth: Gauge,
+    /// Serving snapshot generation at exposition time.
+    pub generation: Gauge,
+    /// Nanoseconds a job waited queued before a worker picked it up.
+    pub queue_wait_ns: Histogram,
+    /// Jobs coalesced per worker batch.
+    pub batch_jobs: Histogram,
+    /// Nanoseconds per coalesced `dist_batch_into` oracle sweep.
+    pub oracle_batch_ns: Histogram,
+    /// Nanoseconds per response frame write (outbox drain to socket).
+    pub outbox_write_ns: Histogram,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        ServeMetrics {
+            served: registry.counter("ccd_served_total"),
+            shed: registry.counter("ccd_shed_total"),
+            deadline_missed: registry.counter("ccd_deadline_missed_total"),
+            malformed: registry.counter("ccd_malformed_total"),
+            reloads_ok: registry.counter("ccd_reloads_ok_total"),
+            reloads_rejected: registry.counter("ccd_reloads_rejected_total"),
+            worker_panics: registry.counter("ccd_worker_panics_total"),
+            slow_disconnects: registry.counter("ccd_slow_disconnects_total"),
+            queue_depth: registry.gauge("ccd_queue_depth"),
+            generation: registry.gauge("ccd_generation"),
+            queue_wait_ns: registry.histogram("ccd_queue_wait_ns"),
+            batch_jobs: registry.histogram("ccd_batch_jobs"),
+            oracle_batch_ns: registry.histogram("ccd_oracle_batch_ns"),
+            outbox_write_ns: registry.histogram("ccd_outbox_write_ns"),
+            registry,
+        }
+    }
+}
+
+/// Elapsed nanoseconds since `start`, saturating into `u64`.
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

@@ -11,7 +11,7 @@
 //! ```
 //!
 //! Ops: `0` ping, `1` dist, `2` path, `3` stats, `4` reload (admin),
-//! `5` version. Response payloads:
+//! `5` version, `6` metrics, `7` trace. Response payloads:
 //!
 //! * **dist** — per pair: `present u8`, then (when present) `dist u32`,
 //!   `kind u8`, `eps f64`, `additive f64`. The guarantee travels bit-exact
@@ -22,6 +22,9 @@
 //! * **stats** — `served u64 | shed u64 | deadline_missed u64 |
 //!   malformed u64 | queue_depth u64 | generation u64 | reloads_ok u64 |
 //!   reloads_rejected u64 | worker_panics u64 | slow_disconnects u64`.
+//! * **metrics / trace** — `count` UTF-8 bytes (`count` is the byte
+//!   length): the full metrics text exposition, or one `span …` line per
+//!   drained trace-ring event for this connection.
 //! * **version / reload** — `generation u64 | n u64`: the snapshot
 //!   generation now serving (after the swap, for a successful reload) and
 //!   its vertex count. A refused reload answers
@@ -56,10 +59,16 @@ pub enum Op {
     Reload,
     /// The serving snapshot's generation and vertex count.
     Version,
+    /// The full metrics text exposition (counters, gauges, request
+    /// lifecycle histograms) from the server's `cc_obs` registry.
+    Metrics,
+    /// Drains this connection's trace ring: one `span …` text line per
+    /// recorded request (oldest first). Draining consumes the events.
+    Trace,
 }
 
 impl Op {
-    fn wire(self) -> u8 {
+    pub(crate) fn wire(self) -> u8 {
         match self {
             Op::Ping => 0,
             Op::Dist => 1,
@@ -67,6 +76,8 @@ impl Op {
             Op::Stats => 3,
             Op::Reload => 4,
             Op::Version => 5,
+            Op::Metrics => 6,
+            Op::Trace => 7,
         }
     }
 
@@ -78,6 +89,8 @@ impl Op {
             3 => Op::Stats,
             4 => Op::Reload,
             5 => Op::Version,
+            6 => Op::Metrics,
+            7 => Op::Trace,
             _ => return None,
         })
     }
@@ -108,7 +121,7 @@ pub enum Status {
 }
 
 impl Status {
-    fn wire(self) -> u8 {
+    pub(crate) fn wire(self) -> u8 {
         match self {
             Status::Ok => 0,
             Status::Overloaded => 1,
@@ -215,6 +228,8 @@ pub enum Payload {
     /// Snapshot generation facts ([`Op::Version`], successful
     /// [`Op::Reload`]).
     Version(VersionInfo),
+    /// UTF-8 text ([`Op::Metrics`] exposition, [`Op::Trace`] span lines).
+    Text(String),
 }
 
 /// What [`Op::Version`] (and a successful [`Op::Reload`]) reports about
@@ -377,6 +392,10 @@ impl Response {
                 b.extend_from_slice(&v.generation.to_le_bytes());
                 b.extend_from_slice(&v.n.to_le_bytes());
             }
+            Payload::Text(t) => {
+                b.extend_from_slice(&wire_count(t.len()).to_le_bytes());
+                b.extend_from_slice(t.as_bytes());
+            }
         }
         b
     }
@@ -455,6 +474,11 @@ impl Response {
                         generation: c.u64()?,
                         n: c.u64()?,
                     })
+                }
+                Op::Metrics | Op::Trace => {
+                    // For text payloads `count` is the byte length.
+                    let bytes = c.take(count)?;
+                    Payload::Text(String::from_utf8(bytes.to_vec()).ok()?)
                 }
             }
         };
@@ -668,6 +692,41 @@ mod tests {
         }
         .encode();
         assert_eq!(Response::decode(&good[..good.len() - 1]), None);
+    }
+
+    #[test]
+    fn text_payloads_round_trip() {
+        for op in [Op::Metrics, Op::Trace] {
+            let resp = Response {
+                req_id: 15,
+                status: Status::Ok,
+                op,
+                payload: Payload::Text("ccd_served_total 5\nspan req_id=1\n".to_string()),
+            };
+            assert_eq!(Response::decode(&resp.encode()), Some(resp.clone()));
+            let req = Request {
+                req_id: 16,
+                op,
+                deadline_ms: 0,
+                pairs: vec![],
+            };
+            assert_eq!(Request::decode(&req.encode()), Some(req));
+            // Truncated text is rejected, not misread.
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc[..enc.len() - 1]), None);
+            // Invalid UTF-8 is rejected.
+            let mut bad = enc;
+            let last = bad.len() - 1;
+            bad[last] = 0xff;
+            assert_eq!(Response::decode(&bad), None);
+        }
+        let empty = Response {
+            req_id: 17,
+            status: Status::Ok,
+            op: Op::Metrics,
+            payload: Payload::Text(String::new()),
+        };
+        assert_eq!(Response::decode(&empty.encode()), Some(empty));
     }
 
     #[test]

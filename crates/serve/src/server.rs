@@ -2,8 +2,9 @@
 //! admission control, hot snapshot reload, and fault containment.
 //!
 //! Per connection, a reader thread decodes frames and classifies them:
-//! `ping`/`stats`/`version`/`reload` are answered inline; `dist`/`path`
-//! become jobs on the bounded [`BoundedQueue`]. A full queue answers
+//! `ping`/`stats`/`version`/`reload`/`metrics`/`trace` are answered
+//! inline; `dist`/`path` become jobs on the bounded [`BoundedQueue`]. A
+//! full queue answers
 //! [`Status::Overloaded`] immediately — the load-shedding contract is
 //! *explicit refusal*, never a silent drop or an unbounded backlog.
 //!
@@ -41,6 +42,14 @@
 //! (new requests answer [`Status::ShuttingDown`]), workers finish every
 //! admitted job, writers flush every queued response, then all threads
 //! join.
+//!
+//! **Observability** (`ServeMetrics`, internal): every counter
+//! behind `Op::Stats` and the request-lifecycle histograms (queue wait,
+//! batch size, oracle sweep time, outbox write time) live in one `cc_obs`
+//! registry, rendered by `Op::Metrics`. Each connection additionally
+//! keeps a bounded trace ring of span events — pushed *before* the
+//! response frame is enqueued, so a client that has its answer can always
+//! drain its own span via `Op::Trace`.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -52,8 +61,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cc_core::PointEstimate;
+use cc_obs::{SpanEvent, TraceRing};
 
 use crate::fault::{FaultPlan, FaultSite};
+use crate::metrics::{elapsed_ns, ServeMetrics, TRACE_RING_CAPACITY};
 use crate::protocol::{
     guarantee_kind_wire, wire_count, Op, Payload, Request, Response, StatsSnapshot, Status,
     VersionInfo, MAX_FRAME,
@@ -171,24 +182,11 @@ fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Monotonic counters, shared by readers, writers, and workers.
-#[derive(Debug, Default)]
-struct Counters {
-    served: AtomicU64,
-    shed: AtomicU64,
-    deadline_missed: AtomicU64,
-    malformed: AtomicU64,
-    reloads_ok: AtomicU64,
-    reloads_rejected: AtomicU64,
-    worker_panics: AtomicU64,
-    slow_disconnects: AtomicU64,
-}
-
 /// Everything the server's threads share.
 struct Shared {
     slot: SnapshotSlot,
     queue: BoundedQueue<Job>,
-    counters: Counters,
+    metrics: ServeMetrics,
     shutdown: AtomicBool,
     reload_ctl: Option<ReloadCtl>,
     fault: Option<Arc<FaultPlan>>,
@@ -243,29 +241,38 @@ fn try_reload(shared: &Shared) -> Result<VersionInfo, ReloadError> {
         })
     })();
     match &outcome {
-        Ok(_) => shared.counters.reloads_ok.fetch_add(1, Ordering::Relaxed),
-        Err(_) => shared
-            .counters
-            .reloads_rejected
-            .fetch_add(1, Ordering::Relaxed),
+        Ok(_) => shared.metrics.reloads_ok.inc(),
+        Err(_) => shared.metrics.reloads_rejected.inc(),
     };
     outcome
 }
 
+/// The `Op::Stats` answer, read from the same `cc_obs` counters the
+/// `Op::Metrics` exposition renders — one accounting substrate, so the
+/// two views reconcile exactly.
 fn stats_snapshot(shared: &Shared) -> StatsSnapshot {
-    let c = &shared.counters;
+    let m = &shared.metrics;
     StatsSnapshot {
-        served: c.served.load(Ordering::Relaxed),
-        shed: c.shed.load(Ordering::Relaxed),
-        deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
-        malformed: c.malformed.load(Ordering::Relaxed),
+        served: m.served.get(),
+        shed: m.shed.get(),
+        deadline_missed: m.deadline_missed.get(),
+        malformed: m.malformed.get(),
         queue_depth: shared.queue.depth() as u64,
         generation: shared.slot.generation(),
-        reloads_ok: c.reloads_ok.load(Ordering::Relaxed),
-        reloads_rejected: c.reloads_rejected.load(Ordering::Relaxed),
-        worker_panics: c.worker_panics.load(Ordering::Relaxed),
-        slow_disconnects: c.slow_disconnects.load(Ordering::Relaxed),
+        reloads_ok: m.reloads_ok.get(),
+        reloads_rejected: m.reloads_rejected.get(),
+        worker_panics: m.worker_panics.get(),
+        slow_disconnects: m.slow_disconnects.get(),
     }
+}
+
+/// The `Op::Metrics` answer: refresh the point-in-time gauges, then
+/// render the whole registry as integer text exposition.
+fn metrics_text(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    m.queue_depth.set(shared.queue.depth() as u64);
+    m.generation.set(shared.slot.generation());
+    m.registry.render()
 }
 
 /// Queued-but-unwritten response frames for one connection.
@@ -292,6 +299,10 @@ struct Conn {
     reader_done: AtomicBool,
     /// Jobs admitted for this connection and not yet answered.
     inflight: AtomicU64,
+    /// Span events for this connection's last requests, drained by
+    /// `Op::Trace`. Events are pushed before the response frame is
+    /// enqueued, so an answered request's span is always drainable.
+    trace: TraceRing,
 }
 
 impl Conn {
@@ -303,6 +314,7 @@ impl Conn {
             dead: AtomicBool::new(false),
             reader_done: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
+            trace: TraceRing::new(TRACE_RING_CAPACITY),
         }
     }
 
@@ -310,14 +322,14 @@ impl Conn {
     /// connection is dead or the frame would overflow the outbox cap — in
     /// which case the client is disconnected (slow-reader containment),
     /// never blocked on.
-    fn enqueue_frame(&self, body: &[u8], cap: usize, counters: &Counters) -> bool {
+    fn enqueue_frame(&self, body: &[u8], cap: usize, metrics: &ServeMetrics) -> bool {
         if self.dead.load(Ordering::Relaxed) {
             return false;
         }
         let mut outbox = lock_recovering(&self.outbox);
         if outbox.bytes.saturating_add(body.len()) > cap {
             drop(outbox);
-            counters.slow_disconnects.fetch_add(1, Ordering::Relaxed);
+            metrics.slow_disconnects.inc();
             self.kill();
             return false;
         }
@@ -328,8 +340,8 @@ impl Conn {
         true
     }
 
-    fn enqueue_response(&self, resp: &Response, cap: usize, counters: &Counters) -> bool {
-        self.enqueue_frame(&resp.encode(), cap, counters)
+    fn enqueue_response(&self, resp: &Response, cap: usize, metrics: &ServeMetrics) -> bool {
+        self.enqueue_frame(&resp.encode(), cap, metrics)
     }
 
     /// Tears the connection down: both socket halves shut (unblocking the
@@ -365,7 +377,23 @@ struct Job {
     req_id: u64,
     op: Op,
     deadline: Option<Instant>,
+    /// When the reader admitted the job — the queue-wait histogram
+    /// measures from here to batch pickup.
+    enqueued_at: Instant,
     pairs: Vec<(u32, u32)>,
+}
+
+impl Job {
+    /// The span event recorded for this job's outcome (trace ring).
+    fn span(&self, status: Status, wait_ns: u64, batch: u64) -> SpanEvent {
+        SpanEvent {
+            req_id: self.req_id,
+            op: self.op.wire(),
+            status: status.wire(),
+            wait_ns,
+            batch,
+        }
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -455,7 +483,7 @@ pub fn serve(oracles: Oracles, addr: &str, config: ServerConfig) -> std::io::Res
     let shared = Arc::new(Shared {
         slot: SnapshotSlot::new(oracles),
         queue: BoundedQueue::new(config.queue_capacity),
-        counters: Counters::default(),
+        metrics: ServeMetrics::new(),
         shutdown: AtomicBool::new(false),
         reload_ctl: config.reload.map(|r| ReloadCtl {
             reload: Mutex::new(r),
@@ -566,7 +594,7 @@ fn read_full(
 
 fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
     let cap = shared.outbox_cap;
-    let counters = &shared.counters;
+    let metrics = &shared.metrics;
     loop {
         // Injected reset: the mid-stream disconnect clients must survive.
         if shared.fault_fires(FaultSite::ConnReset) {
@@ -580,7 +608,7 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
         }
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > MAX_FRAME {
-            counters.malformed.fetch_add(1, Ordering::Relaxed);
+            metrics.malformed.inc();
             // Frame boundary is lost; the connection cannot continue
             // reading — but queued responses still flush.
             return;
@@ -593,7 +621,7 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
             Ok(false) | Err(_) => return,
         }
         let Some(req) = Request::decode(&body) else {
-            counters.malformed.fetch_add(1, Ordering::Relaxed);
+            metrics.malformed.inc();
             // Best effort: the id prefix may still be intact.
             let req_id = body
                 .first_chunk::<8>()
@@ -602,7 +630,7 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
             conn.enqueue_response(
                 &Response::error(req_id, Op::Ping, Status::Malformed),
                 cap,
-                counters,
+                metrics,
             );
             continue;
         };
@@ -616,7 +644,7 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
                         payload: Payload::Empty,
                     },
                     cap,
-                    counters,
+                    metrics,
                 );
             }
             Op::Stats => {
@@ -628,7 +656,31 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
                         payload: Payload::Stats(stats_snapshot(shared)),
                     },
                     cap,
-                    counters,
+                    metrics,
+                );
+            }
+            Op::Metrics => {
+                conn.enqueue_response(
+                    &Response {
+                        req_id: req.req_id,
+                        status: Status::Ok,
+                        op: Op::Metrics,
+                        payload: Payload::Text(metrics_text(shared)),
+                    },
+                    cap,
+                    metrics,
+                );
+            }
+            Op::Trace => {
+                conn.enqueue_response(
+                    &Response {
+                        req_id: req.req_id,
+                        status: Status::Ok,
+                        op: Op::Trace,
+                        payload: Payload::Text(conn.trace.drain_text()),
+                    },
+                    cap,
+                    metrics,
                 );
             }
             Op::Version => {
@@ -644,7 +696,7 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
                         }),
                     },
                     cap,
-                    counters,
+                    metrics,
                 );
             }
             Op::Reload => {
@@ -657,7 +709,7 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     },
                     Err(_) => Response::error(req.req_id, Op::Reload, Status::ReloadRejected),
                 };
-                conn.enqueue_response(&resp, cap, counters);
+                conn.enqueue_response(&resp, cap, metrics);
             }
             Op::Dist | Op::Path => {
                 let effective_ms = if req.deadline_ms != 0 {
@@ -665,32 +717,36 @@ fn reader_loop(conn: &Arc<Conn>, shared: &Arc<Shared>) {
                 } else {
                     shared.default_deadline_ms
                 };
+                let now = Instant::now();
                 let deadline = (effective_ms != 0)
-                    .then(|| Instant::now() + Duration::from_millis(u64::from(effective_ms)));
+                    .then(|| now + Duration::from_millis(u64::from(effective_ms)));
                 let job = Job {
                     conn: Arc::clone(conn),
                     req_id: req.req_id,
                     op: req.op,
                     deadline,
+                    enqueued_at: now,
                     pairs: req.pairs,
                 };
                 conn.inflight.fetch_add(1, Ordering::Relaxed);
                 match shared.queue.try_push(job) {
                     Ok(()) => {}
                     Err((job, PushError::Full)) => {
-                        counters.shed.fetch_add(1, Ordering::Relaxed);
+                        metrics.shed.inc();
+                        job.conn.trace.push(job.span(Status::Overloaded, 0, 0));
                         job.conn.enqueue_response(
                             &Response::error(job.req_id, job.op, Status::Overloaded),
                             cap,
-                            counters,
+                            metrics,
                         );
                         job.conn.job_done();
                     }
                     Err((job, PushError::Closed)) => {
+                        job.conn.trace.push(job.span(Status::ShuttingDown, 0, 0));
                         job.conn.enqueue_response(
                             &Response::error(job.req_id, job.op, Status::ShuttingDown),
                             cap,
-                            counters,
+                            metrics,
                         );
                         job.conn.job_done();
                     }
@@ -744,20 +800,22 @@ fn writer_loop(conn: &Arc<Conn>, shared: &Shared) {
                 conn.kill();
                 return;
             }
+            let write_started = Instant::now();
             if let Err(e) = crate::protocol::write_frame(&mut (&conn.stream), &body) {
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) {
                     // The peer stopped reading: slow-client containment.
-                    shared
-                        .counters
-                        .slow_disconnects
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.slow_disconnects.inc();
                 }
                 conn.kill();
                 return;
             }
+            shared
+                .metrics
+                .outbox_write_ns
+                .record(elapsed_ns(write_started));
         }
     }
 }
@@ -820,18 +878,16 @@ fn worker_loop(shared: &Arc<Shared>, batch_max: usize) {
             process_batch(shared, &mut s);
         }));
         if outcome.is_err() {
-            shared
-                .counters
-                .worker_panics
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.worker_panics.inc();
             for (i, job) in s.jobs.iter().enumerate() {
                 if s.answered.get(i).copied().unwrap_or(true) {
                     continue;
                 }
+                job.conn.trace.push(job.span(Status::Internal, 0, 0));
                 job.conn.enqueue_response(
                     &Response::error(job.req_id, job.op, Status::Internal),
                     shared.outbox_cap,
-                    &shared.counters,
+                    &shared.metrics,
                 );
             }
             s.reset_buffers();
@@ -856,9 +912,11 @@ fn process_batch(shared: &Shared, s: &mut Scratch) {
     // the slot but this batch keeps answering against its pinned tables.
     let pinned = shared.slot.pin();
     let oracles = &pinned.oracles;
-    let counters = &shared.counters;
+    let metrics = &shared.metrics;
     let cap = shared.outbox_cap;
     let now = Instant::now();
+    let batch = s.jobs.len() as u64;
+    metrics.batch_jobs.record(batch);
     // Coalesce every live dist job in this batch into one oracle call.
     s.dist_pairs.clear();
     s.dist_slots.clear();
@@ -872,18 +930,26 @@ fn process_batch(shared: &Shared, s: &mut Scratch) {
         s.dist_slots.push((i, start, job.pairs.len()));
     }
     if !s.dist_pairs.is_empty() {
+        let sweep_started = Instant::now();
         oracles
             .dist()
             .dist_batch_into(&s.dist_pairs, &mut s.dist_out);
+        metrics.oracle_batch_ns.record(elapsed_ns(sweep_started));
     }
     let mut slot = 0;
     for (i, job) in s.jobs.iter().enumerate() {
+        let wait_ns = u64::try_from(now.saturating_duration_since(job.enqueued_at).as_nanos())
+            .unwrap_or(u64::MAX);
+        metrics.queue_wait_ns.record(wait_ns);
         if job.deadline.is_some_and(|d| d < now) {
-            counters.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            metrics.deadline_missed.inc();
+            job.conn
+                .trace
+                .push(job.span(Status::DeadlineExceeded, wait_ns, batch));
             job.conn.enqueue_response(
                 &Response::error(job.req_id, job.op, Status::DeadlineExceeded),
                 cap,
-                counters,
+                metrics,
             );
             if let Some(a) = s.answered.get_mut(i) {
                 *a = true;
@@ -910,26 +976,31 @@ fn process_batch(shared: &Shared, s: &mut Scratch) {
                 match answers {
                     Some(answers) => {
                         encode_dist_body(&mut s.body, job, answers);
-                        counters.served.fetch_add(1, Ordering::Relaxed);
-                        job.conn.enqueue_frame(&s.body, cap, counters);
+                        metrics.served.inc();
+                        job.conn.trace.push(job.span(Status::Ok, wait_ns, batch));
+                        job.conn.enqueue_frame(&s.body, cap, metrics);
                     }
                     None => {
+                        job.conn
+                            .trace
+                            .push(job.span(Status::Malformed, wait_ns, batch));
                         job.conn.enqueue_response(
                             &Response::error(job.req_id, job.op, Status::Malformed),
                             cap,
-                            counters,
+                            metrics,
                         );
                     }
                 }
             }
             Op::Path => {
                 encode_path_body(&mut s.body, job, oracles, &mut s.edges);
-                counters.served.fetch_add(1, Ordering::Relaxed);
-                job.conn.enqueue_frame(&s.body, cap, counters);
+                metrics.served.inc();
+                job.conn.trace.push(job.span(Status::Ok, wait_ns, batch));
+                job.conn.enqueue_frame(&s.body, cap, metrics);
             }
             // The reader answers these inline and never enqueues them;
             // nothing is owed here.
-            Op::Ping | Op::Stats | Op::Reload | Op::Version => {}
+            Op::Ping | Op::Stats | Op::Reload | Op::Version | Op::Metrics | Op::Trace => {}
         }
         if let Some(a) = s.answered.get_mut(i) {
             *a = true;

@@ -289,6 +289,47 @@ fn run_chaos(seed: u64) {
     assert_eq!(after.shed, before.shed);
     assert_eq!(after.worker_panics, before.worker_panics);
 
+    // ── Metrics reconciliation: `Op::Metrics` and `Op::Stats` are two
+    // views of one registry. With faults quiesced and no concurrent
+    // traffic they must agree exactly, field for field, and the panic
+    // counter must equal the fault plan's injected count.
+    let exposition = clean.metrics().unwrap();
+    let samples = cc_obs::parse_exposition(&exposition);
+    let finals = clean.stats().unwrap();
+    let sample = |name: &str| samples.get(name).copied();
+    assert_eq!(sample("ccd_served_total"), Some(finals.served));
+    assert_eq!(sample("ccd_shed_total"), Some(finals.shed));
+    assert_eq!(
+        sample("ccd_deadline_missed_total"),
+        Some(finals.deadline_missed)
+    );
+    assert_eq!(sample("ccd_malformed_total"), Some(finals.malformed));
+    assert_eq!(sample("ccd_queue_depth"), Some(finals.queue_depth));
+    assert_eq!(sample("ccd_generation"), Some(finals.generation));
+    assert_eq!(sample("ccd_reloads_ok_total"), Some(finals.reloads_ok));
+    assert_eq!(
+        sample("ccd_reloads_rejected_total"),
+        Some(finals.reloads_rejected)
+    );
+    assert_eq!(
+        sample("ccd_slow_disconnects_total"),
+        Some(finals.slow_disconnects)
+    );
+    assert_eq!(
+        sample("ccd_worker_panics_total"),
+        Some(plan.fires(FaultSite::WorkerPanic)),
+        "metrics must reconcile with the injected fault count ({})",
+        plan.coordinates()
+    );
+    let queue_wait = cc_obs::text::histogram_summary(&samples, "ccd_queue_wait_ns")
+        .expect("queue-wait histogram exposed");
+    assert!(
+        queue_wait.count >= finals.served,
+        "every served request passed through the queue ({} waits, {} served)",
+        queue_wait.count,
+        finals.served
+    );
+
     handle.shutdown();
     std::fs::remove_file(&path).ok();
 }

@@ -320,6 +320,83 @@ fn graceful_shutdown_drains_admitted_work() {
     );
 }
 
+/// `Op::Stats` moved from a bespoke counter struct onto the `cc_obs`
+/// registry; this pins the answer's wire bytes so that migration (and any
+/// future one) can never change a byte of what deployed clients parse.
+#[test]
+fn stats_wire_encoding_is_pinned() {
+    let resp = Response {
+        req_id: 0x0102_0304_0506_0708,
+        status: Status::Ok,
+        op: Op::Stats,
+        payload: cc_serve::Payload::Stats(cc_serve::StatsSnapshot {
+            served: 1,
+            shed: 2,
+            deadline_missed: 3,
+            malformed: 4,
+            queue_depth: 5,
+            generation: 6,
+            reloads_ok: 7,
+            reloads_rejected: 8,
+            worker_panics: 9,
+            slow_disconnects: 10,
+        }),
+    };
+    let mut want = Vec::new();
+    want.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+    want.push(0); // Status::Ok wire byte
+    want.push(3); // Op::Stats wire byte
+    want.extend_from_slice(&10u32.to_le_bytes()); // field count
+    for v in 1u64..=10 {
+        want.extend_from_slice(&v.to_le_bytes());
+    }
+    assert_eq!(resp.encode(), want, "Op::Stats wire layout changed");
+    assert_eq!(Response::decode(&want), Some(resp));
+}
+
+/// `Op::Metrics` and `Op::Trace` answer on the reader thread: the
+/// exposition must parse, reconcile exactly with `Op::Stats` (one
+/// accounting substrate), expose the lifecycle histograms, and never
+/// count as served; the trace ring drains one Ok span per request and is
+/// destructive.
+#[test]
+fn metrics_and_trace_ops_reconcile_with_stats() {
+    let (handle, _served, _reference) = serve_v2(96, ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let pairs = pairs_for(21, 96, 16);
+    for _ in 0..3 {
+        client.dist_batch(&pairs, 0).unwrap().unwrap();
+    }
+
+    let text = client.metrics().unwrap();
+    let samples = cc_obs::parse_exposition(&text);
+    let stats = client.stats().unwrap();
+    assert_eq!(samples.get("ccd_served_total").copied(), Some(stats.served));
+    assert_eq!(
+        stats.served, 3,
+        "metrics/trace/stats ops must not count as served"
+    );
+    for name in [
+        "ccd_queue_wait_ns",
+        "ccd_batch_jobs",
+        "ccd_oracle_batch_ns",
+        "ccd_outbox_write_ns",
+    ] {
+        let h = cc_obs::text::histogram_summary(&samples, name).expect("histogram exposed");
+        assert!(h.count > 0, "{name} must have samples after 3 requests");
+    }
+
+    let trace = client.trace().unwrap();
+    let spans: Vec<&str> = trace.lines().collect();
+    assert_eq!(spans.len(), 3, "one span per dist request: {trace:?}");
+    for (i, span) in spans.iter().enumerate() {
+        let prefix = format!("span req_id={} op=1 status=0", i + 1);
+        assert!(span.starts_with(&prefix), "span {i}: {span:?}");
+    }
+    assert_eq!(client.trace().unwrap(), "", "trace drain is destructive");
+    handle.shutdown();
+}
+
 /// Malformed frames are answered (best effort) and counted, and the
 /// connection survives for well-formed follow-ups.
 #[test]
